@@ -1,0 +1,253 @@
+package repro_test
+
+// Benchmarks regenerating the paper's evaluation artifacts (one or more
+// per table/figure; see DESIGN.md §2 and EXPERIMENTS.md). The benchmarks
+// run the experiments at a reduced scale so `go test -bench=.` completes
+// in minutes; use cmd/mcdbr-bench for paper-parameter runs and the full
+// printed tables.
+//
+// Experiment map:
+//
+//	E1 (App. D timing)   BenchmarkE1_TailSampling, BenchmarkE1_NaiveMCDB
+//	E2 (Figure 5)        BenchmarkE2_Fig5Accuracy
+//	E3 (§1 motivation)   BenchmarkE3_NaiveTailHitRate
+//	E4 (App. C params)   BenchmarkE4_ParamSelection
+//	E5 (App. B regime)   BenchmarkE5_HeavyTailRejections
+//	Ablations            BenchmarkAblation_*
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/gibbs"
+	"repro/internal/prng"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/tail"
+	"repro/internal/vg"
+	"repro/internal/workload"
+	"repro/mcdbr"
+)
+
+const benchScaleDiv = 1000 // 100 orders, 1000 lineitems
+
+// BenchmarkE1_TailSampling measures one full MCDB-R tail-sampling run
+// (m=5, N=500, l=100, p≈0.001) on the Appendix D timing workload.
+func BenchmarkE1_TailSampling(b *testing.B) {
+	p := math.Pow(0.25, 5)
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.TPCHTimingEngine(benchScaleDiv, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := experiments.TPCHQuery(e).TailSample(p, 100,
+			mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Samples) != 100 {
+			b.Fatalf("samples = %d", len(tr.Samples))
+		}
+	}
+}
+
+// BenchmarkE1_NaiveMCDB measures 1000 naive Monte Carlo repetitions of the
+// same query; obtaining 100 tail samples at p≈0.001 needs ~102400
+// repetitions, so the per-op cost must be multiplied by ~102 for the
+// apples-to-apples Appendix D comparison.
+func BenchmarkE1_NaiveMCDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.TPCHTimingEngine(benchScaleDiv, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := experiments.TPCHQuery(e).MonteCarlo(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Samples) != 1000 {
+			b.Fatalf("samples = %d", len(d.Samples))
+		}
+	}
+}
+
+// BenchmarkE2_Fig5Accuracy measures one Figure 5 accuracy run (skewed-join
+// workload, m=5, N=500, l=100) including the analytic-truth comparison.
+func BenchmarkE2_Fig5Accuracy(b *testing.B) {
+	p := math.Pow(0.25, 5)
+	for i := 0; i < b.N; i++ {
+		e, err := experiments.TPCHEngine(benchScaleDiv, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mu, sigma := experiments.TPCHAnalyticMoments(e)
+		trueQ := stats.NormalQuantile(1-p, mu, sigma)
+		tr, err := experiments.TPCHQuery(e).TailSample(p, 100,
+			mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if relErr := math.Abs(tr.Min()-trueQ) / trueQ; relErr > 0.25 {
+			b.Fatalf("estimate %g vs analytic %g", tr.Min(), trueQ)
+		}
+	}
+}
+
+// BenchmarkE3_NaiveTailHitRate measures the naive engine's repetition
+// throughput and verifies the §1 hit-rate arithmetic: tail hits arrive at
+// rate p.
+func BenchmarkE3_NaiveTailHitRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := mcdbr.New(mcdbr.WithSeed(uint64(i)), mcdbr.WithWindow(6000))
+		e.RegisterTable(workload.LossMeans(20, 2, 8, 3))
+		if err := e.DefineRandomTable(mcdbr.RandomTable{
+			Name: "losses", ParamTable: "means", VG: "Normal",
+			VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+			Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		d, err := e.Query().From("losses", "").SelectSum(expr.C("val")).MonteCarlo(5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = d.Quantile(0.999)
+	}
+}
+
+// BenchmarkE4_ParamSelection measures Appendix C parameter selection:
+// Theorem 1 m*, budget choice, and a simulated-MSRE validation pass.
+func BenchmarkE4_ParamSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		params, err := tail.Choose(500, 0.001)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tail.ChooseN(0.001, 0.05, 0); err != nil {
+			b.Fatal(err)
+		}
+		sim := tail.SimulateMSRE(500, params.M, 0.001, 500, uint64(i))
+		if sim <= 0 {
+			b.Fatal("degenerate simulated MSRE")
+		}
+	}
+}
+
+// BenchmarkE5_HeavyTailRejections measures the full Appendix B regime
+// sweep (Normal vs Lognormal vs Pareto rejection cost).
+func BenchmarkE5_HeavyTailRejections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunE5(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// benchTailOnce runs a small tail sampling with the given knobs; shared by
+// the ablation benchmarks.
+func benchTailOnce(b *testing.B, seed uint64, window int, opts mcdbr.TailSampleOptions) {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(window))
+	e.RegisterTable(workload.LossMeans(50, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Query().From("losses", "").SelectSum(expr.C("val")).
+		TailSample(0.001, 100, opts); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblation_WindowSmall vs WindowLarge quantifies the §5 tradeoff:
+// small windows carry less data through the plan but force more
+// replenishing runs.
+func BenchmarkAblation_WindowSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 256, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
+	}
+}
+
+// BenchmarkAblation_WindowLarge is the large-window counterpart.
+func BenchmarkAblation_WindowLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 8192, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
+	}
+}
+
+// BenchmarkAblation_K1 vs K3 quantifies extra Gibbs updating steps (the
+// paper finds k=1 suffices).
+func BenchmarkAblation_K1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5, K: 1})
+	}
+}
+
+// BenchmarkAblation_K3 is the k=3 counterpart.
+func BenchmarkAblation_K3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5, K: 3})
+	}
+}
+
+// BenchmarkAblation_M2 vs the Theorem 1 m*: fewer bootstrapping steps mean
+// each step must estimate a much more extreme per-step quantile.
+func BenchmarkAblation_M2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 2})
+	}
+}
+
+// BenchmarkAblation_MStar uses the Appendix C optimum.
+func BenchmarkAblation_MStar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500})
+	}
+}
+
+// BenchmarkAblation_DeltaAggregates vs FullRecompute quantifies the §4.3
+// delta-maintenance optimization: without it every rejection-sampling
+// candidate recomputes the aggregate over all tuples.
+func BenchmarkAblation_DeltaAggregates(b *testing.B) {
+	benchDeltaAblation(b, false)
+}
+
+// BenchmarkAblation_FullRecompute is the naive counterpart.
+func BenchmarkAblation_FullRecompute(b *testing.B) {
+	benchDeltaAblation(b, true)
+}
+
+func benchDeltaAblation(b *testing.B, disable bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cat := storage.NewCatalog()
+		cat.Put(workload.LossMeans(200, 2, 8, 5))
+		normal, _ := vg.NewRegistry().Lookup("Normal")
+		ws := exec.NewWorkspace(cat, prng.NewStream(uint64(i)), 2048)
+		scan, err := exec.NewScan(cat, "means", "means")
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed, err := exec.NewSeed(scan, normal,
+			[]expr.Expr{expr.C("m"), expr.F(1)}, []string{"val"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan := &exec.Instantiate{Child: seed}
+		_, err = gibbs.Run(ws, plan,
+			gibbs.Query{Agg: gibbs.AggSum, AggExpr: expr.C("val")},
+			gibbs.Config{N: 50, M: 3, P: 0.01, L: 25, DisableDeltaAggregates: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Command mcdbr-bench regenerates the paper's evaluation artifacts (see
+// DESIGN.md §2 and EXPERIMENTS.md):
+//
+//	mcdbr-bench -exp E1            Appendix D timing (MCDB-R vs naive MCDB)
+//	mcdbr-bench -exp E2            Figure 5 accuracy study
+//	mcdbr-bench -exp E2 -ecdf f.csv  ... also dump the Figure 5 plot data
+//	mcdbr-bench -exp E3            §1 naive-Monte-Carlo cost numbers
+//	mcdbr-bench -exp E4            Appendix C parameter selection
+//	mcdbr-bench -exp E5            Appendix B heavy-tail regime
+//	mcdbr-bench -exp all           everything
+//
+// -scalediv shrinks the TPC-H-like workload (paper scale / scalediv);
+// -runs sets the number of Figure 5 repetitions (paper: 20).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: E1, E2, E3, E4, E5, or all")
+	scaleDiv := flag.Int("scalediv", 100, "TPC-H-like workload is paper scale divided by this")
+	runs := flag.Int("runs", 20, "number of Figure 5 repetitions (E2)")
+	seed := flag.Uint64("seed", 42, "master PRNG seed")
+	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
+	flag.Parse()
+
+	want := strings.ToUpper(*exp)
+	run := func(name string) bool { return want == "ALL" || want == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+		os.Exit(1)
+	}
+
+	if run("E1") {
+		res, err := experiments.RunE1(*scaleDiv, *seed)
+		if err != nil {
+			fail(err)
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if run("E2") {
+		res, err := experiments.RunE2(*scaleDiv, *runs, *seed)
+		if err != nil {
+			fail(err)
+		}
+		res.Print(os.Stdout)
+		if *ecdfOut != "" {
+			f, err := os.Create(*ecdfOut)
+			if err != nil {
+				fail(err)
+			}
+			res.PrintECDFs(f)
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  wrote Figure 5 plot data to %s\n", *ecdfOut)
+		}
+		fmt.Println()
+	}
+	if run("E3") {
+		res, err := experiments.RunE3(*seed)
+		if err != nil {
+			fail(err)
+		}
+		res.Print(os.Stdout)
+		fmt.Println()
+	}
+	if run("E4") {
+		rows, err := experiments.RunE4(*seed)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintE4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("E5") {
+		rows, err := experiments.RunE5(*seed)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintE5(os.Stdout, rows)
+		fmt.Println()
+	}
+}

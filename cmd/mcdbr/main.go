@@ -1,0 +1,149 @@
+// Command mcdbr is an interactive/scripted front end to the MCDB-R engine:
+// it loads CSV tables, executes SQL-ish statements (the paper's §2
+// syntax), and prints result distributions.
+//
+//	mcdbr -load means=means.csv script.sql
+//	echo "SELECT SUM(val) AS t FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(100)" | mcdbr -load means=means.csv
+//
+// Statements are separated by semicolons. Tail-sampling budgets are set
+// with -samples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/mcdbr"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	flag.Var(&loads, "load", "load a CSV table: name=path (repeatable)")
+	seed := flag.Uint64("seed", 42, "master PRNG seed")
+	window := flag.Int("window", 1024, "stream values materialized per TS-seed per run")
+	samples := flag.Int("samples", 0, "tail-sampling budget N (0 = choose via Appendix C)")
+	flag.Parse()
+
+	if err := run(loads, *seed, *window, *samples, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr:", err)
+		os.Exit(1)
+	}
+}
+
+func run(loads loadFlags, seed uint64, window, samples int, args []string) error {
+	engine := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(window))
+	for _, spec := range loads {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -load %q, want name=path", spec)
+		}
+		t, err := storage.LoadCSV(parts[0], parts[1])
+		if err != nil {
+			return err
+		}
+		engine.RegisterTable(t)
+		fmt.Printf("loaded %s\n", t)
+	}
+
+	var src []byte
+	var err error
+	if len(args) > 0 {
+		src, err = os.ReadFile(args[0])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	opts := mcdbr.TailSampleOptions{TotalSamples: samples}
+	for _, stmt := range splitStatements(string(src)) {
+		fmt.Printf("> %s\n", condense(stmt))
+		res, err := engine.ExecWithOptions(stmt, opts)
+		if err != nil {
+			return err
+		}
+		printResult(res)
+	}
+	return nil
+}
+
+// splitStatements splits on semicolons outside single-quoted strings.
+func splitStatements(src string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			sb.WriteByte(c)
+		case c == ';' && !inStr:
+			out = append(out, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	var clean []string
+	for _, s := range out {
+		if !isBlank(s) {
+			clean = append(clean, s)
+		}
+	}
+	return clean
+}
+
+// isBlank reports whether a statement consists solely of whitespace and
+// line comments.
+func isBlank(s string) bool {
+	for _, line := range strings.Split(s, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "--") {
+			return false
+		}
+	}
+	return true
+}
+
+func condense(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func printResult(res *mcdbr.ExecResult) {
+	switch res.Kind {
+	case mcdbr.ExecCreated:
+		fmt.Println("random table defined")
+	case mcdbr.ExecScalar:
+		fmt.Printf("%g\n", res.Scalar)
+	case mcdbr.ExecDistribution:
+		d := res.Dist
+		fmt.Printf("result distribution: n=%d mean=%g sd=%g min=%g max=%g\n",
+			len(d.Samples), d.Mean(), d.Std(), d.ECDF().Min(), d.ECDF().Max())
+	case mcdbr.ExecTail:
+		t := res.Tail
+		dir := ">="
+		if t.Lower {
+			dir = "<="
+		}
+		fmt.Printf("tail distribution (%s quantile, p=%g): quantile estimate %g, expected shortfall %g, %d samples\n",
+			dir, t.P, t.QuantileEstimate, t.ExpectedShortfall, len(t.Samples))
+		fmt.Printf("  iterations: %d, replenishing runs: %d\n", len(t.Diag.Iters), t.Diag.Replenishments)
+	}
+}

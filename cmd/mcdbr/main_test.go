@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSplitStatements(t *testing.T) {
+	src := "CREATE TABLE x (a) AS FOR EACH a IN p WITH v AS Normal(VALUES(1,1)) SELECT v.*;\nSELECT SUM(a) FROM x WITH RESULTDISTRIBUTION MONTECARLO(5);\n-- done\n"
+	stmts := splitStatements(src)
+	if len(stmts) != 2 {
+		t.Fatalf("statements = %d: %q", len(stmts), stmts)
+	}
+	// Semicolons inside strings must not split.
+	stmts = splitStatements("SELECT COUNT(*) FROM t WHERE a = 'x;y'")
+	if len(stmts) != 1 {
+		t.Fatalf("string-embedded semicolon split: %q", stmts)
+	}
+	if got := splitStatements("   \n  "); got != nil {
+		t.Fatalf("blank input = %q", got)
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "means.csv")
+	if err := workload.LossMeans(10, 2, 8, 3).SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "script.sql")
+	sql := `
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal;
+
+SELECT SUM(val) AS totalLoss
+FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(50)
+DOMAIN totalLoss >= QUANTILE(0.95)
+FREQUENCYTABLE totalLoss;
+
+SELECT MIN(totalLoss) FROM FTABLE;
+`
+	if err := os.WriteFile(script, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, []string{script})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(loadFlags{"bad"}, 1, 64, 0, nil); err == nil {
+		t.Fatal("bad -load must error")
+	}
+	if err := run(nil, 1, 64, 0, []string{"/nonexistent/file.sql"}); err == nil {
+		t.Fatal("missing script must error")
+	}
+}

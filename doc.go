@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "MCDB-R: Risk
+// Analysis in the Database" (Arumugam, Jampani, Perez, Xu, Jermaine, Haas;
+// PVLDB 3(1), 2010).
+//
+// The public API lives in package repro/mcdbr; see README.md for a
+// quickstart, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-versus-measured record. The root-level bench_test.go
+// regenerates every table and figure of the paper's evaluation via the
+// repro/internal/experiments package.
+package repro

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/bundle"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// NewProjectAs is Project with output column renaming: column cols[i] of
+// the child appears as names[i] (keeping its kind). The planner uses it to
+// expose random-table pipelines under the CREATE TABLE column names.
+func NewProjectAs(child Node, cols, names []string) (*Project, error) {
+	if len(cols) != len(names) {
+		return nil, fmt.Errorf("exec: ProjectAs needs matching cols/names, got %d vs %d", len(cols), len(names))
+	}
+	p, err := NewProject(child, cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Column, len(names))
+	for i, n := range names {
+		out[i] = types.Column{Name: n, Kind: p.schema.Col(i).Kind}
+	}
+	p.schema = types.NewSchema(out...)
+	return p, nil
+}
+
+// Cross is the cartesian product with an optional deterministic residual
+// predicate — the fallback when no equi-join key connects two plan inputs.
+type Cross struct {
+	Left, Right Node
+	// Residual, if non-nil, filters the concatenated rows; it must
+	// reference deterministic attributes only.
+	Residual expr.Expr
+
+	schema *types.Schema
+}
+
+// NewCross builds a cross-join node.
+func NewCross(left, right Node, residual expr.Expr) *Cross {
+	return &Cross{Left: left, Right: right, Residual: residual,
+		schema: left.Schema().Concat(right.Schema())}
+}
+
+// Schema implements Node.
+func (n *Cross) Schema() *types.Schema { return n.schema }
+
+// Deterministic implements Node.
+func (n *Cross) Deterministic() bool { return n.Left.Deterministic() && n.Right.Deterministic() }
+
+func (n *Cross) String() string { return "Cross" }
+
+// Run implements Node.
+func (n *Cross) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	left, err := ws.Run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ws.Run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	var residual *expr.Compiled
+	if n.Residual != nil {
+		residual, err = expr.Compile(n.Residual, n.schema)
+		if err != nil {
+			return nil, fmt.Errorf("exec: cross residual: %w", err)
+		}
+	}
+	lw := n.Left.Schema().Len()
+	var out []*bundle.Tuple
+	for _, ltu := range left {
+		for _, rtu := range right {
+			det := make(types.Row, lw+len(rtu.Det))
+			copy(det, ltu.Det)
+			copy(det[lw:], rtu.Det)
+			if residual != nil && !residual.EvalBool(det) {
+				continue
+			}
+			nt := &bundle.Tuple{Det: det}
+			nt.Rand = append(nt.Rand, ltu.Rand...)
+			for _, r := range rtu.Rand {
+				nt.Rand = append(nt.Rand, bundle.RandRef{Slot: r.Slot + lw, SeedID: r.SeedID, Out: r.Out})
+			}
+			nt.Pres = append(append([]bundle.PresVec(nil), ltu.Pres...), rtu.Pres...)
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,679 @@
+// Package exec implements MCDB-R's physical query plans over Gibbs tuples
+// (paper §5, Fig. 2). A plan is a tree of operators — Scan, Seed,
+// Instantiate, Select, Project, Join, Split — that runs once, no matter how
+// many DB versions the Gibbs Looper maintains, producing the stream of
+// instantiated Gibbs tuples the looper consumes.
+//
+// Plans support the replenishing runs of paper §9: results of fully
+// deterministic subtrees are materialized on first execution and served
+// from cache on re-execution, the TS-seed allocator is rewound so the same
+// logical seeds are revisited in the same order, and Instantiate adds only
+// new or currently-assigned stream values.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/bundle"
+	"repro/internal/expr"
+	"repro/internal/prng"
+	"repro/internal/seeds"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vg"
+)
+
+// Workspace carries cross-operator state for one query.
+type Workspace struct {
+	// Master is the engine-level stream all TS-seed streams derive from.
+	Master prng.Stream
+	// Seeds is the query's TS-seed store.
+	Seeds *seeds.Store
+	// Window is the number of fresh stream values Instantiate materializes
+	// per seed per run (the paper's "1000 random values initially").
+	Window int
+	// Catalog resolves Scan table names.
+	Catalog *storage.Catalog
+	// Replenishing is true during a §9 replenishing run.
+	Replenishing bool
+
+	matCache map[Node][]*bundle.Tuple
+}
+
+// NewWorkspace builds a workspace. window <= 0 selects 1024.
+func NewWorkspace(cat *storage.Catalog, master prng.Stream, window int) *Workspace {
+	if window <= 0 {
+		window = 1024
+	}
+	return &Workspace{
+		Master:   master,
+		Seeds:    seeds.NewStore(),
+		Window:   window,
+		Catalog:  cat,
+		matCache: make(map[Node][]*bundle.Tuple),
+	}
+}
+
+// Run executes the plan rooted at n. On replenishing runs, call
+// BeginReplenish first.
+func (ws *Workspace) Run(n Node) ([]*bundle.Tuple, error) {
+	if n.Deterministic() {
+		if cached, ok := ws.matCache[n]; ok {
+			return cached, nil
+		}
+		out, err := n.Run(ws)
+		if err != nil {
+			return nil, err
+		}
+		ws.matCache[n] = out
+		return out, nil
+	}
+	return n.Run(ws)
+}
+
+// BeginReplenish prepares the workspace for a §9 replenishing run: existing
+// Gibbs tuples are discarded by the caller, the seed allocator is rewound
+// so the deterministic pipeline revisits the same seeds, and Instantiate
+// switches to new-or-assigned materialization.
+func (ws *Workspace) BeginReplenish() {
+	ws.Replenishing = true
+	ws.Seeds.ResetAlloc()
+}
+
+// Node is one operator in a physical plan.
+type Node interface {
+	// Schema is the operator's output schema.
+	Schema() *types.Schema
+	// Run produces the operator's full output. Use Workspace.Run for
+	// caching of deterministic subtrees.
+	Run(ws *Workspace) ([]*bundle.Tuple, error)
+	// Deterministic reports whether the subtree involves no randomness.
+	Deterministic() bool
+	// String names the operator for plan display.
+	String() string
+}
+
+// Scan reads a catalog table, qualifying column names with the alias.
+type Scan struct {
+	Table string
+	Alias string
+
+	schema *types.Schema
+}
+
+// NewScan builds a scan node; the schema is resolved at first Run.
+func NewScan(cat *storage.Catalog, table, alias string) (*Scan, error) {
+	t, ok := cat.Get(table)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %q not found", table)
+	}
+	if alias == "" {
+		alias = table
+	}
+	return &Scan{Table: table, Alias: alias, schema: t.Schema().Rename(alias)}, nil
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *types.Schema { return s.schema }
+
+// Deterministic implements Node.
+func (s *Scan) Deterministic() bool { return true }
+
+func (s *Scan) String() string { return fmt.Sprintf("Scan(%s AS %s)", s.Table, s.Alias) }
+
+// Run implements Node.
+func (s *Scan) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	t, ok := ws.Catalog.Get(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %q not found", s.Table)
+	}
+	out := make([]*bundle.Tuple, t.NumRows())
+	for i := 0; i < t.NumRows(); i++ {
+		out[i] = bundle.NewDet(t.Row(i))
+	}
+	return out, nil
+}
+
+// Seed implements the paper's Seed operator: it attaches a fresh TS-seed to
+// every input tuple and appends the VG function's output columns as random
+// attribute slots (values are filled in by Instantiate).
+type Seed struct {
+	Child Node
+	// Gen is the VG function.
+	Gen vg.Func
+	// ParamExprs produce the VG parameter row from each input tuple; they
+	// must reference deterministic attributes only.
+	ParamExprs []expr.Expr
+	// OutNames name the appended random columns (qualified by the caller).
+	OutNames []string
+
+	schema *types.Schema
+}
+
+// NewSeed builds a Seed node.
+func NewSeed(child Node, gen vg.Func, paramExprs []expr.Expr, outNames []string) (*Seed, error) {
+	kinds := gen.OutKinds()
+	if len(outNames) != len(kinds) {
+		return nil, fmt.Errorf("exec: VG %s emits %d columns, got %d names", gen.Name(), len(kinds), len(outNames))
+	}
+	if gen.Arity() >= 0 && len(paramExprs) != gen.Arity() {
+		return nil, fmt.Errorf("exec: VG %s needs %d parameters, got %d", gen.Name(), gen.Arity(), len(paramExprs))
+	}
+	cols := make([]types.Column, len(kinds))
+	for i, k := range kinds {
+		cols[i] = types.Column{Name: outNames[i], Kind: k}
+	}
+	return &Seed{Child: child, Gen: gen, ParamExprs: paramExprs, OutNames: outNames,
+		schema: child.Schema().Concat(types.NewSchema(cols...))}, nil
+}
+
+// Schema implements Node.
+func (s *Seed) Schema() *types.Schema { return s.schema }
+
+// Deterministic implements Node.
+func (s *Seed) Deterministic() bool { return false }
+
+func (s *Seed) String() string { return fmt.Sprintf("Seed(%s)", s.Gen.Name()) }
+
+// Run implements Node.
+func (s *Seed) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	in, err := ws.Run(s.Child)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*expr.Compiled, len(s.ParamExprs))
+	for i, pe := range s.ParamExprs {
+		c, err := expr.Compile(pe, s.Child.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("exec: Seed parameter %d: %w", i, err)
+		}
+		compiled[i] = c
+	}
+	childWidth := s.Child.Schema().Len()
+	nOut := len(s.Gen.OutKinds())
+	out := make([]*bundle.Tuple, len(in))
+	for i, tu := range in {
+		params := make([]types.Value, len(compiled))
+		for j, c := range compiled {
+			params[j] = c.Eval(tu.Det)
+		}
+		// Parameter expressions over random slots would read Null
+		// placeholders; reject them so mistakes surface early.
+		for j, p := range params {
+			if p.IsNull() {
+				if cols := expr.Columns(s.ParamExprs[j]); len(cols) > 0 {
+					for _, cn := range cols {
+						if isRandomSlot(tu, s.Child.Schema().Lookup(cn)) {
+							return nil, fmt.Errorf("exec: Seed parameter %d references random attribute %q", j, cn)
+						}
+					}
+				}
+			}
+		}
+		seed := ws.Seeds.Alloc(ws.Master, s.Gen, params)
+		det := make(types.Row, childWidth+nOut)
+		copy(det, tu.Det)
+		nt := &bundle.Tuple{Det: det}
+		nt.Rand = append(append([]bundle.RandRef(nil), tu.Rand...), make([]bundle.RandRef, 0, nOut)...)
+		for o := 0; o < nOut; o++ {
+			nt.Rand = append(nt.Rand, bundle.RandRef{Slot: childWidth + o, SeedID: seed.ID, Out: o})
+		}
+		nt.Pres = append([]bundle.PresVec(nil), tu.Pres...)
+		out[i] = nt
+	}
+	return out, nil
+}
+
+func isRandomSlot(tu *bundle.Tuple, slot int) bool {
+	if slot < 0 {
+		return false
+	}
+	for _, r := range tu.Rand {
+		if r.Slot == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// Instantiate materializes stream-value windows for every TS-seed
+// referenced by the child's output (the paper's Instantiate operator). On a
+// first run the window is [0, Window); on a replenishing run it is the
+// never-processed range [MaxUsed+1, MaxUsed+1+Window) plus the positions
+// currently assigned to DB versions (§9).
+type Instantiate struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (n *Instantiate) Schema() *types.Schema { return n.Child.Schema() }
+
+// Deterministic implements Node.
+func (n *Instantiate) Deterministic() bool { return false }
+
+func (n *Instantiate) String() string { return "Instantiate" }
+
+// Run implements Node.
+func (n *Instantiate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	in, err := ws.Run(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	done := map[uint64]bool{}
+	for _, tu := range in {
+		for _, r := range tu.Rand {
+			if done[r.SeedID] {
+				continue
+			}
+			done[r.SeedID] = true
+			s := ws.Seeds.MustGet(r.SeedID)
+			if ws.Replenishing {
+				if err := s.Materialize(s.MaxUsed+1, ws.Window, s.AssignedPositions()); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := s.Materialize(0, ws.Window, nil); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+// Select filters tuples by a predicate. Deterministic predicates drop
+// tuples outright. A predicate that references random attributes of
+// exactly one TS-seed per tuple is recorded as an isPres vector over that
+// seed's materialized positions (paper §5); tuples whose vector is
+// all-false are dropped. Predicates spanning random attributes of multiple
+// seeds must instead be pulled up into the Gibbs Looper (paper App. A).
+type Select struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// Schema implements Node.
+func (n *Select) Schema() *types.Schema { return n.Child.Schema() }
+
+// Deterministic implements Node.
+func (n *Select) Deterministic() bool { return n.Child.Deterministic() }
+
+func (n *Select) String() string { return fmt.Sprintf("Select(%s)", n.Pred) }
+
+// Run implements Node.
+func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	in, err := ws.Run(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.Child.Schema()
+	compiled, err := expr.Compile(n.Pred, schema)
+	if err != nil {
+		return nil, fmt.Errorf("exec: Select: %w", err)
+	}
+	refSlots := make([]int, 0, 4)
+	for _, name := range expr.Columns(n.Pred) {
+		refSlots = append(refSlots, schema.MustLookup(name))
+	}
+	var out []*bundle.Tuple
+	for _, tu := range in {
+		// Which referenced slots are random in this tuple, and for which seed?
+		var refs []bundle.RandRef
+		seedSet := map[uint64]bool{}
+		for _, slot := range refSlots {
+			for _, r := range tu.Rand {
+				if r.Slot == slot {
+					refs = append(refs, r)
+					seedSet[r.SeedID] = true
+				}
+			}
+		}
+		switch {
+		case len(refs) == 0:
+			if compiled.EvalBool(tu.Det) {
+				out = append(out, tu)
+			}
+		case len(seedSet) == 1:
+			pv, any, err := buildPresVec(ws, tu, refs, compiled)
+			if err != nil {
+				return nil, err
+			}
+			if !any {
+				continue // paper §5: predicate satisfied in no DB instance
+			}
+			nt := tu.Clone()
+			nt.Pres = append(nt.Pres, pv)
+			out = append(out, nt)
+		default:
+			return nil, fmt.Errorf("exec: Select predicate %s spans random attributes of %d seeds; pull it up into the GibbsLooper", n.Pred, len(seedSet))
+		}
+	}
+	return out, nil
+}
+
+// buildPresVec evaluates the predicate for every materialized position of
+// the (single) seed behind refs, substituting that position's VG outputs
+// into the referenced slots.
+func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *expr.Compiled) (bundle.PresVec, bool, error) {
+	seedID := refs[0].SeedID
+	s := ws.Seeds.MustGet(seedID)
+	w := &s.Window
+	row := tu.Det.Clone()
+	evalAt := func(pos uint64) (bool, error) {
+		vals, ok := w.Get(pos)
+		if !ok {
+			return false, fmt.Errorf("exec: seed %d position %d not materialized during Select", seedID, pos)
+		}
+		for _, r := range refs {
+			if r.Out >= len(vals) {
+				return false, fmt.Errorf("exec: seed %d VG output %d of %d", seedID, r.Out, len(vals))
+			}
+			row[r.Slot] = vals[r.Out]
+		}
+		return pred.EvalBool(row), nil
+	}
+	pv := bundle.PresVec{SeedID: seedID, Lo: w.Lo, Bits: make([]bool, len(w.Vals))}
+	any := false
+	for i := range w.Vals {
+		b, err := evalAt(w.Lo + uint64(i))
+		if err != nil {
+			return pv, false, err
+		}
+		pv.Bits[i] = b
+		any = any || b
+	}
+	if len(w.Sparse) > 0 {
+		pv.Sparse = make(map[uint64]bool, len(w.Sparse))
+		for pos := range w.Sparse {
+			b, err := evalAt(pos)
+			if err != nil {
+				return pv, false, err
+			}
+			pv.Sparse[pos] = b
+			any = any || b
+		}
+	}
+	return pv, any, nil
+}
+
+// Project narrows the schema to the named columns.
+type Project struct {
+	Child Node
+	Cols  []string
+
+	schema *types.Schema
+	idx    []int
+}
+
+// NewProject builds a projection node.
+func NewProject(child Node, cols ...string) (*Project, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := child.Schema().Lookup(c)
+		if j < 0 {
+			return nil, fmt.Errorf("exec: Project column %q not in %s", c, child.Schema())
+		}
+		idx[i] = j
+	}
+	return &Project{Child: child, Cols: cols, schema: child.Schema().Project(idx), idx: idx}, nil
+}
+
+// Schema implements Node.
+func (n *Project) Schema() *types.Schema { return n.schema }
+
+// Deterministic implements Node.
+func (n *Project) Deterministic() bool { return n.Child.Deterministic() }
+
+func (n *Project) String() string { return fmt.Sprintf("Project%v", n.Cols) }
+
+// Run implements Node.
+func (n *Project) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	in, err := ws.Run(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*bundle.Tuple, len(in))
+	for i, tu := range in {
+		det := make(types.Row, len(n.idx))
+		nt := &bundle.Tuple{Det: det}
+		for newSlot, oldSlot := range n.idx {
+			det[newSlot] = tu.Det[oldSlot]
+			for _, r := range tu.Rand {
+				if r.Slot == oldSlot {
+					nt.Rand = append(nt.Rand, bundle.RandRef{Slot: newSlot, SeedID: r.SeedID, Out: r.Out})
+				}
+			}
+		}
+		// Presence lineage always survives projection: it constrains the
+		// tuple's existence, not a particular column.
+		nt.Pres = append([]bundle.PresVec(nil), tu.Pres...)
+		out[i] = nt
+	}
+	return out, nil
+}
+
+// HashJoin is an equi-join on deterministic attributes. Joins on random
+// attributes must be rewritten with Split first (paper §8); Run rejects
+// tuples whose join key is a random slot.
+type HashJoin struct {
+	Left, Right         Node
+	LeftCols, RightCols []string
+	// Residual, if non-nil, is an extra deterministic predicate evaluated
+	// on the concatenated schema.
+	Residual expr.Expr
+
+	schema *types.Schema
+}
+
+// NewHashJoin builds a hash join node.
+func NewHashJoin(left, right Node, leftCols, rightCols []string, residual expr.Expr) (*HashJoin, error) {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		return nil, fmt.Errorf("exec: join needs matching non-empty key lists, got %d vs %d", len(leftCols), len(rightCols))
+	}
+	for _, c := range leftCols {
+		if left.Schema().Lookup(c) < 0 {
+			return nil, fmt.Errorf("exec: join key %q not in left schema %s", c, left.Schema())
+		}
+	}
+	for _, c := range rightCols {
+		if right.Schema().Lookup(c) < 0 {
+			return nil, fmt.Errorf("exec: join key %q not in right schema %s", c, right.Schema())
+		}
+	}
+	return &HashJoin{Left: left, Right: right, LeftCols: leftCols, RightCols: rightCols,
+		Residual: residual, schema: left.Schema().Concat(right.Schema())}, nil
+}
+
+// Schema implements Node.
+func (n *HashJoin) Schema() *types.Schema { return n.schema }
+
+// Deterministic implements Node.
+func (n *HashJoin) Deterministic() bool { return n.Left.Deterministic() && n.Right.Deterministic() }
+
+func (n *HashJoin) String() string {
+	return fmt.Sprintf("HashJoin(%v = %v)", n.LeftCols, n.RightCols)
+}
+
+// Run implements Node.
+func (n *HashJoin) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	left, err := ws.Run(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ws.Run(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	lIdx := lookupAll(n.Left.Schema(), n.LeftCols)
+	rIdx := lookupAll(n.Right.Schema(), n.RightCols)
+	var residual *expr.Compiled
+	if n.Residual != nil {
+		residual, err = expr.Compile(n.Residual, n.schema)
+		if err != nil {
+			return nil, fmt.Errorf("exec: join residual: %w", err)
+		}
+	}
+	// Build side: right.
+	build := make(map[uint64][]*bundle.Tuple, len(right))
+	for _, tu := range right {
+		if err := checkDetKey(tu, rIdx, "right"); err != nil {
+			return nil, err
+		}
+		h := hashKey(tu.Det, rIdx)
+		build[h] = append(build[h], tu)
+	}
+	lw := n.Left.Schema().Len()
+	var out []*bundle.Tuple
+	for _, ltu := range left {
+		if err := checkDetKey(ltu, lIdx, "left"); err != nil {
+			return nil, err
+		}
+		h := hashKey(ltu.Det, lIdx)
+		for _, rtu := range build[h] {
+			if !keysEqual(ltu.Det, lIdx, rtu.Det, rIdx) {
+				continue
+			}
+			det := make(types.Row, lw+len(rtu.Det))
+			copy(det, ltu.Det)
+			copy(det[lw:], rtu.Det)
+			if residual != nil && !residual.EvalBool(det) {
+				continue
+			}
+			nt := &bundle.Tuple{Det: det}
+			nt.Rand = append(nt.Rand, ltu.Rand...)
+			for _, r := range rtu.Rand {
+				nt.Rand = append(nt.Rand, bundle.RandRef{Slot: r.Slot + lw, SeedID: r.SeedID, Out: r.Out})
+			}
+			nt.Pres = append(append([]bundle.PresVec(nil), ltu.Pres...), rtu.Pres...)
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}
+
+func lookupAll(s *types.Schema, cols []string) []int {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = s.MustLookup(c)
+	}
+	return idx
+}
+
+func checkDetKey(tu *bundle.Tuple, idx []int, side string) error {
+	for _, slot := range idx {
+		if isRandomSlot(tu, slot) {
+			return fmt.Errorf("exec: join key on %s side is a random attribute (slot %d); apply Split first (paper §8)", side, slot)
+		}
+	}
+	return nil
+}
+
+func hashKey(row types.Row, idx []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, i := range idx {
+		h = (h ^ row[i].Hash()) * 1099511628211
+	}
+	return h
+}
+
+func keysEqual(a types.Row, aIdx []int, b types.Row, bIdx []int) bool {
+	for i := range aIdx {
+		if !a[aIdx[i]].Equal(b[bIdx[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Split implements the paper's Split operation (§8): it converts a random
+// attribute into a deterministic one by emitting one tuple per distinct
+// materialized value, transferring the nondeterminism into an isPres
+// vector. Joins on the attribute are then joins on a deterministic value.
+type Split struct {
+	Child Node
+	Col   string
+}
+
+// Schema implements Node.
+func (n *Split) Schema() *types.Schema { return n.Child.Schema() }
+
+// Deterministic implements Node.
+func (n *Split) Deterministic() bool { return n.Child.Deterministic() }
+
+func (n *Split) String() string { return fmt.Sprintf("Split(%s)", n.Col) }
+
+// Run implements Node.
+func (n *Split) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	in, err := ws.Run(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	slot := n.Child.Schema().Lookup(n.Col)
+	if slot < 0 {
+		return nil, fmt.Errorf("exec: Split column %q not in %s", n.Col, n.Child.Schema())
+	}
+	var out []*bundle.Tuple
+	for _, tu := range in {
+		ref, isRand := (*bundle.RandRef)(nil), false
+		restRand := make([]bundle.RandRef, 0, len(tu.Rand))
+		for i := range tu.Rand {
+			if tu.Rand[i].Slot == slot {
+				ref, isRand = &tu.Rand[i], true
+			} else {
+				restRand = append(restRand, tu.Rand[i])
+			}
+		}
+		if !isRand {
+			out = append(out, tu)
+			continue
+		}
+		s := ws.Seeds.MustGet(ref.SeedID)
+		w := &s.Window
+		// Enumerate distinct values in first-position order for run-to-run
+		// determinism.
+		type group struct {
+			val types.Value
+			pv  bundle.PresVec
+		}
+		var groups []group
+		find := func(v types.Value) *group {
+			for i := range groups {
+				if groups[i].val.Equal(v) {
+					return &groups[i]
+				}
+			}
+			groups = append(groups, group{val: v, pv: bundle.PresVec{
+				SeedID: ref.SeedID, Lo: w.Lo, Bits: make([]bool, len(w.Vals)),
+			}})
+			return &groups[len(groups)-1]
+		}
+		for i := range w.Vals {
+			v := w.Vals[i][ref.Out]
+			find(v).pv.Bits[i] = true
+		}
+		if len(w.Sparse) > 0 {
+			// Visit sparse positions in ascending order so group (and
+			// therefore output tuple) order is identical across runs.
+			for _, pos := range w.Positions() {
+				vals, ok := w.Sparse[pos]
+				if !ok {
+					continue
+				}
+				g := find(vals[ref.Out])
+				if g.pv.Sparse == nil {
+					g.pv.Sparse = make(map[uint64]bool)
+				}
+				g.pv.Sparse[pos] = true
+			}
+		}
+		for _, g := range groups {
+			det := tu.Det.Clone()
+			det[slot] = g.val
+			nt := &bundle.Tuple{Det: det}
+			nt.Rand = append([]bundle.RandRef(nil), restRand...)
+			nt.Pres = append(append([]bundle.PresVec(nil), tu.Pres...), g.pv)
+			out = append(out, nt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/bundle"
+	"repro/internal/types"
+)
+
+// Rename re-qualifies every column of its child with a new alias; tuples
+// pass through untouched. The planner uses it to expose random-table
+// pipelines (Scan -> Seed -> Instantiate) under the table's alias.
+type Rename struct {
+	Child Node
+	Alias string
+
+	schema *types.Schema
+}
+
+// NewRename builds a rename node.
+func NewRename(child Node, alias string) *Rename {
+	return &Rename{Child: child, Alias: alias, schema: child.Schema().Rename(alias)}
+}
+
+// Schema implements Node.
+func (n *Rename) Schema() *types.Schema { return n.schema }
+
+// Deterministic implements Node.
+func (n *Rename) Deterministic() bool { return n.Child.Deterministic() }
+
+func (n *Rename) String() string { return fmt.Sprintf("Rename(%s)", n.Alias) }
+
+// Run implements Node.
+func (n *Rename) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	return ws.Run(n.Child)
+}

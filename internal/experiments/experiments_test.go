@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Tiny scales keep these smoke tests fast; the shape assertions mirror the
+// paper's qualitative claims.
+
+func TestRunE1Shape(t *testing.T) {
+	res, err := RunE1(2000, 7) // 50 orders, 500 lineitems
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterSeconds) != 5 {
+		t.Fatalf("iterations = %d, want 5 (m=5)", len(res.IterSeconds))
+	}
+	// Quantile estimate within a few percent of the analytic truth.
+	if rel := math.Abs(res.Quantile-res.AnalyticQ) / res.AnalyticQ; rel > 0.2 {
+		t.Fatalf("quantile %g vs analytic %g (rel %g)", res.Quantile, res.AnalyticQ, rel)
+	}
+	// MCDB-R must beat extrapolated naive (paper: ~98x; any multiple > 1
+	// establishes the shape at tiny scale).
+	if res.SpeedupExtrap <= 1 {
+		t.Fatalf("speedup = %g, want > 1", res.SpeedupExtrap)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("Print output missing speedup row")
+	}
+}
+
+func TestRunE2Shape(t *testing.T) {
+	res, err := RunE2(2000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 3 || len(res.ECDFs) != 3 {
+		t.Fatalf("runs recorded = %d/%d", len(res.Estimates), len(res.ECDFs))
+	}
+	// Estimates bracket the truth within a few sigma-of-estimator.
+	for _, est := range res.Estimates {
+		if math.Abs(est-res.TrueQ) > 0.25*res.Middle99Width {
+			t.Fatalf("estimate %g far from true %g", est, res.TrueQ)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "true 0.99902-quantile") {
+		t.Fatal("Print output missing quantile row")
+	}
+	buf.Reset()
+	res.PrintECDFs(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "analytic,") || !strings.Contains(out, "run01,") {
+		t.Fatal("PrintECDFs missing series")
+	}
+}
+
+func TestRunE3Shape(t *testing.T) {
+	res, err := RunE3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RepsPerHit < 3e6 || res.RepsPerHit > 4e6 {
+		t.Fatalf("reps per hit = %g", res.RepsPerHit)
+	}
+	if res.RepsTailProb < 1e11 {
+		t.Fatalf("reps for tail prob = %g", res.RepsTailProb)
+	}
+	if !res.MeasuredHit {
+		t.Fatal("expected a measured hit within 20000 reps at p=0.001")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "3.5 million") {
+		t.Fatal("Print output missing paper reference")
+	}
+}
+
+func TestRunE4Shape(t *testing.T) {
+	rows, err := RunE4(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.MStar < 1 {
+			t.Fatalf("m* = %d", r.MStar)
+		}
+		if r.AnalyticU <= 0 || r.SimulatedU <= 0 {
+			t.Fatalf("MSRE values: %g %g", r.AnalyticU, r.SimulatedU)
+		}
+		if rel := math.Abs(r.SimulatedU-r.AnalyticU) / r.AnalyticU; rel > 0.5 {
+			t.Fatalf("N=%d: simulated %g vs analytic %g", r.N, r.SimulatedU, r.AnalyticU)
+		}
+	}
+	var buf bytes.Buffer
+	PrintE4(&buf, rows)
+	if !strings.Contains(buf.String(), "m*") {
+		t.Fatal("PrintE4 missing header")
+	}
+}
+
+func TestRunE5Shape(t *testing.T) {
+	rows, err := RunE5(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Appendix B: heavy tails cost strictly more candidates per update.
+	if rows[2].CandidatesPerUpd < 1.5*rows[0].CandidatesPerUpd {
+		t.Fatalf("Pareto cost %g not clearly above Normal cost %g",
+			rows[2].CandidatesPerUpd, rows[0].CandidatesPerUpd)
+	}
+	var buf bytes.Buffer
+	PrintE5(&buf, rows)
+	if !strings.Contains(buf.String(), "Pareto") {
+		t.Fatal("PrintE5 missing rows")
+	}
+}

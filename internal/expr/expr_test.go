@@ -1,0 +1,198 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var testSchema = types.NewSchema(
+	types.Column{Name: "t.a", Kind: types.KindInt},
+	types.Column{Name: "t.b", Kind: types.KindFloat},
+	types.Column{Name: "t.s", Kind: types.KindString},
+)
+
+func row(a int64, b float64, s string) types.Row {
+	return types.Row{types.NewInt(a), types.NewFloat(b), types.NewString(s)}
+}
+
+func evalOn(t *testing.T, e Expr, r types.Row) types.Value {
+	t.Helper()
+	c, err := Compile(e, testSchema)
+	if err != nil {
+		t.Fatalf("compile %s: %v", e, err)
+	}
+	return c.Eval(r)
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(6, 2.5, "x")
+	cases := []struct {
+		e    Expr
+		want types.Value
+	}{
+		{B(OpAdd, C("a"), I(4)), types.NewInt(10)},
+		{B(OpSub, C("a"), I(1)), types.NewInt(5)},
+		{B(OpMul, C("a"), I(3)), types.NewInt(18)},
+		{B(OpDiv, C("a"), I(4)), types.NewFloat(1.5)},
+		{B(OpAdd, C("a"), C("b")), types.NewFloat(8.5)},
+		{B(OpMul, C("b"), F(2)), types.NewFloat(5)},
+		{&Neg{C("a")}, types.NewInt(-6)},
+		{&Neg{C("b")}, types.NewFloat(-2.5)},
+	}
+	for _, tc := range cases {
+		if got := evalOn(t, tc.e, r); !got.Equal(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	if got := evalOn(t, B(OpDiv, C("a"), I(0)), row(1, 0, "")); !got.IsNull() {
+		t.Fatalf("x/0 = %v, want NULL", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(6, 2.5, "abc")
+	trueCases := []Expr{
+		B(OpEq, C("a"), I(6)),
+		B(OpEq, C("a"), F(6)), // cross-kind numeric equality
+		B(OpNe, C("a"), I(7)),
+		B(OpLt, C("b"), I(3)),
+		B(OpLe, C("b"), F(2.5)),
+		B(OpGt, C("a"), C("b")),
+		B(OpGe, C("a"), I(6)),
+		B(OpEq, C("s"), S("abc")),
+		B(OpLt, C("s"), S("abd")),
+	}
+	for _, e := range trueCases {
+		if got := evalOn(t, e, r); got.Kind() != types.KindBool || !got.Bool() {
+			t.Errorf("%s = %v, want true", e, got)
+		}
+	}
+	if got := evalOn(t, B(OpLt, C("s"), I(1)), r); !got.IsNull() {
+		t.Errorf("string<int = %v, want NULL", got)
+	}
+}
+
+func TestBooleanLogicAndShortCircuit(t *testing.T) {
+	r := row(6, 2.5, "x")
+	e := And(B(OpGt, C("a"), I(0)), B(OpLt, C("b"), I(3)))
+	if got := evalOn(t, e, r); !got.Bool() {
+		t.Errorf("AND = %v", got)
+	}
+	// FALSE AND NULL = FALSE (short-circuit).
+	e = B(OpAnd, B(OpGt, C("a"), I(100)), B(OpLt, C("s"), I(1)))
+	if got := evalOn(t, e, r); got.IsNull() || got.Bool() {
+		t.Errorf("FALSE AND NULL = %v, want false", got)
+	}
+	// TRUE OR NULL = TRUE.
+	e = B(OpOr, B(OpGt, C("a"), I(0)), B(OpLt, C("s"), I(1)))
+	if got := evalOn(t, e, r); got.IsNull() || !got.Bool() {
+		t.Errorf("TRUE OR NULL = %v, want true", got)
+	}
+	if got := evalOn(t, &Not{B(OpGt, C("a"), I(0))}, r); got.Bool() {
+		t.Errorf("NOT true = %v", got)
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	r := types.Row{types.Null, types.NewFloat(1), types.NewString("x")}
+	for _, e := range []Expr{
+		B(OpAdd, C("a"), I(1)),
+		B(OpEq, C("a"), I(1)),
+		B(OpLt, C("a"), I(1)),
+		&Neg{C("a")},
+	} {
+		if got := evalOn(t, e, r); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", e, got)
+		}
+	}
+}
+
+func TestEvalBoolTreatsNullAsFalse(t *testing.T) {
+	c := MustCompile(B(OpLt, C("a"), I(1)), testSchema)
+	if c.EvalBool(types.Row{types.Null, types.NewFloat(0), types.NewString("")}) {
+		t.Fatal("NULL predicate must be false")
+	}
+}
+
+func TestCompileUnknownColumn(t *testing.T) {
+	if _, err := Compile(C("missing"), testSchema); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompile(C("nope"), testSchema)
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := And(B(OpGt, C("t.a"), C("t.b")), B(OpEq, C("t.a"), I(1)))
+	got := Columns(e)
+	if len(got) != 2 || got[0] != "t.a" || got[1] != "t.b" {
+		t.Fatalf("Columns = %v", got)
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	e := And(B(OpGt, C("a"), I(1)), B(OpLt, C("b"), I(2)), B(OpEq, C("s"), S("x")))
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts", len(parts))
+	}
+	// A non-AND expression is its own single conjunct.
+	if got := SplitConjuncts(B(OpOr, C("a"), C("b"))); len(got) != 1 {
+		t.Fatalf("OR split = %d parts", len(got))
+	}
+}
+
+func TestEquiJoinSides(t *testing.T) {
+	l, r, ok := EquiJoinSides(B(OpEq, C("t.a"), C("u.b")))
+	if !ok || l != "t.a" || r != "u.b" {
+		t.Fatalf("EquiJoinSides = %q,%q,%v", l, r, ok)
+	}
+	if _, _, ok := EquiJoinSides(B(OpEq, C("t.a"), I(1))); ok {
+		t.Fatal("col=const is not an equi-join")
+	}
+	if _, _, ok := EquiJoinSides(B(OpLt, C("t.a"), C("u.b"))); ok {
+		t.Fatal("< is not an equi-join")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(B(OpGt, C("a"), I(1)), &Not{B(OpEq, C("s"), S("x"))})
+	want := "((a > 1) AND NOT (s = 'x'))"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestArithCommutativityProperty(t *testing.T) {
+	// a + b == b + a for float columns (no NaN inputs generated here).
+	f := func(a int64, b float64) bool {
+		r := row(a, b, "")
+		e1 := MustCompile(B(OpAdd, C("a"), C("b")), testSchema)
+		e2 := MustCompile(B(OpAdd, C("b"), C("a")), testSchema)
+		return e1.Eval(r).Equal(e2.Eval(r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledNoAllocEval(t *testing.T) {
+	c := MustCompile(B(OpAdd, C("a"), C("b")), testSchema)
+	r := row(1, 2, "")
+	allocs := testing.AllocsPerRun(1000, func() { c.Eval(r) })
+	if allocs > 0 {
+		t.Fatalf("Eval allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,193 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/prng"
+	"repro/internal/vg"
+)
+
+// TestDeltaAggregateEqualsRecompute is the central engine invariant: after
+// an entire tail-sampling run maintained per-version aggregates by deltas
+// (only re-evaluating tuples affected by each seed update), a from-scratch
+// recomputation over all tuples must give the same totals.
+func TestDeltaAggregateEqualsRecompute(t *testing.T) {
+	cat := lossCatalog([]float64{3, 4, 5, 6, 7})
+	ws := exec.NewWorkspace(cat, prng.NewStream(99), 1024)
+	plan := lossPlan(t, ws, 1)
+	q := sumQuery()
+	cfg := Config{N: 30, M: 3, P: 0.02, L: 15}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	lp := &looper{ws: ws, plan: plan, q: q, cfg: cfg}
+	if err := lp.init(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lp.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute every version's aggregate directly from the final seed
+	// assignments and compare with the incrementally maintained states.
+	for v := range lp.states {
+		want := lp.base
+		b := bundle.Bind(ws.Seeds, v)
+		for _, i := range lp.randIdx {
+			s, c, err := lp.contrib(lp.tuples[i], b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want.sum += s
+			want.count += c
+		}
+		got := lp.states[v]
+		if math.Abs(got.sum-want.sum) > 1e-6*(1+math.Abs(want.sum)) || got.count != want.count {
+			t.Fatalf("version %d: incremental (%g,%d) vs recomputed (%g,%d)",
+				v, got.sum, got.count, want.sum, want.count)
+		}
+		if math.Abs(res.TailSamples[v]-want.value(q.Agg)) > 1e-6 {
+			t.Fatalf("version %d: reported %g vs recomputed %g", v, res.TailSamples[v], want.value(q.Agg))
+		}
+	}
+}
+
+// TestMaxUsedMonotone checks TS-seed bookkeeping: MaxUsed only advances,
+// and every final assignment is a materialized, already-consumed position.
+func TestMaxUsedMonotone(t *testing.T) {
+	cat := lossCatalog([]float64{3, 4, 5})
+	ws := exec.NewWorkspace(cat, prng.NewStream(55), 256)
+	plan := lossPlan(t, ws, 1)
+	res, err := Run(ws, plan, sumQuery(), Config{N: 20, M: 3, P: 0.02, L: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	for _, id := range ws.Seeds.IDs() {
+		s := ws.Seeds.MustGet(id)
+		for v, pos := range s.Assign {
+			if pos > s.MaxUsed {
+				t.Fatalf("seed %d version %d assigned %d beyond MaxUsed %d", id, v, pos, s.MaxUsed)
+			}
+			if !s.Window.Contains(pos) {
+				t.Fatalf("seed %d version %d assigned unmaterialized position %d", id, v, pos)
+			}
+		}
+	}
+}
+
+// TestCutoffsMatchTailProbabilityTrajectory: theta_i estimates the
+// (1 - p^{i/m})-quantile; for a normal sum we can check the whole
+// trajectory against analytic quantiles (averaged over runs).
+func TestCutoffsMatchTailProbabilityTrajectory(t *testing.T) {
+	meansVals := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	mu, sigma := 65.0, math.Sqrt(10)
+	const runs = 8
+	const m = 3
+	avg := make([]float64, m)
+	for r := 0; r < runs; r++ {
+		cat := lossCatalog(meansVals)
+		ws := exec.NewWorkspace(cat, prng.NewStream(uint64(300+r)), 4096)
+		plan := lossPlan(t, ws, 1)
+		res, err := Run(ws, plan, sumQuery(), Config{N: 150, M: m, P: 0.008, L: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range res.Cutoffs {
+			avg[i] += c / runs
+		}
+	}
+	for i := 0; i < m; i++ {
+		pi := math.Pow(0.008, float64(i+1)/m)
+		want := mu + sigma*quantileZ(1-pi)
+		if math.Abs(avg[i]-want) > 1.0 {
+			t.Errorf("step %d: mean cutoff %g, analytic %g", i+1, avg[i], want)
+		}
+	}
+}
+
+// quantileZ is a local standard normal quantile (avoids importing stats
+// into this white-box test file twice; thin wrapper).
+func quantileZ(p float64) float64 {
+	// Newton iteration on the CDF starting from a rough logit guess.
+	x := 4.91 * (math.Pow(p, 0.14) - math.Pow(1-p, 0.14))
+	for i := 0; i < 60; i++ {
+		f := 0.5*math.Erfc(-x/math.Sqrt2) - p
+		d := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+		if d == 0 {
+			break
+		}
+		x -= f / d
+	}
+	return x
+}
+
+// TestSeedSharedAcrossTuples exercises the 1-to-m join case of §4.1: one
+// TS-seed referenced by several Gibbs tuples must be updated consistently
+// — all affected tuples see the same assignment.
+func TestSeedSharedAcrossTuples(t *testing.T) {
+	cat := lossCatalog([]float64{4, 5})
+	// Join each customer to 3 weights so each seed appears in 3 tuples.
+	weights := cat.MustGet("means").Clone()
+	_ = weights
+	normal, _ := vg.NewRegistry().Lookup("Normal")
+	ws := exec.NewWorkspace(cat, prng.NewStream(77), 2048)
+	scan, err := exec.NewScan(cat, "means", "means")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := exec.NewSeed(scan, normal, []expr.Expr{expr.C("m"), expr.F(1)}, []string{"val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &exec.Instantiate{Child: seed}
+	// Cross with a 3-row constant table triples every tuple while sharing
+	// the TS-seed.
+	threes, err := exec.NewScan(cat, "means", "w") // reuse means as a 2-row table
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := exec.NewCross(inst, threes, nil)
+	res, err := Run(ws, plan, Query{Agg: AggSum, AggExpr: expr.C("val")},
+		Config{N: 40, M: 2, P: 0.02, L: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q = 2 * (X1 + X2) since each X appears twice after the cross join:
+	// mean 18, sd 2*sqrt(2). Check the quantile band.
+	want := 18 + 2*math.Sqrt2*quantileZ(0.98)
+	if math.Abs(res.Quantile-want) > 2.0 {
+		t.Fatalf("shared-seed quantile = %g, want ≈ %g", res.Quantile, want)
+	}
+	for _, s := range res.TailSamples {
+		if s < res.Quantile {
+			t.Fatalf("tail sample below cutoff")
+		}
+	}
+}
+
+// TestFullRecomputeAblationAgrees: the DisableDeltaAggregates mode is a
+// different implementation of the same algorithm; estimates must agree
+// closely (bit-identical up to float associativity at acceptance
+// boundaries).
+func TestFullRecomputeAblationAgrees(t *testing.T) {
+	run := func(disable bool) float64 {
+		cat := lossCatalog([]float64{3, 4, 5, 6})
+		ws := exec.NewWorkspace(cat, prng.NewStream(123), 2048)
+		plan := lossPlan(t, ws, 1)
+		res, err := Run(ws, plan, sumQuery(),
+			Config{N: 60, M: 2, P: 0.02, L: 30, DisableDeltaAggregates: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Quantile
+	}
+	fast, slow := run(false), run(true)
+	if math.Abs(fast-slow) > 1e-9 {
+		t.Fatalf("delta %g vs full recompute %g", fast, slow)
+	}
+}

@@ -1,0 +1,569 @@
+// Package gibbs implements MCDB-R's GibbsLooper (paper §4, §7, Appendix A):
+// the operator that turns a stream of instantiated Gibbs tuples into (1) an
+// estimate of an extreme quantile of the query-result distribution and (2)
+// a set of DB versions whose query results all lie in the tail beyond it.
+//
+// The looper executes the paper's Algorithm 3 with the loops inverted as
+// described in §7: rather than perturbing DB versions one at a time, it
+// iterates over TS-seed handles in increasing order (merging a disk-based
+// priority queue of Gibbs tuples with the sorted seed store) and, for each
+// seed, updates every DB version via rejection sampling against the current
+// cutoff, amortizing data scans.
+package gibbs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bundle"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/pq"
+	"repro/internal/types"
+)
+
+// AggKind enumerates the aggregates the looper can maintain incrementally.
+type AggKind uint8
+
+const (
+	// AggSum is SUM(expr).
+	AggSum AggKind = iota
+	// AggCount is COUNT(*) over tuples passing the final predicate.
+	AggCount
+	// AggAvg is AVG(expr).
+	AggAvg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// Query describes what the looper aggregates (Appendix A inputs 2–4).
+type Query struct {
+	// Agg is the aggregate operation.
+	Agg AggKind
+	// AggExpr is the aggregated expression (ignored for COUNT).
+	AggExpr expr.Expr
+	// FinalPred is the final selection predicate applied to each tuple
+	// before inclusion in the aggregate — the place where predicates
+	// spanning random attributes of multiple seeds must live (App. A).
+	FinalPred expr.Expr
+	// LowerTail samples the lower tail (losses below the p-quantile)
+	// instead of the upper tail; the looper negates query results
+	// internally.
+	LowerTail bool
+}
+
+// Config sets the sampling parameters of Algorithm 3.
+type Config struct {
+	// N is the number of DB versions per bootstrapping step (n_i = N).
+	N int
+	// M is the number of bootstrapping steps.
+	M int
+	// P is the target upper-tail probability (the quantile is 1-P).
+	P float64
+	// L is the number of tail samples to return (n_{m+1} = L).
+	L int
+	// K is the number of Gibbs updating steps per bootstrapping step;
+	// the paper finds K=1 suffices. 0 selects 1.
+	K int
+	// MaxTriesPerUpdate bounds rejection-sampling candidates per
+	// (seed, version) update; exceeding it keeps the current value (the
+	// heavy-tail regime of Appendix B). 0 selects 100000.
+	MaxTriesPerUpdate int
+	// DisableDeltaAggregates makes every rejection-sampling candidate
+	// recompute the aggregate over ALL tuples instead of only the tuples
+	// affected by the updated seed. This is the naive implementation the
+	// paper's §4.3 dismisses; it exists solely for the ablation benchmark
+	// quantifying the delta-maintenance optimization.
+	DisableDeltaAggregates bool
+	// PQMemLimit bounds the in-memory entries of the tuple priority
+	// queue; 0 selects the pq default.
+	PQMemLimit int
+	// SpillDir receives priority-queue spill files ("" = os.TempDir()).
+	SpillDir string
+}
+
+func (c *Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("gibbs: need N >= 2 DB versions, got %d", c.N)
+	}
+	if c.M < 1 {
+		return fmt.Errorf("gibbs: need M >= 1 bootstrapping steps, got %d", c.M)
+	}
+	if c.P <= 0 || c.P >= 1 {
+		return fmt.Errorf("gibbs: tail probability P must lie in (0,1), got %g", c.P)
+	}
+	if c.L < 1 {
+		return fmt.Errorf("gibbs: need L >= 1 tail samples, got %d", c.L)
+	}
+	if c.K == 0 {
+		c.K = 1
+	}
+	if c.K < 0 {
+		return fmt.Errorf("gibbs: K must be positive, got %d", c.K)
+	}
+	if c.MaxTriesPerUpdate <= 0 {
+		c.MaxTriesPerUpdate = 100000
+	}
+	return nil
+}
+
+// IterStats records one bootstrapping step for the benchmark harness.
+type IterStats struct {
+	// Cutoff is the elite threshold after this step's purge (theta_i).
+	Cutoff float64
+	// CurQuantile is p^{i/m}, the tail probability the cutoff estimates.
+	CurQuantile float64
+	// Duration is wall-clock time of the step (purge+clone+perturb).
+	Duration time.Duration
+	// Candidates counts rejection-sampling proposals; Accepts successful
+	// updates; GiveUps updates abandoned at MaxTriesPerUpdate.
+	Candidates, Accepts, GiveUps int64
+	// Replenishments counts §9 query-plan re-runs during the step.
+	Replenishments int
+}
+
+// Result is the looper's output.
+type Result struct {
+	// Quantile is the estimate of the (1-P)-quantile (theta_m). For
+	// LowerTail queries it estimates the P-quantile.
+	Quantile float64
+	// TailSamples holds the L query results, all beyond Quantile.
+	TailSamples []float64
+	// Cutoffs is the trajectory of theta_1..theta_m.
+	Cutoffs []float64
+	// Iters holds per-step statistics.
+	Iters []IterStats
+	// Replenishments is the total number of query-plan re-runs.
+	Replenishments int
+}
+
+// errNeedReplenish signals that rejection sampling ran out of materialized
+// stream values (paper §9).
+var errNeedReplenish = errors.New("gibbs: stream window exhausted")
+
+// Run executes tail sampling for the plan in the workspace. The plan must
+// already include Seed and Instantiate operators; Run executes it (and
+// re-executes it on replenishment).
+func Run(ws *exec.Workspace, plan exec.Node, q Query, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ws.Window < cfg.N {
+		return nil, fmt.Errorf("gibbs: workspace window %d smaller than N=%d initial versions", ws.Window, cfg.N)
+	}
+	lp := &looper{ws: ws, plan: plan, q: q, cfg: cfg}
+	if err := lp.init(); err != nil {
+		return nil, err
+	}
+	return lp.run()
+}
+
+type aggState struct {
+	sum   float64
+	count int64
+}
+
+func (a aggState) value(kind AggKind) float64 {
+	switch kind {
+	case AggSum:
+		return a.sum
+	case AggCount:
+		return float64(a.count)
+	default: // AVG
+		if a.count == 0 {
+			return math.Inf(-1) // an empty average can never beat a cutoff
+		}
+		return a.sum / float64(a.count)
+	}
+}
+
+type looper struct {
+	ws   *exec.Workspace
+	plan exec.Node
+	q    Query
+	cfg  Config
+
+	tuples    []*bundle.Tuple // full plan output
+	randIdx   []int           // indexes of tuples with random lineage
+	base      aggState        // contribution of purely deterministic tuples
+	states    []aggState      // per-version aggregate state
+	aggExpr   *expr.Compiled
+	finalPred *expr.Compiled
+	buf       types.Row
+	sign      float64 // -1 for lower-tail queries
+	totalRepl int
+	stats     *IterStats // current step's counters
+}
+
+func (lp *looper) init() error {
+	schema := lp.plan.Schema()
+	if lp.q.Agg != AggCount {
+		if lp.q.AggExpr == nil {
+			return fmt.Errorf("gibbs: %s requires an aggregate expression", lp.q.Agg)
+		}
+		c, err := expr.Compile(lp.q.AggExpr, schema)
+		if err != nil {
+			return fmt.Errorf("gibbs: aggregate expression: %w", err)
+		}
+		lp.aggExpr = c
+	}
+	if lp.q.FinalPred != nil {
+		c, err := expr.Compile(lp.q.FinalPred, schema)
+		if err != nil {
+			return fmt.Errorf("gibbs: final predicate: %w", err)
+		}
+		lp.finalPred = c
+	}
+	lp.sign = 1
+	if lp.q.LowerTail {
+		lp.sign = -1
+	}
+	lp.buf = make(types.Row, schema.Len())
+	if err := lp.loadTuples(false); err != nil {
+		return err
+	}
+	lp.ws.Seeds.InitAssign(lp.cfg.N)
+	return nil
+}
+
+// loadTuples (re-)runs the query plan and classifies its output.
+func (lp *looper) loadTuples(replenishing bool) error {
+	if replenishing {
+		lp.ws.BeginReplenish()
+	}
+	out, err := lp.ws.Run(lp.plan)
+	if err != nil {
+		return err
+	}
+	if replenishing && len(out) != len(lp.tuples) {
+		return fmt.Errorf("gibbs: replenishing run produced %d tuples, previously %d; plan is not deterministic", len(out), len(lp.tuples))
+	}
+	lp.tuples = out
+	lp.randIdx = lp.randIdx[:0]
+	lp.base = aggState{}
+	for i, tu := range out {
+		if tu.IsRandom() {
+			lp.randIdx = append(lp.randIdx, i)
+			continue
+		}
+		s, c, err := lp.contribRow(tu.Det)
+		if err != nil {
+			return err
+		}
+		lp.base.sum += s
+		lp.base.count += c
+	}
+	return nil
+}
+
+// contrib evaluates one tuple's aggregate contribution under a binding.
+func (lp *looper) contrib(tu *bundle.Tuple, b bundle.Binding) (float64, int64, error) {
+	row, present, err := tu.Eval(b, lp.buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !present {
+		return 0, 0, nil
+	}
+	return lp.contribRow(row)
+}
+
+func (lp *looper) contribRow(row types.Row) (float64, int64, error) {
+	if lp.finalPred != nil && !lp.finalPred.EvalBool(row) {
+		return 0, 0, nil
+	}
+	if lp.q.Agg == AggCount {
+		return 0, 1, nil
+	}
+	v := lp.aggExpr.Eval(row)
+	if v.IsNull() {
+		return 0, 0, nil // SQL aggregates ignore NULLs
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, 0, fmt.Errorf("gibbs: aggregate expression produced %s, need numeric", v.Kind())
+	}
+	return lp.sign * f, 1, nil
+}
+
+// recomputeStates rebuilds every version's aggregate state from scratch,
+// replenishing if any assigned position is not materialized.
+func (lp *looper) recomputeStates(nVersions int) error {
+	lp.states = make([]aggState, nVersions)
+	for v := 0; v < nVersions; {
+		st := lp.base
+		b := bundle.Bind(lp.ws.Seeds, v)
+		retry := false
+		for _, i := range lp.randIdx {
+			s, c, err := lp.contrib(lp.tuples[i], b)
+			if err != nil {
+				var nm *bundle.ErrNotMaterialized
+				if !errors.As(err, &nm) {
+					return err
+				}
+				if rerr := lp.replenish(); rerr != nil {
+					return rerr
+				}
+				retry = true
+				break
+			}
+			st.sum += s
+			st.count += c
+		}
+		if retry {
+			continue // re-evaluate the same version against fresh windows
+		}
+		lp.states[v] = st
+		v++
+	}
+	return nil
+}
+
+func (lp *looper) replenish() error {
+	lp.totalRepl++
+	if lp.stats != nil {
+		lp.stats.Replenishments++
+	}
+	return lp.loadTuples(true)
+}
+
+func (lp *looper) run() (*Result, error) {
+	cfg := lp.cfg
+	if err := lp.recomputeStates(cfg.N); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	pi := math.Pow(cfg.P, 1/float64(cfg.M))
+	cutoff := math.Inf(-1)
+	for i := 1; i <= cfg.M; i++ {
+		step := IterStats{CurQuantile: math.Pow(cfg.P, float64(i)/float64(cfg.M))}
+		lp.stats = &step
+		start := time.Now()
+
+		// Purge: keep the top 100*pi% "elite" versions.
+		nS := len(lp.states)
+		e := int(pi*float64(nS) + 0.5)
+		if e < 1 {
+			e = 1
+		}
+		if e > nS {
+			e = nS
+		}
+		elite := lp.eliteVersions(e)
+		cutoff = lp.states[elite[len(elite)-1]].value(lp.q.Agg)
+		step.Cutoff = lp.sign * cutoff
+
+		// Clone elite assignments into the next step's version count.
+		next := cfg.N
+		if i == cfg.M {
+			next = cfg.L
+		}
+		if err := lp.ws.Seeds.CloneVersions(elite, next); err != nil {
+			return nil, err
+		}
+		if err := lp.recomputeStates(next); err != nil {
+			return nil, err
+		}
+
+		// Perturb: K systematic Gibbs updating steps.
+		for k := 0; k < cfg.K; k++ {
+			if err := lp.pass(cutoff); err != nil {
+				return nil, err
+			}
+		}
+
+		step.Duration = time.Since(start)
+		res.Iters = append(res.Iters, step)
+		res.Cutoffs = append(res.Cutoffs, step.Cutoff)
+		lp.stats = nil
+	}
+	res.Quantile = lp.sign * cutoff
+	res.TailSamples = make([]float64, len(lp.states))
+	for v, st := range lp.states {
+		res.TailSamples[v] = lp.sign * st.value(lp.q.Agg)
+	}
+	res.Replenishments = lp.totalRepl
+	return res, nil
+}
+
+// eliteVersions returns the indexes of the e versions with the largest
+// aggregate values, ordered by descending value (ties by lower index).
+func (lp *looper) eliteVersions(e int) []int {
+	idx := make([]int, len(lp.states))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort is fine: version counts are small (N, L).
+	for i := 0; i < e; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			vj := lp.states[idx[j]].value(lp.q.Agg)
+			vb := lp.states[idx[best]].value(lp.q.Agg)
+			if vj > vb {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:e]
+}
+
+// pass performs one systematic Gibbs updating step: every TS-seed in
+// increasing handle order, every DB version, rejection sampling against
+// cutoff (paper §7 and Appendix A.2).
+func (lp *looper) pass(cutoff float64) error {
+	queue := pq.New(lp.cfg.PQMemLimit, lp.cfg.SpillDir)
+	defer queue.Reset()
+	for _, i := range lp.randIdx {
+		ids := lp.tuples[i].SeedIDs()
+		if len(ids) == 0 {
+			continue
+		}
+		if err := queue.Push(pq.Entry{Key: ids[0], Payload: uint64(i)}); err != nil {
+			return err
+		}
+	}
+	for queue.Len() > 0 {
+		key, payloads, err := queue.PopAllWithKey()
+		if err != nil {
+			return err
+		}
+		if key == pq.MaxKey {
+			break // fully processed tuples parked at the tail (App. A.2)
+		}
+		for v := range lp.states {
+			if err := lp.updateSeedVersion(key, payloads, v, cutoff); err != nil {
+				return err
+			}
+		}
+		for _, p := range payloads {
+			nk, ok := lp.tuples[p].NextSeedAfter(key)
+			if !ok {
+				nk = pq.MaxKey
+			}
+			if err := queue.Push(pq.Entry{Key: nk, Payload: p}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// updateSeedVersion performs the rejection algorithm (paper Algorithm 2 /
+// Fig. 1) for one TS-seed and one DB version: propose the next unused
+// stream value, accept when the updated query result still meets the
+// cutoff.
+func (lp *looper) updateSeedVersion(seedID uint64, payloads []uint64, v int, cutoff float64) error {
+	seed := lp.ws.Seeds.MustGet(seedID)
+	cur := bundle.Bind(lp.ws.Seeds, v)
+	oldS, oldC, err := lp.affectedContrib(payloads, cur)
+	if err != nil {
+		return err
+	}
+	for tries := 0; tries < lp.cfg.MaxTriesPerUpdate; tries++ {
+		pos := seed.MaxUsed + 1
+		if !seed.Window.Contains(pos) {
+			if err := lp.replenish(); err != nil {
+				return err
+			}
+			// Windows changed; current-assignment contributions must be
+			// recomputed against the rebuilt presence vectors.
+			oldS, oldC, err = lp.affectedContrib(payloads, cur)
+			if err != nil {
+				return err
+			}
+			if !seed.Window.Contains(pos) {
+				return fmt.Errorf("gibbs: replenishment did not cover seed %d position %d", seedID, pos)
+			}
+		}
+		if lp.stats != nil {
+			lp.stats.Candidates++
+		}
+		seed.MaxUsed = pos // consumed whether accepted or not (paper §6 item 4)
+		cand := cur.WithOverride(seedID, pos)
+		var st aggState
+		if lp.cfg.DisableDeltaAggregates {
+			// Ablation mode: full recomputation per candidate (§4.3's
+			// "obviously unacceptable" strategy, minus the plan re-run).
+			st, err = lp.fullState(cand)
+			if err != nil {
+				return err
+			}
+		} else {
+			newS, newC, err := lp.affectedContrib(payloads, cand)
+			if err != nil {
+				return err
+			}
+			st = lp.states[v]
+			st.sum += newS - oldS
+			st.count += newC - oldC
+		}
+		if st.value(lp.q.Agg) >= cutoff {
+			seed.Assign[v] = pos
+			lp.states[v] = st
+			if lp.stats != nil {
+				lp.stats.Accepts++
+			}
+			return nil
+		}
+	}
+	// Heavy-tail regime (Appendix B): no acceptable candidate within the
+	// try budget; keep the current value.
+	if lp.stats != nil {
+		lp.stats.GiveUps++
+	}
+	return nil
+}
+
+// fullState recomputes one version's aggregate over every tuple under the
+// given binding; used only by the DisableDeltaAggregates ablation.
+func (lp *looper) fullState(b bundle.Binding) (aggState, error) {
+	st := lp.base
+	for _, i := range lp.randIdx {
+		s, c, err := lp.contrib(lp.tuples[i], b)
+		if err != nil {
+			return st, err
+		}
+		st.sum += s
+		st.count += c
+	}
+	return st, nil
+}
+
+// affectedContrib sums the contributions of the Gibbs tuples associated
+// with the seed being updated; only these can change when the seed's
+// assignment changes, so the aggregate delta needs no full recomputation.
+func (lp *looper) affectedContrib(payloads []uint64, b bundle.Binding) (float64, int64, error) {
+	var s float64
+	var c int64
+	for _, p := range payloads {
+		ds, dc, err := lp.contrib(lp.tuples[p], b)
+		if err != nil {
+			var nm *bundle.ErrNotMaterialized
+			if errors.As(err, &nm) {
+				// A *current* assignment fell outside the window: possible
+				// only through bugs, since replenishment preserves assigned
+				// positions. Surface loudly.
+				return 0, 0, fmt.Errorf("gibbs: assigned position missing: %w", err)
+			}
+			return 0, 0, err
+		}
+		s += ds
+		c += dc
+	}
+	return s, c, nil
+}

@@ -1,0 +1,32 @@
+package gibbs
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
+
+// MonteCarlo evaluates the query result for n independent Monte Carlo
+// repetitions — the behaviour of the original MCDB system, where the i-th
+// value of every stream is assigned to the i-th repetition. It runs the
+// plan once over tuple bundles regardless of n and returns the n query
+// results. The naive baseline engine and the E1/E3 benchmarks build on it.
+func MonteCarlo(ws *exec.Workspace, plan exec.Node, q Query, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gibbs: need n >= 1 repetitions, got %d", n)
+	}
+	// Tail direction is irrelevant when returning the whole sample.
+	q.LowerTail = false
+	lp := &looper{ws: ws, plan: plan, q: q, cfg: Config{N: n, M: 1, P: 0.5, L: n, K: 1, MaxTriesPerUpdate: 1}}
+	if err := lp.init(); err != nil {
+		return nil, err
+	}
+	if err := lp.recomputeStates(n); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for v, st := range lp.states {
+		out[v] = st.value(q.Agg)
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package gibbs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+)
+
+// This file implements the paper's Algorithm 1 (systematic Gibbs sampler)
+// and Algorithm 2 (rejection GENCOND) in their textbook vector form. The
+// production looper specializes these to Gibbs tuples; the reference
+// implementation exists so the statistical properties — stationarity under
+// the conditioned law h(x; c) and convergence to independence — can be
+// tested directly, and is exported for the E4/E5 parameter studies.
+
+// VectorModel describes the conditioned target distribution
+// h(x; c) = P(X = x | Q(X) >= c) for an independent-component vector X.
+type VectorModel struct {
+	// Dims holds the marginal distribution of each component.
+	Dims []prng.Dist
+	// Q is the aggregation query; the canonical case is the sum.
+	Q func(x []float64) float64
+}
+
+// SumModel returns a VectorModel with i.i.d. components and Q = sum.
+func SumModel(d prng.Dist, r int) *VectorModel {
+	dims := make([]prng.Dist, r)
+	for i := range dims {
+		dims[i] = d
+	}
+	return &VectorModel{Dims: dims, Q: Sum}
+}
+
+// Sum is the SUM aggregate for VectorModel.Q.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// GibbsStats counts proposals during updating, for the Appendix B
+// rejection-cost experiments.
+type GibbsStats struct {
+	Candidates int64
+	Accepts    int64
+	GiveUps    int64
+}
+
+// Update performs Algorithm 1: k systematic Gibbs updating steps on x,
+// in place, where each component update uses the rejection GENCOND of
+// Algorithm 2 against Q(x) >= c. maxTries bounds candidates per component
+// (0 = 1e6); when exhausted the current value is kept.
+func (m *VectorModel) Update(x []float64, k int, c float64, r *prng.Sub, maxTries int, stats *GibbsStats) error {
+	if len(x) != len(m.Dims) {
+		return fmt.Errorf("gibbs: vector length %d, model has %d dims", len(x), len(m.Dims))
+	}
+	if maxTries <= 0 {
+		maxTries = 1000000
+	}
+	for j := 0; j < k; j++ {
+		for i := range x {
+			// For the common sum-decomposable case, maintain q without the
+			// i-th component (the "efficient implementation" of §3.1).
+			old := x[i]
+			accepted := false
+			for t := 0; t < maxTries; t++ {
+				if stats != nil {
+					stats.Candidates++
+				}
+				u := m.Dims[i].Sample(r)
+				x[i] = u
+				if m.Q(x) >= c {
+					accepted = true
+					break
+				}
+			}
+			if accepted {
+				if stats != nil {
+					stats.Accepts++
+				}
+			} else {
+				x[i] = old
+				if stats != nil {
+					stats.GiveUps++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Draw samples one unconditioned vector from the model.
+func (m *VectorModel) Draw(r *prng.Sub) []float64 {
+	x := make([]float64, len(m.Dims))
+	for i, d := range m.Dims {
+		x[i] = d.Sample(r)
+	}
+	return x
+}
+
+// CloneSlice duplicates each element of src approximately n/len(src) times
+// (the paper's CLONE(S, n) helper), using the same block layout as the
+// TS-seed store.
+func CloneSlice(src [][]float64, n int) [][]float64 {
+	e := len(src)
+	out := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		out[j] = append([]float64(nil), src[j*e/n]...)
+	}
+	return out
+}
+
+// ReferenceTailSample runs Algorithm 3 on a VectorModel without any
+// database machinery: N vectors per step, M steps, target tail probability
+// P, L final samples, K Gibbs steps. It returns the quantile estimate and
+// the tail sample of Q values. The E2/E4 studies use this to separate
+// statistical behaviour from engine behaviour.
+func (m *VectorModel) ReferenceTailSample(nVec, mSteps int, p float64, l, k int, r *prng.Sub, stats *GibbsStats) (float64, []float64, error) {
+	if nVec < 2 || mSteps < 1 || l < 1 {
+		return 0, nil, fmt.Errorf("gibbs: invalid reference parameters n=%d m=%d l=%d", nVec, mSteps, l)
+	}
+	pi := math.Pow(p, 1/float64(mSteps))
+	S := make([][]float64, nVec)
+	for i := range S {
+		S[i] = m.Draw(r)
+	}
+	cutoff := 0.0
+	for i := 1; i <= mSteps; i++ {
+		// Purge to the elite top-100*pi%.
+		e := int(pi*float64(len(S)) + 0.5)
+		if e < 1 {
+			e = 1
+		}
+		if e > len(S) {
+			e = len(S)
+		}
+		elite := topVectors(m, S, e)
+		cutoff = m.Q(elite[len(elite)-1])
+		next := nVec
+		if i == mSteps {
+			next = l
+		}
+		S = CloneSlice(elite, next)
+		for _, x := range S {
+			if err := m.Update(x, k, cutoff, r, 0, stats); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	qs := make([]float64, len(S))
+	for i, x := range S {
+		qs[i] = m.Q(x)
+	}
+	return cutoff, qs, nil
+}
+
+func topVectors(m *VectorModel, S [][]float64, e int) [][]float64 {
+	idx := make([]int, len(S))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < e; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if m.Q(S[idx[j]]) > m.Q(S[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([][]float64, e)
+	for i := 0; i < e; i++ {
+		out[i] = S[idx[i]]
+	}
+	return out
+}

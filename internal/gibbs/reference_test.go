@@ -1,0 +1,209 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+func TestGibbsStationarity(t *testing.T) {
+	// If X^(0) ~ h(x; c), then X^(k) ~ h(x; c) for all k (paper §3.1,
+	// citing Asmussen & Glynn Th. XIII.5.1). Start from exact conditional
+	// samples (via brute-force rejection) and check the marginal of X_1
+	// after Gibbs updates against brute-force conditional samples.
+	const r = 4
+	c := 3.0
+	m := SumModel(prng.Normal{Mu: 0, Sigma: 1}, r)
+	rng := prng.NewSub(11)
+
+	drawConditional := func() []float64 {
+		for {
+			x := m.Draw(rng)
+			if Sum(x) >= c {
+				return x
+			}
+		}
+	}
+	const n = 4000
+	gibbsX1 := make([]float64, 0, n)
+	bruteX1 := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := drawConditional()
+		if err := m.Update(x, 2, c, rng, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if Sum(x) < c {
+			t.Fatal("Gibbs update left the conditioning event")
+		}
+		gibbsX1 = append(gibbsX1, x[0])
+		bruteX1 = append(bruteX1, drawConditional()[0])
+	}
+	// Two-sample KS via comparing ECDFs on a grid.
+	e1, e2 := stats.NewECDF(gibbsX1), stats.NewECDF(bruteX1)
+	d := 0.0
+	for x := -3.0; x < 5.0; x += 0.05 {
+		if diff := math.Abs(e1.At(x) - e2.At(x)); diff > d {
+			d = diff
+		}
+	}
+	// KS critical value at alpha=0.001 for n=m=4000 is ~0.0437.
+	if d > 0.0437 {
+		t.Fatalf("stationarity violated: two-sample KS distance %g", d)
+	}
+}
+
+func TestGibbsConvergenceToIndependence(t *testing.T) {
+	// Two chains from the same start with independent updates decorrelate
+	// as k grows (paper §3.1). Measure correlation of Q across chain pairs.
+	const r = 8
+	c := 4.0
+	m := SumModel(prng.Normal{Mu: 0, Sigma: 1}, r)
+	rng := prng.NewSub(17)
+	corrAtK := func(k int) float64 {
+		const pairs = 1500
+		var sx, sy, sxx, syy, sxy float64
+		for i := 0; i < pairs; i++ {
+			var x0 []float64
+			for {
+				x0 = m.Draw(rng)
+				if Sum(x0) >= c {
+					break
+				}
+			}
+			a := append([]float64(nil), x0...)
+			b := append([]float64(nil), x0...)
+			if err := m.Update(a, k, c, rng, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Update(b, k, c, rng, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+			qa, qb := Sum(a), Sum(b)
+			sx += qa
+			sy += qb
+			sxx += qa * qa
+			syy += qb * qb
+			sxy += qa * qb
+		}
+		n := float64(pairs)
+		cov := sxy/n - (sx/n)*(sy/n)
+		va, vb := sxx/n-(sx/n)*(sx/n), syy/n-(sy/n)*(sy/n)
+		return cov / math.Sqrt(va*vb)
+	}
+	c1 := corrAtK(1)
+	c3 := corrAtK(3)
+	if c3 > c1+0.05 {
+		t.Fatalf("correlation did not shrink: k=1 %g, k=3 %g", c1, c3)
+	}
+	if c3 > 0.35 {
+		t.Fatalf("chains still strongly correlated after k=3: %g", c3)
+	}
+}
+
+func TestReferenceTailSampleQuantile(t *testing.T) {
+	// Quantile estimate for a sum of 10 standard normals at p = 0.01:
+	// truth is sqrt(10) * 2.326.
+	m := SumModel(prng.Normal{Mu: 0, Sigma: 1}, 10)
+	rng := prng.NewSub(23)
+	trueQ := stats.NormalQuantile(0.99, 0, math.Sqrt(10))
+	const runs = 15
+	ests := make([]float64, runs)
+	for i := range ests {
+		q, samples, err := m.ReferenceTailSample(200, 2, 0.01, 50, 1, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = q
+		for _, s := range samples {
+			if s < q {
+				t.Fatalf("reference tail sample %g below cutoff %g", s, q)
+			}
+		}
+	}
+	s := stats.Summarize(ests)
+	if math.Abs(s.Mean-trueQ) > 0.6 {
+		t.Fatalf("reference quantile mean %g vs true %g", s.Mean, trueQ)
+	}
+}
+
+func TestHeavyTailRejectionCostGrows(t *testing.T) {
+	// Appendix B: for light-tailed (normal) marginals the rejection cost
+	// per update is modest; for heavy-tailed (Pareto alpha=1.2) sums the
+	// extreme database is dominated by one huge component and candidates
+	// are rejected en masse.
+	rng := prng.NewSub(29)
+	costPerAccept := func(d prng.Dist, c float64) float64 {
+		m := SumModel(d, 10)
+		var st GibbsStats
+		count := 0
+		for count < 40 {
+			x := m.Draw(rng)
+			if Sum(x) < c {
+				continue
+			}
+			count++
+			if err := m.Update(x, 1, c, rng, 2000, &st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(st.Candidates) / float64(st.Accepts+st.GiveUps)
+	}
+	// Normal sum N(0,10): c at ~0.995-quantile.
+	normCost := costPerAccept(prng.Normal{Mu: 0, Sigma: 1}, 2.57*math.Sqrt(10))
+	// Pareto(1,1.2) sum: pick c deep in the tail (sum mean = 60).
+	paretoCost := costPerAccept(prng.Pareto{Xm: 1, Alpha: 1.2}, 200)
+	if paretoCost < 3*normCost {
+		t.Fatalf("heavy-tail cost %g not clearly above light-tail cost %g", paretoCost, normCost)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	m := SumModel(prng.Normal{Mu: 0, Sigma: 1}, 3)
+	if err := m.Update([]float64{1, 2}, 1, 0, prng.NewSub(1), 0, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, _, err := m.ReferenceTailSample(1, 1, 0.1, 1, 1, prng.NewSub(1), nil); err == nil {
+		t.Fatal("n=1 must error")
+	}
+}
+
+func TestCloneSlice(t *testing.T) {
+	src := [][]float64{{1}, {2}}
+	out := CloneSlice(src, 4)
+	want := []float64{1, 1, 2, 2}
+	for i, w := range want {
+		if out[i][0] != w {
+			t.Fatalf("CloneSlice = %v", out)
+		}
+	}
+	// Clones must not alias their source.
+	out[0][0] = 99
+	if src[0][0] == 99 {
+		t.Fatal("CloneSlice aliases source")
+	}
+}
+
+func TestGiveUpKeepsCurrentValue(t *testing.T) {
+	// With an impossible cutoff, updates must keep the current vector.
+	m := SumModel(prng.Normal{Mu: 0, Sigma: 1}, 3)
+	rng := prng.NewSub(31)
+	x := []float64{100, 100, 100} // Q = 300, far above anything resampleable
+	orig := append([]float64(nil), x...)
+	var st GibbsStats
+	if err := m.Update(x, 1, 299, rng, 50, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.GiveUps == 0 {
+		t.Fatal("expected give-ups at cutoff 299")
+	}
+	for i := range x {
+		if st.GiveUps == int64(len(x)) && x[i] != orig[i] {
+			t.Fatalf("gave up but value changed: %v vs %v", x, orig)
+		}
+	}
+	if Sum(x) < 299 {
+		t.Fatal("conditioning event left after give-up")
+	}
+}

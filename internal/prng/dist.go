@@ -1,0 +1,315 @@
+package prng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a real-valued distribution that can be sampled from a substream
+// and interrogated analytically where a closed form exists. VG functions
+// wrap Dists; the tail-sampling benchmarks use the analytic methods to
+// validate walked-out quantiles against ground truth.
+type Dist interface {
+	// Sample draws one variate, consuming as many uniforms as needed.
+	Sample(r *Sub) float64
+	// Mean returns the distribution mean (NaN if undefined).
+	Mean() float64
+	// Var returns the distribution variance (NaN if undefined/infinite).
+	Var() float64
+	// String names the distribution with its parameters.
+	String() string
+}
+
+// Normal is the N(Mu, Sigma^2) distribution.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a normal variate.
+func (d Normal) Sample(r *Sub) float64 { return d.Mu + d.Sigma*r.Norm() }
+
+// Mean returns Mu.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Var returns Sigma^2.
+func (d Normal) Var() float64 { return d.Sigma * d.Sigma }
+
+func (d Normal) String() string { return fmt.Sprintf("Normal(%g,%g)", d.Mu, d.Sigma) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate.
+func (d Uniform) Sample(r *Sub) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+
+// Mean returns the midpoint.
+func (d Uniform) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// Var returns (Hi-Lo)^2/12.
+func (d Uniform) Var() float64 { w := d.Hi - d.Lo; return w * w / 12 }
+
+func (d Uniform) String() string { return fmt.Sprintf("Uniform(%g,%g)", d.Lo, d.Hi) }
+
+// Exponential has rate Lambda.
+type Exponential struct {
+	Lambda float64
+}
+
+// Sample draws an exponential variate.
+func (d Exponential) Sample(r *Sub) float64 { return r.Exp() / d.Lambda }
+
+// Mean returns 1/Lambda.
+func (d Exponential) Mean() float64 { return 1 / d.Lambda }
+
+// Var returns 1/Lambda^2.
+func (d Exponential) Var() float64 { return 1 / (d.Lambda * d.Lambda) }
+
+func (d Exponential) String() string { return fmt.Sprintf("Exponential(%g)", d.Lambda) }
+
+// Gamma has the given Shape and Scale (mean Shape*Scale).
+type Gamma struct {
+	Shape, Scale float64
+}
+
+// Sample draws a gamma variate.
+func (d Gamma) Sample(r *Sub) float64 { return r.Gamma(d.Shape, d.Scale) }
+
+// Mean returns Shape*Scale.
+func (d Gamma) Mean() float64 { return d.Shape * d.Scale }
+
+// Var returns Shape*Scale^2.
+func (d Gamma) Var() float64 { return d.Shape * d.Scale * d.Scale }
+
+func (d Gamma) String() string { return fmt.Sprintf("Gamma(%g,%g)", d.Shape, d.Scale) }
+
+// InverseGamma has the given Shape and Scale; used by the paper's Appendix D
+// accuracy experiment to draw per-tuple means and variances.
+type InverseGamma struct {
+	Shape, Scale float64
+}
+
+// Sample draws 1/Gamma(Shape, 1/Scale).
+func (d InverseGamma) Sample(r *Sub) float64 { return 1 / r.Gamma(d.Shape, 1/d.Scale) }
+
+// Mean returns Scale/(Shape-1) for Shape > 1, else NaN.
+func (d InverseGamma) Mean() float64 {
+	if d.Shape <= 1 {
+		return math.NaN()
+	}
+	return d.Scale / (d.Shape - 1)
+}
+
+// Var returns Scale^2/((Shape-1)^2 (Shape-2)) for Shape > 2, else NaN.
+func (d InverseGamma) Var() float64 {
+	if d.Shape <= 2 {
+		return math.NaN()
+	}
+	a := d.Shape - 1
+	return d.Scale * d.Scale / (a * a * (d.Shape - 2))
+}
+
+func (d InverseGamma) String() string { return fmt.Sprintf("InverseGamma(%g,%g)", d.Shape, d.Scale) }
+
+// Lognormal is exp(N(Mu, Sigma^2)); a subexponential (heavy-tailed)
+// distribution used in the Appendix B regime experiments.
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a lognormal variate.
+func (d Lognormal) Sample(r *Sub) float64 { return math.Exp(d.Mu + d.Sigma*r.Norm()) }
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Var returns (exp(Sigma^2)-1) exp(2Mu+Sigma^2).
+func (d Lognormal) Var() float64 {
+	s2 := d.Sigma * d.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*d.Mu+s2)
+}
+
+func (d Lognormal) String() string { return fmt.Sprintf("Lognormal(%g,%g)", d.Mu, d.Sigma) }
+
+// Pareto is the Pareto distribution with scale Xm and shape Alpha;
+// the canonical heavy tail for the Appendix B experiments.
+type Pareto struct {
+	Xm, Alpha float64
+}
+
+// Sample draws by inversion.
+func (d Pareto) Sample(r *Sub) float64 {
+	return d.Xm / math.Pow(r.Float64Open(), 1/d.Alpha)
+}
+
+// Mean returns Alpha*Xm/(Alpha-1) for Alpha > 1, else NaN (infinite).
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.NaN()
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Var returns the variance for Alpha > 2, else NaN (infinite).
+func (d Pareto) Var() float64 {
+	if d.Alpha <= 2 {
+		return math.NaN()
+	}
+	a := d.Alpha
+	return d.Xm * d.Xm * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+func (d Pareto) String() string { return fmt.Sprintf("Pareto(%g,%g)", d.Xm, d.Alpha) }
+
+// Bernoulli takes value 1 with probability P and 0 otherwise.
+type Bernoulli struct {
+	P float64
+}
+
+// Sample draws 0 or 1.
+func (d Bernoulli) Sample(r *Sub) float64 {
+	if r.Float64() < d.P {
+		return 1
+	}
+	return 0
+}
+
+// Mean returns P.
+func (d Bernoulli) Mean() float64 { return d.P }
+
+// Var returns P(1-P).
+func (d Bernoulli) Var() float64 { return d.P * (1 - d.P) }
+
+func (d Bernoulli) String() string { return fmt.Sprintf("Bernoulli(%g)", d.P) }
+
+// PoissonDist is the Poisson distribution with mean Lambda.
+type PoissonDist struct {
+	Lambda float64
+}
+
+// Sample draws a Poisson count as a float.
+func (d PoissonDist) Sample(r *Sub) float64 { return float64(r.Poisson(d.Lambda)) }
+
+// Mean returns Lambda.
+func (d PoissonDist) Mean() float64 { return d.Lambda }
+
+// Var returns Lambda.
+func (d PoissonDist) Var() float64 { return d.Lambda }
+
+func (d PoissonDist) String() string { return fmt.Sprintf("Poisson(%g)", d.Lambda) }
+
+// Discrete samples index i with probability Weights[i]/sum(Weights) and
+// returns Values[i]. Weights must be non-negative with a positive sum.
+type Discrete struct {
+	Values  []float64
+	Weights []float64
+}
+
+// NewDiscrete validates and constructs a Discrete distribution.
+func NewDiscrete(values, weights []float64) (Discrete, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return Discrete{}, fmt.Errorf("prng: Discrete needs equal-length non-empty values/weights (%d vs %d)", len(values), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return Discrete{}, fmt.Errorf("prng: Discrete weight %g is negative or NaN", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Discrete{}, fmt.Errorf("prng: Discrete weights sum to %g, need > 0", total)
+	}
+	return Discrete{Values: values, Weights: weights}, nil
+}
+
+// Sample draws by linear scan over the CDF; value lists in VG parameter
+// tables are short, so no alias table is needed.
+func (d Discrete) Sample(r *Sub) float64 {
+	total := 0.0
+	for _, w := range d.Weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range d.Weights {
+		acc += w
+		if u < acc {
+			return d.Values[i]
+		}
+	}
+	return d.Values[len(d.Values)-1]
+}
+
+// Mean returns the weighted mean.
+func (d Discrete) Mean() float64 {
+	total, m := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		m += w * d.Values[i]
+	}
+	return m / total
+}
+
+// Var returns the weighted variance.
+func (d Discrete) Var() float64 {
+	mean := d.Mean()
+	total, v := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		dv := d.Values[i] - mean
+		v += w * dv * dv
+	}
+	return v / total
+}
+
+func (d Discrete) String() string { return fmt.Sprintf("Discrete(%d values)", len(d.Values)) }
+
+// Mixture samples component i with probability Weights[i]/sum and then
+// samples from Components[i].
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+// Sample draws from a randomly chosen component.
+func (d Mixture) Sample(r *Sub) float64 {
+	total := 0.0
+	for _, w := range d.Weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range d.Weights {
+		acc += w
+		if u < acc {
+			return d.Components[i].Sample(r)
+		}
+	}
+	return d.Components[len(d.Components)-1].Sample(r)
+}
+
+// Mean returns the weighted mean of component means.
+func (d Mixture) Mean() float64 {
+	total, m := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		m += w * d.Components[i].Mean()
+	}
+	return m / total
+}
+
+// Var returns the mixture variance via the law of total variance.
+func (d Mixture) Var() float64 {
+	mean := d.Mean()
+	total, v := 0.0, 0.0
+	for i, w := range d.Weights {
+		total += w
+		mi := d.Components[i].Mean()
+		v += w * (d.Components[i].Var() + (mi-mean)*(mi-mean))
+	}
+	return v / total
+}
+
+func (d Mixture) String() string { return fmt.Sprintf("Mixture(%d components)", len(d.Components)) }

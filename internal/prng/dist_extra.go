@@ -1,0 +1,148 @@
+package prng
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the heavier-tailed and bounded distributions used in
+// quantitative risk management (McNeil, Frey, Embrechts — the paper's
+// reference [16]): Student-t for fat-tailed returns, Weibull for failure
+// and delay times, Beta for bounded fractions, and the Poisson-Gamma
+// compound behind Bayesian demand models.
+
+// StudentT is the location-scale Student-t distribution with Nu degrees of
+// freedom; for small Nu it is heavy-tailed (infinite variance at Nu <= 2).
+type StudentT struct {
+	Nu, Mu, Sigma float64
+}
+
+// Sample draws via the normal/chi-square representation.
+func (d StudentT) Sample(r *Sub) float64 {
+	z := r.Norm()
+	// Chi-square(nu) = Gamma(nu/2, 2).
+	w := r.Gamma(d.Nu/2, 2)
+	return d.Mu + d.Sigma*z/math.Sqrt(w/d.Nu)
+}
+
+// Mean returns Mu for Nu > 1, else NaN.
+func (d StudentT) Mean() float64 {
+	if d.Nu <= 1 {
+		return math.NaN()
+	}
+	return d.Mu
+}
+
+// Var returns Sigma^2 * Nu/(Nu-2) for Nu > 2, else NaN.
+func (d StudentT) Var() float64 {
+	if d.Nu <= 2 {
+		return math.NaN()
+	}
+	return d.Sigma * d.Sigma * d.Nu / (d.Nu - 2)
+}
+
+func (d StudentT) String() string {
+	return fmt.Sprintf("StudentT(%g,%g,%g)", d.Nu, d.Mu, d.Sigma)
+}
+
+// Weibull has the given Shape (k) and Scale (lambda).
+type Weibull struct {
+	Shape, Scale float64
+}
+
+// Sample draws by inversion.
+func (d Weibull) Sample(r *Sub) float64 {
+	return d.Scale * math.Pow(r.Exp(), 1/d.Shape)
+}
+
+// Mean returns lambda * Gamma(1 + 1/k).
+func (d Weibull) Mean() float64 {
+	return d.Scale * math.Gamma(1+1/d.Shape)
+}
+
+// Var returns lambda^2 (Gamma(1+2/k) - Gamma(1+1/k)^2).
+func (d Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/d.Shape)
+	g2 := math.Gamma(1 + 2/d.Shape)
+	return d.Scale * d.Scale * (g2 - g1*g1)
+}
+
+func (d Weibull) String() string { return fmt.Sprintf("Weibull(%g,%g)", d.Shape, d.Scale) }
+
+// Beta is the Beta(A, B) distribution on (0, 1).
+type Beta struct {
+	A, B float64
+}
+
+// Sample draws via two gammas.
+func (d Beta) Sample(r *Sub) float64 {
+	x := r.Gamma(d.A, 1)
+	y := r.Gamma(d.B, 1)
+	return x / (x + y)
+}
+
+// Mean returns A/(A+B).
+func (d Beta) Mean() float64 { return d.A / (d.A + d.B) }
+
+// Var returns AB/((A+B)^2 (A+B+1)).
+func (d Beta) Var() float64 {
+	s := d.A + d.B
+	return d.A * d.B / (s * s * (s + 1))
+}
+
+func (d Beta) String() string { return fmt.Sprintf("Beta(%g,%g)", d.A, d.B) }
+
+// PoissonGamma is the compound used in Bayesian demand modeling: demand ~
+// Poisson(lambda) with lambda ~ Gamma(Shape, Scale). Marginally this is
+// negative binomial, over-dispersed relative to Poisson.
+type PoissonGamma struct {
+	Shape, Scale float64
+}
+
+// Sample draws lambda then the count.
+func (d PoissonGamma) Sample(r *Sub) float64 {
+	lambda := r.Gamma(d.Shape, d.Scale)
+	if lambda <= 0 {
+		return 0
+	}
+	return float64(r.Poisson(lambda))
+}
+
+// Mean returns Shape*Scale.
+func (d PoissonGamma) Mean() float64 { return d.Shape * d.Scale }
+
+// Var returns the negative-binomial variance mean*(1+Scale).
+func (d PoissonGamma) Var() float64 { return d.Shape * d.Scale * (1 + d.Scale) }
+
+func (d PoissonGamma) String() string {
+	return fmt.Sprintf("PoissonGamma(%g,%g)", d.Shape, d.Scale)
+}
+
+// Triangular is the triangular distribution on [Lo, Hi] with mode at Mode;
+// the standard "expert judgment" distribution for logistics times.
+type Triangular struct {
+	Lo, Mode, Hi float64
+}
+
+// Sample draws by inversion.
+func (d Triangular) Sample(r *Sub) float64 {
+	u := r.Float64()
+	fc := (d.Mode - d.Lo) / (d.Hi - d.Lo)
+	if u < fc {
+		return d.Lo + math.Sqrt(u*(d.Hi-d.Lo)*(d.Mode-d.Lo))
+	}
+	return d.Hi - math.Sqrt((1-u)*(d.Hi-d.Lo)*(d.Hi-d.Mode))
+}
+
+// Mean returns (Lo+Mode+Hi)/3.
+func (d Triangular) Mean() float64 { return (d.Lo + d.Mode + d.Hi) / 3 }
+
+// Var returns the triangular variance.
+func (d Triangular) Var() float64 {
+	a, c, b := d.Lo, d.Mode, d.Hi
+	return (a*a + b*b + c*c - a*b - a*c - b*c) / 18
+}
+
+func (d Triangular) String() string {
+	return fmt.Sprintf("Triangular(%g,%g,%g)", d.Lo, d.Mode, d.Hi)
+}

@@ -1,0 +1,99 @@
+package prng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExtraDistributionMoments(t *testing.T) {
+	const n = 200000
+	dists := []Dist{
+		StudentT{Nu: 8, Mu: 2, Sigma: 1.5},
+		Weibull{Shape: 2, Scale: 3},
+		Weibull{Shape: 0.8, Scale: 1},
+		Beta{A: 2, B: 5},
+		Beta{A: 0.5, B: 0.5},
+		PoissonGamma{Shape: 3, Scale: 2},
+		Triangular{Lo: 1, Mode: 2, Hi: 6},
+	}
+	for i, d := range dists {
+		checkMoments(t, d, n, uint64(5000+i))
+	}
+}
+
+func TestStudentTHeavyTails(t *testing.T) {
+	// t with nu=3 has much fatter tails than a variance-matched normal:
+	// P(|T| > 5) for t3 = 2 * 0.0077 ≈ 0.0154 vs ~4e-3 for N(0, sqrt(3)).
+	r := NewSub(61)
+	d := StudentT{Nu: 3, Mu: 0, Sigma: 1}
+	const n = 300000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(d.Sample(r)) > 5 {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.012 || p > 0.019 {
+		t.Fatalf("P(|T3| > 5) = %g, want ≈ 0.0154", p)
+	}
+	if !math.IsNaN(StudentT{Nu: 2, Mu: 0, Sigma: 1}.Var()) {
+		t.Fatal("variance must be undefined at nu <= 2")
+	}
+	if !math.IsNaN(StudentT{Nu: 1, Mu: 0, Sigma: 1}.Mean()) {
+		t.Fatal("mean must be undefined at nu <= 1")
+	}
+}
+
+func TestBetaSupport(t *testing.T) {
+	r := NewSub(62)
+	d := Beta{A: 2, B: 3}
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if x <= 0 || x >= 1 {
+			t.Fatalf("Beta sample %g outside (0,1)", x)
+		}
+	}
+}
+
+func TestTriangularSupport(t *testing.T) {
+	r := NewSub(63)
+	d := Triangular{Lo: -1, Mode: 0, Hi: 4}
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if x < -1 || x > 4 {
+			t.Fatalf("Triangular sample %g outside [-1,4]", x)
+		}
+	}
+	// CDF at the mode is (mode-lo)/(hi-lo) = 0.2.
+	below := 0
+	for i := 0; i < 100000; i++ {
+		if d.Sample(r) < 0 {
+			below++
+		}
+	}
+	if p := float64(below) / 100000; math.Abs(p-0.2) > 0.01 {
+		t.Fatalf("P(X < mode) = %g, want 0.2", p)
+	}
+}
+
+func TestPoissonGammaOverdispersion(t *testing.T) {
+	// Negative binomial: Var = mean * (1 + scale) > mean.
+	r := NewSub(64)
+	d := PoissonGamma{Shape: 4, Scale: 3}
+	const n = 150000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x != math.Trunc(x) || x < 0 {
+			t.Fatalf("count sample %g not a non-negative integer", x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 1.5*mean {
+		t.Fatalf("no overdispersion: var %g vs mean %g", variance, mean)
+	}
+}

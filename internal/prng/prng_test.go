@@ -1,0 +1,269 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamRandomAccessEqualsRepeatedAccess(t *testing.T) {
+	// Property: At(i) is a pure function of (seed, i); revisiting an element
+	// in any order reproduces the identical draw sequence.
+	f := func(seed, i uint64) bool {
+		s := NewStream(seed)
+		a1 := s.At(i)
+		a2 := s.At(i)
+		for k := 0; k < 8; k++ {
+			if a1.Uint64() != a2.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamElementsIndependentOfVisitOrder(t *testing.T) {
+	s := NewStream(42)
+	forward := make([]float64, 100)
+	for i := range forward {
+		forward[i] = s.At(uint64(i)).Float64()
+	}
+	for i := 99; i >= 0; i-- {
+		if got := s.At(uint64(i)).Float64(); got != forward[i] {
+			t.Fatalf("element %d differs on reverse visit: %v vs %v", i, got, forward[i])
+		}
+	}
+}
+
+func TestStreamDistinctSeedsDiffer(t *testing.T) {
+	a, b := NewStream(1).At(0), NewStream(2).At(0)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/16 times", same)
+	}
+}
+
+func TestDeriveIsDeterministicAndSpreads(t *testing.T) {
+	s := NewStream(7)
+	if s.Derive(3).Seed() != s.Derive(3).Seed() {
+		t.Fatal("Derive must be deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[s.Derive(i).Seed()] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("Derive collisions: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSub(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		g := r.Float64Open()
+		if g <= 0 || g >= 1 {
+			t.Fatalf("Float64Open out of range: %v", g)
+		}
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := NewSub(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		k := r.Intn(n)
+		if k < 0 || k >= n {
+			t.Fatalf("Intn out of range: %d", k)
+		}
+		counts[k]++
+	}
+	want := float64(trials) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %g", k, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSub(1).Intn(0)
+}
+
+// checkMoments samples n variates and verifies the sample mean and variance
+// are within tol standard errors of the analytic values.
+func checkMoments(t *testing.T, d Dist, n int, seed uint64) {
+	t.Helper()
+	r := NewSub(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	varEst := sumSq/float64(n) - mean*mean
+	if m := d.Mean(); !math.IsNaN(m) {
+		se := math.Sqrt(d.Var() / float64(n))
+		if math.Abs(mean-m) > 6*se {
+			t.Errorf("%s: sample mean %g vs analytic %g (se %g)", d, mean, m, se)
+		}
+	}
+	if v := d.Var(); !math.IsNaN(v) && v > 0 {
+		if math.Abs(varEst-v)/v > 0.15 {
+			t.Errorf("%s: sample var %g vs analytic %g", d, varEst, v)
+		}
+	}
+}
+
+func TestDistributionMoments(t *testing.T) {
+	const n = 200000
+	disc, err := NewDiscrete([]float64{1, 2, 5}, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := []Dist{
+		Normal{Mu: 3, Sigma: 2},
+		Uniform{Lo: -1, Hi: 5},
+		Exponential{Lambda: 0.5},
+		Gamma{Shape: 3, Scale: 2},
+		Gamma{Shape: 0.5, Scale: 1.5},
+		InverseGamma{Shape: 3, Scale: 1},
+		Lognormal{Mu: 0, Sigma: 0.5},
+		Pareto{Xm: 1, Alpha: 4},
+		Bernoulli{P: 0.3},
+		PoissonDist{Lambda: 4},
+		PoissonDist{Lambda: 60},
+		disc,
+		Mixture{Components: []Dist{Normal{0, 1}, Normal{10, 1}}, Weights: []float64{0.5, 0.5}},
+	}
+	for i, d := range dists {
+		checkMoments(t, d, n, uint64(1000+i))
+	}
+}
+
+func TestNormalTailProbability(t *testing.T) {
+	// P(Z > 2) ≈ 0.02275 for standard normal.
+	r := NewSub(77)
+	d := Normal{Mu: 0, Sigma: 1}
+	const n = 400000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(r) > 2 {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.02275) > 0.002 {
+		t.Fatalf("P(Z>2) estimate %g, want ~0.02275", p)
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// Pareto(1, 1.5): P(X > x) = x^{-1.5}.
+	r := NewSub(123)
+	d := Pareto{Xm: 1, Alpha: 1.5}
+	const n = 300000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(r) > 10 {
+			hits++
+		}
+	}
+	want := math.Pow(10, -1.5)
+	got := float64(hits) / n
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("P(X>10) = %g, want %g", got, want)
+	}
+	if !math.IsNaN(Pareto{Xm: 1, Alpha: 0.9}.Mean()) {
+		t.Fatal("Pareto mean should be NaN for alpha <= 1")
+	}
+}
+
+func TestDiscreteValidation(t *testing.T) {
+	if _, err := NewDiscrete(nil, nil); err == nil {
+		t.Error("empty discrete must fail")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := NewDiscrete([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if _, err := NewDiscrete([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero-sum weights must fail")
+	}
+}
+
+func TestDiscreteOnlySamplesGivenValues(t *testing.T) {
+	d, _ := NewDiscrete([]float64{2, 4, 8}, []float64{1, 1, 1})
+	r := NewSub(5)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v != 2 && v != 4 && v != 8 {
+			t.Fatalf("sampled %v not in value set", v)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSub(1).Gamma(-1, 1)
+}
+
+func TestPoissonSmallLambdaExact(t *testing.T) {
+	// P(X = 0) = e^{-lambda}.
+	r := NewSub(31)
+	const lambda, n = 2.0, 200000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		if r.Poisson(lambda) == 0 {
+			zeros++
+		}
+	}
+	want := math.Exp(-lambda)
+	got := float64(zeros) / n
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("P(X=0) = %g, want %g", got, want)
+	}
+}
+
+func BenchmarkStreamAt(b *testing.B) {
+	s := NewStream(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.At(uint64(i)).Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormalSample(b *testing.B) {
+	r := NewSub(1)
+	d := Normal{Mu: 0, Sigma: 1}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,334 @@
+package seeds
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+	"repro/internal/types"
+	"repro/internal/vg"
+)
+
+// newTestStore builds a store of Normal-VG seeds; t may be nil when called
+// from property functions, in which case errors panic.
+func newTestStore(t *testing.T, nSeeds, nVersions int) (*Store, prng.Stream) {
+	if t != nil {
+		t.Helper()
+	}
+	reg := vg.NewRegistry()
+	normal, _ := reg.Lookup("Normal")
+	master := prng.NewStream(42)
+	st := NewStore()
+	for i := 0; i < nSeeds; i++ {
+		s := st.Alloc(master, normal, []types.Value{types.NewFloat(float64(i + 3)), types.NewFloat(1)})
+		if err := s.Materialize(0, 16, nil); err != nil {
+			if t != nil {
+				t.Fatal(err)
+			}
+			panic(err)
+		}
+	}
+	st.InitAssign(nVersions)
+	return st, master
+}
+
+func TestAllocAssignsSequentialHandles(t *testing.T) {
+	st, _ := newTestStore(t, 5, 4)
+	ids := st.IDs()
+	if len(ids) != 5 {
+		t.Fatalf("Len = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("handle %d at position %d", id, i)
+		}
+	}
+}
+
+func TestWindowGet(t *testing.T) {
+	w := Window{Lo: 10, Vals: [][]types.Value{{types.NewFloat(1)}, {types.NewFloat(2)}},
+		Sparse: map[uint64][]types.Value{3: {types.NewFloat(9)}}}
+	if v, ok := w.Get(10); !ok || v[0].Float() != 1 {
+		t.Fatal("Get(10) failed")
+	}
+	if v, ok := w.Get(11); !ok || v[0].Float() != 2 {
+		t.Fatal("Get(11) failed")
+	}
+	if v, ok := w.Get(3); !ok || v[0].Float() != 9 {
+		t.Fatal("Get sparse failed")
+	}
+	if _, ok := w.Get(12); ok {
+		t.Fatal("Get(12) should miss")
+	}
+	if _, ok := w.Get(5); ok {
+		t.Fatal("Get(5) should miss")
+	}
+	if w.End() != 12 {
+		t.Fatalf("End = %d", w.End())
+	}
+	pos := w.Positions()
+	want := []uint64{3, 10, 11}
+	for i := range want {
+		if pos[i] != want[i] {
+			t.Fatalf("Positions = %v", pos)
+		}
+	}
+}
+
+func TestMaterializeMatchesValueAt(t *testing.T) {
+	st, _ := newTestStore(t, 1, 2)
+	s := st.MustGet(0)
+	for pos := uint64(0); pos < 16; pos++ {
+		want, err := s.ValueAt(pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Window.Get(pos)
+		if !ok || !got[0].Equal(want[0]) {
+			t.Fatalf("window pos %d = %v, want %v", pos, got, want)
+		}
+	}
+}
+
+func TestMaterializeSparseKeepsAssigned(t *testing.T) {
+	st, _ := newTestStore(t, 1, 4)
+	s := st.MustGet(0)
+	old2, _ := s.Window.Get(2)
+	// Replenish: fresh range [16,24), keep assigned positions 0..3.
+	if err := s.Materialize(16, 8, []uint64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Window.Lo != 16 || len(s.Window.Vals) != 8 {
+		t.Fatalf("window = lo %d len %d", s.Window.Lo, len(s.Window.Vals))
+	}
+	got, ok := s.Window.Get(2)
+	if !ok || !got[0].Equal(old2[0]) {
+		t.Fatalf("sparse position 2 lost or changed: %v vs %v", got, old2)
+	}
+	if s.Window.Contains(5) {
+		t.Fatal("unassigned old position 5 must not be rematerialized")
+	}
+}
+
+func TestInitAssign(t *testing.T) {
+	st, _ := newTestStore(t, 3, 4)
+	for _, id := range st.IDs() {
+		s := st.MustGet(id)
+		for v := 0; v < 4; v++ {
+			if s.Assign[v] != uint64(v) {
+				t.Fatalf("seed %d version %d assigned %d", id, v, s.Assign[v])
+			}
+		}
+		if s.MaxUsed != 3 {
+			t.Fatalf("MaxUsed = %d", s.MaxUsed)
+		}
+	}
+}
+
+func TestCloneVersionsBlockLayout(t *testing.T) {
+	// Fig 1(b): 4 versions, elite {1,3} -> new assignments [a1,a1,a3,a3].
+	st, _ := newTestStore(t, 2, 4)
+	s := st.MustGet(0)
+	s.Assign = []uint64{10, 11, 12, 13}
+	st.MustGet(1).Assign = []uint64{20, 21, 22, 23}
+	if err := st.CloneVersions([]int{1, 3}, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11, 11, 13, 13}
+	for v, w := range want {
+		if s.Assign[v] != w {
+			t.Fatalf("Assign = %v, want %v", s.Assign, want)
+		}
+	}
+	if got := st.MustGet(1).Assign; got[0] != 21 || got[3] != 23 {
+		t.Fatalf("second seed Assign = %v", got)
+	}
+}
+
+func TestCloneVersionsResize(t *testing.T) {
+	st, _ := newTestStore(t, 1, 4)
+	s := st.MustGet(0)
+	s.Assign = []uint64{10, 11, 12, 13}
+	// Grow to 6 versions from elite {0,2}.
+	if err := st.CloneVersions([]int{0, 2}, 6); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 10, 10, 12, 12, 12}
+	for v, w := range want {
+		if s.Assign[v] != w {
+			t.Fatalf("Assign = %v, want %v", s.Assign, want)
+		}
+	}
+	// Shrink to 2.
+	if err := st.CloneVersions([]int{1, 5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Assign[0] != 10 || s.Assign[1] != 12 {
+		t.Fatalf("shrunk Assign = %v", s.Assign)
+	}
+}
+
+func TestCloneVersionsErrors(t *testing.T) {
+	st, _ := newTestStore(t, 1, 4)
+	if err := st.CloneVersions(nil, 4); err == nil {
+		t.Fatal("empty elite must error")
+	}
+	if err := st.CloneVersions([]int{9}, 4); err == nil {
+		t.Fatal("out-of-range elite must error")
+	}
+	if err := st.CloneVersions([]int{0}, 0); err == nil {
+		t.Fatal("zero target must error")
+	}
+}
+
+func TestCloneVersionsProperty(t *testing.T) {
+	// Property: after cloning, every assignment column value comes from an
+	// elite version's previous value.
+	f := func(eliteRaw []uint8, newNRaw uint8) bool {
+		st, _ := newTestStore(nil, 1, 8)
+		s := st.MustGet(0)
+		for v := range s.Assign {
+			s.Assign[v] = uint64(100 + v)
+		}
+		if len(eliteRaw) == 0 {
+			return true
+		}
+		elite := make([]int, 0, len(eliteRaw))
+		seen := map[int]bool{}
+		for _, e := range eliteRaw {
+			v := int(e) % 8
+			if !seen[v] {
+				seen[v] = true
+				elite = append(elite, v)
+			}
+		}
+		newN := int(newNRaw)%16 + 1
+		old := append([]uint64(nil), s.Assign...)
+		if err := st.CloneVersions(elite, newN); err != nil {
+			return false
+		}
+		if len(s.Assign) != newN {
+			return false
+		}
+		allowed := map[uint64]bool{}
+		for _, e := range elite {
+			allowed[old[e]] = true
+		}
+		for _, a := range s.Assign {
+			if !allowed[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetAllocReusesSeeds(t *testing.T) {
+	st, master := newTestStore(t, 3, 4)
+	reg := vg.NewRegistry()
+	normal, _ := reg.Lookup("Normal")
+	s0 := st.MustGet(0)
+	s0.MaxUsed = 99
+	s0.Assign[2] = 55
+	st.ResetAlloc()
+	again := st.Alloc(master, normal, []types.Value{types.NewFloat(3), types.NewFloat(1)})
+	if again != s0 {
+		t.Fatal("re-allocation must return the existing seed")
+	}
+	if again.MaxUsed != 99 || again.Assign[2] != 55 {
+		t.Fatal("bookkeeping lost on re-allocation")
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d after re-alloc", st.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, master := newTestStore(t, 4, 3)
+	s1 := st.MustGet(1)
+	s1.MaxUsed = 12
+	s1.Assign = []uint64{4, 9, 2}
+	if err := s1.Materialize(13, 5, []uint64{4, 9, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, vg.NewRegistry(), master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 4 {
+		t.Fatalf("loaded Len = %d", back.Len())
+	}
+	b1 := back.MustGet(1)
+	if b1.MaxUsed != 12 || b1.Assign[1] != 9 {
+		t.Fatalf("bookkeeping lost: %+v", b1)
+	}
+	// Window values must regenerate identically.
+	for _, pos := range []uint64{13, 17, 4, 9, 2} {
+		want, _ := s1.Window.Get(pos)
+		got, ok := b1.Window.Get(pos)
+		if !ok || !got[0].Equal(want[0]) {
+			t.Fatalf("pos %d: %v vs %v", pos, got, want)
+		}
+	}
+	// Streams derived identically: new values also match.
+	w1, _ := s1.ValueAt(1000)
+	w2, _ := b1.ValueAt(1000)
+	if !w1[0].Equal(w2[0]) {
+		t.Fatal("stream derivation lost in round trip")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	st, master := newTestStore(t, 2, 2)
+	path := filepath.Join(t.TempDir(), "seeds.bin")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path, vg.NewRegistry(), master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d seeds", back.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), vg.NewRegistry(), prng.NewStream(1)); err == nil {
+		t.Fatal("garbage must not load")
+	}
+}
+
+func TestAssignedPositions(t *testing.T) {
+	st, _ := newTestStore(t, 1, 4)
+	s := st.MustGet(0)
+	s.Assign = []uint64{7, 3, 7, 1}
+	got := s.AssignedPositions()
+	want := []uint64{1, 3, 7}
+	if len(got) != 3 {
+		t.Fatalf("AssignedPositions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AssignedPositions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore().MustGet(7)
+}

@@ -1,0 +1,125 @@
+// Package sqlish implements the SQL-like surface syntax of MCDB-R as shown
+// in the paper's §2 and Appendix D: CREATE TABLE ... FOR EACH statements
+// defining uncertain tables, and SELECT queries with the
+// WITH RESULTDISTRIBUTION / MONTECARLO / DOMAIN ... QUANTILE /
+// FREQUENCYTABLE clauses. (The paper's prototype ships no SQL compiler and
+// specifies plans directly; this package goes one step further so the
+// examples read like the paper.)
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lex tokenizes the input. Symbols cover the operator set of the grammar;
+// identifiers are bare words (qualification dots are separate symbols).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := src[j]
+				if unicode.IsDigit(rune(d)) {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '\'' {
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlish: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tokSymbol, text: two, pos: i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlish: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,629 @@
+package sqlish
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Statement is a parsed SQL-ish statement.
+type Statement interface{ stmt() }
+
+// CreateRandomTable is the paper's §2 uncertain-table definition:
+//
+//	CREATE TABLE Losses (CID, val) AS
+//	FOR EACH CID IN means
+//	WITH myVal AS Normal(VALUES(m, 1.0))
+//	SELECT CID, myVal.* FROM myVal
+type CreateRandomTable struct {
+	Name       string
+	Cols       []string
+	LoopVar    string
+	ParamTable string
+	VGAlias    string
+	VGName     string
+	VGParams   []expr.Expr
+	// SelectItems map output columns to sources: "col" (parameter column)
+	// or "alias.*" / "alias.col" (VG outputs).
+	SelectItems []string
+}
+
+func (*CreateRandomTable) stmt() {}
+
+// FromItem is one entry of a FROM clause.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// Domain is the conditioning clause DOMAIN name >= QUANTILE(q) (upper
+// tail) or DOMAIN name <= QUANTILE(q) (lower tail).
+type Domain struct {
+	Name     string
+	Lower    bool
+	Quantile float64
+}
+
+// SelectStmt is an aggregation query, optionally with the MCDB-R
+// result-distribution clauses. When With is false the statement is an
+// ordinary deterministic aggregate (used for follow-up queries over
+// FTABLE).
+type SelectStmt struct {
+	Agg      string // SUM, COUNT, AVG, MIN, MAX
+	AggExpr  expr.Expr
+	AggAlias string
+	Froms    []FromItem
+	Where    expr.Expr
+	// GroupBy, when non-empty, names the (deterministic) grouping column;
+	// the engine executes one conditioned query per group (paper App. A).
+	GroupBy string
+
+	With      bool
+	MCReps    int
+	Domain    *Domain
+	FreqTable string
+}
+
+func (*SelectStmt) stmt() {}
+
+// Parse parses one statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var s Statement
+	switch {
+	case p.peekKeyword("CREATE"):
+		s, err = p.parseCreate()
+	case p.peekKeyword("SELECT"):
+		s, err = p.parseSelect()
+	default:
+		return nil, fmt.Errorf("sqlish: expected CREATE or SELECT, got %s", p.peek())
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sqlish: trailing input at %s", p.peek())
+	}
+	return s, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sqlish: expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return fmt.Errorf("sqlish: expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlish: expected identifier, got %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// qualifiedName parses ident[.ident] or ident.*; the star form returns
+// "name.*".
+func (p *parser) qualifiedName() (string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.accept(".") {
+		if p.accept("*") {
+			return first + ".*", nil
+		}
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+func (p *parser) parseCreate() (*CreateRandomTable, error) {
+	p.next() // CREATE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	out := &CreateRandomTable{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out.Cols = append(out.Cols, c)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("EACH"); err != nil {
+		return nil, err
+	}
+	if out.LoopVar, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	if out.ParamTable, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	if out.VGAlias, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if out.VGName, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.VGParams = append(out.VGParams, e)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		out.SelectItems = append(out.SelectItems, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	// Optional trailing "FROM myVal" as in the paper; parsed and ignored.
+	if p.acceptKeyword("FROM") {
+		if _, err := p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if len(out.SelectItems) != len(out.Cols) && !hasStar(out.SelectItems) {
+		return nil, fmt.Errorf("sqlish: CREATE TABLE %s declares %d columns but selects %d items",
+			out.Name, len(out.Cols), len(out.SelectItems))
+	}
+	return out, nil
+}
+
+func hasStar(items []string) bool {
+	for _, it := range items {
+		if strings.HasSuffix(it, ".*") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.next() // SELECT
+	out := &SelectStmt{}
+	agg, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	out.Agg = strings.ToUpper(agg)
+	switch out.Agg {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX":
+	default:
+		return nil, fmt.Errorf("sqlish: unsupported aggregate %q", agg)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.accept("*") {
+		if out.Agg != "COUNT" {
+			return nil, fmt.Errorf("sqlish: %s(*) is not valid", out.Agg)
+		}
+	} else {
+		if out.AggExpr, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("AS") {
+		if out.AggAlias, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		item := FromItem{Table: tbl, Alias: tbl}
+		if p.acceptKeyword("AS") {
+			if item.Alias, err = p.ident(); err != nil {
+				return nil, err
+			}
+		} else if t := p.peek(); t.kind == tokIdent && !isClauseKeyword(t.text) {
+			item.Alias = t.text
+			p.next()
+		}
+		out.Froms = append(out.Froms, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		if out.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if out.GroupBy, err = p.qualifiedName(); err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(out.GroupBy, ".*") {
+			return nil, fmt.Errorf("sqlish: GROUP BY %s is not valid", out.GroupBy)
+		}
+	}
+	if p.acceptKeyword("WITH") {
+		out.With = true
+		if err := p.expectKeyword("RESULTDISTRIBUTION"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("MONTECARLO"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		nTok := p.next()
+		if nTok.kind != tokNumber {
+			return nil, fmt.Errorf("sqlish: MONTECARLO needs a repetition count, got %s", nTok)
+		}
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sqlish: bad MONTECARLO count %q", nTok.text)
+		}
+		out.MCReps = n
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("DOMAIN") {
+			d := &Domain{}
+			if d.Name, err = p.ident(); err != nil {
+				return nil, err
+			}
+			opTok := p.next()
+			switch opTok.text {
+			case ">=", ">":
+				d.Lower = false
+			case "<=", "<":
+				d.Lower = true
+			default:
+				return nil, fmt.Errorf("sqlish: DOMAIN needs >= or <=, got %s", opTok)
+			}
+			if err := p.expectKeyword("QUANTILE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			qTok := p.next()
+			if qTok.kind != tokNumber {
+				return nil, fmt.Errorf("sqlish: QUANTILE needs a number, got %s", qTok)
+			}
+			q, err := strconv.ParseFloat(qTok.text, 64)
+			if err != nil || q <= 0 || q >= 1 {
+				return nil, fmt.Errorf("sqlish: QUANTILE must lie in (0,1), got %q", qTok.text)
+			}
+			d.Quantile = q
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			out.Domain = d
+		}
+		if p.acceptKeyword("FREQUENCYTABLE") {
+			if out.FreqTable, err = p.ident(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func isClauseKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "WITH", "FROM", "AS", "DOMAIN", "FREQUENCYTABLE", "GROUP", "ORDER":
+		return true
+	}
+	return false
+}
+
+// Expression grammar: or -> and -> not -> cmp -> add -> mul -> unary ->
+// primary.
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.B(expr.OpOr, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.B(expr.OpAnd, left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{Inner: inner}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		var op expr.BinOp
+		ok := true
+		switch t.text {
+		case "=":
+			op = expr.OpEq
+		case "<>", "!=":
+			op = expr.OpNe
+		case "<":
+			op = expr.OpLt
+		case "<=":
+			op = expr.OpLe
+		case ">":
+			op = expr.OpGt
+		case ">=":
+			op = expr.OpGe
+		default:
+			ok = false
+		}
+		if ok {
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return expr.B(op, left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			left = expr.B(expr.OpAdd, left, right)
+		} else {
+			left = expr.B(expr.OpSub, left, right)
+		}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "*" {
+			left = expr.B(expr.OpMul, left, right)
+		} else {
+			left = expr.B(expr.OpDiv, left, right)
+		}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.accept("-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Neg{Inner: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlish: bad number %q", t.text)
+			}
+			return &expr.Const{Val: types.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlish: bad number %q", t.text)
+		}
+		return &expr.Const{Val: types.NewInt(i)}, nil
+	case tokString:
+		p.next()
+		return &expr.Const{Val: types.NewString(t.text)}, nil
+	case tokIdent:
+		switch strings.ToUpper(t.text) {
+		case "TRUE":
+			p.next()
+			return &expr.Const{Val: types.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &expr.Const{Val: types.NewBool(false)}, nil
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, ".*") {
+			return nil, fmt.Errorf("sqlish: %s is not valid in an expression", name)
+		}
+		return expr.C(name), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			inner, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlish: unexpected %s in expression", t)
+}

@@ -1,0 +1,225 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+const paperCreate = `
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`
+
+const paperQuery = `
+SELECT SUM(val) AS totalLoss
+FROM Losses
+WHERE CID < 10010
+WITH RESULTDISTRIBUTION MONTECARLO(100)
+DOMAIN totalLoss >= QUANTILE(0.99)
+FREQUENCYTABLE totalLoss`
+
+func TestParsePaperCreate(t *testing.T) {
+	s, err := Parse(paperCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.(*CreateRandomTable)
+	if !ok {
+		t.Fatalf("statement type %T", s)
+	}
+	if c.Name != "Losses" || len(c.Cols) != 2 || c.Cols[0] != "CID" || c.Cols[1] != "val" {
+		t.Fatalf("create = %+v", c)
+	}
+	if c.LoopVar != "CID" || c.ParamTable != "means" {
+		t.Fatalf("FOR EACH = %q IN %q", c.LoopVar, c.ParamTable)
+	}
+	if c.VGAlias != "myVal" || c.VGName != "Normal" || len(c.VGParams) != 2 {
+		t.Fatalf("VG = %+v", c)
+	}
+	if len(c.SelectItems) != 2 || c.SelectItems[0] != "CID" || c.SelectItems[1] != "myVal.*" {
+		t.Fatalf("select items = %v", c.SelectItems)
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	s, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := s.(*SelectStmt)
+	if !ok {
+		t.Fatalf("statement type %T", s)
+	}
+	if q.Agg != "SUM" || q.AggAlias != "totalLoss" {
+		t.Fatalf("agg = %q AS %q", q.Agg, q.AggAlias)
+	}
+	if len(q.Froms) != 1 || q.Froms[0].Table != "Losses" {
+		t.Fatalf("froms = %+v", q.Froms)
+	}
+	if q.Where == nil || !strings.Contains(q.Where.String(), "<") {
+		t.Fatalf("where = %v", q.Where)
+	}
+	if !q.With || q.MCReps != 100 {
+		t.Fatalf("MC = %v %d", q.With, q.MCReps)
+	}
+	if q.Domain == nil || q.Domain.Lower || q.Domain.Quantile != 0.99 || q.Domain.Name != "totalLoss" {
+		t.Fatalf("domain = %+v", q.Domain)
+	}
+	if q.FreqTable != "totalLoss" {
+		t.Fatalf("freq table = %q", q.FreqTable)
+	}
+}
+
+func TestParseSalaryInversionQuery(t *testing.T) {
+	src := `
+SELECT SUM(emp2.sal - emp1.sal)
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND emp1.sal < 90000
+  AND sup.peon = emp2.eid AND emp2.sal > 25000
+  AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(3)
+DOMAIN x >= QUANTILE(0.999)`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if len(q.Froms) != 3 || q.Froms[0].Alias != "emp1" || q.Froms[1].Alias != "emp2" || q.Froms[2].Alias != "sup" {
+		t.Fatalf("froms = %+v", q.Froms)
+	}
+	conjs := expr.SplitConjuncts(q.Where)
+	if len(conjs) != 5 {
+		t.Fatalf("conjuncts = %d", len(conjs))
+	}
+}
+
+func TestParseLowerDomain(t *testing.T) {
+	s, err := Parse(`SELECT AVG(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(10) DOMAIN x <= QUANTILE(0.01)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if q.Domain == nil || !q.Domain.Lower || q.Domain.Quantile != 0.01 {
+		t.Fatalf("domain = %+v", q.Domain)
+	}
+}
+
+func TestParseDeterministicAggregate(t *testing.T) {
+	s, err := Parse(`SELECT MIN(totalLoss) FROM FTABLE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if q.Agg != "MIN" || q.With {
+		t.Fatalf("q = %+v", q)
+	}
+	s, err = Parse(`SELECT SUM(totalLoss * FRAC) FROM FTABLE;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q = s.(*SelectStmt)
+	if q.Agg != "SUM" || q.AggExpr == nil {
+		t.Fatalf("q = %+v", q)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	s, err := Parse(`SELECT COUNT(*) FROM t WHERE a = 'x' OR b >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if q.Agg != "COUNT" || q.AggExpr != nil {
+		t.Fatalf("q = %+v", q)
+	}
+	if _, err := Parse(`SELECT SUM(*) FROM t`); err == nil {
+		t.Fatal("SUM(*) must fail")
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	s, err := Parse(`SELECT SUM(a + b * c - -d) FROM t WHERE NOT a > 1 AND b < 2 OR c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if got := q.AggExpr.String(); got != "((a + (b * c)) - -d)" {
+		t.Fatalf("agg expr = %s", got)
+	}
+	if got := q.Where.String(); got != "((NOT (a > 1) AND (b < 2)) OR (c = 3))" {
+		t.Fatalf("where = %s", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "SELECT SUM(v) FROM t -- trailing comment\nWHERE v > 0"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM t",
+		"SELECT MEDIAN(x) FROM t",
+		"SELECT SUM(x FROM t",
+		"SELECT SUM(x) t",            // missing FROM
+		"SELECT SUM(x) FROM t WHERE", // dangling WHERE
+		"SELECT SUM(x) FROM t WITH MONTECARLO(5)", // missing RESULTDISTRIBUTION
+		"SELECT SUM(x) FROM t WITH RESULTDISTRIBUTION MONTECARLO(0)",
+		"SELECT SUM(x) FROM t WITH RESULTDISTRIBUTION MONTECARLO(5) DOMAIN x >= QUANTILE(2)",
+		"SELECT SUM(x) FROM t WITH RESULTDISTRIBUTION MONTECARLO(5) DOMAIN x = QUANTILE(0.5)",
+		"CREATE TABLE t (a) AS FOR EACH a IN p WITH v AS VG(VALUES(1)) SELECT a, b, c",
+		"SELECT SUM(x) FROM t extra garbage (",
+		"SELECT SUM('unterminated) FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex("1 2.5 1e-3 0.99 10010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", "1e-3", "0.99", "10010"}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].text != w {
+			t.Fatalf("token %d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexerRejectsGarbage(t *testing.T) {
+	if _, err := lex("a @ b"); err == nil {
+		t.Fatal("@ must be rejected")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	s, err := Parse(`SELECT SUM(v) AS x FROM t WHERE v > 0 GROUP BY t.region WITH RESULTDISTRIBUTION MONTECARLO(10) DOMAIN x >= QUANTILE(0.9)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if q.GroupBy != "t.region" {
+		t.Fatalf("GroupBy = %q", q.GroupBy)
+	}
+	if q.Domain == nil {
+		t.Fatal("domain lost after GROUP BY")
+	}
+	if _, err := Parse(`SELECT SUM(v) FROM t GROUP BY`); err == nil {
+		t.Fatal("dangling GROUP BY must error")
+	}
+	if _, err := Parse(`SELECT SUM(v) FROM t GROUP ORDER`); err == nil {
+		t.Fatal("GROUP without BY must error")
+	}
+}

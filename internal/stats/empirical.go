@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample. It panics on an empty sample.
+func NewECDF(sample []float64) *ECDF {
+	if len(sample) == 0 {
+		panic("stats: NewECDF on empty sample")
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns the fraction of sample points <= x.
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the empirical q-quantile using the order statistic
+// X_(ceil(q*n)) — the estimator the paper uses for the elite threshold
+// (Algorithm 3 line 19 picks the (p_i |S|)-largest element).
+func (e *ECDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Min returns the smallest sample point (the paper's SELECT MIN(totalLoss)
+// FROM FTABLE tail-boundary estimate).
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample point.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Points returns (x, F(x)) pairs for plotting, one per sorted sample value.
+func (e *ECDF) Points() (xs, fs []float64) {
+	xs = append([]float64(nil), e.sorted...)
+	fs = make([]float64, len(xs))
+	for i := range xs {
+		fs[i] = float64(i+1) / float64(len(xs))
+	}
+	return xs, fs
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic
+// sup_x |F_n(x) - F(x)| against the reference CDF F.
+func (e *ECDF) KSDistance(cdf func(float64) float64) float64 {
+	n := float64(len(e.sorted))
+	d := 0.0
+	for i, x := range e.sorted {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Var, Std float64
+	Min, Max       float64
+}
+
+// Summarize computes summary statistics (sample variance with n-1 divisor).
+func Summarize(sample []float64) Summary {
+	s := Summary{N: len(sample)}
+	if s.N == 0 {
+		s.Mean, s.Var, s.Std = math.NaN(), math.NaN(), math.NaN()
+		s.Min, s.Max = math.NaN(), math.NaN()
+		return s
+	}
+	s.Min, s.Max = sample[0], sample[0]
+	sum := 0.0
+	for _, x := range sample {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range sample {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Var = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Var)
+	}
+	return s
+}
+
+// ExpectedShortfall returns the mean of the sample points, which — when
+// the sample is a set of tail samples — estimates E[X | X >= quantile],
+// the paper's SELECT SUM(totalLoss * FRAC) FROM FTABLE query.
+func ExpectedShortfall(tailSample []float64) float64 {
+	if len(tailSample) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range tailSample {
+		sum += x
+	}
+	return sum / float64(len(tailSample))
+}
+
+// FrequencyTable is the FTABLE(value, FRAC) relation from the paper:
+// distinct observed query results with the fraction of Monte Carlo samples
+// in which each was observed.
+type FrequencyTable struct {
+	Values []float64
+	Fracs  []float64
+}
+
+// NewFrequencyTable builds the table from raw Monte Carlo samples.
+func NewFrequencyTable(samples []float64) *FrequencyTable {
+	if len(samples) == 0 {
+		return &FrequencyTable{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	ft := &FrequencyTable{}
+	n := float64(len(s))
+	i := 0
+	for i < len(s) {
+		j := i
+		for j < len(s) && s[j] == s[i] {
+			j++
+		}
+		ft.Values = append(ft.Values, s[i])
+		ft.Fracs = append(ft.Fracs, float64(j-i)/n)
+		i = j
+	}
+	return ft
+}
+
+// Len returns the number of distinct values.
+func (ft *FrequencyTable) Len() int { return len(ft.Values) }
+
+// Min returns the smallest distinct value (tail-boundary estimate).
+func (ft *FrequencyTable) Min() float64 {
+	if len(ft.Values) == 0 {
+		return math.NaN()
+	}
+	return ft.Values[0]
+}
+
+// WeightedSum returns sum(value * frac): the expected value of the
+// (conditioned) query-result distribution.
+func (ft *FrequencyTable) WeightedSum() float64 {
+	s := 0.0
+	for i, v := range ft.Values {
+		s += v * ft.Fracs[i]
+	}
+	return s
+}
+
+// String renders the first few rows for debugging.
+func (ft *FrequencyTable) String() string {
+	n := ft.Len()
+	if n == 0 {
+		return "FTABLE(empty)"
+	}
+	return fmt.Sprintf("FTABLE(%d distinct, min=%g, E=%g)", n, ft.Min(), ft.WeightedSum())
+}
+
+// OrderStatistic returns the k-th smallest element (1-based) of the sample
+// without fully sorting, using quickselect. It panics if k is out of range.
+func OrderStatistic(sample []float64, k int) float64 {
+	if k < 1 || k > len(sample) {
+		panic(fmt.Sprintf("stats: order statistic %d of %d", k, len(sample)))
+	}
+	s := append([]float64(nil), sample...)
+	lo, hi := 0, len(s)-1
+	target := k - 1
+	// Deterministic median-of-three quickselect; inputs here are random
+	// Monte Carlo outputs, so adversarial patterns are not a concern.
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return s[target]
+		}
+	}
+	return s[target]
+}
+
+// TopK returns the k largest elements of sample in ascending order.
+func TopK(sample []float64, k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(sample) {
+		out := append([]float64(nil), sample...)
+		sort.Float64s(out)
+		return out
+	}
+	thresh := OrderStatistic(sample, len(sample)-k+1)
+	out := make([]float64, 0, k)
+	// Collect strictly greater first, then fill with the threshold value to
+	// handle ties deterministically.
+	for _, x := range sample {
+		if x > thresh {
+			out = append(out, x)
+		}
+	}
+	for _, x := range sample {
+		if len(out) == k {
+			break
+		}
+		if x == thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// QuantileCI returns a distribution-free confidence interval for the
+// q-quantile from an i.i.d. sample, using the binomial order-statistic
+// bounds [David & Nagaraja; Serfling Sec. 2.6]: the interval between the
+// order statistics whose ranks are the normal-approximation bounds of
+// Binomial(n, q). The naive-MCDB baseline reports these intervals.
+func QuantileCI(sample []float64, q, conf float64) (lo, hi float64) {
+	n := len(sample)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	z := StdNormalQuantile(1 - (1-conf)/2)
+	mean := q * float64(n)
+	sd := math.Sqrt(float64(n) * q * (1 - q))
+	loRank := int(math.Floor(mean - z*sd))
+	hiRank := int(math.Ceil(mean + z*sd))
+	if loRank < 1 {
+		loRank = 1
+	}
+	if hiRank > n {
+		hiRank = n
+	}
+	return s[loRank-1], s[hiRank-1]
+}

@@ -1,0 +1,111 @@
+// Package stats provides the statistical machinery MCDB-R needs around the
+// sampler: normal/beta analytic math for ground-truth validation, empirical
+// CDFs and quantiles, frequency tables (the paper's FREQUENCYTABLE output),
+// and risk measures such as expected shortfall.
+package stats
+
+import "math"
+
+// NormalCDF returns P(N(mu, sigma^2) <= x).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// StdNormalCDF returns P(Z <= z) for standard normal Z.
+func StdNormalCDF(z float64) float64 { return NormalCDF(z, 0, 1) }
+
+// StdNormalQuantile returns the inverse standard normal CDF using the
+// Wichura AS241 (PPND16) algorithm, accurate to ~1e-16 over (0,1).
+func StdNormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	q := p - 0.5
+	if math.Abs(q) <= 0.425 {
+		r := 0.180625 - q*q
+		num := ((((((2.5090809287301226727e3*r+3.3430575583588128105e4)*r+6.7265770927008700853e4)*r+
+			4.5921953931549871457e4)*r+1.3731693765509461125e4)*r+1.9715909503065514427e3)*r+
+			1.3314166789178437745e2)*r + 3.3871328727963666080e0
+		den := ((((((5.2264952788528545610e3*r+2.8729085735721942674e4)*r+3.9307895800092710610e4)*r+
+			2.1213794301586595867e4)*r+5.3941960214247511077e3)*r+6.8718700749205790830e2)*r+
+			4.2313330701600911252e1)*r + 1.0
+		return q * num / den
+	}
+	r := p
+	if q > 0 {
+		r = 1 - p
+	}
+	r = math.Sqrt(-math.Log(r))
+	var x float64
+	if r <= 5 {
+		r -= 1.6
+		num := ((((((7.74545014278341407640e-4*r+2.27238449892691845833e-2)*r+2.41780725177450611770e-1)*r+
+			1.27045825245236838258e0)*r+3.64784832476320460504e0)*r+5.76949722146069140550e0)*r+
+			4.63033784615654529590e0)*r + 1.42343711074968357734e0
+		den := ((((((1.05075007164441684324e-9*r+5.47593808499534494600e-4)*r+1.51986665636164571966e-2)*r+
+			1.48103976427480074590e-1)*r+6.89767334985100004550e-1)*r+1.67638483018380384940e0)*r+
+			2.05319162663775882187e0)*r + 1.0
+		x = num / den
+	} else {
+		r -= 5
+		num := ((((((2.01033439929228813265e-7*r+2.71155556874348757815e-5)*r+1.24266094738807843860e-3)*r+
+			2.65321895265761230930e-2)*r+2.96560571828504891230e-1)*r+1.78482653991729133580e0)*r+
+			5.46378491116411436990e0)*r + 6.65790464350110377720e0
+		den := ((((((2.04426310338993978564e-15*r+1.42151175831644588870e-7)*r+1.84631831751005468180e-5)*r+
+			7.86869131145613259100e-4)*r+1.48753612908506148525e-2)*r+1.36929880922735805310e-1)*r+
+			5.99832206555887937690e-1)*r + 1.0
+		x = num / den
+	}
+	if q < 0 {
+		return -x
+	}
+	return x
+}
+
+// NormalQuantile returns the p-quantile of N(mu, sigma^2).
+func NormalQuantile(p, mu, sigma float64) float64 {
+	return mu + sigma*StdNormalQuantile(p)
+}
+
+// NormalExpectedShortfall returns E[X | X >= q] for X ~ N(mu, sigma^2),
+// where q is the (1-p) quantile, i.e. P(X >= q) = p. This is the analytic
+// counterpart of the paper's "expected shortfall" FREQUENCYTABLE query.
+func NormalExpectedShortfall(p, mu, sigma float64) float64 {
+	z := StdNormalQuantile(1 - p)
+	phi := math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+	return mu + sigma*phi/p
+}
+
+// LognormalCDF returns P(Lognormal(mu, sigma) <= x).
+func LognormalCDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return StdNormalCDF((math.Log(x) - mu) / sigma)
+}
+
+// BetaMean returns the mean a/(a+b) of a Beta(a, b) distribution.
+func BetaMean(a, b float64) float64 { return a / (a + b) }
+
+// BetaVar returns the variance of a Beta(a, b) distribution.
+func BetaVar(a, b float64) float64 {
+	s := a + b
+	return a * b / (s * s * (s + 1))
+}
+
+// BetaMoment returns E[X^k] for X ~ Beta(a,b):
+// prod_{j=0..k-1} (a+j)/(a+b+j).
+func BetaMoment(a, b float64, k int) float64 {
+	m := 1.0
+	for j := 0; j < k; j++ {
+		m *= (a + float64(j)) / (a + b + float64(j))
+	}
+	return m
+}

@@ -1,0 +1,311 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-6, 1e-4, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1 - 1e-6} {
+		z := StdNormalQuantile(p)
+		back := StdNormalCDF(z)
+		if math.Abs(back-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, back)
+		}
+	}
+}
+
+func TestStdNormalQuantileKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959963984540054,
+		0.999:  3.090232306167813,
+		0.9999: 3.719016485455709,
+	}
+	for p, want := range cases {
+		if got := StdNormalQuantile(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %.12f, want %.12f", p, got, want)
+		}
+	}
+	if !math.IsInf(StdNormalQuantile(0), -1) || !math.IsInf(StdNormalQuantile(1), 1) {
+		t.Error("quantile at 0/1 must be ±Inf")
+	}
+	if !math.IsNaN(StdNormalQuantile(-0.1)) {
+		t.Error("quantile outside (0,1) must be NaN")
+	}
+}
+
+func TestNormalQuantileScaling(t *testing.T) {
+	got := NormalQuantile(0.999, 10e6, 1e6)
+	want := 10e6 + 1e6*3.090232306167813
+	if math.Abs(got-want) > 1 {
+		t.Errorf("NormalQuantile = %g, want %g", got, want)
+	}
+}
+
+func TestNormalExpectedShortfall(t *testing.T) {
+	// For standard normal at p=0.01: ES = phi(z)/p with z = q(0.99) ≈ 2.326;
+	// known value ≈ 2.6652.
+	got := NormalExpectedShortfall(0.01, 0, 1)
+	if math.Abs(got-2.6652) > 0.001 {
+		t.Errorf("ES(0.01) = %g, want ≈2.6652", got)
+	}
+	// ES must exceed the quantile.
+	q := NormalQuantile(0.99, 5, 2)
+	es := NormalExpectedShortfall(0.01, 5, 2)
+	if es <= q {
+		t.Errorf("ES %g must exceed VaR %g", es, q)
+	}
+}
+
+func TestLognormalCDF(t *testing.T) {
+	if LognormalCDF(-1, 0, 1) != 0 || LognormalCDF(0, 0, 1) != 0 {
+		t.Error("lognormal CDF must be 0 for x<=0")
+	}
+	if got := LognormalCDF(1, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("LognormalCDF(1;0,1) = %g, want 0.5", got)
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	a, b := 3.0, 5.0
+	if got := BetaMoment(a, b, 1); math.Abs(got-BetaMean(a, b)) > 1e-15 {
+		t.Errorf("first moment %g vs mean %g", got, BetaMean(a, b))
+	}
+	m2 := BetaMoment(a, b, 2)
+	if got := m2 - BetaMean(a, b)*BetaMean(a, b); math.Abs(got-BetaVar(a, b)) > 1e-15 {
+		t.Errorf("variance from moments %g vs BetaVar %g", got, BetaVar(a, b))
+	}
+	if BetaMoment(a, b, 0) != 1 {
+		t.Error("zeroth moment must be 1")
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	if e.N() != 4 || e.Min() != 1 || e.Max() != 3 {
+		t.Fatalf("N/Min/Max wrong: %d %g %g", e.N(), e.Min(), e.Max())
+	}
+	cases := map[float64]float64{0: 0, 1: 0.25, 1.5: 0.25, 2: 0.75, 2.5: 0.75, 3: 1, 4: 1}
+	for x, want := range cases {
+		if got := e.At(x); got != want {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestECDFQuantileMatchesOrderStatistic(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		q := float64(qRaw%99+1) / 100
+		e := NewECDF(raw)
+		want := OrderStatistic(raw, int(math.Ceil(q*float64(len(raw)))))
+		return e.Quantile(q) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 500)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	e := NewECDF(sample)
+	prev := -1.0
+	for x := -4.0; x <= 4.0; x += 0.05 {
+		f := e.At(x)
+		if f < prev {
+			t.Fatalf("ECDF not monotone at %g", x)
+		}
+		prev = f
+	}
+}
+
+func TestKSDistanceAgainstTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	e := NewECDF(sample)
+	d := e.KSDistance(func(x float64) float64 { return StdNormalCDF(x) })
+	// For n=2000 the 99.9% KS critical value is ~1.95/sqrt(n) ≈ 0.0436.
+	if d > 0.0436 {
+		t.Fatalf("KS distance %g too large for a true-normal sample", d)
+	}
+	// A wrong reference should give a big distance.
+	d2 := e.KSDistance(func(x float64) float64 { return NormalCDF(x, 2, 1) })
+	if d2 < 0.5 {
+		t.Fatalf("KS distance vs shifted normal %g, want large", d2)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Var-5.0/3.0) > 1e-12 {
+		t.Fatalf("Var = %g, want 5/3", s.Var)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Fatal("empty summary must be NaN-filled")
+	}
+}
+
+func TestFrequencyTable(t *testing.T) {
+	ft := NewFrequencyTable([]float64{5, 3, 5, 3, 3, 8})
+	if ft.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ft.Len())
+	}
+	if ft.Min() != 3 {
+		t.Fatalf("Min = %g", ft.Min())
+	}
+	wantE := (3*3.0 + 2*5.0 + 8.0) / 6
+	if math.Abs(ft.WeightedSum()-wantE) > 1e-12 {
+		t.Fatalf("WeightedSum = %g, want %g", ft.WeightedSum(), wantE)
+	}
+	sumFrac := 0.0
+	for _, f := range ft.Fracs {
+		sumFrac += f
+	}
+	if math.Abs(sumFrac-1) > 1e-12 {
+		t.Fatalf("fracs sum to %g", sumFrac)
+	}
+	if math.IsNaN(ft.WeightedSum()) {
+		t.Fatal("non-empty table should not be NaN")
+	}
+	if !math.IsNaN(NewFrequencyTable(nil).Min()) {
+		t.Fatal("empty table Min must be NaN")
+	}
+}
+
+func TestExpectedShortfallMatchesFrequencyTable(t *testing.T) {
+	sample := []float64{10, 12, 12, 15}
+	es := ExpectedShortfall(sample)
+	ft := NewFrequencyTable(sample)
+	if math.Abs(es-ft.WeightedSum()) > 1e-12 {
+		t.Fatalf("ES %g != weighted sum %g", es, ft.WeightedSum())
+	}
+}
+
+func TestOrderStatisticAgainstSort(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		for k := 1; k <= len(raw); k++ {
+			if OrderStatistic(raw, k) != sorted[k-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderStatisticPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OrderStatistic([]float64{1}, 2)
+}
+
+func TestTopK(t *testing.T) {
+	sample := []float64{5, 1, 9, 3, 9, 7}
+	got := TopK(sample, 3)
+	want := []float64{7, 9, 9}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	if got := TopK(sample, 10); len(got) != 6 {
+		t.Fatalf("TopK(k>n) = %v", got)
+	}
+	if TopK(sample, 0) != nil {
+		t.Fatal("TopK(0) must be nil")
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(raw) + 1
+		got := TopK(raw, k)
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		want := sorted[len(sorted)-k:]
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileCICoverage(t *testing.T) {
+	// Repeat: draw standard-normal samples, build a 90% CI for the 0.9
+	// quantile, count coverage of the true quantile.
+	trueQ := StdNormalQuantile(0.9)
+	rng := rand.New(rand.NewSource(77))
+	covered := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		sample := make([]float64, 400)
+		for j := range sample {
+			sample[j] = rng.NormFloat64()
+		}
+		lo, hi := QuantileCI(sample, 0.9, 0.9)
+		if lo > hi {
+			t.Fatal("CI inverted")
+		}
+		if lo <= trueQ && trueQ <= hi {
+			covered++
+		}
+	}
+	cov := float64(covered) / trials
+	if cov < 0.84 || cov > 0.97 {
+		t.Fatalf("coverage = %g, want ≈ 0.90", cov)
+	}
+	if lo, hi := QuantileCI(nil, 0.5, 0.9); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("empty sample must give NaN CI")
+	}
+}

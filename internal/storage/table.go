@@ -1,0 +1,280 @@
+// Package storage provides the deterministic relational substrate: in-memory
+// tables, a catalog, and CSV import/export. Parameter tables for VG
+// functions (the paper's means(CID,m) and the TPC-H-like orders table) live
+// here, as do materialized results such as FTABLE.
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Table is an ordered, in-memory relation.
+type Table struct {
+	name   string
+	schema *types.Schema
+	rows   []types.Row
+}
+
+// NewTable creates an empty table with the given name and schema.
+func NewTable(name string, schema *types.Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns the i-th row without copying; callers must not mutate it.
+func (t *Table) Row(i int) types.Row { return t.rows[i] }
+
+// Append adds a row after checking arity against the schema.
+func (t *Table) Append(r types.Row) error {
+	if len(r) != t.schema.Len() {
+		return fmt.Errorf("storage: row arity %d does not match schema %s of %s", len(r), t.schema, t.name)
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// MustAppend appends and panics on arity mismatch; for generator code.
+func (t *Table) MustAppend(r types.Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Rows returns the backing slice; callers must not mutate it.
+func (t *Table) Rows() []types.Row { return t.rows }
+
+// Select returns a new table containing rows satisfying pred.
+func (t *Table) Select(pred expr.Expr) (*Table, error) {
+	c, err := expr.Compile(pred, t.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.name, t.schema)
+	for _, r := range t.rows {
+		if c.EvalBool(r) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Project returns a new table with only the named columns.
+func (t *Table) Project(names ...string) (*Table, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := t.schema.Lookup(n)
+		if j < 0 {
+			return nil, fmt.Errorf("storage: column %q not in %s%s", n, t.name, t.schema)
+		}
+		idx[i] = j
+	}
+	out := NewTable(t.name, t.schema.Project(idx))
+	for _, r := range t.rows {
+		nr := make(types.Row, len(idx))
+		for i, j := range idx {
+			nr[i] = r[j]
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+// SortBy sorts rows in place by the named column, ascending.
+func (t *Table) SortBy(col string) error {
+	j := t.schema.Lookup(col)
+	if j < 0 {
+		return fmt.Errorf("storage: column %q not in %s", col, t.name)
+	}
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		return t.rows[a][j].Compare(t.rows[b][j]) < 0
+	})
+	return nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := NewTable(t.name, t.schema)
+	out.rows = make([]types.Row, len(t.rows))
+	for i, r := range t.rows {
+		out.rows[i] = r.Clone()
+	}
+	return out
+}
+
+// String renders a short description.
+func (t *Table) String() string {
+	return fmt.Sprintf("%s%s [%d rows]", t.name, t.schema, len(t.rows))
+}
+
+// WriteCSV writes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.schema.Len())
+	for i := 0; i < t.schema.Len(); i++ {
+		c := t.schema.Col(i)
+		header[i] = fmt.Sprintf("%s:%s", c.Name, c.Kind)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.schema.Len())
+	for _, r := range t.rows {
+		for i, v := range r {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV; the header carries name:kind.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("storage: read CSV header: %w", err)
+	}
+	cols := make([]types.Column, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("storage: CSV header %q missing :kind suffix", h)
+		}
+		var k types.Kind
+		switch strings.ToUpper(parts[1]) {
+		case "INT":
+			k = types.KindInt
+		case "FLOAT":
+			k = types.KindFloat
+		case "STRING":
+			k = types.KindString
+		case "BOOL":
+			k = types.KindBool
+		default:
+			return nil, fmt.Errorf("storage: unknown kind %q in CSV header", parts[1])
+		}
+		cols[i] = types.Column{Name: parts[0], Kind: k}
+	}
+	t := NewTable(name, types.NewSchema(cols...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read CSV row: %w", err)
+		}
+		row := make(types.Row, len(cols))
+		for i, s := range rec {
+			v, err := types.ParseValue(s, cols[i].Kind)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SaveCSV writes the table to a file path.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a table from a file path.
+func LoadCSV(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+// Catalog is a concurrency-safe registry of named tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Put registers or replaces a table under its own name.
+func (c *Catalog) Put(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name())] = t
+}
+
+// Get looks up a table by name.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MustGet looks up a table and panics when missing.
+func (c *Catalog) MustGet(name string) *Table {
+	t, ok := c.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("storage: table %q not in catalog", name))
+	}
+	return t
+}
+
+// Drop removes a table; it reports whether the table existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	_, ok := c.tables[key]
+	delete(c.tables, key)
+	return ok
+}
+
+// Names returns all table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

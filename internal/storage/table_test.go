@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable("emp", types.NewSchema(
+		types.Column{Name: "eid", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "sal", Kind: types.KindFloat},
+	))
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("Joe"), types.NewFloat(28000)},
+		{types.NewInt(2), types.NewString("Sue"), types.NewFloat(24000)},
+		{types.NewInt(3), types.NewString("Jim"), types.NewFloat(77000)},
+	}
+	for _, r := range rows {
+		if err := tbl.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestAppendArityCheck(t *testing.T) {
+	tbl := sampleTable(t)
+	if err := tbl.Append(types.Row{types.NewInt(9)}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tbl := sampleTable(t)
+	out, err := tbl.Select(expr.B(expr.OpGt, expr.C("sal"), expr.F(25000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Fatalf("Select rows = %d, want 2", out.NumRows())
+	}
+	if _, err := tbl.Select(expr.C("missing")); err == nil {
+		t.Fatal("bad predicate column must error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := sampleTable(t)
+	out, err := tbl.Project("name", "sal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema().Len() != 2 || out.Schema().Col(0).Name != "name" {
+		t.Fatalf("Project schema = %s", out.Schema())
+	}
+	if out.Row(0)[0].Str() != "Joe" || out.Row(0)[1].Float() != 28000 {
+		t.Fatalf("Project row = %v", out.Row(0))
+	}
+	if _, err := tbl.Project("nope"); err == nil {
+		t.Fatal("bad projection must error")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	tbl := sampleTable(t)
+	if err := tbl.SortBy("sal"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Row(0)[1].Str() != "Sue" || tbl.Row(2)[1].Str() != "Jim" {
+		t.Fatalf("sorted order wrong: %v %v", tbl.Row(0), tbl.Row(2))
+	}
+	if err := tbl.SortBy("missing"); err == nil {
+		t.Fatal("SortBy on missing column must error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := sampleTable(t)
+	cp := tbl.Clone()
+	cp.Row(0)[0] = types.NewInt(99)
+	if tbl.Row(0)[0].Int() == 99 {
+		t.Fatal("Clone must not alias rows")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("emp", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tbl.NumRows() {
+		t.Fatalf("round-trip rows = %d", back.NumRows())
+	}
+	for i := 0; i < tbl.NumRows(); i++ {
+		if !back.Row(i).Equal(tbl.Row(i)) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, back.Row(i), tbl.Row(i))
+		}
+	}
+	if back.Schema().Col(2).Kind != types.KindFloat {
+		t.Fatalf("kind lost in round trip: %s", back.Schema())
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	tbl := sampleTable(t)
+	path := filepath.Join(t.TempDir(), "emp.csv")
+	if err := tbl.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("emp", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 3 {
+		t.Fatalf("rows = %d", back.NumRows())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", bytes.NewBufferString("badheader\n1\n")); err == nil {
+		t.Fatal("header without kind must error")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("a:WAT\n1\n")); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := ReadCSV("x", bytes.NewBufferString("a:INT\nnotanint\n")); err == nil {
+		t.Fatal("bad value must error")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tbl := sampleTable(t)
+	c.Put(tbl)
+	got, ok := c.Get("EMP") // case-insensitive
+	if !ok || got != tbl {
+		t.Fatal("Get failed")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "emp" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !c.Drop("emp") || c.Drop("emp") {
+		t.Fatal("Drop semantics wrong")
+	}
+	if _, ok := c.Get("emp"); ok {
+		t.Fatal("table should be gone")
+	}
+}
+
+func TestCatalogMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCatalog().MustGet("missing")
+}

@@ -1,0 +1,171 @@
+// Package tail provides the tail-sampling driver (the paper's Algorithm 3
+// as a user-facing operation) and the Appendix C machinery for choosing its
+// parameters: the number of bootstrapping steps m, the per-step sample
+// sizes n_i and tail probabilities p_i, and the total sample budget N for a
+// target mean-squared relative error (MSRE).
+package tail
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// G computes g_m(N, p, c) = ((N/m) p^{1/m} + c)^m / ((N/m) + c)^m — the
+// value of h_c under the equal-split parameters of Theorem 1.
+func G(N float64, m int, p, c float64) float64 {
+	n := N / float64(m)
+	base := (n*math.Pow(p, 1/float64(m)) + c) / (n + c)
+	return math.Pow(base, float64(m))
+}
+
+// Hc computes h_c(nu, rho, m) = prod_i (n_i p_i + c) / (n_i + c) for
+// arbitrary per-step parameters (Appendix C).
+func Hc(nu, rho []float64, c float64) float64 {
+	h := 1.0
+	for i := range nu {
+		h *= (nu[i]*rho[i] + c) / (nu[i] + c)
+	}
+	return h
+}
+
+// U computes the analytic MSRE approximation
+// u = h1 (h2 p^{-2} - 2 p^{-1}) + 1 (Appendix C).
+func U(nu, rho []float64, p float64) float64 {
+	h1 := Hc(nu, rho, 1)
+	h2 := Hc(nu, rho, 2)
+	return h1*(h2/(p*p)-2/p) + 1
+}
+
+// OptimalM implements Theorem 1: the first m at which g_m starts
+// increasing, i.e. min{m >= 1 : g_m(N,p,c) < g_{m+1}(N,p,c)}.
+func OptimalM(N int, p, c float64) int {
+	if N < 1 {
+		return 1
+	}
+	for m := 1; m < N; m++ {
+		if G(float64(N), m, p, c) < G(float64(N), m+1, p, c) {
+			return m
+		}
+	}
+	return N
+}
+
+// Params is a complete parameterization of Algorithm 3.
+type Params struct {
+	// M is the number of bootstrapping steps.
+	M int
+	// NPerStep is n_i = N/M (rounded down, at least 2).
+	NPerStep int
+	// PPerStep is p_i = p^{1/M}.
+	PPerStep float64
+	// MSRE is the analytic mean-squared relative error u(nu*, rho*, M).
+	MSRE float64
+}
+
+// Choose selects M, n_i, and p_i for a total budget of N samples and target
+// tail probability p, per Appendix C: compute m*_1 and m*_2 via Theorem 1,
+// pick the one minimizing u, and use equal splits.
+func Choose(N int, p float64) (Params, error) {
+	if N < 2 {
+		return Params{}, fmt.Errorf("tail: need N >= 2 total samples, got %d", N)
+	}
+	if p <= 0 || p >= 1 {
+		return Params{}, fmt.Errorf("tail: tail probability p must lie in (0,1), got %g", p)
+	}
+	best := Params{}
+	bestU := math.Inf(1)
+	for _, c := range []float64{1, 2} {
+		m := OptimalM(N, p, c)
+		nu := make([]float64, m)
+		rho := make([]float64, m)
+		for i := range nu {
+			nu[i] = float64(N) / float64(m)
+			rho[i] = math.Pow(p, 1/float64(m))
+		}
+		u := U(nu, rho, p)
+		if u < bestU {
+			bestU = u
+			n := N / m
+			if n < 2 {
+				n = 2
+			}
+			best = Params{M: m, NPerStep: n, PPerStep: math.Pow(p, 1/float64(m)), MSRE: u}
+		}
+	}
+	return best, nil
+}
+
+// W computes w(N): the minimized MSRE achievable with budget N at tail
+// probability p (Appendix C); lim_{N->inf} w(N) = 0.
+func W(N int, p float64) float64 {
+	m := OptimalM(N, p, 1)
+	return G(float64(N), m, p, 1)*(G(float64(N), m, p, 2)/(p*p)-2/p) + 1
+}
+
+// ChooseN selects the smallest total budget N with w(N) <= target,
+// searching up to maxN (0 selects 1<<22). It errors when no budget within
+// the bound achieves the target.
+func ChooseN(p, target float64, maxN int) (int, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("tail: MSRE target must be positive, got %g", target)
+	}
+	if maxN <= 0 {
+		maxN = 1 << 22
+	}
+	// w(N) is decreasing for the (p, N) ranges of interest; geometric
+	// scan followed by binary refinement.
+	lo, hi := 2, 0
+	for n := 2; n <= maxN; n *= 2 {
+		if W(n, p) <= target {
+			hi = n
+			break
+		}
+		lo = n
+	}
+	if hi == 0 {
+		return 0, fmt.Errorf("tail: no N <= %d achieves MSRE %g at p=%g (w(%d)=%g)", maxN, target, p, maxN, W(maxN, p))
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if W(mid, p) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}
+
+// SimulateMSRE estimates the true MSRE of Algorithm 3's quantile estimator
+// by Monte Carlo over the uniform-reduction model of Appendix C: it tracks
+// 1 - eta_m = prod Z_i with Z_i = 1 - U_{i-1,(r_i)} and returns the mean of
+// ((Fbar - p)/p)^2. It is the ground-truth the analytic U formula is tested
+// against (experiment E4).
+func SimulateMSRE(N, m int, p float64, runs int, seed uint64) float64 {
+	n := N / m
+	ri := int(float64(n)*(1-math.Pow(p, 1/float64(m))) + 0.5)
+	if ri < 1 {
+		ri = 1
+	}
+	if ri > n {
+		ri = n
+	}
+	rng := prng.NewSub(seed)
+	total := 0.0
+	us := make([]float64, n)
+	for run := 0; run < runs; run++ {
+		eta := 0.0
+		for i := 0; i < m; i++ {
+			for j := range us {
+				us[j] = eta + (1-eta)*rng.Float64()
+			}
+			eta = stats.OrderStatistic(us, ri)
+		}
+		rel := ((1 - eta) - p) / p
+		total += rel * rel
+	}
+	return total / float64(runs)
+}

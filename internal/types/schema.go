@@ -1,0 +1,158 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns. Column names are matched
+// case-insensitively but preserved as written.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate names panic: schemas are
+// constructed by the planner, which is responsible for disambiguation.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.index[key]; dup {
+			panic(fmt.Sprintf("types: duplicate column %q in schema", c.Name))
+		}
+		s.index[key] = i
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Lookup returns the index of the named column, or -1.
+// Names may be qualified ("t.a"); an unqualified lookup also matches a
+// qualified column when the suffix after the dot is unique.
+func (s *Schema) Lookup(name string) int {
+	key := strings.ToLower(name)
+	if i, ok := s.index[key]; ok {
+		return i
+	}
+	if !strings.Contains(key, ".") {
+		found := -1
+		for i, c := range s.cols {
+			cn := strings.ToLower(c.Name)
+			if j := strings.LastIndexByte(cn, '.'); j >= 0 && cn[j+1:] == key {
+				if found >= 0 {
+					return -1 // ambiguous
+				}
+				found = i
+			}
+		}
+		return found
+	}
+	return -1
+}
+
+// MustLookup is Lookup but panics when the column is missing; used by the
+// planner after name resolution has already succeeded.
+func (s *Schema) MustLookup(name string) int {
+	i := s.Lookup(name)
+	if i < 0 {
+		panic(fmt.Sprintf("types: column %q not in schema %s", name, s))
+	}
+	return i
+}
+
+// Concat returns a new schema with o's columns appended to s's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.cols)+len(o.cols))
+	cols = append(cols, s.cols...)
+	cols = append(cols, o.cols...)
+	return NewSchema(cols...)
+}
+
+// Project returns a new schema containing the columns at the given indexes.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.cols[j]
+	}
+	return NewSchema(cols...)
+}
+
+// Rename returns a copy of the schema with every column prefixed by
+// "alias.", stripping any existing qualifier first.
+func (s *Schema) Rename(alias string) *Schema {
+	cols := make([]Column, len(s.cols))
+	for i, c := range s.cols {
+		base := c.Name
+		if j := strings.LastIndexByte(base, '.'); j >= 0 {
+			base = base[j+1:]
+		}
+		cols[i] = Column{Name: alias + "." + base, Kind: c.Kind}
+	}
+	return NewSchema(cols...)
+}
+
+// String renders the schema as "(a INT, b FLOAT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is one tuple of values, positionally aligned with a Schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// String renders the row as "[v1 v2 ...]".
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Equal reports element-wise equality with o.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash combines the hashes of all values.
+func (r Row) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range r {
+		h = (h ^ v.Hash()) * 1099511628211
+	}
+	return h
+}

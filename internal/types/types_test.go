@@ -1,0 +1,254 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Fatal("zero Value must be NULL")
+	}
+	if got := NewInt(-7).Int(); got != -7 {
+		t.Fatalf("Int() = %d, want -7", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Fatalf("Float() = %v, want 2.5", got)
+	}
+	if got := NewString("hi").Str(); got != "hi" {
+		t.Fatalf("Str() = %q, want hi", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"IntOnFloat", func() { NewFloat(1).Int() }},
+		{"FloatOnInt", func() { NewInt(1).Float() }},
+		{"StrOnInt", func() { NewInt(1).Str() }},
+		{"BoolOnString", func() { NewString("x").Bool() }},
+		{"MustFloatOnString", func() { NewString("x").MustFloat() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Fatalf("AsFloat(INT 3) = %v,%v", f, ok)
+	}
+	if f, ok := NewBool(true).AsFloat(); !ok || f != 1 {
+		t.Fatalf("AsFloat(true) = %v,%v", f, ok)
+	}
+	if f, ok := Null.AsFloat(); !ok || !math.IsNaN(f) {
+		t.Fatalf("AsFloat(NULL) = %v,%v, want NaN", f, ok)
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Fatal("AsFloat(STRING) should fail")
+	}
+}
+
+func TestEqualCrossKindNumeric(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3)) {
+		t.Fatal("INT 3 should equal FLOAT 3")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Fatal("INT 3 should not equal FLOAT 3.5")
+	}
+	if NewInt(1).Equal(NewBool(true)) {
+		t.Fatal("INT 1 should not equal BOOL true")
+	}
+	if !Null.Equal(Null) {
+		t.Fatal("NULL should equal NULL for hashing purposes")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null,
+		NewBool(false), NewBool(true),
+		NewFloat(math.Inf(-1)), NewInt(-5), NewFloat(-1.5), NewInt(0),
+		NewFloat(0.5), NewInt(2), NewFloat(math.Inf(1)),
+		NewString("a"), NewString("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	f := func(x int64) bool {
+		return NewInt(x).Hash() == NewFloat(float64(x)).Hash() ||
+			float64(x) != math.Trunc(float64(x)) // only require when exactly representable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewFloat(0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("-0.0 and 0.0 must hash identically")
+	}
+}
+
+func TestHashSpreads(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := int64(0); i < 1000; i++ {
+		seen[NewInt(i).Hash()] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("hash collisions too frequent: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		s    string
+		k    Kind
+		want Value
+		err  bool
+	}{
+		{"42", KindInt, NewInt(42), false},
+		{"-1.5", KindFloat, NewFloat(-1.5), false},
+		{"true", KindBool, NewBool(true), false},
+		{"hello", KindString, NewString("hello"), false},
+		{"NULL", KindInt, Null, false},
+		{"abc", KindInt, Null, true},
+		{"abc", KindFloat, Null, true},
+		{"2", KindBool, Null, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseValue(tc.s, tc.k)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseValue(%q,%s) err = %v, want err=%v", tc.s, tc.k, err, tc.err)
+			continue
+		}
+		if err == nil && !got.Equal(tc.want) {
+			t.Errorf("ParseValue(%q,%s) = %v, want %v", tc.s, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": Null, "7": NewInt(7), "2.5": NewFloat(2.5),
+		"x": NewString("x"), "true": NewBool(true), "false": NewBool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := NewSchema(
+		Column{"t.a", KindInt},
+		Column{"t.b", KindFloat},
+		Column{"u.b", KindFloat},
+		Column{"c", KindString},
+	)
+	if i := s.Lookup("t.a"); i != 0 {
+		t.Errorf("Lookup(t.a) = %d", i)
+	}
+	if i := s.Lookup("T.A"); i != 0 {
+		t.Errorf("case-insensitive Lookup(T.A) = %d", i)
+	}
+	if i := s.Lookup("a"); i != 0 {
+		t.Errorf("suffix Lookup(a) = %d", i)
+	}
+	if i := s.Lookup("b"); i != -1 {
+		t.Errorf("ambiguous Lookup(b) = %d, want -1", i)
+	}
+	if i := s.Lookup("c"); i != 3 {
+		t.Errorf("Lookup(c) = %d", i)
+	}
+	if i := s.Lookup("missing"); i != -1 {
+		t.Errorf("Lookup(missing) = %d", i)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate column")
+		}
+	}()
+	NewSchema(Column{"a", KindInt}, Column{"A", KindInt})
+}
+
+func TestSchemaConcatProjectRename(t *testing.T) {
+	a := NewSchema(Column{"x", KindInt}, Column{"y", KindFloat})
+	b := NewSchema(Column{"z", KindString})
+	c := a.Concat(b)
+	if c.Len() != 3 || c.Col(2).Name != "z" {
+		t.Fatalf("Concat = %s", c)
+	}
+	p := c.Project([]int{2, 0})
+	if p.Len() != 2 || p.Col(0).Name != "z" || p.Col(1).Name != "x" {
+		t.Fatalf("Project = %s", p)
+	}
+	r := a.Rename("t")
+	if r.Lookup("t.x") != 0 || r.Lookup("t.y") != 1 {
+		t.Fatalf("Rename = %s", r)
+	}
+	r2 := r.Rename("u")
+	if r2.Lookup("u.x") != 0 {
+		t.Fatalf("Rename strips old qualifier: %s", r2)
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(2)
+	if r[0].Int() != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if !r.Equal(Row{NewFloat(1), NewString("a")}) {
+		t.Fatal("Row.Equal should use numeric equality")
+	}
+	if r.Equal(Row{NewInt(1)}) {
+		t.Fatal("length mismatch must not be equal")
+	}
+	if r.Hash() == c.Hash() {
+		t.Fatal("different rows should (almost surely) hash differently")
+	}
+}
+
+func TestRowHashEqualConsistency(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		r1 := Row{NewInt(a), NewString(s), NewFloat(float64(b))}
+		r2 := Row{NewFloat(float64(a)), NewString(s), NewFloat(float64(b))}
+		if float64(a) != math.Trunc(float64(a)) {
+			return true
+		}
+		return !r1.Equal(r2) || r1.Hash() == r2.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package vg implements MCDB's "variable generation" (VG) functions: the
+// pseudorandom black boxes that turn parameter-table rows into uncertain
+// data values. A VG invocation consumes one parameter row and one PRNG
+// substream element and produces one correlated row of output values; the
+// substream discipline (package prng) makes every invocation reproducible
+// and randomly addressable, which is what MCDB-R's TS-seeds require.
+package vg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/prng"
+	"repro/internal/types"
+)
+
+// Func is a variable-generation function. Implementations must be
+// stateless: all randomness comes from the supplied substream, and all
+// shape information from the parameter row, so that the Gibbs Looper can
+// regenerate any stream element at any time.
+type Func interface {
+	// Name is the identifier used in CREATE TABLE ... WITH x AS Name(...).
+	Name() string
+	// Arity returns the required number of parameters, or -1 for variadic.
+	Arity() int
+	// OutKinds returns the kinds of the output columns.
+	OutKinds() []types.Kind
+	// Generate produces one output row from the parameter row, drawing
+	// randomness from sub. Errors indicate invalid parameters.
+	Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error)
+}
+
+// Registry maps VG function names (case-insensitive) to implementations.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// NewRegistry returns a registry pre-populated with all built-in VG
+// functions.
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]Func)}
+	for _, f := range Builtins() {
+		r.Register(f)
+	}
+	return r
+}
+
+// Register adds or replaces a VG function.
+func (r *Registry) Register(f Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[strings.ToLower(f.Name())] = f
+}
+
+// Lookup finds a VG function by name.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names returns registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtins returns the built-in VG function set.
+func Builtins() []Func {
+	return []Func{
+		distFunc{name: "Normal", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[1] < 0 {
+				return nil, fmt.Errorf("vg: Normal variance %g < 0", p[1])
+			}
+			return prng.Normal{Mu: p[0], Sigma: math.Sqrt(p[1])}, nil
+		}},
+		distFunc{name: "Uniform", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[1] < p[0] {
+				return nil, fmt.Errorf("vg: Uniform hi %g < lo %g", p[1], p[0])
+			}
+			return prng.Uniform{Lo: p[0], Hi: p[1]}, nil
+		}},
+		distFunc{name: "Exponential", arity: 1, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 {
+				return nil, fmt.Errorf("vg: Exponential rate %g <= 0", p[0])
+			}
+			return prng.Exponential{Lambda: p[0]}, nil
+		}},
+		distFunc{name: "Gamma", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: Gamma parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.Gamma{Shape: p[0], Scale: p[1]}, nil
+		}},
+		distFunc{name: "InverseGamma", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: InverseGamma parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.InverseGamma{Shape: p[0], Scale: p[1]}, nil
+		}},
+		distFunc{name: "Lognormal", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[1] <= 0 {
+				return nil, fmt.Errorf("vg: Lognormal sigma %g <= 0", p[1])
+			}
+			return prng.Lognormal{Mu: p[0], Sigma: p[1]}, nil
+		}},
+		distFunc{name: "Pareto", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: Pareto parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.Pareto{Xm: p[0], Alpha: p[1]}, nil
+		}},
+		distFunc{name: "Bernoulli", arity: 1, build: func(p []float64) (prng.Dist, error) {
+			if p[0] < 0 || p[0] > 1 {
+				return nil, fmt.Errorf("vg: Bernoulli p %g outside [0,1]", p[0])
+			}
+			return prng.Bernoulli{P: p[0]}, nil
+		}},
+		distFunc{name: "Poisson", arity: 1, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 {
+				return nil, fmt.Errorf("vg: Poisson lambda %g <= 0", p[0])
+			}
+			return prng.PoissonDist{Lambda: p[0]}, nil
+		}},
+		distFunc{name: "StudentT", arity: 3, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[2] <= 0 {
+				return nil, fmt.Errorf("vg: StudentT needs nu > 0 and sigma > 0, got (%g,%g)", p[0], p[2])
+			}
+			return prng.StudentT{Nu: p[0], Mu: p[1], Sigma: p[2]}, nil
+		}},
+		distFunc{name: "Weibull", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: Weibull parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.Weibull{Shape: p[0], Scale: p[1]}, nil
+		}},
+		distFunc{name: "Beta", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: Beta parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.Beta{A: p[0], B: p[1]}, nil
+		}},
+		distFunc{name: "PoissonGamma", arity: 2, build: func(p []float64) (prng.Dist, error) {
+			if p[0] <= 0 || p[1] <= 0 {
+				return nil, fmt.Errorf("vg: PoissonGamma parameters must be positive, got (%g,%g)", p[0], p[1])
+			}
+			return prng.PoissonGamma{Shape: p[0], Scale: p[1]}, nil
+		}},
+		distFunc{name: "Triangular", arity: 3, build: func(p []float64) (prng.Dist, error) {
+			if !(p[0] <= p[1] && p[1] <= p[2] && p[0] < p[2]) {
+				return nil, fmt.Errorf("vg: Triangular needs lo <= mode <= hi with lo < hi, got (%g,%g,%g)", p[0], p[1], p[2])
+			}
+			return prng.Triangular{Lo: p[0], Mode: p[1], Hi: p[2]}, nil
+		}},
+		discreteFunc{},
+		multiNormal2Func{},
+		randomWalkFunc{},
+	}
+}
+
+// distFunc adapts a single-output prng.Dist into a VG function.
+type distFunc struct {
+	name  string
+	arity int
+	build func([]float64) (prng.Dist, error)
+}
+
+func (d distFunc) Name() string           { return d.name }
+func (d distFunc) Arity() int             { return d.arity }
+func (d distFunc) OutKinds() []types.Kind { return []types.Kind{types.KindFloat} }
+
+func (d distFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error) {
+	fs, err := floats(d.name, params, d.arity)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := d.build(fs)
+	if err != nil {
+		return nil, err
+	}
+	return []types.Value{types.NewFloat(dist.Sample(sub))}, nil
+}
+
+// discreteFunc is DiscreteChoice(v1, w1, v2, w2, ...): sample value vi with
+// probability proportional to wi.
+type discreteFunc struct{}
+
+func (discreteFunc) Name() string           { return "DiscreteChoice" }
+func (discreteFunc) Arity() int             { return -1 }
+func (discreteFunc) OutKinds() []types.Kind { return []types.Kind{types.KindFloat} }
+
+func (discreteFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error) {
+	if len(params) == 0 || len(params)%2 != 0 {
+		return nil, fmt.Errorf("vg: DiscreteChoice needs value/weight pairs, got %d args", len(params))
+	}
+	fs, err := floats("DiscreteChoice", params, len(params))
+	if err != nil {
+		return nil, err
+	}
+	n := len(fs) / 2
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = fs[2*i]
+		weights[i] = fs[2*i+1]
+	}
+	d, err := prng.NewDiscrete(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	return []types.Value{types.NewFloat(d.Sample(sub))}, nil
+}
+
+// multiNormal2Func is MultiNormal2(mu1, mu2, sigma1, sigma2, rho): one draw
+// from a bivariate normal, producing two *correlated* output values — the
+// paper's "table containing one or more correlated data values".
+type multiNormal2Func struct{}
+
+func (multiNormal2Func) Name() string { return "MultiNormal2" }
+func (multiNormal2Func) Arity() int   { return 5 }
+func (multiNormal2Func) OutKinds() []types.Kind {
+	return []types.Kind{types.KindFloat, types.KindFloat}
+}
+
+func (multiNormal2Func) Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error) {
+	p, err := floats("MultiNormal2", params, 5)
+	if err != nil {
+		return nil, err
+	}
+	mu1, mu2, s1, s2, rho := p[0], p[1], p[2], p[3], p[4]
+	if s1 < 0 || s2 < 0 || rho < -1 || rho > 1 {
+		return nil, fmt.Errorf("vg: MultiNormal2 invalid parameters (s1=%g s2=%g rho=%g)", s1, s2, rho)
+	}
+	z1 := sub.Norm()
+	z2 := sub.Norm()
+	x1 := mu1 + s1*z1
+	x2 := mu2 + s2*(rho*z1+math.Sqrt(1-rho*rho)*z2)
+	return []types.Value{types.NewFloat(x1), types.NewFloat(x2)}, nil
+}
+
+// randomWalkFunc is RandomWalk(start, drift, vol, steps): the terminal value
+// of an Euler-discretized arithmetic Brownian walk — the paper's motivating
+// "Euler approximations to stochastic differential equations" for future
+// asset values.
+type randomWalkFunc struct{}
+
+func (randomWalkFunc) Name() string           { return "RandomWalk" }
+func (randomWalkFunc) Arity() int             { return 4 }
+func (randomWalkFunc) OutKinds() []types.Kind { return []types.Kind{types.KindFloat} }
+
+func (randomWalkFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error) {
+	p, err := floats("RandomWalk", params, 4)
+	if err != nil {
+		return nil, err
+	}
+	start, drift, vol, stepsF := p[0], p[1], p[2], p[3]
+	steps := int(stepsF)
+	if steps <= 0 || vol < 0 {
+		return nil, fmt.Errorf("vg: RandomWalk needs steps > 0 and vol >= 0, got (%g, %g)", stepsF, vol)
+	}
+	x := start
+	dt := 1.0 / float64(steps)
+	sq := math.Sqrt(dt)
+	for i := 0; i < steps; i++ {
+		x += drift*dt + vol*sq*sub.Norm()
+	}
+	return []types.Value{types.NewFloat(x)}, nil
+}
+
+func floats(name string, params []types.Value, arity int) ([]float64, error) {
+	if arity >= 0 && len(params) != arity {
+		return nil, fmt.Errorf("vg: %s needs %d parameters, got %d", name, arity, len(params))
+	}
+	out := make([]float64, len(params))
+	for i, v := range params {
+		f, ok := v.AsFloat()
+		if !ok || v.IsNull() {
+			return nil, fmt.Errorf("vg: %s parameter %d is %s, need numeric", name, i+1, v.Kind())
+		}
+		out[i] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package vg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/types"
+)
+
+func vals(fs ...float64) []types.Value {
+	out := make([]types.Value, len(fs))
+	for i, f := range fs {
+		out[i] = types.NewFloat(f)
+	}
+	return out
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("normal"); !ok {
+		t.Fatal("case-insensitive lookup of Normal failed")
+	}
+	if _, ok := r.Lookup("NoSuchVG"); ok {
+		t.Fatal("missing function should not resolve")
+	}
+	if len(r.Names()) < 10 {
+		t.Fatalf("expected >= 10 builtins, got %v", r.Names())
+	}
+}
+
+func TestNormalVGMoments(t *testing.T) {
+	r := NewRegistry()
+	f, _ := r.Lookup("Normal")
+	stream := prng.NewStream(1)
+	const n = 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		out, err := f.Generate(vals(3.0, 4.0), stream.At(uint64(i))) // mean 3, variance 4
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := out[0].Float()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %g, want 3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %g, want 4", variance)
+	}
+}
+
+func TestVGReproducibility(t *testing.T) {
+	// The same (stream, element) must always yield the same VG output —
+	// the invariant TS-seeds depend on.
+	r := NewRegistry()
+	stream := prng.NewStream(99)
+	for _, name := range []string{"Normal", "Gamma", "Poisson", "Lognormal", "Pareto", "RandomWalk"} {
+		f, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %s missing", name)
+		}
+		var params []types.Value
+		switch f.Arity() {
+		case 1:
+			params = vals(2.0)
+		case 2:
+			params = vals(3.0, 2.0)
+		case 4:
+			params = vals(100, 0.05, 0.2, 16)
+		case 5:
+			params = vals(0, 0, 1, 1, 0.5)
+		}
+		a, err := f.Generate(params, stream.At(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := f.Generate(params, stream.At(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				t.Errorf("%s element 7 not reproducible: %v vs %v", name, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestVGParameterValidation(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		fn     string
+		params []types.Value
+	}{
+		{"Normal", vals(1)},                   // wrong arity
+		{"Normal", vals(0, -1)},               // negative variance
+		{"Uniform", vals(5, 1)},               // hi < lo
+		{"Gamma", vals(-1, 1)},                // bad shape
+		{"Poisson", vals(-2)},                 // bad lambda
+		{"Bernoulli", vals(1.5)},              // p > 1
+		{"Pareto", vals(0, 1)},                // xm <= 0
+		{"DiscreteChoice", vals(1, 0.5, 2)},   // odd arg count
+		{"MultiNormal2", vals(0, 0, 1, 1, 2)}, // rho > 1
+		{"RandomWalk", vals(0, 0, 1, 0)},      // zero steps
+		{"Normal", []types.Value{types.NewString("x"), types.NewFloat(1)}}, // non-numeric
+	}
+	for _, tc := range cases {
+		f, ok := r.Lookup(tc.fn)
+		if !ok {
+			t.Fatalf("builtin %s missing", tc.fn)
+		}
+		if _, err := f.Generate(tc.params, prng.NewSub(1)); err == nil {
+			t.Errorf("%s(%v): expected error", tc.fn, tc.params)
+		}
+	}
+}
+
+func TestDiscreteChoice(t *testing.T) {
+	r := NewRegistry()
+	f, _ := r.Lookup("DiscreteChoice")
+	stream := prng.NewStream(5)
+	counts := map[float64]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		out, err := f.Generate(vals(10, 1, 20, 3), stream.At(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[out[0].Float()]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("values sampled: %v", counts)
+	}
+	frac20 := float64(counts[20]) / n
+	if math.Abs(frac20-0.75) > 0.02 {
+		t.Fatalf("P(20) = %g, want 0.75", frac20)
+	}
+}
+
+func TestMultiNormal2Correlation(t *testing.T) {
+	r := NewRegistry()
+	f, _ := r.Lookup("MultiNormal2")
+	stream := prng.NewStream(8)
+	const n = 100000
+	rho := 0.8
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		out, err := f.Generate(vals(1, 2, 1, 1, rho), stream.At(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, y := out[0].Float(), out[1].Float()
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	mx, my := sx/n, sy/n
+	cov := sxy/n - mx*my
+	vx, vy := sxx/n-mx*mx, syy/n-my*my
+	got := cov / math.Sqrt(vx*vy)
+	if math.Abs(got-rho) > 0.02 {
+		t.Fatalf("sample correlation %g, want %g", got, rho)
+	}
+	if len(f.OutKinds()) != 2 {
+		t.Fatal("MultiNormal2 must declare 2 outputs")
+	}
+}
+
+func TestRandomWalkMoments(t *testing.T) {
+	// Terminal value of the walk is start + drift + vol*N(0,1) in
+	// distribution (sum of step increments).
+	r := NewRegistry()
+	f, _ := r.Lookup("RandomWalk")
+	stream := prng.NewStream(3)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		out, err := f.Generate(vals(100, 5, 2, 8), stream.At(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := out[0].Float()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-105) > 0.1 {
+		t.Errorf("mean = %g, want 105", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Errorf("variance = %g, want 4", variance)
+	}
+}
+
+func TestCustomVGRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Register(constFunc{})
+	f, ok := r.Lookup("AlwaysOne")
+	if !ok {
+		t.Fatal("custom function not registered")
+	}
+	out, err := f.Generate(nil, prng.NewSub(1))
+	if err != nil || out[0].Float() != 1 {
+		t.Fatalf("custom VG output = %v, %v", out, err)
+	}
+}
+
+type constFunc struct{}
+
+func (constFunc) Name() string           { return "AlwaysOne" }
+func (constFunc) Arity() int             { return 0 }
+func (constFunc) OutKinds() []types.Kind { return []types.Kind{types.KindFloat} }
+func (constFunc) Generate([]types.Value, *prng.Sub) ([]types.Value, error) {
+	return []types.Value{types.NewFloat(1)}, nil
+}

@@ -1,0 +1,241 @@
+// Package workload generates the synthetic data sets behind the paper's
+// examples and evaluation: the §2 customer-loss table, the Fig. 2 salary
+// inversion database, and the Appendix D TPC-H-like orders/lineitem pair
+// with its skewed join construction and inverse-gamma hyperpriors.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prng"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// LossMeans builds the paper §2 parameter table means(CID, m): the mean
+// loss per customer, drawn uniformly from [lo, hi).
+func LossMeans(n int, lo, hi float64, seed uint64) *storage.Table {
+	t := storage.NewTable("means", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "m", Kind: types.KindFloat},
+	))
+	r := prng.NewSub(seed)
+	d := prng.Uniform{Lo: lo, Hi: hi}
+	for i := 0; i < n; i++ {
+		t.MustAppend(types.Row{types.NewInt(int64(10000 + i)), types.NewFloat(d.Sample(r))})
+	}
+	return t
+}
+
+// SalaryDB builds the Fig. 2 salary-inversion database: sup(boss, peon)
+// plus the parameter table empmeans(eid, msal) from which the uncertain
+// emp(eid, sal) table is generated. Employee IDs are strings as in the
+// paper's figure (Joe, Sue, ...).
+func SalaryDB() (sup, empmeans *storage.Table) {
+	sup = storage.NewTable("sup", types.NewSchema(
+		types.Column{Name: "boss", Kind: types.KindString},
+		types.Column{Name: "peon", Kind: types.KindString},
+	))
+	for _, pair := range [][2]string{{"Sue", "Joe"}, {"Jim", "Sue"}, {"Jim", "Ann"}, {"Sid", "Jim"}} {
+		sup.MustAppend(types.Row{types.NewString(pair[0]), types.NewString(pair[1])})
+	}
+	empmeans = storage.NewTable("empmeans", types.NewSchema(
+		types.Column{Name: "eid", Kind: types.KindString},
+		types.Column{Name: "msal", Kind: types.KindFloat},
+	))
+	for _, e := range []struct {
+		id  string
+		sal float64
+	}{{"Joe", 25000}, {"Sue", 24000}, {"Ann", 44000}, {"Jim", 76000}, {"Sid", 95000}} {
+		empmeans.MustAppend(types.Row{types.NewString(e.id), types.NewFloat(e.sal)})
+	}
+	return sup, empmeans
+}
+
+// TPCHConfig scales the Appendix D benchmark data.
+type TPCHConfig struct {
+	// Orders is the number of random_ord parameter rows (the paper uses
+	// 100,000 for the accuracy experiment).
+	Orders int
+	// Lineitems is the number of joining lineitem rows (paper: 1,000,000).
+	Lineitems int
+	// OrphanLineitems find no mate (the paper adds such rows).
+	OrphanLineitems int
+	// MeanShape/MeanScale parameterize the inverse-gamma hyperprior on the
+	// per-order normal mean (paper: shape 3, scale 1).
+	MeanShape, MeanScale float64
+	// VarShape/VarScale parameterize the hyperprior on the variance
+	// (paper: shape 3, scale 0.5).
+	VarShape, VarScale float64
+	// YearSplit assigns o_yr: orders alternate between 1994/1995 (matching
+	// the query's predicate) and other years outside the predicate.
+	FracInYears float64
+	// FixedMeanVar uses o_mean = o_var = 1 for every order (the paper's
+	// Appendix D *timing* benchmark) instead of the inverse-gamma
+	// hyperpriors of the accuracy benchmark.
+	FixedMeanVar bool
+	// UniformJoin assigns lineitems to orders uniformly instead of with
+	// the linearly decaying skew of the accuracy benchmark.
+	UniformJoin bool
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// TimingTPCH returns the paper's Appendix D timing-benchmark configuration
+// (mean and variance of one, plain join) scaled down by the given factor.
+func TimingTPCH(scaleDiv int) TPCHConfig {
+	cfg := DefaultTPCH(scaleDiv)
+	cfg.FixedMeanVar = true
+	cfg.UniformJoin = true
+	return cfg
+}
+
+// DefaultTPCH returns the paper's accuracy-experiment configuration scaled
+// down by the given factor (1 = paper scale: 100k orders, 1M lineitems).
+func DefaultTPCH(scaleDiv int) TPCHConfig {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	return TPCHConfig{
+		Orders:          100000 / scaleDiv,
+		Lineitems:       1000000 / scaleDiv,
+		OrphanLineitems: 100000 / scaleDiv,
+		MeanShape:       3, MeanScale: 1,
+		VarShape: 3, VarScale: 0.5,
+		FracInYears: 1.0,
+		Seed:        7321,
+	}
+}
+
+// TPCHLike generates orders(o_orderkey, o_yr, o_mean, o_var) and
+// lineitem(l_orderkey, l_qty). Joining lineitems pick their order with the
+// paper's linearly decaying match probability: the chance of mating with
+// the i-th of K orders decreases linearly from ~2/K at i=0 to ~0 at i=K-1,
+// so early orders contribute many more normal terms to the query result
+// than late ones.
+func TPCHLike(cfg TPCHConfig) (orders, lineitem *storage.Table, err error) {
+	if cfg.Orders < 1 || cfg.Lineitems < 0 || cfg.OrphanLineitems < 0 {
+		return nil, nil, fmt.Errorf("workload: invalid TPCH config %+v", cfg)
+	}
+	r := prng.NewSub(cfg.Seed)
+	meanD := prng.InverseGamma{Shape: cfg.MeanShape, Scale: cfg.MeanScale}
+	varD := prng.InverseGamma{Shape: cfg.VarShape, Scale: cfg.VarScale}
+
+	orders = storage.NewTable("orders", types.NewSchema(
+		types.Column{Name: "o_orderkey", Kind: types.KindInt},
+		types.Column{Name: "o_yr", Kind: types.KindInt},
+		types.Column{Name: "o_mean", Kind: types.KindFloat},
+		types.Column{Name: "o_var", Kind: types.KindFloat},
+	))
+	inYears := int(float64(cfg.Orders) * cfg.FracInYears)
+	for i := 0; i < cfg.Orders; i++ {
+		yr := int64(1994 + i%2)
+		if i >= inYears {
+			yr = int64(1990 + i%3)
+		}
+		m, v := 1.0, 1.0
+		if !cfg.FixedMeanVar {
+			m, v = meanD.Sample(r), varD.Sample(r)
+		}
+		orders.MustAppend(types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(yr),
+			types.NewFloat(m),
+			types.NewFloat(v),
+		})
+	}
+
+	lineitem = storage.NewTable("lineitem", types.NewSchema(
+		types.Column{Name: "l_orderkey", Kind: types.KindInt},
+		types.Column{Name: "l_qty", Kind: types.KindFloat},
+	))
+	k := float64(cfg.Orders)
+	for i := 0; i < cfg.Lineitems; i++ {
+		// Sample order index with P(i) proportional to K-i (triangular,
+		// linearly decaying): inverse-CDF of the triangular distribution.
+		// UniformJoin picks uniformly instead (timing benchmark).
+		var idx int
+		if cfg.UniformJoin {
+			idx = r.Intn(cfg.Orders)
+		} else {
+			u := r.Float64()
+			idx = int(k * (1 - math.Sqrt(1-u)))
+			if idx >= cfg.Orders {
+				idx = cfg.Orders - 1
+			}
+		}
+		lineitem.MustAppend(types.Row{
+			types.NewInt(int64(idx)),
+			types.NewFloat(1 + 9*r.Float64()),
+		})
+	}
+	for i := 0; i < cfg.OrphanLineitems; i++ {
+		lineitem.MustAppend(types.Row{
+			types.NewInt(int64(-1 - i)), // mates with nothing
+			types.NewFloat(1 + 9*r.Float64()),
+		})
+	}
+	return orders, lineitem, nil
+}
+
+// TPCHAnalytic computes the exact mean and variance of the Appendix D
+// query result SUM(val) where each order's val ~ Normal(o_mean, o_var) is
+// counted once per joining lineitem in the selected years: the paper's
+// "grpsize" closed form (mean = sum grpsize*o_mean, var = sum
+// grpsize^2*o_var).
+func TPCHAnalytic(orders, lineitem *storage.Table, years map[int64]bool) (mu, sigma2 float64) {
+	grp := map[int64]int64{}
+	for _, row := range lineitem.Rows() {
+		grp[row[0].Int()]++
+	}
+	for _, row := range orders.Rows() {
+		if !years[row[1].Int()] {
+			continue
+		}
+		g := float64(grp[row[0].Int()])
+		mu += g * row[2].Float()
+		sigma2 += g * g * row[3].Float()
+	}
+	return mu, sigma2
+}
+
+// HeavyTailMeans builds a parameter table for the Appendix B regime
+// experiments: rows(id, scale) whose uncertain values are drawn by a
+// caller-selected heavy- or light-tailed VG function parameterized by
+// scale.
+func HeavyTailMeans(n int, scale float64) *storage.Table {
+	t := storage.NewTable("params", types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "scale", Kind: types.KindFloat},
+	))
+	for i := 0; i < n; i++ {
+		t.MustAppend(types.Row{types.NewInt(int64(i)), types.NewFloat(scale)})
+	}
+	return t
+}
+
+// Portfolio builds instruments(iid, start, drift, vol, qty): a book of
+// positions whose future values follow the RandomWalk VG function — the
+// paper's motivating "future values of financial assets" workload.
+func Portfolio(n int, seed uint64) *storage.Table {
+	t := storage.NewTable("instruments", types.NewSchema(
+		types.Column{Name: "iid", Kind: types.KindInt},
+		types.Column{Name: "start", Kind: types.KindFloat},
+		types.Column{Name: "drift", Kind: types.KindFloat},
+		types.Column{Name: "vol", Kind: types.KindFloat},
+		types.Column{Name: "qty", Kind: types.KindFloat},
+	))
+	r := prng.NewSub(seed)
+	for i := 0; i < n; i++ {
+		start := 20 + 180*r.Float64()
+		t.MustAppend(types.Row{
+			types.NewInt(int64(i)),
+			types.NewFloat(start),
+			types.NewFloat(-0.02 + 0.04*r.Float64()), // small drift either way
+			types.NewFloat((0.1 + 0.4*r.Float64()) * start * 0.1),
+			types.NewFloat(float64(1 + r.Intn(100))),
+		})
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossMeans(t *testing.T) {
+	tbl := LossMeans(100, 2, 8, 1)
+	if tbl.NumRows() != 100 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	for _, r := range tbl.Rows() {
+		m := r[1].Float()
+		if m < 2 || m >= 8 {
+			t.Fatalf("mean %g outside [2,8)", m)
+		}
+	}
+	// Determinism: same seed, same table.
+	again := LossMeans(100, 2, 8, 1)
+	for i := range tbl.Rows() {
+		if !tbl.Row(i).Equal(again.Row(i)) {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestSalaryDB(t *testing.T) {
+	sup, em := SalaryDB()
+	if sup.NumRows() != 4 || em.NumRows() != 5 {
+		t.Fatalf("rows = %d, %d", sup.NumRows(), em.NumRows())
+	}
+	// Every boss/peon appears in empmeans.
+	known := map[string]bool{}
+	for _, r := range em.Rows() {
+		known[r[0].Str()] = true
+	}
+	for _, r := range sup.Rows() {
+		if !known[r[0].Str()] || !known[r[1].Str()] {
+			t.Fatalf("dangling employee in sup: %v", r)
+		}
+	}
+}
+
+func TestTPCHLikeShape(t *testing.T) {
+	cfg := DefaultTPCH(100) // 1000 orders, 10000 lineitems, 1000 orphans
+	orders, lineitem, err := TPCHLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orders.NumRows() != 1000 {
+		t.Fatalf("orders = %d", orders.NumRows())
+	}
+	if lineitem.NumRows() != 11000 {
+		t.Fatalf("lineitems = %d", lineitem.NumRows())
+	}
+	// Orphans have negative keys.
+	orphans := 0
+	counts := map[int64]int{}
+	for _, r := range lineitem.Rows() {
+		k := r[0].Int()
+		if k < 0 {
+			orphans++
+		} else {
+			counts[k]++
+		}
+	}
+	if orphans != 1000 {
+		t.Fatalf("orphans = %d", orphans)
+	}
+	// Skew: the first decile of orders receives far more lineitems than
+	// the last decile (linearly decaying match probability).
+	first, last := 0, 0
+	for k, c := range counts {
+		switch {
+		case k < 100:
+			first += c
+		case k >= 900:
+			last += c
+		}
+	}
+	if first < 3*last {
+		t.Fatalf("join skew missing: first decile %d, last decile %d", first, last)
+	}
+	// Hyperprior sanity: inverse-gamma(3,1) has mean 0.5.
+	sum := 0.0
+	for _, r := range orders.Rows() {
+		sum += r[2].Float()
+	}
+	if mean := sum / 1000; math.Abs(mean-0.5) > 0.1 {
+		t.Fatalf("o_mean average = %g, want ~0.5", mean)
+	}
+}
+
+func TestTPCHLikeValidation(t *testing.T) {
+	if _, _, err := TPCHLike(TPCHConfig{Orders: 0}); err == nil {
+		t.Fatal("zero orders must error")
+	}
+}
+
+func TestTPCHAnalytic(t *testing.T) {
+	cfg := DefaultTPCH(200)
+	orders, lineitem, err := TPCHLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma2 := TPCHAnalytic(orders, lineitem, map[int64]bool{1994: true, 1995: true})
+	if mu <= 0 || sigma2 <= 0 {
+		t.Fatalf("analytic moments = %g, %g", mu, sigma2)
+	}
+	// Every order is in 1994/1995 with FracInYears=1, so restricting to one
+	// year halves-ish the mean.
+	mu94, _ := TPCHAnalytic(orders, lineitem, map[int64]bool{1994: true})
+	if mu94 >= mu || mu94 <= 0 {
+		t.Fatalf("single-year mean %g vs both-years %g", mu94, mu)
+	}
+	// No years selected: zero.
+	mu0, s0 := TPCHAnalytic(orders, lineitem, map[int64]bool{})
+	if mu0 != 0 || s0 != 0 {
+		t.Fatalf("empty years gave %g, %g", mu0, s0)
+	}
+}
+
+func TestHeavyTailMeans(t *testing.T) {
+	tbl := HeavyTailMeans(50, 1.5)
+	if tbl.NumRows() != 50 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Row(7)[1].Float() != 1.5 {
+		t.Fatalf("scale = %v", tbl.Row(7)[1])
+	}
+}
+
+func TestPortfolio(t *testing.T) {
+	tbl := Portfolio(40, 9)
+	if tbl.NumRows() != 40 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	for _, r := range tbl.Rows() {
+		if r[1].Float() <= 0 || r[3].Float() <= 0 || r[4].Float() < 1 {
+			t.Fatalf("implausible instrument: %v", r)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package mcdbr is the public API of the MCDB-R reproduction: a Monte
+// Carlo database engine with in-database risk analysis (tail sampling) as
+// described in "MCDB-R: Risk Analysis in the Database" (Arumugam et al.,
+// PVLDB 3(1), 2010).
+//
+// An Engine holds ordinary ("parameter") tables, VG functions, and random
+// table definitions (the paper's CREATE TABLE ... FOR EACH statements).
+// Queries are posed either through the fluent QueryBuilder or as SQL-ish
+// text (the §2 surface syntax) via Exec. Results are either a plain Monte
+// Carlo result distribution (original MCDB semantics) or a conditioned
+// tail distribution with an extreme-quantile estimate (MCDB-R's DOMAIN ...
+// QUANTILE clause).
+package mcdbr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/prng"
+	"repro/internal/storage"
+	"repro/internal/vg"
+)
+
+// Engine is a Monte Carlo database instance. Create one with New; an
+// Engine is not safe for concurrent query execution.
+type Engine struct {
+	cat    *storage.Catalog
+	vgs    *vg.Registry
+	rand   map[string]*RandomTable
+	seed   uint64
+	window int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithSeed fixes the engine's master PRNG seed; runs with equal seeds are
+// bit-for-bit reproducible.
+func WithSeed(seed uint64) Option { return func(e *Engine) { e.seed = seed } }
+
+// WithWindow sets how many stream values each TS-seed materializes per
+// query-plan run (the paper's "1000 random values initially"); larger
+// windows mean fewer replenishing runs but more memory.
+func WithWindow(n int) Option { return func(e *Engine) { e.window = n } }
+
+// New creates an empty engine with all built-in VG functions registered.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cat:    storage.NewCatalog(),
+		vgs:    vg.NewRegistry(),
+		rand:   make(map[string]*RandomTable),
+		seed:   0x6d636462, // "mcdb"
+		window: 1024,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// RegisterTable adds (or replaces) an ordinary table.
+func (e *Engine) RegisterTable(t *storage.Table) { e.cat.Put(t) }
+
+// RegisterVG adds a user-defined VG function (the paper's black-box
+// variable-generation functions).
+func (e *Engine) RegisterVG(f vg.Func) { e.vgs.Register(f) }
+
+// Table looks up an ordinary table.
+func (e *Engine) Table(name string) (*storage.Table, bool) { return e.cat.Get(name) }
+
+// Catalog exposes the table catalog (read-mostly helper for tools).
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// RandomCol maps one column of a random table to its source: either a
+// column of the parameter table (FromParam) or an output of the VG
+// function (VGOut, used when FromParam is empty).
+type RandomCol struct {
+	Name      string
+	FromParam string
+	VGOut     int
+}
+
+// RandomTable is the engine-level form of the paper's §2 statement
+//
+//	CREATE TABLE Losses(CID, val) AS
+//	FOR EACH CID IN means
+//	WITH myVal AS Normal(VALUES(m, 1.0))
+//	SELECT CID, myVal.* FROM myVal
+//
+// Name="losses", ParamTable="means", VG="Normal",
+// VGParams=[C("m"), F(1.0)], Columns=[{CID, "cid", 0}, {val, "", 0}].
+type RandomTable struct {
+	Name       string
+	ParamTable string
+	VG         string
+	// VGParams are evaluated against each parameter-table row.
+	VGParams []expr.Expr
+	Columns  []RandomCol
+}
+
+// DefineRandomTable registers an uncertain table definition. Only the
+// schema is stored — instances are generated at query time, exactly as in
+// the paper.
+func (e *Engine) DefineRandomTable(rt RandomTable) error {
+	if rt.Name == "" {
+		return fmt.Errorf("mcdbr: random table needs a name")
+	}
+	if _, ok := e.cat.Get(rt.ParamTable); !ok {
+		return fmt.Errorf("mcdbr: parameter table %q not registered", rt.ParamTable)
+	}
+	gen, ok := e.vgs.Lookup(rt.VG)
+	if !ok {
+		return fmt.Errorf("mcdbr: VG function %q not registered", rt.VG)
+	}
+	if gen.Arity() >= 0 && len(rt.VGParams) != gen.Arity() {
+		return fmt.Errorf("mcdbr: VG %s needs %d parameters, got %d", rt.VG, gen.Arity(), len(rt.VGParams))
+	}
+	if len(rt.Columns) == 0 {
+		return fmt.Errorf("mcdbr: random table %q needs at least one column", rt.Name)
+	}
+	param, _ := e.cat.Get(rt.ParamTable)
+	nOut := len(gen.OutKinds())
+	hasRandom := false
+	for _, c := range rt.Columns {
+		if c.FromParam != "" {
+			if param.Schema().Lookup(c.FromParam) < 0 {
+				return fmt.Errorf("mcdbr: column %q of %q maps to unknown parameter column %q", c.Name, rt.Name, c.FromParam)
+			}
+			continue
+		}
+		if c.VGOut < 0 || c.VGOut >= nOut {
+			return fmt.Errorf("mcdbr: column %q of %q maps to VG output %d of %d", c.Name, rt.Name, c.VGOut, nOut)
+		}
+		hasRandom = true
+	}
+	if !hasRandom {
+		return fmt.Errorf("mcdbr: random table %q exposes no VG output; use an ordinary table", rt.Name)
+	}
+	e.rand[strings.ToLower(rt.Name)] = &rt
+	return nil
+}
+
+// RandomTableDef looks up a random-table definition.
+func (e *Engine) RandomTableDef(name string) (*RandomTable, bool) {
+	rt, ok := e.rand[strings.ToLower(name)]
+	return rt, ok
+}
+
+// IsRandomColumn reports whether alias.col refers to a VG-generated column
+// given that alias is bound to table; the planner uses it to place Split
+// operators and to pull multi-seed predicates into the looper.
+func (e *Engine) isRandomColumn(table, col string) bool {
+	rt, ok := e.rand[strings.ToLower(table)]
+	if !ok {
+		return false
+	}
+	for _, c := range rt.Columns {
+		if strings.EqualFold(c.Name, col) {
+			return c.FromParam == ""
+		}
+	}
+	return false
+}
+
+// masterStream derives the engine's master PRNG stream.
+func (e *Engine) masterStream() prng.Stream { return prng.NewStream(e.seed) }

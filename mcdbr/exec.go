@@ -1,0 +1,355 @@
+package mcdbr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sqlish"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// ExecKind tags what an Exec call produced.
+type ExecKind uint8
+
+const (
+	// ExecCreated: a CREATE TABLE ... FOR EACH statement defined a random
+	// table.
+	ExecCreated ExecKind = iota
+	// ExecScalar: a deterministic aggregate (e.g. over FTABLE) produced a
+	// single number.
+	ExecScalar
+	// ExecDistribution: a WITH RESULTDISTRIBUTION query without DOMAIN
+	// produced a Monte Carlo distribution.
+	ExecDistribution
+	// ExecTail: a DOMAIN ... QUANTILE query produced a tail distribution.
+	ExecTail
+	// ExecGroupedDistribution: a GROUP BY query without DOMAIN produced
+	// one distribution per group.
+	ExecGroupedDistribution
+	// ExecGroupedTail: a GROUP BY ... DOMAIN query produced one tail
+	// distribution per group (paper App. A: g conditioned queries).
+	ExecGroupedTail
+)
+
+// ExecResult is the outcome of Engine.Exec.
+type ExecResult struct {
+	Kind       ExecKind
+	Scalar     float64
+	Dist       *Distribution
+	Tail       *TailResult
+	GroupDists map[string]*Distribution
+	GroupTails map[string]*TailResult
+}
+
+// Exec parses and executes one SQL-ish statement (the paper's §2 surface
+// syntax). Tail-sampling parameters use the Appendix C defaults; use
+// ExecWithOptions to override them.
+func (e *Engine) Exec(sql string) (*ExecResult, error) {
+	return e.ExecWithOptions(sql, TailSampleOptions{})
+}
+
+// ExecWithOptions is Exec with explicit tail-sampling options.
+func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (*ExecResult, error) {
+	stmt, err := sqlish.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlish.CreateRandomTable:
+		if err := e.execCreate(s); err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: ExecCreated}, nil
+	case *sqlish.SelectStmt:
+		if !s.With {
+			v, err := e.execScalar(s)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Kind: ExecScalar, Scalar: v}, nil
+		}
+		return e.execResultDistribution(s, opts)
+	default:
+		return nil, fmt.Errorf("mcdbr: unsupported statement %T", stmt)
+	}
+}
+
+// execCreate turns the parsed CREATE TABLE ... FOR EACH into a RandomTable
+// definition.
+func (e *Engine) execCreate(s *sqlish.CreateRandomTable) error {
+	gen, ok := e.vgs.Lookup(s.VGName)
+	if !ok {
+		return fmt.Errorf("mcdbr: VG function %q not registered", s.VGName)
+	}
+	nOut := len(gen.OutKinds())
+	var cols []RandomCol
+	colIdx := 0
+	takeName := func() (string, error) {
+		if colIdx >= len(s.Cols) {
+			return "", fmt.Errorf("mcdbr: CREATE TABLE %s: more select items than columns", s.Name)
+		}
+		n := s.Cols[colIdx]
+		colIdx++
+		return n, nil
+	}
+	for _, item := range s.SelectItems {
+		switch {
+		case strings.HasSuffix(item, ".*"):
+			alias := strings.TrimSuffix(item, ".*")
+			if !strings.EqualFold(alias, s.VGAlias) {
+				return fmt.Errorf("mcdbr: CREATE TABLE %s: %s.* does not match VG alias %s", s.Name, alias, s.VGAlias)
+			}
+			for o := 0; o < nOut; o++ {
+				name, err := takeName()
+				if err != nil {
+					return err
+				}
+				cols = append(cols, RandomCol{Name: name, VGOut: o})
+			}
+		case strings.Contains(item, "."):
+			parts := strings.SplitN(item, ".", 2)
+			name, err := takeName()
+			if err != nil {
+				return err
+			}
+			if strings.EqualFold(parts[0], s.VGAlias) {
+				// myVal.value style: a single VG output referenced by
+				// position name "valueN" or just the first output.
+				out := 0
+				if _, err := fmt.Sscanf(strings.ToLower(parts[1]), "value%d", &out); err == nil {
+					out--
+				}
+				if out < 0 || out >= nOut {
+					out = 0
+				}
+				cols = append(cols, RandomCol{Name: name, VGOut: out})
+			} else {
+				cols = append(cols, RandomCol{Name: name, FromParam: parts[1]})
+			}
+		default:
+			name, err := takeName()
+			if err != nil {
+				return err
+			}
+			cols = append(cols, RandomCol{Name: name, FromParam: item})
+		}
+	}
+	if colIdx != len(s.Cols) {
+		return fmt.Errorf("mcdbr: CREATE TABLE %s: %d columns declared, %d produced", s.Name, len(s.Cols), colIdx)
+	}
+	return e.DefineRandomTable(RandomTable{
+		Name:       s.Name,
+		ParamTable: s.ParamTable,
+		VG:         s.VGName,
+		VGParams:   s.VGParams,
+		Columns:    cols,
+	})
+}
+
+// execScalar evaluates a deterministic aggregate over a single ordinary
+// table — the paper's follow-up queries such as
+// SELECT MIN(totalLoss) FROM FTABLE.
+func (e *Engine) execScalar(s *sqlish.SelectStmt) (float64, error) {
+	if len(s.Froms) != 1 {
+		return 0, fmt.Errorf("mcdbr: deterministic aggregates support exactly one table, got %d", len(s.Froms))
+	}
+	if _, isRandom := e.rand[strings.ToLower(s.Froms[0].Table)]; isRandom {
+		return 0, fmt.Errorf("mcdbr: query over random table %q needs WITH RESULTDISTRIBUTION", s.Froms[0].Table)
+	}
+	t, ok := e.cat.Get(s.Froms[0].Table)
+	if !ok {
+		return 0, fmt.Errorf("mcdbr: table %q not registered", s.Froms[0].Table)
+	}
+	rows, err := e.filterRows(t, s.Where)
+	if err != nil {
+		return 0, err
+	}
+	if s.Agg == "COUNT" && s.AggExpr == nil {
+		return float64(len(rows)), nil
+	}
+	c, err := expr.Compile(s.AggExpr, t.Schema())
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var n int
+	best := math.NaN()
+	for _, r := range rows {
+		v := c.Eval(r)
+		if v.IsNull() {
+			continue
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return 0, fmt.Errorf("mcdbr: aggregate over non-numeric value %s", v.Kind())
+		}
+		sum += f
+		n++
+		switch s.Agg {
+		case "MIN":
+			if math.IsNaN(best) || f < best {
+				best = f
+			}
+		case "MAX":
+			if math.IsNaN(best) || f > best {
+				best = f
+			}
+		}
+	}
+	switch s.Agg {
+	case "SUM":
+		return sum, nil
+	case "COUNT":
+		return float64(n), nil
+	case "AVG":
+		if n == 0 {
+			return math.NaN(), nil
+		}
+		return sum / float64(n), nil
+	case "MIN", "MAX":
+		return best, nil
+	}
+	return 0, fmt.Errorf("mcdbr: unsupported aggregate %q", s.Agg)
+}
+
+func (e *Engine) filterRows(t *storage.Table, where expr.Expr) ([]types.Row, error) {
+	if where == nil {
+		return t.Rows(), nil
+	}
+	c, err := expr.Compile(where, t.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for _, r := range t.Rows() {
+		if c.EvalBool(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// execResultDistribution runs a WITH RESULTDISTRIBUTION query: plain Monte
+// Carlo without DOMAIN, tail sampling with it. A FREQUENCYTABLE clause
+// registers the table FTABLE(<name>, FRAC) in the catalog for follow-up
+// queries.
+func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOptions) (*ExecResult, error) {
+	qb := e.Query()
+	for _, f := range s.Froms {
+		qb.From(f.Table, f.Alias)
+	}
+	if s.Where != nil {
+		qb.Where(s.Where)
+	}
+	switch s.Agg {
+	case "SUM":
+		qb.SelectSum(s.AggExpr)
+	case "AVG":
+		qb.SelectAvg(s.AggExpr)
+	case "COUNT":
+		qb.SelectCount()
+	default:
+		return nil, fmt.Errorf("mcdbr: aggregate %s is not supported with RESULTDISTRIBUTION (use SUM, COUNT, or AVG)", s.Agg)
+	}
+	var groupTable, groupCol string
+	if s.GroupBy != "" {
+		var err error
+		groupTable, groupCol, err = e.resolveGroupBy(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.Domain != nil {
+		if s.AggAlias != "" && !strings.EqualFold(s.Domain.Name, s.AggAlias) {
+			return nil, fmt.Errorf("mcdbr: DOMAIN references %q but the aggregate is named %q", s.Domain.Name, s.AggAlias)
+		}
+		p := 1 - s.Domain.Quantile
+		opts.Lower = s.Domain.Lower
+		if s.Domain.Lower {
+			p = s.Domain.Quantile
+		}
+		if s.GroupBy != "" {
+			groups, err := qb.GroupedTailSample(groupTable, groupCol, p, s.MCReps, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Kind: ExecGroupedTail, GroupTails: groups}, nil
+		}
+		res, err := qb.TailSample(p, s.MCReps, opts)
+		if err != nil {
+			return nil, err
+		}
+		e.maybeRegisterFTable(s, &res.Distribution)
+		return &ExecResult{Kind: ExecTail, Tail: res}, nil
+	}
+	if s.GroupBy != "" {
+		groups, err := qb.GroupedMonteCarlo(groupTable, groupCol, s.MCReps)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: ExecGroupedDistribution, GroupDists: groups}, nil
+	}
+	d, err := qb.MonteCarlo(s.MCReps)
+	if err != nil {
+		return nil, err
+	}
+	e.maybeRegisterFTable(s, d)
+	return &ExecResult{Kind: ExecDistribution, Dist: d}, nil
+}
+
+// resolveGroupBy maps a GROUP BY column reference to the catalog table
+// holding its distinct values: for a deterministic table it is the table
+// itself; for a random table the column must be parameter-derived and the
+// values come from the parameter table.
+func (e *Engine) resolveGroupBy(s *sqlish.SelectStmt) (table, col string, err error) {
+	name := s.GroupBy
+	alias := ""
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		alias, col = name[:i], name[i+1:]
+	} else {
+		col = name
+		if len(s.Froms) != 1 {
+			return "", "", fmt.Errorf("mcdbr: GROUP BY %q needs an alias qualifier in multi-table queries", name)
+		}
+		alias = s.Froms[0].Alias
+	}
+	var tableName string
+	for _, f := range s.Froms {
+		if strings.EqualFold(f.Alias, alias) {
+			tableName = f.Table
+			break
+		}
+	}
+	if tableName == "" {
+		return "", "", fmt.Errorf("mcdbr: GROUP BY alias %q not in FROM clause", alias)
+	}
+	if rt, ok := e.rand[strings.ToLower(tableName)]; ok {
+		for _, c := range rt.Columns {
+			if strings.EqualFold(c.Name, col) {
+				if c.FromParam == "" {
+					return "", "", fmt.Errorf("mcdbr: GROUP BY column %q of %q is VG-generated; grouping columns must be deterministic", col, tableName)
+				}
+				return rt.ParamTable, c.FromParam, nil
+			}
+		}
+		return "", "", fmt.Errorf("mcdbr: GROUP BY column %q not in random table %q", col, tableName)
+	}
+	return tableName, col, nil
+}
+
+func (e *Engine) maybeRegisterFTable(s *sqlish.SelectStmt, d *Distribution) {
+	if s.FreqTable == "" {
+		return
+	}
+	t := storage.NewTable("ftable", types.NewSchema(
+		types.Column{Name: s.FreqTable, Kind: types.KindFloat},
+		types.Column{Name: "frac", Kind: types.KindFloat},
+	))
+	for i, v := range d.FTable.Values {
+		t.MustAppend(types.Row{types.NewFloat(v), types.NewFloat(d.FTable.Fracs[i])})
+	}
+	e.cat.Put(t)
+}

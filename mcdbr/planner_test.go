@@ -1,0 +1,261 @@
+package mcdbr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TestJoinOnRandomAttributeUsesSplit exercises the §8 path end to end: a
+// join whose key is a VG-generated (random) attribute. The planner must
+// insert a Split so the join runs on a deterministic value with the
+// nondeterminism transferred to isPres.
+func TestJoinOnRandomAttributeUsesSplit(t *testing.T) {
+	e := New(WithSeed(31), WithWindow(2048))
+
+	// riskclass(rid, premium): class 0 costs 10, class 1 costs 100.
+	rc := storage.NewTable("riskclass", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindFloat},
+		types.Column{Name: "premium", Kind: types.KindFloat},
+	))
+	rc.MustAppend(types.Row{types.NewFloat(0), types.NewFloat(10)})
+	rc.MustAppend(types.Row{types.NewFloat(1), types.NewFloat(100)})
+	e.RegisterTable(rc)
+
+	// Each of 12 customers draws an uncertain risk class ~ Bernoulli(0.25).
+	cust := storage.NewTable("cust", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "p", Kind: types.KindFloat},
+	))
+	for i := 0; i < 12; i++ {
+		cust.MustAppend(types.Row{types.NewInt(int64(i)), types.NewFloat(0.25)})
+	}
+	e.RegisterTable(cust)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "assignment", ParamTable: "cust", VG: "Bernoulli",
+		VGParams: []expr.Expr{expr.C("p")},
+		Columns: []RandomCol{
+			{Name: "cid", FromParam: "cid"},
+			{Name: "class", VGOut: 0},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Total premium = join the random class with the premium table.
+	d, err := e.Query().
+		From("assignment", "a").
+		From("riskclass", "r").
+		Where(expr.B(expr.OpEq, expr.C("a.class"), expr.C("r.rid"))).
+		SelectSum(expr.C("r.premium")).
+		MonteCarlo(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[premium per customer] = 0.75*10 + 0.25*100 = 32.5; 12 customers.
+	want := 12 * 32.5
+	if math.Abs(d.Mean()-want) > 5 {
+		t.Fatalf("mean total premium = %g, want %g", d.Mean(), want)
+	}
+	// Sanity on the support: min possible 120, max 1200.
+	if d.ECDF().Min() < 120-1e-9 || d.ECDF().Max() > 1200+1e-9 {
+		t.Fatalf("support violated: [%g, %g]", d.ECDF().Min(), d.ECDF().Max())
+	}
+
+	// Tail sampling over the random-attr join: the upper tail is "many
+	// customers in the expensive class".
+	res, err := e.Query().
+		From("assignment", "a").
+		From("riskclass", "r").
+		Where(expr.B(expr.OpEq, expr.C("a.class"), expr.C("r.rid"))).
+		SelectSum(expr.C("r.premium")).
+		TailSample(0.02, 40, TailSampleOptions{TotalSamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial(12, 0.25): 0.98-quantile is ~6 expensive customers ->
+	// premium 6*100 + 6*10 = 660.
+	if res.QuantileEstimate < 400 || res.QuantileEstimate > 1000 {
+		t.Fatalf("tail quantile = %g", res.QuantileEstimate)
+	}
+	for _, s := range res.Samples {
+		if s < res.QuantileEstimate {
+			t.Fatalf("tail sample %g below quantile", s)
+		}
+	}
+}
+
+// TestCrossJoinFallback: FROM items with no connecting equi-join become a
+// cross product.
+func TestCrossJoinFallback(t *testing.T) {
+	e := New(WithSeed(32), WithWindow(1024))
+	e.RegisterTable(workload.LossMeans(3, 2, 8, 1))
+	scale := storage.NewTable("scale", types.NewSchema(
+		types.Column{Name: "f", Kind: types.KindFloat},
+	))
+	scale.MustAppend(types.Row{types.NewFloat(2)})
+	e.RegisterTable(scale)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Query().
+		From("losses", "l").
+		From("scale", "s").
+		SelectSum(expr.B(expr.OpMul, expr.C("l.val"), expr.C("s.f"))).
+		MonteCarlo(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := e.Table("means")
+	mu := 0.0
+	for _, r := range tbl.Rows() {
+		mu += r[1].Float()
+	}
+	if math.Abs(d.Mean()-2*mu) > 0.6 {
+		t.Fatalf("cross-scaled mean = %g, want %g", d.Mean(), 2*mu)
+	}
+}
+
+// TestMultiOutputVGTable: a random table exposing both outputs of the
+// correlated MultiNormal2 VG function.
+func TestMultiOutputVGTable(t *testing.T) {
+	e := New(WithSeed(33), WithWindow(2048))
+	params := storage.NewTable("pairs", types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+	))
+	for i := 0; i < 8; i++ {
+		params.MustAppend(types.Row{types.NewInt(int64(i))})
+	}
+	e.RegisterTable(params)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "xy", ParamTable: "pairs", VG: "MultiNormal2",
+		VGParams: []expr.Expr{expr.F(1), expr.F(2), expr.F(1), expr.F(1), expr.F(0.9)},
+		Columns: []RandomCol{
+			{Name: "id", FromParam: "id"},
+			{Name: "x", VGOut: 0},
+			{Name: "y", VGOut: 1},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// SUM(y - x): mean 8*(2-1) = 8, and the strong positive correlation
+	// shrinks the variance: Var(y-x) = 1+1-2*0.9 = 0.2 per row.
+	d, err := e.Query().From("xy", "").
+		SelectSum(expr.B(expr.OpSub, expr.C("y"), expr.C("x"))).
+		MonteCarlo(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-8) > 0.15 {
+		t.Fatalf("mean = %g, want 8", d.Mean())
+	}
+	wantSD := math.Sqrt(8 * 0.2)
+	if math.Abs(d.Std()-wantSD) > 0.15 {
+		t.Fatalf("sd = %g, want %g (correlation lost?)", d.Std(), wantSD)
+	}
+}
+
+// TestEngineReproducibility: identical seeds give bit-identical results;
+// different seeds differ.
+func TestEngineReproducibility(t *testing.T) {
+	build := func(seed uint64) *TailResult {
+		e := New(WithSeed(seed), WithWindow(1024))
+		e.RegisterTable(workload.LossMeans(10, 2, 8, 1))
+		if err := e.DefineRandomTable(RandomTable{
+			Name: "losses", ParamTable: "means", VG: "Normal",
+			VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+			Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Query().From("losses", "").SelectSum(expr.C("val")).
+			TailSample(0.02, 30, TailSampleOptions{TotalSamples: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(7), build(7)
+	if a.QuantileEstimate != b.QuantileEstimate {
+		t.Fatalf("same seed diverged: %g vs %g", a.QuantileEstimate, b.QuantileEstimate)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d diverged", i)
+		}
+	}
+	c := build(8)
+	if a.QuantileEstimate == c.QuantileEstimate {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+// TestTailSamplePropertyAcrossConfigs is a whole-engine property test:
+// across random small configurations, every upper-tail sample is at least
+// the quantile estimate, the estimate is finite, and the sample count is
+// exactly l.
+func TestTailSamplePropertyAcrossConfigs(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		seed := uint64(9000 + trial)
+		nCust := 3 + trial%5
+		p := []float64{0.2, 0.05, 0.02}[trial%3]
+		l := 5 + trial%20
+		e := New(WithSeed(seed), WithWindow(512))
+		e.RegisterTable(workload.LossMeans(nCust, 1, 9, seed))
+		if err := e.DefineRandomTable(RandomTable{
+			Name: "losses", ParamTable: "means", VG: "Normal",
+			VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+			Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Query().From("losses", "").SelectSum(expr.C("val")).
+			TailSample(p, l, TailSampleOptions{TotalSamples: 120})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Samples) != l {
+			t.Fatalf("trial %d: %d samples, want %d", trial, len(res.Samples), l)
+		}
+		if math.IsNaN(res.QuantileEstimate) || math.IsInf(res.QuantileEstimate, 0) {
+			t.Fatalf("trial %d: quantile %g", trial, res.QuantileEstimate)
+		}
+		for _, s := range res.Samples {
+			if s < res.QuantileEstimate {
+				t.Fatalf("trial %d: sample %g below quantile %g", trial, s, res.QuantileEstimate)
+			}
+		}
+	}
+}
+
+// TestQueryTimeVGFailureSurfaces: invalid VG parameters coming from table
+// data (not caught at definition time) must produce an error, not a panic.
+func TestQueryTimeVGFailureSurfaces(t *testing.T) {
+	e := New(WithSeed(44), WithWindow(256))
+	bad := storage.NewTable("params", types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "shape", Kind: types.KindFloat},
+	))
+	bad.MustAppend(types.Row{types.NewInt(1), types.NewFloat(2)})
+	bad.MustAppend(types.Row{types.NewInt(2), types.NewFloat(-3)}) // invalid Gamma shape
+	e.RegisterTable(bad)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "vals", ParamTable: "params", VG: "Gamma",
+		VGParams: []expr.Expr{expr.C("shape"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "id", FromParam: "id"}, {Name: "v", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Query().From("vals", "").SelectSum(expr.C("v")).MonteCarlo(10)
+	if err == nil {
+		t.Fatal("invalid per-row VG parameter must surface as an error")
+	}
+}

@@ -1,0 +1,275 @@
+package mcdbr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/gibbs"
+	"repro/internal/naive"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/tail"
+	"repro/internal/types"
+)
+
+// Distribution is a Monte Carlo result distribution: the paper's
+// RESULTDISTRIBUTION, materialized as samples plus the FREQUENCYTABLE.
+type Distribution struct {
+	// Samples are the Monte Carlo query results (conditioned to the tail
+	// for TailResult).
+	Samples []float64
+	// FTable is the paper's FTABLE(value, FRAC) relation.
+	FTable *stats.FrequencyTable
+}
+
+func newDistribution(samples []float64) *Distribution {
+	return &Distribution{Samples: samples, FTable: stats.NewFrequencyTable(samples)}
+}
+
+// Mean estimates the expected query result.
+func (d *Distribution) Mean() float64 { return stats.Summarize(d.Samples).Mean }
+
+// Std estimates the standard deviation of the query result.
+func (d *Distribution) Std() float64 { return stats.Summarize(d.Samples).Std }
+
+// Quantile estimates the q-quantile of the (possibly conditioned)
+// query-result distribution.
+func (d *Distribution) Quantile(q float64) float64 {
+	return stats.NewECDF(d.Samples).Quantile(q)
+}
+
+// Min returns the smallest sample — for a tail distribution, the paper's
+// SELECT MIN(totalLoss) FROM FTABLE tail-boundary estimate.
+func (d *Distribution) Min() float64 { return stats.NewECDF(d.Samples).Min() }
+
+// ExpectedValue returns SUM(value*FRAC) over the frequency table; on a
+// tail distribution this is the expected shortfall.
+func (d *Distribution) ExpectedValue() float64 { return d.FTable.WeightedSum() }
+
+// ECDF returns the empirical CDF of the samples.
+func (d *Distribution) ECDF() *stats.ECDF { return stats.NewECDF(d.Samples) }
+
+// FTableRelation materializes the frequency table as an ordinary relation
+// FTABLE(value FLOAT, frac FLOAT) that can be registered and re-queried,
+// as in the paper's follow-up queries over FTABLE.
+func (d *Distribution) FTableRelation(name string) *storage.Table {
+	t := storage.NewTable(name, types.NewSchema(
+		types.Column{Name: "value", Kind: types.KindFloat},
+		types.Column{Name: "frac", Kind: types.KindFloat},
+	))
+	for i, v := range d.FTable.Values {
+		t.MustAppend(types.Row{types.NewFloat(v), types.NewFloat(d.FTable.Fracs[i])})
+	}
+	return t
+}
+
+// TailResult is the output of MCDB-R tail sampling: a conditioned result
+// distribution over the tail plus the extreme-quantile estimate.
+type TailResult struct {
+	Distribution
+	// QuantileEstimate is theta-hat, the estimated (1-P)-quantile (or
+	// P-quantile for lower tails).
+	QuantileEstimate float64
+	// P is the tail probability defining the quantile.
+	P float64
+	// Lower reports whether this is a lower tail.
+	Lower bool
+	// ExpectedShortfall is E[result | result in tail].
+	ExpectedShortfall float64
+	// Diag exposes the Gibbs looper's per-iteration statistics.
+	Diag *gibbs.Result
+}
+
+// MonteCarlo runs the query with n plain Monte Carlo repetitions (original
+// MCDB semantics) and returns the unconditioned result distribution.
+func (q *QueryBuilder) MonteCarlo(n int) (*Distribution, error) {
+	window := q.e.window
+	if n > window {
+		window = n
+	}
+	c, err := q.compile(window)
+	if err != nil {
+		return nil, err
+	}
+	samples, err := naive.MonteCarlo(c.ws, c.plan, c.gq, n)
+	if err != nil {
+		return nil, err
+	}
+	return newDistribution(samples), nil
+}
+
+// TailSampleOptions tunes tail sampling; the zero value uses the Appendix C
+// defaults.
+type TailSampleOptions struct {
+	// TotalSamples is the budget N over all bootstrapping steps (0 =
+	// derive from MSRETarget, default target 0.05).
+	TotalSamples int
+	// MSRETarget selects N when TotalSamples is 0.
+	MSRETarget float64
+	// K is the number of Gibbs updating steps (default 1).
+	K int
+	// ForceM overrides the Theorem 1 step count.
+	ForceM int
+	// MaxTriesPerUpdate bounds rejection sampling per update.
+	MaxTriesPerUpdate int
+	// Lower samples the lower tail (small-value risk) instead of the upper.
+	Lower bool
+}
+
+// TailSample estimates the (1-p)-quantile of the query-result distribution
+// and returns l samples conditioned to lie beyond it — the paper's
+//
+//	WITH RESULTDISTRIBUTION MONTECARLO(l)
+//	DOMAIN result >= QUANTILE(1-p)
+//
+// clause. For Lower tails the DOMAIN is result <= QUANTILE(p).
+func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (*TailResult, error) {
+	cfg, err := tail.Configure(p, l, tail.Options{
+		TotalSamples:      opts.TotalSamples,
+		MSRETarget:        opts.MSRETarget,
+		K:                 opts.K,
+		ForceM:            opts.ForceM,
+		MaxTriesPerUpdate: opts.MaxTriesPerUpdate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	window := q.e.window
+	if need := cfg.N + cfg.L; need > window {
+		window = need
+	}
+	c, err := q.compile(window)
+	if err != nil {
+		return nil, err
+	}
+	c.gq.LowerTail = opts.Lower
+	res, err := gibbs.Run(c.ws, c.plan, c.gq, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TailResult{
+		Distribution:      *newDistribution(res.TailSamples),
+		QuantileEstimate:  res.Quantile,
+		P:                 p,
+		Lower:             opts.Lower,
+		ExpectedShortfall: stats.ExpectedShortfall(res.TailSamples),
+		Diag:              res,
+	}, nil
+}
+
+// GroupedTailSample implements the paper's App. A footnote: a GROUP BY
+// query over g groups is treated as g separate queries, each with a
+// selection predicate limiting it to one group. groupCol must be a
+// deterministic column; its distinct values are taken from table
+// groupTable in the engine catalog.
+func (q *QueryBuilder) GroupedTailSample(groupTable, groupCol string, p float64, l int, opts TailSampleOptions) (map[string]*TailResult, error) {
+	values, qualCol, err := q.groupValues(groupTable, groupCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*TailResult, len(values))
+	for _, v := range values {
+		gq := q.cloneWith(expr.B(expr.OpEq, expr.C(qualCol), &expr.Const{Val: v}))
+		res, err := gq.TailSample(p, l, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mcdbr: group %s: %w", v, err)
+		}
+		out[v.String()] = res
+	}
+	return out, nil
+}
+
+// GroupedMonteCarlo runs one plain Monte Carlo query per distinct value of
+// groupCol in groupTable (the GROUP BY treatment of paper App. A, without
+// conditioning).
+func (q *QueryBuilder) GroupedMonteCarlo(groupTable, groupCol string, n int) (map[string]*Distribution, error) {
+	values, qualCol, err := q.groupValues(groupTable, groupCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Distribution, len(values))
+	for _, v := range values {
+		gq := q.cloneWith(expr.B(expr.OpEq, expr.C(qualCol), &expr.Const{Val: v}))
+		d, err := gq.MonteCarlo(n)
+		if err != nil {
+			return nil, fmt.Errorf("mcdbr: group %s: %w", v, err)
+		}
+		out[v.String()] = d
+	}
+	return out, nil
+}
+
+// groupValues resolves the distinct grouping values and the qualified
+// predicate column for grouped execution.
+func (q *QueryBuilder) groupValues(groupTable, groupCol string) ([]types.Value, string, error) {
+	t, ok := q.e.cat.Get(groupTable)
+	if !ok {
+		return nil, "", fmt.Errorf("mcdbr: group table %q not registered", groupTable)
+	}
+	idx := t.Schema().Lookup(groupCol)
+	if idx < 0 {
+		return nil, "", fmt.Errorf("mcdbr: group column %q not in %s", groupCol, groupTable)
+	}
+	var values []types.Value
+	seen := map[string]bool{}
+	for _, r := range t.Rows() {
+		key := r[idx].String()
+		if !seen[key] {
+			seen[key] = true
+			values = append(values, r[idx])
+		}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i].Compare(values[j]) < 0 })
+	qualCol := groupCol
+	if !strings.Contains(groupCol, ".") {
+		for _, f := range q.froms {
+			if strings.EqualFold(f.table, groupTable) {
+				qualCol = f.alias + "." + groupCol
+				break
+			}
+		}
+	}
+	return values, qualCol, nil
+}
+
+// cloneWith copies the builder and appends one predicate.
+func (q *QueryBuilder) cloneWith(pred expr.Expr) *QueryBuilder {
+	gq := &QueryBuilder{e: q.e, agg: q.agg, aggE: q.aggE}
+	gq.froms = append(gq.froms, q.froms...)
+	gq.where = append(gq.where, q.where...)
+	gq.where = append(gq.where, pred)
+	return gq
+}
+
+// Histogram bins the samples into nBins equal-width buckets; a convenience
+// for text plots in examples and the bench harness.
+func (d *Distribution) Histogram(nBins int) (edges []float64, counts []int) {
+	if nBins < 1 || len(d.Samples) == 0 {
+		return nil, nil
+	}
+	s := stats.Summarize(d.Samples)
+	lo, hi := s.Min, s.Max
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(nBins)
+	edges = make([]float64, nBins+1)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	counts = make([]int, nBins)
+	for _, x := range d.Samples {
+		b := int(math.Floor((x - lo) / width))
+		if b >= nBins {
+			b = nBins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

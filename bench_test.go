@@ -16,7 +16,9 @@ package repro_test
 //	Ablations            BenchmarkAblation_*
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/experiments"
@@ -146,6 +148,83 @@ func BenchmarkE5_HeavyTailRejections(b *testing.B) {
 		if len(rows) != 3 {
 			b.Fatalf("rows = %d", len(rows))
 		}
+	}
+}
+
+// parallelBenchEngine builds the replicate-sharding benchmark workload: a
+// 200-customer loss SUM evaluated under 2000 Monte Carlo replicates.
+func parallelBenchEngine(b *testing.B, seed uint64, workers int) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithParallelism(workers))
+	e.RegisterTable(workload.LossMeans(200, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchParallelMonteCarlo(b *testing.B, workers int) {
+	const reps = 2000
+	for i := 0; i < b.N; i++ {
+		d, err := parallelBenchEngine(b, uint64(i), workers).
+			Query().From("losses", "").SelectSum(expr.C("val")).MonteCarlo(reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Samples) != reps {
+			b.Fatalf("samples = %d", len(d.Samples))
+		}
+	}
+}
+
+// BenchmarkParallel_MonteCarloSequential is the workers=1 baseline for the
+// replicate-sharded executor.
+func BenchmarkParallel_MonteCarloSequential(b *testing.B) { benchParallelMonteCarlo(b, 1) }
+
+// BenchmarkParallel_MonteCarloWorkers runs the same 2000-replicate query
+// replicate-sharded across NumCPU workers; output is bit-identical to the
+// sequential baseline.
+func BenchmarkParallel_MonteCarloWorkers(b *testing.B) {
+	benchParallelMonteCarlo(b, runtime.NumCPU())
+}
+
+// BenchmarkParallel_Speedup times sequential and replicate-sharded
+// execution of the same 2000-replicate query back to back and reports
+// their ratio as the "speedup" metric (×; ~NumCPU on an otherwise idle
+// multi-core machine, 1.0 on a single-core one). It also re-checks
+// bit-identity of the two sample vectors on every iteration.
+func BenchmarkParallel_Speedup(b *testing.B) {
+	const reps = 2000
+	workers := runtime.NumCPU()
+	var seqDur, parDur time.Duration
+	for i := 0; i < b.N; i++ {
+		q := func(w int) []float64 {
+			d, err := parallelBenchEngine(b, uint64(i), w).
+				Query().From("losses", "").SelectSum(expr.C("val")).MonteCarlo(reps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d.Samples
+		}
+		start := time.Now()
+		seq := q(1)
+		seqDur += time.Since(start)
+		start = time.Now()
+		par := q(workers)
+		parDur += time.Since(start)
+		for j := range seq {
+			if seq[j] != par[j] {
+				b.Fatalf("replicate %d: sequential %v vs parallel %v", j, seq[j], par[j])
+			}
+		}
+	}
+	if parDur > 0 {
+		b.ReportMetric(seqDur.Seconds()/parDur.Seconds(), "speedup")
+		b.ReportMetric(float64(workers), "workers")
 	}
 }
 

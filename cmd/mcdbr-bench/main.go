@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/mcdbr"
 )
 
 func main() {
@@ -27,9 +28,11 @@ func main() {
 	scaleDiv := flag.Int("scalediv", 100, "TPC-H-like workload is paper scale divided by this")
 	runs := flag.Int("runs", 20, "number of Figure 5 repetitions (E2)")
 	seed := flag.Uint64("seed", 42, "master PRNG seed")
+	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
 	flag.Parse()
 
+	engineOpts := []mcdbr.Option{mcdbr.WithParallelism(*workers)}
 	want := strings.ToUpper(*exp)
 	run := func(name string) bool { return want == "ALL" || want == name }
 	fail := func(err error) {
@@ -38,7 +41,7 @@ func main() {
 	}
 
 	if run("E1") {
-		res, err := experiments.RunE1(*scaleDiv, *seed)
+		res, err := experiments.RunE1(*scaleDiv, *seed, engineOpts...)
 		if err != nil {
 			fail(err)
 		}
@@ -46,7 +49,7 @@ func main() {
 		fmt.Println()
 	}
 	if run("E2") {
-		res, err := experiments.RunE2(*scaleDiv, *runs, *seed)
+		res, err := experiments.RunE2(*scaleDiv, *runs, *seed, engineOpts...)
 		if err != nil {
 			fail(err)
 		}
@@ -65,7 +68,7 @@ func main() {
 		fmt.Println()
 	}
 	if run("E3") {
-		res, err := experiments.RunE3(*seed)
+		res, err := experiments.RunE3(*seed, engineOpts...)
 		if err != nil {
 			fail(err)
 		}
@@ -81,7 +84,7 @@ func main() {
 		fmt.Println()
 	}
 	if run("E5") {
-		rows, err := experiments.RunE5(*seed)
+		rows, err := experiments.RunE5(*seed, engineOpts...)
 		if err != nil {
 			fail(err)
 		}

@@ -34,16 +34,17 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master PRNG seed")
 	window := flag.Int("window", 1024, "stream values materialized per TS-seed per run")
 	samples := flag.Int("samples", 0, "tail-sampling budget N (0 = choose via Appendix C)")
+	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU); results are identical for any value")
 	flag.Parse()
 
-	if err := run(loads, *seed, *window, *samples, flag.Args()); err != nil {
+	if err := run(loads, *seed, *window, *samples, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdbr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, seed uint64, window, samples int, args []string) error {
-	engine := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(window))
+func run(loads loadFlags, seed uint64, window, samples, workers int, args []string) error {
+	engine := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(window), mcdbr.WithParallelism(workers))
 	for _, spec := range loads {
 		parts := strings.SplitN(spec, "=", 2)
 		if len(parts) != 2 {

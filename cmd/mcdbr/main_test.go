@@ -48,17 +48,17 @@ SELECT MIN(totalLoss) FROM FTABLE;
 	if err := os.WriteFile(script, []byte(sql), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, []string{script})
+	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, 2, []string{script})
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(loadFlags{"bad"}, 1, 64, 0, nil); err == nil {
+	if err := run(loadFlags{"bad"}, 1, 64, 0, 1, nil); err == nil {
 		t.Fatal("bad -load must error")
 	}
-	if err := run(nil, 1, 64, 0, []string{"/nonexistent/file.sql"}); err == nil {
+	if err := run(nil, 1, 64, 0, 1, []string{"/nonexistent/file.sql"}); err == nil {
 		t.Fatal("missing script must error")
 	}
 }

@@ -7,4 +7,24 @@
 // the paper-versus-measured record. The root-level bench_test.go
 // regenerates every table and figure of the paper's evaluation via the
 // repro/internal/experiments package.
+//
+// # Parallel execution
+//
+// The engine executes Monte Carlo work replicate-sharded across worker
+// goroutines (mcdbr.WithParallelism; the -workers flag of cmd/mcdbr and
+// cmd/mcdbr-bench). The design rests on the seed-substream sharding
+// contract: MCDB-R represents random tables by TS-seeds, each TS-seed owns
+// a counter-based pseudorandom stream (repro/internal/prng), and element i
+// of a stream is a pure function of the SplitMix64-derived (seed, i) pair
+// — never of the order elements are generated in or of the window they are
+// materialized into. Replicate i of a query therefore depends only on
+// stream positions i, so the N replicates can be split into contiguous
+// per-worker windows; each worker re-runs the plan in a private
+// exec.Workspace over the shared catalog (allocating the same seeds with
+// the same streams, since seed allocation is a pure function of the
+// deterministic pipeline), materializes only its window, and evaluates
+// only its replicates. Merging shard outputs in replicate order yields
+// results bit-for-bit identical to sequential execution for every worker
+// count; tail sampling likewise recomputes its per-version aggregate
+// states on a parallel fast path with identical results.
 package repro

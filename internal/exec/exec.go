@@ -32,6 +32,14 @@ type Workspace struct {
 	// Window is the number of fresh stream values Instantiate materializes
 	// per seed per run (the paper's "1000 random values initially").
 	Window int
+	// Base is the first stream position Instantiate materializes on a
+	// non-replenishing run: the window covers [Base, Base+Window). It is 0
+	// for ordinary sequential execution; replicate-sharded parallel
+	// execution gives each worker a workspace whose Base is the first
+	// replicate of its shard, so workers materialize disjoint slices of the
+	// same streams (stream element values depend only on (seed, position),
+	// never on the window they were materialized into).
+	Base uint64
 	// Catalog resolves Scan table names.
 	Catalog *storage.Catalog
 	// Replenishing is true during a §9 replenishing run.
@@ -272,7 +280,7 @@ func (n *Instantiate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 					return nil, err
 				}
 			} else {
-				if err := s.Materialize(0, ws.Window, nil); err != nil {
+				if err := s.Materialize(ws.Base, ws.Window, nil); err != nil {
 					return nil, err
 				}
 			}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+func TestShardsPartition(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{1, 1}, {1, 8}, {7, 1}, {7, 2}, {7, 3}, {7, 7}, {7, 16},
+		{1000, 4}, {1001, 4}, {1024, 3},
+	}
+	for _, tc := range cases {
+		windows := Shards(tc.n, tc.workers)
+		want := tc.workers
+		if want > tc.n {
+			want = tc.n
+		}
+		if len(windows) != want {
+			t.Errorf("Shards(%d, %d): %d windows, want %d", tc.n, tc.workers, len(windows), want)
+		}
+		next := 0
+		for _, w := range windows {
+			if w[0] != next {
+				t.Fatalf("Shards(%d, %d): window starts at %d, want %d", tc.n, tc.workers, w[0], next)
+			}
+			if w[1] <= w[0] {
+				t.Fatalf("Shards(%d, %d): empty window %v", tc.n, tc.workers, w)
+			}
+			next = w[1]
+		}
+		if next != tc.n {
+			t.Errorf("Shards(%d, %d): windows cover [0, %d), want [0, %d)", tc.n, tc.workers, next, tc.n)
+		}
+	}
+	if got := Shards(0, 4); got != nil {
+		t.Errorf("Shards(0, 4) = %v, want nil", got)
+	}
+}
+
+func shardProto() *Workspace {
+	cat := storage.NewCatalog()
+	tbl := storage.NewTable("t", types.NewSchema(types.Column{Name: "x", Kind: types.KindInt}))
+	tbl.MustAppend(types.Row{types.NewInt(1)})
+	cat.Put(tbl)
+	return NewWorkspace(cat, prng.NewStream(99), 512)
+}
+
+func TestShardWorkspace(t *testing.T) {
+	proto := shardProto()
+	ws := ShardWorkspace(proto, 100, 160)
+	if ws.Base != 100 || ws.Window != 60 {
+		t.Fatalf("shard workspace Base=%d Window=%d, want 100/60", ws.Base, ws.Window)
+	}
+	if ws.Catalog != proto.Catalog {
+		t.Error("shard workspace must share the prototype catalog")
+	}
+	if ws.Master != proto.Master {
+		t.Error("shard workspace must share the prototype master stream")
+	}
+	if ws.Seeds == proto.Seeds {
+		t.Error("shard workspace must have a private seed store")
+	}
+}
+
+func TestRunShardedMergesInReplicateOrder(t *testing.T) {
+	proto := shardProto()
+	for _, workers := range []int{1, 2, 3, 5, 16} {
+		out, err := RunSharded(proto, 11, workers, func(sh Shard) ([]float64, error) {
+			res := make([]float64, sh.Len())
+			for i := range res {
+				res[i] = float64(sh.Lo + i)
+			}
+			return res, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 11 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != float64(i) {
+				t.Fatalf("workers=%d: out[%d] = %g, want %d", workers, i, v, i)
+			}
+		}
+	}
+}
+
+func TestRunShardedShardWindows(t *testing.T) {
+	proto := shardProto()
+	_, err := RunSharded(proto, 10, 3, func(sh Shard) ([]float64, error) {
+		if sh.WS.Base != uint64(sh.Lo) {
+			return nil, fmt.Errorf("shard %d: Base=%d, want %d", sh.Index, sh.WS.Base, sh.Lo)
+		}
+		if sh.WS.Window != sh.Len() {
+			return nil, fmt.Errorf("shard %d: Window=%d, want %d", sh.Index, sh.WS.Window, sh.Len())
+		}
+		return make([]float64, sh.Len()), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedErrors(t *testing.T) {
+	proto := shardProto()
+	if _, err := RunSharded(proto, 0, 2, nil); err == nil {
+		t.Error("n=0 must error")
+	}
+	boom := fmt.Errorf("boom")
+	_, err := RunSharded(proto, 10, 4, func(sh Shard) ([]float64, error) {
+		if sh.Index == 2 {
+			return nil, boom
+		}
+		return make([]float64, sh.Len()), nil
+	})
+	if err != boom {
+		t.Errorf("worker error not propagated: %v", err)
+	}
+	_, err = RunSharded(proto, 10, 2, func(sh Shard) ([]float64, error) {
+		return make([]float64, sh.Len()+1), nil
+	})
+	if err == nil {
+		t.Error("wrong result length must error")
+	}
+}

@@ -30,23 +30,23 @@ import (
 // TPCHEngine builds an engine loaded with the Appendix D accuracy workload
 // (inverse-gamma hyperpriors, skewed join) at 1/scaleDiv of paper scale and
 // defines the random_ord table (val ~ Normal(o_mean, o_var) per order).
-func TPCHEngine(scaleDiv int, seed uint64) (*mcdbr.Engine, error) {
-	return tpchEngine(workload.DefaultTPCH(scaleDiv), seed)
+func TPCHEngine(scaleDiv int, seed uint64, opts ...mcdbr.Option) (*mcdbr.Engine, error) {
+	return tpchEngine(workload.DefaultTPCH(scaleDiv), seed, opts...)
 }
 
 // TPCHTimingEngine builds the Appendix D *timing* workload (mean and
 // variance of one, plain join).
-func TPCHTimingEngine(scaleDiv int, seed uint64) (*mcdbr.Engine, error) {
-	return tpchEngine(workload.TimingTPCH(scaleDiv), seed)
+func TPCHTimingEngine(scaleDiv int, seed uint64, opts ...mcdbr.Option) (*mcdbr.Engine, error) {
+	return tpchEngine(workload.TimingTPCH(scaleDiv), seed, opts...)
 }
 
-func tpchEngine(cfg workload.TPCHConfig, seed uint64) (*mcdbr.Engine, error) {
+func tpchEngine(cfg workload.TPCHConfig, seed uint64, opts ...mcdbr.Option) (*mcdbr.Engine, error) {
 	cfg.Seed = seed*2654435761 + 97
 	orders, lineitem, err := workload.TPCHLike(cfg)
 	if err != nil {
 		return nil, err
 	}
-	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(1000))
+	e := mcdbr.New(append([]mcdbr.Option{mcdbr.WithSeed(seed), mcdbr.WithWindow(1000)}, opts...)...)
 	e.RegisterTable(orders)
 	e.RegisterTable(lineitem)
 	err = e.DefineRandomTable(mcdbr.RandomTable{
@@ -111,11 +111,11 @@ type E1Result struct {
 // RunE1 executes the Appendix D timing experiment: MCDB-R with the paper's
 // parameters (m=5, p^{1/m}=0.25, N=500, l=100, window 1000) against naive
 // MCDB extrapolated to the ~l/p repetitions it needs for l tail samples.
-func RunE1(scaleDiv int, seed uint64) (*E1Result, error) {
+func RunE1(scaleDiv int, seed uint64, opts ...mcdbr.Option) (*E1Result, error) {
 	p := math.Pow(0.25, 5) // the paper's p^(1/m)=0.25, m=5 => p ≈ 0.000977
 	res := &E1Result{ScaleDiv: scaleDiv, P: p, L: 100}
 
-	e, err := TPCHTimingEngine(scaleDiv, seed)
+	e, err := TPCHTimingEngine(scaleDiv, seed, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -193,10 +193,10 @@ type E2Result struct {
 // RunE2 executes the Figure 5 accuracy experiment: `runs` independent
 // tail-sampling executions with the paper's parameters (m=5, N=1000,
 // l=100, p = 1-(0.25)^5 quantile) on the skewed-join workload.
-func RunE2(scaleDiv, runs int, seed uint64) (*E2Result, error) {
+func RunE2(scaleDiv, runs int, seed uint64, opts ...mcdbr.Option) (*E2Result, error) {
 	p := math.Pow(0.25, 5)
 	out := &E2Result{Runs: runs}
-	base, err := TPCHEngine(scaleDiv, seed) // same data for all runs
+	base, err := TPCHEngine(scaleDiv, seed, opts...) // same data for all runs
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func RunE2(scaleDiv, runs int, seed uint64) (*E2Result, error) {
 		wg.Add(1)
 		go func(run int) {
 			defer wg.Done()
-			eRun := mcdbrWithSeed(base, seed+uint64(run)*7919+1)
+			eRun := mcdbrWithSeed(base, seed+uint64(run)*7919+1, opts...)
 			tr, err := TPCHQuery(eRun).TailSample(p, 100, mcdbr.TailSampleOptions{
 				TotalSamples: 1000, ForceM: 5,
 			})
@@ -251,8 +251,8 @@ func RunE2(scaleDiv, runs int, seed uint64) (*E2Result, error) {
 
 // mcdbrWithSeed clones an engine's tables and definitions under a new
 // master seed; runs differ only in PRNG randomness, as in the paper.
-func mcdbrWithSeed(e *mcdbr.Engine, seed uint64) *mcdbr.Engine {
-	out := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(1000))
+func mcdbrWithSeed(e *mcdbr.Engine, seed uint64, opts ...mcdbr.Option) *mcdbr.Engine {
+	out := mcdbr.New(append([]mcdbr.Option{mcdbr.WithSeed(seed), mcdbr.WithWindow(1000)}, opts...)...)
 	for _, name := range e.Catalog().Names() {
 		t, _ := e.Table(name)
 		out.RegisterTable(t)
@@ -315,7 +315,7 @@ type E3Result struct {
 
 // RunE3 reproduces the introduction's naive-Monte-Carlo cost numbers
 // analytically and measures reps-to-first-hit at a feasible tail depth.
-func RunE3(seed uint64) (*E3Result, error) {
+func RunE3(seed uint64, opts ...mcdbr.Option) (*E3Result, error) {
 	out := &E3Result{}
 	out.P5Sigma = 1 - stats.StdNormalCDF(5)
 	out.RepsPerHit = naive.ExpectedRepsPerTailHit(out.P5Sigma)
@@ -325,7 +325,7 @@ func RunE3(seed uint64) (*E3Result, error) {
 	// Measured: 20-customer loss sum, cutoff at the 0.999 quantile; naive
 	// needs ~1000 reps per hit.
 	out.MeasuredCutoffP = 0.001
-	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(4096))
+	e := mcdbr.New(append([]mcdbr.Option{mcdbr.WithSeed(seed), mcdbr.WithWindow(4096)}, opts...)...)
 	e.RegisterTable(workload.LossMeans(20, 2, 8, seed))
 	if err := e.DefineRandomTable(mcdbr.RandomTable{
 		Name: "losses", ParamTable: "means", VG: "Normal",
@@ -425,7 +425,7 @@ type E5Row struct {
 // RunE5 measures rejection-sampling cost per update for light- vs
 // heavy-tailed marginals through the full engine (Appendix B): SUM over 10
 // i.i.d. values at p=0.01, with candidates capped per update.
-func RunE5(seed uint64) ([]E5Row, error) {
+func RunE5(seed uint64, opts ...mcdbr.Option) ([]E5Row, error) {
 	cases := []struct {
 		name   string
 		vgName string
@@ -437,7 +437,7 @@ func RunE5(seed uint64) ([]E5Row, error) {
 	}
 	var rows []E5Row
 	for _, tc := range cases {
-		e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(4096))
+		e := mcdbr.New(append([]mcdbr.Option{mcdbr.WithSeed(seed), mcdbr.WithWindow(4096)}, opts...)...)
 		e.RegisterTable(workload.HeavyTailMeans(10, 1))
 		if err := e.DefineRandomTable(mcdbr.RandomTable{
 			Name: "vals", ParamTable: "params", VG: tc.vgName,

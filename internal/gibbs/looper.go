@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/bundle"
@@ -94,6 +95,13 @@ type Config struct {
 	PQMemLimit int
 	// SpillDir receives priority-queue spill files ("" = os.TempDir()).
 	SpillDir string
+	// Parallelism is the number of worker goroutines the batch
+	// state-recomputation path may use; values <= 1 select the sequential
+	// path. Results are bit-for-bit identical for every value: versions are
+	// partitioned across workers, each version's aggregate is accumulated
+	// in the same tuple order as sequential execution, and replenishing
+	// runs are serialized between parallel rounds.
+	Parallelism int
 }
 
 func (c *Config) validate() error {
@@ -236,7 +244,10 @@ func (lp *looper) init() error {
 	if err := lp.loadTuples(false); err != nil {
 		return err
 	}
-	lp.ws.Seeds.InitAssign(lp.cfg.N)
+	// A sharded workspace materializes [Base, Base+Window); start the
+	// version->position mapping at the same offset so version v of this
+	// shard is exactly replicate Base+v of the sequential run.
+	lp.ws.Seeds.InitAssignAt(lp.ws.Base, lp.cfg.N)
 	return nil
 }
 
@@ -272,7 +283,13 @@ func (lp *looper) loadTuples(replenishing bool) error {
 
 // contrib evaluates one tuple's aggregate contribution under a binding.
 func (lp *looper) contrib(tu *bundle.Tuple, b bundle.Binding) (float64, int64, error) {
-	row, present, err := tu.Eval(b, lp.buf)
+	return lp.contribBuf(tu, b, lp.buf)
+}
+
+// contribBuf is contrib with an explicit scratch row so concurrent workers
+// can evaluate versions without sharing lp.buf.
+func (lp *looper) contribBuf(tu *bundle.Tuple, b bundle.Binding, buf types.Row) (float64, int64, error) {
+	row, present, err := tu.Eval(b, buf)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -303,6 +320,9 @@ func (lp *looper) contribRow(row types.Row) (float64, int64, error) {
 // recomputeStates rebuilds every version's aggregate state from scratch,
 // replenishing if any assigned position is not materialized.
 func (lp *looper) recomputeStates(nVersions int) error {
+	if lp.cfg.Parallelism > 1 && nVersions > 1 {
+		return lp.recomputeStatesParallel(nVersions)
+	}
 	lp.states = make([]aggState, nVersions)
 	for v := 0; v < nVersions; {
 		st := lp.base
@@ -331,6 +351,68 @@ func (lp *looper) recomputeStates(nVersions int) error {
 		v++
 	}
 	return nil
+}
+
+// recomputeStatesParallel is the batch-recompute fast path: version states
+// are independent given materialized windows, so they are partitioned into
+// contiguous chunks across cfg.Parallelism workers, each with a private
+// scratch row. Per-version accumulation visits tuples in the same order as
+// the sequential path, so every state is bit-for-bit identical. Workers
+// only read shared looper state; when any version needs stream values
+// outside the materialized windows, the round is abandoned, one
+// replenishing run executes serially, and the whole batch retries (the
+// retry is cheap and replenishment with an unchanged MaxUsed is
+// idempotent, so convergence matches the sequential path).
+func (lp *looper) recomputeStatesParallel(nVersions int) error {
+	for {
+		states := make([]aggState, nVersions)
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+			needRepl bool
+		)
+		for _, w := range exec.Shards(nVersions, lp.cfg.Parallelism) {
+			lo, hi := w[0], w[1]
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				buf := make(types.Row, len(lp.buf))
+				for v := lo; v < hi; v++ {
+					st := lp.base
+					b := bundle.Bind(lp.ws.Seeds, v)
+					for _, i := range lp.randIdx {
+						s, c, err := lp.contribBuf(lp.tuples[i], b, buf)
+						if err != nil {
+							mu.Lock()
+							var nm *bundle.ErrNotMaterialized
+							if errors.As(err, &nm) {
+								needRepl = true
+							} else if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+						st.sum += s
+						st.count += c
+					}
+					states[v] = st
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		if !needRepl {
+			lp.states = states
+			return nil
+		}
+		if err := lp.replenish(); err != nil {
+			return err
+		}
+	}
 }
 
 func (lp *looper) replenish() error {

@@ -30,3 +30,25 @@ func MonteCarlo(ws *exec.Workspace, plan exec.Node, q Query, n int) ([]float64, 
 	}
 	return out, nil
 }
+
+// MonteCarloParallel is MonteCarlo with the n repetitions replicate-sharded
+// across up to workers goroutines. Each worker receives a private workspace
+// over the shared catalog, re-runs the plan (allocating the same TS-seeds
+// with the same SplitMix64-derived substreams, since seed allocation is a
+// pure function of the deterministic pipeline and the master stream),
+// materializes only its shard's stream positions, and evaluates its
+// replicate window; shard outputs are merged in replicate order. Because
+// stream element i is a pure function of (seed, i), the result is
+// bit-for-bit identical to MonteCarlo for every worker count. workers <= 1
+// selects the sequential path on ws itself.
+func MonteCarloParallel(ws *exec.Workspace, plan exec.Node, q Query, n, workers int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gibbs: need n >= 1 repetitions, got %d", n)
+	}
+	if workers <= 1 || n < 2 {
+		return MonteCarlo(ws, plan, q, n)
+	}
+	return exec.RunSharded(ws, n, workers, func(sh exec.Shard) ([]float64, error) {
+		return MonteCarlo(sh.WS, plan, q, sh.Len())
+	})
+}

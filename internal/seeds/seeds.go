@@ -198,15 +198,22 @@ func (st *Store) IDs() []uint64 { return append([]uint64(nil), st.order...) }
 // (version v uses stream position v) for n versions, and MaxUsed = n-1 —
 // the paper's initial mapping "the i-th value in each stream is mapped to
 // the i-th DB version".
-func (st *Store) InitAssign(n int) {
+func (st *Store) InitAssign(n int) { st.InitAssignAt(0, n) }
+
+// InitAssignAt is InitAssign shifted to a shard base: version v uses
+// stream position base+v, and MaxUsed = base+n-1. Replicate-sharded
+// parallel execution uses it so a worker handling replicates [base,
+// base+n) evaluates exactly the stream positions the sequential engine
+// would assign to those replicates.
+func (st *Store) InitAssignAt(base uint64, n int) {
 	for _, id := range st.order {
 		s := st.byID[id]
 		s.Assign = make([]uint64, n)
 		for v := 0; v < n; v++ {
-			s.Assign[v] = uint64(v)
+			s.Assign[v] = base + uint64(v)
 		}
 		if n > 0 {
-			s.MaxUsed = uint64(n - 1)
+			s.MaxUsed = base + uint64(n-1)
 		}
 	}
 }

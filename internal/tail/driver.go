@@ -23,6 +23,9 @@ type Options struct {
 	MaxTriesPerUpdate int
 	// SpillDir receives priority-queue spill files.
 	SpillDir string
+	// Parallelism is the number of worker goroutines for batch version
+	// recomputation (see gibbs.Config.Parallelism); <= 1 is sequential.
+	Parallelism int
 }
 
 // Sample runs MCDB-R tail sampling: it estimates the (1-p)-quantile of the
@@ -76,5 +79,6 @@ func Configure(p float64, l int, opts Options) (gibbs.Config, error) {
 		K:                 opts.K,
 		MaxTriesPerUpdate: opts.MaxTriesPerUpdate,
 		SpillDir:          opts.SpillDir,
+		Parallelism:       opts.Parallelism,
 	}, nil
 }

@@ -14,6 +14,7 @@ package mcdbr
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/expr"
@@ -25,11 +26,12 @@ import (
 // Engine is a Monte Carlo database instance. Create one with New; an
 // Engine is not safe for concurrent query execution.
 type Engine struct {
-	cat    *storage.Catalog
-	vgs    *vg.Registry
-	rand   map[string]*RandomTable
-	seed   uint64
-	window int
+	cat         *storage.Catalog
+	vgs         *vg.Registry
+	rand        map[string]*RandomTable
+	seed        uint64
+	window      int
+	parallelism int
 }
 
 // Option configures an Engine.
@@ -44,14 +46,32 @@ func WithSeed(seed uint64) Option { return func(e *Engine) { e.seed = seed } }
 // windows mean fewer replenishing runs but more memory.
 func WithWindow(n int) Option { return func(e *Engine) { e.window = n } }
 
+// WithParallelism sets how many worker goroutines query execution may use:
+// Monte Carlo repetitions are replicate-sharded across workers, and tail
+// sampling recomputes version states in parallel. Results are bit-for-bit
+// identical for every worker count. 1 selects sequential execution; n <= 0
+// selects runtime.NumCPU() (the default).
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		e.parallelism = n
+	}
+}
+
+// Parallelism reports the engine's worker count.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
 // New creates an empty engine with all built-in VG functions registered.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		cat:    storage.NewCatalog(),
-		vgs:    vg.NewRegistry(),
-		rand:   make(map[string]*RandomTable),
-		seed:   0x6d636462, // "mcdb"
-		window: 1024,
+		cat:         storage.NewCatalog(),
+		vgs:         vg.NewRegistry(),
+		rand:        make(map[string]*RandomTable),
+		seed:        0x6d636462, // "mcdb"
+		window:      1024,
+		parallelism: runtime.NumCPU(),
 	}
 	for _, o := range opts {
 		o(e)

@@ -1,0 +1,136 @@
+package mcdbr_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/workload"
+	"repro/mcdbr"
+)
+
+// lossEngine builds the §2 loss workload with the given worker count.
+func lossEngine(t *testing.T, workers int) *mcdbr.Engine {
+	t.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(42), mcdbr.WithParallelism(workers))
+	e.RegisterTable(workload.LossMeans(40, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineParallelismMonteCarloDeterminism runs the same SQL aggregate
+// query under worker counts {1, 2, 3, NumCPU} and requires byte-identical
+// sample vectors — the public-API face of the sharded executor's contract.
+func TestEngineParallelismMonteCarloDeterminism(t *testing.T) {
+	const sql = `SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10030
+WITH RESULTDISTRIBUTION MONTECARLO(301)`
+	var want []float64
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+		res, err := lossEngine(t, workers).Exec(sql)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.Dist.Samples
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: sample %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEngineParallelismTailDeterminism runs a Gibbs tail-sampling query
+// under worker counts {1, 2, 3, NumCPU} and requires identical quantile
+// estimates and tail samples.
+func TestEngineParallelismTailDeterminism(t *testing.T) {
+	const sql = `SELECT SUM(val) AS totalLoss FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(50)
+DOMAIN totalLoss >= QUANTILE(0.95)`
+	opts := mcdbr.TailSampleOptions{TotalSamples: 200, ForceM: 2}
+	var want *mcdbr.TailResult
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+		res, err := lossEngine(t, workers).ExecWithOptions(sql, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := res.Tail
+		if want == nil {
+			want = got
+			continue
+		}
+		if got.QuantileEstimate != want.QuantileEstimate {
+			t.Errorf("workers=%d: quantile %v, want %v", workers, got.QuantileEstimate, want.QuantileEstimate)
+		}
+		if len(got.Samples) != len(want.Samples) {
+			t.Fatalf("workers=%d: %d tail samples, want %d", workers, len(got.Samples), len(want.Samples))
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Fatalf("workers=%d: tail sample %d = %v, want %v", workers, i, got.Samples[i], want.Samples[i])
+			}
+		}
+	}
+}
+
+// TestEngineParallelismJoinDeterminism shards the salary-inversion
+// self-join — Split-rewritten joins, presence vectors, and a cross-seed
+// final predicate evaluated inside the looper — and requires identical
+// samples for every worker count.
+func TestEngineParallelismJoinDeterminism(t *testing.T) {
+	build := func(workers int) *mcdbr.QueryBuilder {
+		e := mcdbr.New(mcdbr.WithSeed(77), mcdbr.WithParallelism(workers))
+		sup, empmeans := workload.SalaryDB()
+		e.RegisterTable(sup)
+		e.RegisterTable(empmeans)
+		if err := e.DefineRandomTable(mcdbr.RandomTable{
+			Name:       "emp",
+			ParamTable: "empmeans",
+			VG:         "Normal",
+			VGParams:   []expr.Expr{expr.C("msal"), expr.F(4e6)},
+			Columns: []mcdbr.RandomCol{
+				{Name: "eid", FromParam: "eid"},
+				{Name: "sal", VGOut: 0},
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Query().
+			From("emp", "emp1").
+			From("emp", "emp2").
+			From("sup", "sup").
+			Where(expr.B(expr.OpEq, expr.C("sup.boss"), expr.C("emp1.eid"))).
+			Where(expr.B(expr.OpEq, expr.C("sup.peon"), expr.C("emp2.eid"))).
+			Where(expr.B(expr.OpGt, expr.C("emp2.sal"), expr.C("emp1.sal"))).
+			SelectSum(expr.B(expr.OpSub, expr.C("emp2.sal"), expr.C("emp1.sal")))
+	}
+	const n = 83
+	var want []float64
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+		d, err := build(workers).MonteCarlo(n)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = d.Samples
+			continue
+		}
+		for i := range want {
+			if d.Samples[i] != want[i] {
+				t.Fatalf("workers=%d: sample %d = %v, want %v", workers, i, d.Samples[i], want[i])
+			}
+		}
+	}
+}

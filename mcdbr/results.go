@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/gibbs"
-	"repro/internal/naive"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tail"
@@ -84,7 +83,9 @@ type TailResult struct {
 }
 
 // MonteCarlo runs the query with n plain Monte Carlo repetitions (original
-// MCDB semantics) and returns the unconditioned result distribution.
+// MCDB semantics) and returns the unconditioned result distribution. The
+// repetitions are replicate-sharded across the engine's worker count (see
+// WithParallelism); samples are identical for every worker count.
 func (q *QueryBuilder) MonteCarlo(n int) (*Distribution, error) {
 	window := q.e.window
 	if n > window {
@@ -94,7 +95,7 @@ func (q *QueryBuilder) MonteCarlo(n int) (*Distribution, error) {
 	if err != nil {
 		return nil, err
 	}
-	samples, err := naive.MonteCarlo(c.ws, c.plan, c.gq, n)
+	samples, err := gibbs.MonteCarloParallel(c.ws, c.plan, c.gq, n, q.e.parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +118,9 @@ type TailSampleOptions struct {
 	MaxTriesPerUpdate int
 	// Lower samples the lower tail (small-value risk) instead of the upper.
 	Lower bool
+	// Parallelism overrides the engine's worker count for this query's
+	// batch version recomputation (0 = engine default, 1 = sequential).
+	Parallelism int
 }
 
 // TailSample estimates the (1-p)-quantile of the query-result distribution
@@ -127,12 +131,17 @@ type TailSampleOptions struct {
 //
 // clause. For Lower tails the DOMAIN is result <= QUANTILE(p).
 func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (*TailResult, error) {
+	parallelism := opts.Parallelism
+	if parallelism == 0 {
+		parallelism = q.e.parallelism
+	}
 	cfg, err := tail.Configure(p, l, tail.Options{
 		TotalSamples:      opts.TotalSamples,
 		MSRETarget:        opts.MSRETarget,
 		K:                 opts.K,
 		ForceM:            opts.ForceM,
 		MaxTriesPerUpdate: opts.MaxTriesPerUpdate,
+		Parallelism:       parallelism,
 	})
 	if err != nil {
 		return nil, err

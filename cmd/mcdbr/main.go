@@ -137,6 +137,8 @@ func printResult(res *mcdbr.ExecResult) {
 		d := res.Dist
 		fmt.Printf("result distribution: n=%d mean=%g sd=%g min=%g max=%g\n",
 			len(d.Samples), d.Mean(), d.Std(), d.ECDF().Min(), d.ECDF().Max())
+	case mcdbr.ExecExplained:
+		fmt.Print(res.Explain)
 	case mcdbr.ExecTail:
 		t := res.Tail
 		dir := ">="

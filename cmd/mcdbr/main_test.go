@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
@@ -51,6 +53,48 @@ SELECT MIN(totalLoss) FROM FTABLE;
 	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, 2, []string{script})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunExplain: an EXPLAIN statement in a script prints the plan
+// description instead of executing the query.
+func TestRunExplain(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "means.csv")
+	if err := workload.LossMeans(10, 2, 8, 3).SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "explain.sql")
+	sql := `
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal;
+
+EXPLAIN SELECT SUM(val) AS totalLoss
+FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(50);
+`
+	if err := os.WriteFile(script, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	runErr := run(loadFlags{"means=" + csvPath}, 42, 1024, 0, 1, []string{script})
+	os.Stdout = saved
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"logical plan:", "rules fired:", "physical plan:", "Seed(Normal)"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -97,6 +97,9 @@ type Node interface {
 	Run(ws *Workspace) ([]*bundle.Tuple, error)
 	// Deterministic reports whether the subtree involves no randomness.
 	Deterministic() bool
+	// Children returns the operator's inputs, left to right (see
+	// FormatPlan).
+	Children() []Node
 	// String names the operator for plan display.
 	String() string
 }

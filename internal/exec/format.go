@@ -1,0 +1,38 @@
+package exec
+
+import "strings"
+
+// Children implements Node for every operator; EXPLAIN uses it to render
+// the physical tree.
+
+func (s *Scan) Children() []Node        { return nil }
+func (s *Seed) Children() []Node        { return []Node{s.Child} }
+func (n *Instantiate) Children() []Node { return []Node{n.Child} }
+func (n *Select) Children() []Node      { return []Node{n.Child} }
+func (n *Project) Children() []Node     { return []Node{n.Child} }
+func (n *HashJoin) Children() []Node    { return []Node{n.Left, n.Right} }
+func (n *Cross) Children() []Node       { return []Node{n.Left, n.Right} }
+func (n *Split) Children() []Node       { return []Node{n.Child} }
+func (n *Rename) Children() []Node      { return []Node{n.Child} }
+
+// FormatPlan renders the operator tree as an indented listing, one node
+// per line, marking deterministic (materialization-cached) subtrees.
+func FormatPlan(root Node) string {
+	var b strings.Builder
+	formatInto(&b, root, 0)
+	return b.String()
+}
+
+func formatInto(b *strings.Builder, n Node, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.String())
+	if n.Deterministic() {
+		b.WriteString(" [det]")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children() {
+		formatInto(b, c, depth+1)
+	}
+}

@@ -144,6 +144,27 @@ func Columns(e Expr) []string {
 	return out
 }
 
+// RenameColumns returns a copy of e with every column name passed through
+// f; the planner uses it to qualify unqualified references. Nodes without
+// column references are shared, not copied.
+func RenameColumns(e Expr, f func(string) string) Expr {
+	switch n := e.(type) {
+	case *Col:
+		if renamed := f(n.Name); renamed != n.Name {
+			return &Col{Name: renamed}
+		}
+		return n
+	case *Bin:
+		return &Bin{Op: n.Op, Left: RenameColumns(n.Left, f), Right: RenameColumns(n.Right, f)}
+	case *Not:
+		return &Not{Inner: RenameColumns(n.Inner, f)}
+	case *Neg:
+		return &Neg{Inner: RenameColumns(n.Inner, f)}
+	default:
+		return e
+	}
+}
+
 // Compiled is an expression bound to a schema, ready for evaluation.
 type Compiled struct {
 	eval func(types.Row) types.Value

@@ -196,3 +196,28 @@ func TestCompiledNoAllocEval(t *testing.T) {
 		t.Fatalf("Eval allocates %v per run, want 0", allocs)
 	}
 }
+
+func TestRenameColumns(t *testing.T) {
+	e := B(OpAnd,
+		B(OpGt, C("val"), F(1)),
+		&Not{Inner: B(OpEq, &Neg{Inner: C("cid")}, C("l.cid"))})
+	got := RenameColumns(e, func(name string) string {
+		if name == "val" || name == "cid" {
+			return "l." + name
+		}
+		return name
+	})
+	want := "((l.val > 1) AND NOT (-l.cid = l.cid))"
+	if got.String() != want {
+		t.Fatalf("renamed = %s, want %s", got, want)
+	}
+	// The original expression is untouched.
+	if e.String() != "((val > 1) AND NOT (-cid = l.cid))" {
+		t.Fatalf("original mutated: %s", e)
+	}
+	// Identity rename shares leaf nodes instead of copying.
+	id := RenameColumns(e, func(name string) string { return name })
+	if id.String() != e.String() {
+		t.Fatalf("identity rename changed the expression: %s", id)
+	}
+}

@@ -1,0 +1,214 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// From is one FROM-clause entry; an empty alias defaults to the table name.
+type From struct {
+	Table string
+	Alias string
+}
+
+// Query is the planner's input: FROM items plus WHERE conjuncts. The
+// aggregate is not part of the logical plan — it belongs to the Gibbs
+// looper, which consumes the plan's output stream.
+type Query struct {
+	Froms []From
+	Where []expr.Expr
+}
+
+// Plan is the planner's output: the rewritten logical tree, the conjuncts
+// that must move into the looper's final predicate (paper App. A), and the
+// trace of rewrite rules that fired.
+type Plan struct {
+	Root Node
+	// Final collects conjuncts spanning random attributes of several
+	// aliases; they cannot be evaluated as presence vectors and become
+	// the Gibbs looper's final predicate.
+	Final []expr.Expr
+	// Fired lists the names of the rewrite rules that changed the plan,
+	// in application order.
+	Fired []string
+}
+
+// conjunct is one WHERE conjunct with its classification (paper App. A):
+// which aliases it references, and for which of them it touches
+// VG-generated (random) attributes.
+type conjunct struct {
+	e       expr.Expr
+	aliases []string // sorted, lower-cased
+	rand    []string // sorted, lower-cased; subset of aliases
+	used    bool
+}
+
+func (c *conjunct) touches(alias string) bool {
+	for _, a := range c.aliases {
+		if a == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// state is the mutable planning context the rewrite rules operate on.
+// Before join ordering the plan is a forest (one subtree per FROM item)
+// plus the conjunct pool; order-joins-greedy collapses it into root.
+type state struct {
+	cat   Catalog
+	froms []From
+	subs  []Node
+	conjs []conjunct
+	final []expr.Expr
+	root  Node
+
+	aliasIdx map[string]int    // lower-cased alias -> froms index
+	cols     []map[string]bool // per FROM item: lower-cased column names
+	randCols []map[string]bool // per FROM item: lower-cased VG-generated columns
+}
+
+// Build plans a query: it seeds one Rel per FROM item, applies the rule
+// sequence (see Rules), and returns the finished plan with its rewrite
+// trace.
+func Build(cat Catalog, q Query) (*Plan, error) {
+	s, err := newState(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{}
+	for _, r := range Rules {
+		changed, err := r.apply(s)
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			p.Fired = append(p.Fired, r.Name)
+		}
+	}
+	p.Root = s.root
+	p.Final = s.final
+	return p, nil
+}
+
+// newState validates the FROM items against the catalog and seeds the
+// planning context: one Rel per item, the split WHERE conjuncts, and the
+// per-alias column metadata.
+func newState(cat Catalog, q Query) (*state, error) {
+	if len(q.Froms) == 0 {
+		return nil, fmt.Errorf("plan: query has no FROM items")
+	}
+	s := &state{
+		cat:      cat,
+		froms:    q.Froms,
+		subs:     make([]Node, len(q.Froms)),
+		aliasIdx: make(map[string]int, len(q.Froms)),
+		cols:     make([]map[string]bool, len(q.Froms)),
+		randCols: make([]map[string]bool, len(q.Froms)),
+	}
+	for i, f := range q.Froms {
+		if f.Alias == "" {
+			f.Alias = f.Table
+			s.froms[i].Alias = f.Table
+		}
+		key := strings.ToLower(f.Alias)
+		if _, dup := s.aliasIdx[key]; dup {
+			return nil, fmt.Errorf("plan: duplicate alias %q", f.Alias)
+		}
+		s.aliasIdx[key] = i
+		cols := map[string]bool{}
+		rand := map[string]bool{}
+		if rm, ok := cat.Random(f.Table); ok {
+			for _, c := range rm.Columns {
+				cols[strings.ToLower(c.Name)] = true
+				if c.FromParam == "" {
+					rand[strings.ToLower(c.Name)] = true
+				}
+			}
+		} else if names, ok := cat.TableColumns(f.Table); ok {
+			for _, n := range names {
+				cols[strings.ToLower(n)] = true
+			}
+		} else {
+			return nil, fmt.Errorf("plan: table %q not registered", f.Table)
+		}
+		s.cols[i], s.randCols[i] = cols, rand
+		s.subs[i] = &Rel{Table: f.Table, Alias: f.Alias}
+	}
+	for _, w := range q.Where {
+		for _, c := range expr.SplitConjuncts(w) {
+			s.conjs = append(s.conjs, conjunct{e: c})
+		}
+	}
+	return s, nil
+}
+
+// qualifierOf splits a qualified column name, returning the lower-cased
+// alias part.
+func qualifierOf(col string) (string, bool) {
+	i := strings.IndexByte(col, '.')
+	if i < 0 {
+		return "", false
+	}
+	return strings.ToLower(col[:i]), true
+}
+
+// isRandomColumn reports whether the qualified column names a VG-generated
+// attribute of its alias.
+func (s *state) isRandomColumn(col string) bool {
+	a, ok := qualifierOf(col)
+	if !ok {
+		return false
+	}
+	i, ok := s.aliasIdx[a]
+	if !ok {
+		return false
+	}
+	base := strings.ToLower(col[strings.IndexByte(col, '.')+1:])
+	return s.randCols[i][base]
+}
+
+// classify fills a conjunct's alias sets from its (resolved) column
+// references. Every qualifier must name a FROM alias.
+func (s *state) classify(c *conjunct) error {
+	aliases := map[string]bool{}
+	rand := map[string]bool{}
+	for _, col := range expr.Columns(c.e) {
+		a, ok := qualifierOf(col)
+		if !ok {
+			// resolve-columns runs first; reaching here means a column
+			// survived unqualified, which only happens for single-table
+			// queries where the sole alias is implied.
+			a = strings.ToLower(s.froms[0].Alias)
+		}
+		if _, known := s.aliasIdx[a]; !known {
+			return fmt.Errorf("plan: unknown alias %q in column %q (FROM aliases: %s)", a, col, s.aliasList())
+		}
+		aliases[a] = true
+		if s.isRandomColumn(col) {
+			rand[a] = true
+		}
+	}
+	c.aliases, c.rand = sortedKeys(aliases), sortedKeys(rand)
+	return nil
+}
+
+func (s *state) aliasList() string {
+	names := make([]string, len(s.froms))
+	for i, f := range s.froms {
+		names[i] = f.Alias
+	}
+	return strings.Join(names, ", ")
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package plan
+
+import "repro/internal/expr"
+
+// Catalog supplies the table metadata the planner needs: row counts for
+// join ordering, column names for unqualified-reference resolution, and
+// random-table definitions for the Seed/Instantiate expansion.
+type Catalog interface {
+	// TableRows reports the row count of an ordinary catalog table.
+	TableRows(name string) (rows int, ok bool)
+	// TableColumns lists an ordinary table's column names.
+	TableColumns(name string) ([]string, bool)
+	// Random returns the definition of a random (uncertain) table, if
+	// name denotes one.
+	Random(name string) (*RandomMeta, bool)
+}
+
+// RandomMeta describes a random table: the paper's
+// CREATE TABLE ... FOR EACH row IN paramTable WITH alias AS VG(VALUES(...)).
+type RandomMeta struct {
+	// ParamTable is the ordinary table the FOR EACH clause iterates over.
+	ParamTable string
+	// VG names the registered variable-generation function.
+	VG string
+	// VGParams are evaluated against each parameter-table row.
+	VGParams []expr.Expr
+	// NumOuts is the VG function's output arity.
+	NumOuts int
+	// Columns define the random table's schema.
+	Columns []RandomColMeta
+}
+
+// RandomColMeta maps one output column to its source: a parameter-table
+// column (FromParam non-empty) or a VG output index.
+type RandomColMeta struct {
+	Name      string
+	FromParam string
+	VGOut     int
+}

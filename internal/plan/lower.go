@@ -1,0 +1,80 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/vg"
+)
+
+// Lower compiles a logical tree into the physical exec operators. The
+// catalog resolves Scan schemas and the registry resolves VG functions;
+// schema errors (unknown tables, columns, key mismatches) surface here.
+func Lower(root Node, cat *storage.Catalog, vgs *vg.Registry) (exec.Node, error) {
+	switch n := root.(type) {
+	case *Rel:
+		return exec.NewScan(cat, n.Table, n.Alias)
+	case *Seed:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		gen, ok := vgs.Lookup(n.VG)
+		if !ok {
+			return nil, fmt.Errorf("plan: VG function %q not registered", n.VG)
+		}
+		return exec.NewSeed(child, gen, n.Params, n.OutNames)
+	case *Instantiate:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Instantiate{Child: child}, nil
+	case *Filter:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Select{Child: child, Pred: n.Pred}, nil
+	case *Project:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProjectAs(child, n.Cols, n.Names)
+	case *Join:
+		left, err := Lower(n.Left, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Lower(n.Right, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashJoin(left, right, n.LeftKeys, n.RightKeys, nil)
+	case *Cross:
+		left, err := Lower(n.Left, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Lower(n.Right, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewCross(left, right, nil), nil
+	case *Split:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Split{Child: child, Col: n.Col}, nil
+	case *Rename:
+		child, err := Lower(n.Child, cat, vgs)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewRename(child, n.Alias), nil
+	}
+	return nil, fmt.Errorf("plan: cannot lower %T", root)
+}

@@ -1,0 +1,183 @@
+// Package plan is the logical-plan layer between the sqlish/QueryBuilder
+// surface and the physical operators of internal/exec. A query is first
+// built into a tree of logical operators (Rel, Seed, Instantiate, Filter,
+// Project, Join, Cross, Split, Rename), then rewritten by a sequence of
+// named rules — predicate classification and pushdown (paper App. A),
+// Split insertion before joins on random keys (§8), greedy size-based join
+// ordering over catalog row counts, deterministic-subtree marking for the
+// materialization cache — and finally lowered to exec nodes. The rewrite
+// trace and both trees are exposed through EXPLAIN.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Props are planner annotations attached to every logical node.
+type Props struct {
+	// Det marks a randomness-free subtree; the exec layer materializes
+	// such subtrees once and serves re-executions from cache.
+	Det bool
+	// Rows is the estimated output cardinality (catalog row counts with
+	// textbook selectivity factors).
+	Rows float64
+}
+
+// Node is one logical operator. Trees are immutable once built; rules
+// replace subtrees rather than mutating them in place (except for the
+// Props annotations).
+type Node interface {
+	// Children returns the operator's inputs, left to right.
+	Children() []Node
+	// Label renders the operator with its arguments (no annotations).
+	Label() string
+	// P exposes the planner annotations for rules to fill in.
+	P() *Props
+}
+
+// Rel is a scan of an ordinary catalog table under an alias.
+type Rel struct {
+	Props
+	Table string
+	Alias string
+}
+
+// Seed attaches a TS-seed per input tuple and appends the VG function's
+// output columns as random attribute slots (paper §5).
+type Seed struct {
+	Props
+	Child    Node
+	VG       string
+	Params   []expr.Expr
+	OutNames []string
+}
+
+// Instantiate materializes stream-value windows for the TS-seeds
+// referenced by its input.
+type Instantiate struct {
+	Props
+	Child Node
+}
+
+// Filter keeps tuples satisfying Pred; predicates over random attributes
+// become isPres vectors at the physical layer.
+type Filter struct {
+	Props
+	Child Node
+	Pred  expr.Expr
+}
+
+// Project narrows the schema to Cols, renaming column i to Names[i].
+type Project struct {
+	Props
+	Child Node
+	Cols  []string
+	Names []string
+}
+
+// Join is an equi-join: LeftKeys[i] = RightKeys[i].
+type Join struct {
+	Props
+	Left, Right         Node
+	LeftKeys, RightKeys []string
+}
+
+// Cross is the cartesian product — the fallback when no equi-join conjunct
+// connects two inputs.
+type Cross struct {
+	Props
+	Left, Right Node
+}
+
+// Split converts a random attribute into a deterministic one by emitting
+// one tuple per distinct materialized value (paper §8); it must sit below
+// any join on that attribute.
+type Split struct {
+	Props
+	Child Node
+	Col   string
+}
+
+// Rename re-qualifies every column of its child with a new alias.
+type Rename struct {
+	Props
+	Child Node
+	Alias string
+}
+
+// P implements Node for every operator via the embedded Props.
+
+func (n *Rel) P() *Props         { return &n.Props }
+func (n *Seed) P() *Props        { return &n.Props }
+func (n *Instantiate) P() *Props { return &n.Props }
+func (n *Filter) P() *Props      { return &n.Props }
+func (n *Project) P() *Props     { return &n.Props }
+func (n *Join) P() *Props        { return &n.Props }
+func (n *Cross) P() *Props       { return &n.Props }
+func (n *Split) P() *Props       { return &n.Props }
+func (n *Rename) P() *Props      { return &n.Props }
+
+// Children implements Node.
+
+func (n *Rel) Children() []Node         { return nil }
+func (n *Seed) Children() []Node        { return []Node{n.Child} }
+func (n *Instantiate) Children() []Node { return []Node{n.Child} }
+func (n *Filter) Children() []Node      { return []Node{n.Child} }
+func (n *Project) Children() []Node     { return []Node{n.Child} }
+func (n *Join) Children() []Node        { return []Node{n.Left, n.Right} }
+func (n *Cross) Children() []Node       { return []Node{n.Left, n.Right} }
+func (n *Split) Children() []Node       { return []Node{n.Child} }
+func (n *Rename) Children() []Node      { return []Node{n.Child} }
+
+// Label implements Node.
+
+func (n *Rel) Label() string         { return fmt.Sprintf("Rel(%s AS %s)", n.Table, n.Alias) }
+func (n *Seed) Label() string        { return fmt.Sprintf("Seed(%s)", n.VG) }
+func (n *Instantiate) Label() string { return "Instantiate" }
+func (n *Filter) Label() string      { return fmt.Sprintf("Filter(%s)", n.Pred) }
+func (n *Project) Label() string     { return fmt.Sprintf("Project[%s]", strings.Join(n.Names, ", ")) }
+func (n *Join) Label() string {
+	pairs := make([]string, len(n.LeftKeys))
+	for i := range n.LeftKeys {
+		pairs[i] = n.LeftKeys[i] + " = " + n.RightKeys[i]
+	}
+	return fmt.Sprintf("Join(%s)", strings.Join(pairs, ", "))
+}
+func (n *Cross) Label() string  { return "Cross" }
+func (n *Split) Label() string  { return fmt.Sprintf("Split(%s)", n.Col) }
+func (n *Rename) Label() string { return fmt.Sprintf("Rename(%s)", n.Alias) }
+
+// Format renders the logical tree as an indented listing with the Props
+// annotations, one node per line — the "logical plan" block of EXPLAIN.
+func Format(root Node) string {
+	var b strings.Builder
+	formatInto(&b, root, 0)
+	return b.String()
+}
+
+func formatInto(b *strings.Builder, n Node, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Label())
+	p := n.P()
+	b.WriteString(fmt.Sprintf(" [rows~%.0f", p.Rows))
+	if p.Det {
+		b.WriteString(" det")
+	}
+	b.WriteString("]\n")
+	for _, c := range n.Children() {
+		formatInto(b, c, depth+1)
+	}
+}
+
+// Walk visits every node of the tree, parents before children.
+func Walk(n Node, f func(Node)) {
+	f(n)
+	for _, c := range n.Children() {
+		Walk(c, f)
+	}
+}

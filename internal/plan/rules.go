@@ -1,0 +1,449 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// A Rule is one named rewrite step. Build applies the Rules sequence in
+// order; each rule reports whether it changed the plan, and the names of
+// the rules that did form the EXPLAIN trace.
+type Rule struct {
+	// Name identifies the rule in EXPLAIN output and tests.
+	Name string
+	// Doc is a one-line description for the rule catalog.
+	Doc string
+
+	apply func(*state) (bool, error)
+}
+
+// Rules is the rule catalog, in application order.
+var Rules = []Rule{
+	{"resolve-columns",
+		"qualify unqualified column references against the FROM aliases; ambiguity is an error",
+		ruleResolveColumns},
+	{"expand-random-tables",
+		"expand each random-table scan into Rename(Project(Instantiate(Seed(Rel(param)))))",
+		ruleExpandRandomTables},
+	{"push-filters-below-joins",
+		"push single-alias conjuncts onto that alias's subtree, below all joins",
+		rulePushFilters},
+	{"order-joins-greedy",
+		"build a left-deep join tree greedily by estimated size from catalog row counts",
+		ruleOrderJoins},
+	{"split-random-join-keys",
+		"insert Split below joins whose keys are VG-generated attributes (paper §8)",
+		ruleSplitRandomJoinKeys},
+	{"extract-looper-predicates",
+		"move conjuncts over random attributes of >= 2 aliases into the looper's final predicate (App. A)",
+		ruleExtractLooperPreds},
+	{"lift-residual-filters",
+		"apply remaining conjuncts as one Filter above the join tree",
+		ruleLiftResiduals},
+	{"mark-deterministic",
+		"annotate randomness-free subtrees (materialization-cache candidates) and row estimates",
+		ruleMarkDeterministic},
+}
+
+// ruleByName returns the named rule; it exists so unit tests can exercise
+// rules individually.
+func ruleByName(name string) *Rule {
+	for i := range Rules {
+		if Rules[i].Name == name {
+			return &Rules[i]
+		}
+	}
+	return nil
+}
+
+// ruleResolveColumns qualifies unqualified column references in WHERE
+// conjuncts. A reference found in exactly one alias's columns resolves to
+// that alias; one found in several is an error naming the candidates; one
+// found nowhere is an error naming the aliases probed. It also (re)fills
+// every conjunct's alias classification, which later rules rely on.
+func ruleResolveColumns(s *state) (bool, error) {
+	changed := false
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		var resolveErr error
+		c.e = expr.RenameColumns(c.e, func(name string) string {
+			if resolveErr != nil {
+				return name
+			}
+			if _, qualified := qualifierOf(name); qualified {
+				return name
+			}
+			key := strings.ToLower(name)
+			var cands []string
+			for i := range s.froms {
+				if s.cols[i][key] {
+					cands = append(cands, s.froms[i].Alias+"."+name)
+				}
+			}
+			switch len(cands) {
+			case 1:
+				changed = true
+				return cands[0]
+			case 0:
+				resolveErr = fmt.Errorf("plan: column %q not found in any FROM alias (%s)", name, s.aliasList())
+			default:
+				resolveErr = fmt.Errorf("plan: ambiguous column %q: candidates %s", name, strings.Join(cands, ", "))
+			}
+			return name
+		})
+		if resolveErr != nil {
+			return false, resolveErr
+		}
+		if err := s.classify(c); err != nil {
+			return false, err
+		}
+	}
+	return changed, nil
+}
+
+// ruleExpandRandomTables replaces each Rel over a random table with the
+// paper's generation pipeline: scan the parameter table, Seed with the VG
+// function, Instantiate the stream windows, project to the declared
+// columns, and rename under the query alias.
+func ruleExpandRandomTables(s *state) (bool, error) {
+	changed := false
+	for i, f := range s.froms {
+		rm, ok := s.cat.Random(f.Table)
+		if !ok {
+			continue
+		}
+		outNames := make([]string, rm.NumOuts)
+		for o := range outNames {
+			outNames[o] = fmt.Sprintf("__vg%d", o)
+		}
+		var node Node = &Rel{Table: rm.ParamTable, Alias: "__param"}
+		node = &Seed{Child: node, VG: rm.VG, Params: rm.VGParams, OutNames: outNames}
+		node = &Instantiate{Child: node}
+		cols := make([]string, len(rm.Columns))
+		names := make([]string, len(rm.Columns))
+		for j, c := range rm.Columns {
+			if c.FromParam != "" {
+				cols[j] = "__param." + c.FromParam
+			} else {
+				cols[j] = fmt.Sprintf("__vg%d", c.VGOut)
+			}
+			names[j] = c.Name
+		}
+		node = &Project{Child: node, Cols: cols, Names: names}
+		s.subs[i] = &Rename{Child: node, Alias: f.Alias}
+		changed = true
+	}
+	return changed, nil
+}
+
+// rulePushFilters pushes every conjunct referencing exactly one alias onto
+// that alias's subtree, below any join. Predicates over random attributes
+// become isPres vectors at the physical layer (paper §5), so they must sit
+// above the alias's Instantiate — which they do, since the whole expanded
+// pipeline is below.
+func rulePushFilters(s *state) (bool, error) {
+	changed := false
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		if c.used || len(c.aliases) != 1 {
+			continue
+		}
+		i := s.aliasIdx[c.aliases[0]]
+		s.subs[i] = &Filter{Child: s.subs[i], Pred: c.e}
+		c.used = true
+		changed = true
+	}
+	return changed, nil
+}
+
+// Selectivity and fan-out constants for cardinality estimation. The
+// planner has row counts but no value distributions, so these are the
+// textbook defaults.
+const (
+	eqSelectivity    = 0.1
+	rangeSelectivity = 0.3
+	splitFanout      = 4
+)
+
+// estimate returns the node's output cardinality from catalog row counts.
+func (s *state) estimate(n Node) float64 {
+	switch n := n.(type) {
+	case *Rel:
+		rows, ok := s.cat.TableRows(n.Table)
+		if !ok {
+			return 1
+		}
+		return float64(rows)
+	case *Seed:
+		return s.estimate(n.Child)
+	case *Instantiate:
+		return s.estimate(n.Child)
+	case *Project:
+		return s.estimate(n.Child)
+	case *Rename:
+		return s.estimate(n.Child)
+	case *Filter:
+		sel := 1.0
+		for _, c := range expr.SplitConjuncts(n.Pred) {
+			if b, ok := c.(*expr.Bin); ok && b.Op == expr.OpEq {
+				sel *= eqSelectivity
+			} else {
+				sel *= rangeSelectivity
+			}
+		}
+		return math.Max(s.estimate(n.Child)*sel, 1)
+	case *Split:
+		return s.estimate(n.Child) * splitFanout
+	case *Join:
+		return joinEstimate(s.estimate(n.Left), s.estimate(n.Right))
+	case *Cross:
+		return s.estimate(n.Left) * s.estimate(n.Right)
+	}
+	return 1
+}
+
+// joinEstimate is |L| * |R| / max(|L|, |R|): an equi-join with the larger
+// side's cardinality as the distinct-count proxy.
+func joinEstimate(l, r float64) float64 {
+	return math.Max(l*r/math.Max(math.Max(l, r), 1), 1)
+}
+
+// joinEdges returns the indices of unused two-alias equi-conjuncts that
+// connect FROM item idx to the already-joined alias set.
+func (s *state) joinEdges(joined map[string]bool, idx int) []int {
+	alias := strings.ToLower(s.froms[idx].Alias)
+	var out []int
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		if c.used || len(c.aliases) != 2 || !c.touches(alias) {
+			continue
+		}
+		other := c.aliases[0]
+		if other == alias {
+			other = c.aliases[1]
+		}
+		if !joined[other] {
+			continue
+		}
+		if _, _, ok := expr.EquiJoinSides(c.e); !ok {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// hasJoinEdge reports whether FROM item idx participates in any unused
+// two-alias equi-conjunct (with any partner).
+func (s *state) hasJoinEdge(idx int) bool {
+	alias := strings.ToLower(s.froms[idx].Alias)
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		if c.used || len(c.aliases) != 2 || !c.touches(alias) {
+			continue
+		}
+		if _, _, ok := expr.EquiJoinSides(c.e); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ruleOrderJoins collapses the per-alias forest into a left-deep tree:
+// start from the smallest subplan that has an equi-join edge (so an
+// unconnected input cannot force an early cross product), then repeatedly
+// join the equi-connected subplan that minimizes the estimated
+// intermediate size, consuming the connecting conjuncts as join keys.
+// Subplans with no connecting equi-conjunct are cross-joined last,
+// smallest first. Ties break by FROM position, so planning is
+// deterministic.
+func ruleOrderJoins(s *state) (bool, error) {
+	if len(s.subs) == 1 {
+		s.root = s.subs[0]
+		return false, nil
+	}
+	est := make([]float64, len(s.subs))
+	for i, n := range s.subs {
+		est[i] = s.estimate(n)
+	}
+	start := -1
+	for i := range est {
+		if !s.hasJoinEdge(i) {
+			continue
+		}
+		if start < 0 || est[i] < est[start] {
+			start = i
+		}
+	}
+	if start < 0 {
+		// No equi-join anywhere: pure cross-product query.
+		start = 0
+		for i := 1; i < len(est); i++ {
+			if est[i] < est[start] {
+				start = i
+			}
+		}
+	}
+	root, rootEst := s.subs[start], est[start]
+	joined := map[string]bool{strings.ToLower(s.froms[start].Alias): true}
+	var remaining []int
+	for i := range s.subs {
+		if i != start {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		best, bestEst := -1, math.Inf(1)
+		var bestEdges []int
+		for _, idx := range remaining {
+			edges := s.joinEdges(joined, idx)
+			if len(edges) == 0 {
+				continue
+			}
+			if e := joinEstimate(rootEst, est[idx]); e < bestEst {
+				best, bestEst, bestEdges = idx, e, edges
+			}
+		}
+		if best < 0 {
+			// No connecting equi-join: cross product, smallest first.
+			best = remaining[0]
+			for _, idx := range remaining[1:] {
+				if est[idx] < est[best] {
+					best = idx
+				}
+			}
+			root = &Cross{Left: root, Right: s.subs[best]}
+			rootEst *= est[best]
+		} else {
+			alias := strings.ToLower(s.froms[best].Alias)
+			var lKeys, rKeys []string
+			for _, j := range bestEdges {
+				c := &s.conjs[j]
+				l, r, _ := expr.EquiJoinSides(c.e)
+				if la, _ := qualifierOf(l); la == alias {
+					l, r = r, l
+				}
+				lKeys = append(lKeys, l)
+				rKeys = append(rKeys, r)
+				c.used = true
+			}
+			root = &Join{Left: root, Right: s.subs[best], LeftKeys: lKeys, RightKeys: rKeys}
+			rootEst = bestEst
+		}
+		joined[strings.ToLower(s.froms[best].Alias)] = true
+		next := remaining[:0]
+		for _, idx := range remaining {
+			if idx != best {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	s.root = root
+	return true, nil
+}
+
+// ruleSplitRandomJoinKeys walks the join tree and wraps either side of a
+// Join in Split for every key that is a VG-generated attribute, turning
+// the random join into a deterministic one (paper §8).
+func ruleSplitRandomJoinKeys(s *state) (bool, error) {
+	changed := false
+	var rec func(n Node)
+	rec = func(n Node) {
+		switch n := n.(type) {
+		case *Join:
+			rec(n.Left)
+			rec(n.Right)
+			for _, k := range n.LeftKeys {
+				if s.isRandomColumn(k) {
+					n.Left = &Split{Child: n.Left, Col: k}
+					changed = true
+				}
+			}
+			for _, k := range n.RightKeys {
+				if s.isRandomColumn(k) {
+					n.Right = &Split{Child: n.Right, Col: k}
+					changed = true
+				}
+			}
+		case *Cross:
+			rec(n.Left)
+			rec(n.Right)
+		case *Filter:
+			rec(n.Child)
+		}
+	}
+	rec(s.root)
+	return changed, nil
+}
+
+// ruleExtractLooperPreds moves every remaining conjunct touching random
+// attributes of two or more aliases out of the plan: such predicates
+// cannot become per-seed presence vectors and must be evaluated by the
+// Gibbs looper as part of its final predicate (paper App. A).
+func ruleExtractLooperPreds(s *state) (bool, error) {
+	changed := false
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		if c.used || len(c.rand) < 2 {
+			continue
+		}
+		s.final = append(s.final, c.e)
+		c.used = true
+		changed = true
+	}
+	return changed, nil
+}
+
+// ruleLiftResiduals conjoins all still-unused conjuncts (cross-alias
+// deterministic predicates, or random predicates of a single alias that
+// were not pushable) into one Filter above the join tree.
+func ruleLiftResiduals(s *state) (bool, error) {
+	var rest []expr.Expr
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		if c.used {
+			continue
+		}
+		rest = append(rest, c.e)
+		c.used = true
+	}
+	if len(rest) == 0 {
+		return false, nil
+	}
+	s.root = &Filter{Child: s.root, Pred: expr.And(rest...)}
+	return true, nil
+}
+
+// ruleMarkDeterministic annotates every node with whether its subtree is
+// randomness-free — the exec layer materializes such subtrees once and
+// serves re-executions from cache — and with the row estimate shown by
+// EXPLAIN.
+func ruleMarkDeterministic(s *state) (bool, error) {
+	changed := false
+	var rec func(n Node) bool
+	rec = func(n Node) bool {
+		det := true
+		for _, c := range n.Children() {
+			if !rec(c) {
+				det = false
+			}
+		}
+		switch n.(type) {
+		case *Seed, *Instantiate:
+			det = false
+		}
+		p := n.P()
+		p.Det = det
+		p.Rows = s.estimate(n)
+		if det {
+			changed = true
+		}
+		return det
+	}
+	rec(s.root)
+	return changed, nil
+}

@@ -1,0 +1,438 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// fakeCat is an in-memory Catalog for rule tests.
+type fakeCat struct {
+	rows map[string]int
+	cols map[string][]string
+	rand map[string]*RandomMeta
+}
+
+func (c *fakeCat) TableRows(name string) (int, bool) {
+	n, ok := c.rows[strings.ToLower(name)]
+	return n, ok
+}
+
+func (c *fakeCat) TableColumns(name string) ([]string, bool) {
+	cols, ok := c.cols[strings.ToLower(name)]
+	return cols, ok
+}
+
+func (c *fakeCat) Random(name string) (*RandomMeta, bool) {
+	rm, ok := c.rand[strings.ToLower(name)]
+	return rm, ok
+}
+
+// lossCat is the §2 workload: means(cid, m) plus the random table
+// losses(cid, val) with val VG-generated.
+func lossCat(nMeans int) *fakeCat {
+	return &fakeCat{
+		rows: map[string]int{"means": nMeans},
+		cols: map[string][]string{"means": {"cid", "m"}},
+		rand: map[string]*RandomMeta{"losses": {
+			ParamTable: "means",
+			VG:         "Normal",
+			VGParams:   []expr.Expr{expr.C("m"), expr.F(1)},
+			NumOuts:    1,
+			Columns: []RandomColMeta{
+				{Name: "cid", FromParam: "cid"},
+				{Name: "val", VGOut: 0},
+			},
+		}},
+	}
+}
+
+func mustState(t *testing.T, cat Catalog, q Query) *state {
+	t.Helper()
+	s, err := newState(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func apply(t *testing.T, s *state, names ...string) bool {
+	t.Helper()
+	changed := false
+	for _, name := range names {
+		r := ruleByName(name)
+		if r == nil {
+			t.Fatalf("unknown rule %q", name)
+		}
+		ch, err := r.apply(s)
+		if err != nil {
+			t.Fatalf("rule %s: %v", name, err)
+		}
+		changed = changed || ch
+	}
+	return changed
+}
+
+func TestRuleResolveColumnsUnambiguous(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}, {Table: "means", Alias: "mm"}},
+		Where: []expr.Expr{expr.B(expr.OpGt, expr.C("val"), expr.F(0))},
+	})
+	if !apply(t, s, "resolve-columns") {
+		t.Fatal("resolving an unqualified column must report a change")
+	}
+	if got := s.conjs[0].e.String(); got != "(l.val > 0)" {
+		t.Fatalf("resolved conjunct = %s", got)
+	}
+	if len(s.conjs[0].aliases) != 1 || s.conjs[0].aliases[0] != "l" {
+		t.Fatalf("classification = %v", s.conjs[0].aliases)
+	}
+	if len(s.conjs[0].rand) != 1 {
+		t.Fatalf("val must classify as random, got %v", s.conjs[0].rand)
+	}
+}
+
+func TestRuleResolveColumnsAmbiguous(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}, {Table: "means", Alias: "mm"}},
+		Where: []expr.Expr{expr.B(expr.OpGt, expr.C("cid"), expr.F(0))},
+	})
+	_, err := ruleByName("resolve-columns").apply(s)
+	if err == nil {
+		t.Fatal("ambiguous column must error")
+	}
+	if !strings.Contains(err.Error(), "l.cid") || !strings.Contains(err.Error(), "mm.cid") {
+		t.Fatalf("error must name both candidates, got: %v", err)
+	}
+}
+
+func TestRuleResolveColumnsUnknown(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}},
+		Where: []expr.Expr{expr.B(expr.OpGt, expr.C("nope"), expr.F(0))},
+	})
+	if _, err := ruleByName("resolve-columns").apply(s); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestRuleExpandRandomTables(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{Froms: []From{{Table: "losses", Alias: "l"}}})
+	if !apply(t, s, "expand-random-tables") {
+		t.Fatal("random table must expand")
+	}
+	ren, ok := s.subs[0].(*Rename)
+	if !ok || ren.Alias != "l" {
+		t.Fatalf("top = %T", s.subs[0])
+	}
+	proj, ok := ren.Child.(*Project)
+	if !ok {
+		t.Fatalf("under Rename: %T", ren.Child)
+	}
+	if len(proj.Cols) != 2 || proj.Cols[0] != "__param.cid" || proj.Cols[1] != "__vg0" {
+		t.Fatalf("projection = %v", proj.Cols)
+	}
+	inst, ok := proj.Child.(*Instantiate)
+	if !ok {
+		t.Fatalf("under Project: %T", proj.Child)
+	}
+	seed, ok := inst.Child.(*Seed)
+	if !ok || seed.VG != "Normal" {
+		t.Fatalf("under Instantiate: %T", inst.Child)
+	}
+	rel, ok := seed.Child.(*Rel)
+	if !ok || rel.Table != "means" || rel.Alias != "__param" {
+		t.Fatalf("leaf = %+v", seed.Child)
+	}
+	// Ordinary tables are left alone.
+	s2 := mustState(t, cat, Query{Froms: []From{{Table: "means", Alias: "m"}}})
+	if apply(t, s2, "expand-random-tables") {
+		t.Fatal("ordinary table must not expand")
+	}
+}
+
+func TestRulePushFiltersBelowJoins(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}, {Table: "means", Alias: "mm"}},
+		Where: []expr.Expr{
+			expr.B(expr.OpLt, expr.C("l.cid"), expr.F(5)),        // single alias: pushed
+			expr.B(expr.OpEq, expr.C("l.cid"), expr.C("mm.cid")), // two aliases: left alone
+			expr.B(expr.OpGt, expr.C("mm.m"), expr.C("l.val")),   // two aliases: left alone
+		},
+	})
+	apply(t, s, "resolve-columns", "push-filters-below-joins")
+	f, ok := s.subs[0].(*Filter)
+	if !ok {
+		t.Fatalf("subplan 0 = %T, want Filter", s.subs[0])
+	}
+	if f.Pred.String() != "(l.cid < 5)" {
+		t.Fatalf("pushed predicate = %s", f.Pred)
+	}
+	if _, ok := s.subs[1].(*Rel); !ok {
+		t.Fatalf("subplan 1 = %T, want bare Rel", s.subs[1])
+	}
+	if !s.conjs[0].used || s.conjs[1].used || s.conjs[2].used {
+		t.Fatalf("conjunct usage = %v %v %v", s.conjs[0].used, s.conjs[1].used, s.conjs[2].used)
+	}
+}
+
+// TestRuleOrderJoinsGreedy is the acceptance test for cost-aware join
+// ordering: a 3-table query whose FROM order (big, mid, small) differs
+// from the size order must be joined smallest-first, not FROM-first.
+func TestRuleOrderJoinsGreedy(t *testing.T) {
+	cat := &fakeCat{
+		rows: map[string]int{"big": 10000, "mid": 500, "small": 20},
+		cols: map[string][]string{
+			"big":   {"k", "j", "x"},
+			"mid":   {"j", "y"},
+			"small": {"k", "z"},
+		},
+	}
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "big", Alias: "b"}, {Table: "mid", Alias: "m"}, {Table: "small", Alias: "s"}},
+		Where: []expr.Expr{
+			expr.B(expr.OpEq, expr.C("b.k"), expr.C("s.k")),
+			expr.B(expr.OpEq, expr.C("b.j"), expr.C("m.j")),
+		},
+	})
+	apply(t, s, "resolve-columns", "order-joins-greedy")
+	top, ok := s.root.(*Join)
+	if !ok {
+		t.Fatalf("root = %T", s.root)
+	}
+	// Greedy: start with small (20 rows), join big (the only edge), then
+	// mid. Left-deep leaves in join order: small, big, mid.
+	inner, ok := top.Left.(*Join)
+	if !ok {
+		t.Fatalf("left of top = %T, want the inner Join", top.Left)
+	}
+	if rel := inner.Left.(*Rel); rel.Table != "small" {
+		t.Fatalf("first joined table = %s, want small (not FROM order)", rel.Table)
+	}
+	if rel := inner.Right.(*Rel); rel.Table != "big" {
+		t.Fatalf("second joined table = %s, want big", rel.Table)
+	}
+	if rel := top.Right.(*Rel); rel.Table != "mid" {
+		t.Fatalf("last joined table = %s, want mid", rel.Table)
+	}
+	// Keys must be oriented left = already-joined side.
+	if inner.LeftKeys[0] != "s.k" || inner.RightKeys[0] != "b.k" {
+		t.Fatalf("inner keys = %v vs %v", inner.LeftKeys, inner.RightKeys)
+	}
+	if top.LeftKeys[0] != "b.j" || top.RightKeys[0] != "m.j" {
+		t.Fatalf("top keys = %v vs %v", top.LeftKeys, top.RightKeys)
+	}
+	// All join conjuncts consumed.
+	for i := range s.conjs {
+		if !s.conjs[i].used {
+			t.Fatalf("conjunct %d not consumed by the join", i)
+		}
+	}
+}
+
+// TestRuleOrderJoinsUnconnectedSmallest: a tiny table with no join edge
+// must not hijack the start position — the equi-joined tables join first
+// and the unconnected one is cross-joined last.
+func TestRuleOrderJoinsUnconnectedSmallest(t *testing.T) {
+	cat := &fakeCat{
+		rows: map[string]int{"a": 1000, "b": 1000, "tiny": 10},
+		cols: map[string][]string{"a": {"k"}, "b": {"k"}, "tiny": {"z"}},
+	}
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "a", Alias: "a"}, {Table: "b", Alias: "b"}, {Table: "tiny", Alias: "t"}},
+		Where: []expr.Expr{expr.B(expr.OpEq, expr.C("a.k"), expr.C("b.k"))},
+	})
+	apply(t, s, "resolve-columns", "order-joins-greedy")
+	cross, ok := s.root.(*Cross)
+	if !ok {
+		t.Fatalf("root = %T, want Cross (unconnected table joined last)", s.root)
+	}
+	if rel := cross.Right.(*Rel); rel.Table != "tiny" {
+		t.Fatalf("cross right = %s, want tiny", rel.Table)
+	}
+	j, ok := cross.Left.(*Join)
+	if !ok {
+		t.Fatalf("cross left = %T, want Join(a, b)", cross.Left)
+	}
+	if rel := j.Left.(*Rel); rel.Table != "a" {
+		t.Fatalf("join left = %s, want a", rel.Table)
+	}
+}
+
+func TestRuleOrderJoinsCrossFallback(t *testing.T) {
+	cat := &fakeCat{
+		rows: map[string]int{"a": 100, "b": 3},
+		cols: map[string][]string{"a": {"x"}, "b": {"y"}},
+	}
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "a", Alias: "a"}, {Table: "b", Alias: "b"}},
+	})
+	apply(t, s, "resolve-columns", "order-joins-greedy")
+	cross, ok := s.root.(*Cross)
+	if !ok {
+		t.Fatalf("root = %T, want Cross", s.root)
+	}
+	// The smaller table starts the left-deep chain.
+	if rel := cross.Left.(*Rel); rel.Table != "b" {
+		t.Fatalf("cross starts with %s, want b (smaller)", rel.Table)
+	}
+}
+
+func TestRuleSplitRandomJoinKeys(t *testing.T) {
+	cat := lossCat(12)
+	cat.rows["riskclass"] = 2
+	cat.cols["riskclass"] = []string{"rid", "premium"}
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "a"}, {Table: "riskclass", Alias: "r"}},
+		Where: []expr.Expr{expr.B(expr.OpEq, expr.C("a.val"), expr.C("r.rid"))},
+	})
+	apply(t, s, "resolve-columns", "expand-random-tables", "order-joins-greedy")
+	if !apply(t, s, "split-random-join-keys") {
+		t.Fatal("a random join key must insert a Split")
+	}
+	j := s.root.(*Join)
+	var split *Split
+	if sp, ok := j.Left.(*Split); ok {
+		split = sp
+	} else if sp, ok := j.Right.(*Split); ok {
+		split = sp
+	}
+	if split == nil {
+		t.Fatalf("no Split under the join: left=%T right=%T", j.Left, j.Right)
+	}
+	if split.Col != "a.val" {
+		t.Fatalf("Split column = %s", split.Col)
+	}
+	// Deterministic keys must not fire the rule.
+	s2 := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "a"}, {Table: "riskclass", Alias: "r"}},
+		Where: []expr.Expr{expr.B(expr.OpEq, expr.C("a.cid"), expr.C("r.rid"))},
+	})
+	apply(t, s2, "resolve-columns", "expand-random-tables", "order-joins-greedy")
+	if apply(t, s2, "split-random-join-keys") {
+		t.Fatal("deterministic join keys must not insert a Split")
+	}
+}
+
+// TestRuleExtractLooperPredicates: a conjunct over random attributes of
+// two aliases (the Fig. 2 emp2.sal > emp1.sal) must leave the plan and
+// become the looper's final predicate.
+func TestRuleExtractLooperPredicates(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l1"}, {Table: "losses", Alias: "l2"}},
+		Where: []expr.Expr{
+			expr.B(expr.OpEq, expr.C("l1.cid"), expr.C("l2.cid")),
+			expr.B(expr.OpGt, expr.C("l2.val"), expr.C("l1.val")),
+		},
+	})
+	apply(t, s, "resolve-columns", "expand-random-tables", "order-joins-greedy")
+	if !apply(t, s, "extract-looper-predicates") {
+		t.Fatal("multi-seed random predicate must be extracted")
+	}
+	if len(s.final) != 1 || s.final[0].String() != "(l2.val > l1.val)" {
+		t.Fatalf("final = %v", s.final)
+	}
+	// It must NOT appear in the plan as a Filter.
+	Walk(s.root, func(n Node) {
+		if f, ok := n.(*Filter); ok && strings.Contains(f.Pred.String(), "l2.val") {
+			t.Fatalf("looper predicate still in plan: %s", f.Pred)
+		}
+	})
+}
+
+func TestRuleLiftResidualFilters(t *testing.T) {
+	cat := &fakeCat{
+		rows: map[string]int{"a": 10, "b": 10},
+		cols: map[string][]string{"a": {"x", "k"}, "b": {"y", "k"}},
+	}
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "a", Alias: "a"}, {Table: "b", Alias: "b"}},
+		Where: []expr.Expr{
+			expr.B(expr.OpEq, expr.C("a.k"), expr.C("b.k")),
+			expr.B(expr.OpLt, expr.C("a.x"), expr.C("b.y")), // cross-alias, non-equi: residual
+		},
+	})
+	apply(t, s, "resolve-columns", "order-joins-greedy", "extract-looper-predicates")
+	if !apply(t, s, "lift-residual-filters") {
+		t.Fatal("residual conjunct must lift to a Filter")
+	}
+	f, ok := s.root.(*Filter)
+	if !ok {
+		t.Fatalf("root = %T, want Filter", s.root)
+	}
+	if f.Pred.String() != "(a.x < b.y)" {
+		t.Fatalf("residual = %s", f.Pred)
+	}
+}
+
+func TestRuleMarkDeterministic(t *testing.T) {
+	cat := lossCat(10)
+	s := mustState(t, cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}, {Table: "means", Alias: "mm"}},
+		Where: []expr.Expr{expr.B(expr.OpEq, expr.C("l.cid"), expr.C("mm.cid"))},
+	})
+	apply(t, s, "resolve-columns", "expand-random-tables", "order-joins-greedy", "mark-deterministic")
+	// The means Rel subtree is deterministic; anything at or above a Seed
+	// is not.
+	Walk(s.root, func(n Node) {
+		switch n := n.(type) {
+		case *Rel:
+			if !n.P().Det {
+				t.Fatalf("Rel(%s) not marked det", n.Table)
+			}
+		case *Seed, *Instantiate, *Rename, *Join:
+			if n.P().Det {
+				t.Fatalf("%s wrongly marked det", n.Label())
+			}
+		}
+	})
+	if s.root.P().Rows <= 0 {
+		t.Fatalf("row estimate missing on root: %v", s.root.P().Rows)
+	}
+}
+
+// TestBuildFiredTrace: Build runs the full sequence and reports the fired
+// rules in catalog order.
+func TestBuildFiredTrace(t *testing.T) {
+	cat := lossCat(10)
+	p, err := Build(cat, Query{
+		Froms: []From{{Table: "losses", Alias: "l"}},
+		Where: []expr.Expr{expr.B(expr.OpLt, expr.C("cid"), expr.F(5))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"resolve-columns", "expand-random-tables", "push-filters-below-joins", "mark-deterministic"}
+	if len(p.Fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", p.Fired, want)
+	}
+	for i := range want {
+		if p.Fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", p.Fired, want)
+		}
+	}
+	if p.Root == nil || len(p.Final) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := lossCat(10)
+	cases := []Query{
+		{},
+		{Froms: []From{{Table: "nope", Alias: "n"}}},
+		{Froms: []From{{Table: "means", Alias: "a"}, {Table: "means", Alias: "a"}}},
+	}
+	for i, q := range cases {
+		if _, err := Build(cat, q); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -69,6 +69,15 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
+// ExplainStmt wraps a SELECT statement for plan display: EXPLAIN <query>
+// compiles the query and reports the logical plan, the rewrite rules that
+// fired, and the physical operator tree instead of executing it.
+type ExplainStmt struct {
+	Stmt *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
 // Parse parses one statement (a trailing semicolon is allowed).
 func Parse(src string) (Statement, error) {
 	toks, err := lex(src)
@@ -82,8 +91,16 @@ func Parse(src string) (Statement, error) {
 		s, err = p.parseCreate()
 	case p.peekKeyword("SELECT"):
 		s, err = p.parseSelect()
+	case p.peekKeyword("EXPLAIN"):
+		p.next()
+		if !p.peekKeyword("SELECT") {
+			return nil, fmt.Errorf("sqlish: EXPLAIN supports SELECT statements, got %s", p.peek())
+		}
+		var sel *SelectStmt
+		sel, err = p.parseSelect()
+		s = &ExplainStmt{Stmt: sel}
 	default:
-		return nil, fmt.Errorf("sqlish: expected CREATE or SELECT, got %s", p.peek())
+		return nil, fmt.Errorf("sqlish: expected CREATE, SELECT, or EXPLAIN, got %s", p.peek())
 	}
 	if err != nil {
 		return nil, err

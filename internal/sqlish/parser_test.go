@@ -223,3 +223,29 @@ func TestParseGroupBy(t *testing.T) {
 		t.Fatal("GROUP without BY must error")
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	s, err := Parse(`EXPLAIN SELECT SUM(val) AS t FROM Losses WHERE CID < 5 WITH RESULTDISTRIBUTION MONTECARLO(10);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := s.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("statement = %T, want *ExplainStmt", s)
+	}
+	if ex.Stmt.Agg != "SUM" || !ex.Stmt.With || ex.Stmt.MCReps != 10 {
+		t.Fatalf("inner select = %+v", ex.Stmt)
+	}
+	// EXPLAIN of a deterministic aggregate parses too.
+	s, err = Parse(`EXPLAIN SELECT COUNT(*) FROM ftable`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*ExplainStmt); !ok {
+		t.Fatalf("statement = %T", s)
+	}
+	// EXPLAIN CREATE is rejected.
+	if _, err := Parse(`EXPLAIN CREATE TABLE x (a) AS FOR EACH a IN p WITH v AS Normal(VALUES(1,1)) SELECT v.*`); err == nil {
+		t.Fatal("EXPLAIN CREATE must be a parse error")
+	}
+}

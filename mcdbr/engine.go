@@ -167,21 +167,5 @@ func (e *Engine) RandomTableDef(name string) (*RandomTable, bool) {
 	return rt, ok
 }
 
-// IsRandomColumn reports whether alias.col refers to a VG-generated column
-// given that alias is bound to table; the planner uses it to place Split
-// operators and to pull multi-seed predicates into the looper.
-func (e *Engine) isRandomColumn(table, col string) bool {
-	rt, ok := e.rand[strings.ToLower(table)]
-	if !ok {
-		return false
-	}
-	for _, c := range rt.Columns {
-		if strings.EqualFold(c.Name, col) {
-			return c.FromParam == ""
-		}
-	}
-	return false
-}
-
 // masterStream derives the engine's master PRNG stream.
 func (e *Engine) masterStream() prng.Stream { return prng.NewStream(e.seed) }

@@ -3,6 +3,7 @@ package mcdbr
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 
 	"repro/internal/expr"
@@ -32,6 +33,9 @@ const (
 	// ExecGroupedTail: a GROUP BY ... DOMAIN query produced one tail
 	// distribution per group (paper App. A: g conditioned queries).
 	ExecGroupedTail
+	// ExecExplained: an EXPLAIN statement produced a plan description
+	// without executing the query.
+	ExecExplained
 )
 
 // ExecResult is the outcome of Engine.Exec.
@@ -42,6 +46,7 @@ type ExecResult struct {
 	Tail       *TailResult
 	GroupDists map[string]*Distribution
 	GroupTails map[string]*TailResult
+	Explain    *Explain
 }
 
 // Exec parses and executes one SQL-ish statement (the paper's §2 surface
@@ -63,6 +68,12 @@ func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (*ExecResul
 			return nil, err
 		}
 		return &ExecResult{Kind: ExecCreated}, nil
+	case *sqlish.ExplainStmt:
+		x, err := e.explainSelect(s.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: ExecExplained, Explain: x}, nil
 	case *sqlish.SelectStmt:
 		if !s.With {
 			v, err := e.execScalar(s)
@@ -116,14 +127,26 @@ func (e *Engine) execCreate(s *sqlish.CreateRandomTable) error {
 				return err
 			}
 			if strings.EqualFold(parts[0], s.VGAlias) {
-				// myVal.value style: a single VG output referenced by
-				// position name "valueN" or just the first output.
+				// A single VG output referenced by position: myVal.valueN
+				// (1-based), or the bare myVal.value for the first output.
+				ref := strings.ToLower(parts[1])
 				out := 0
-				if _, err := fmt.Sscanf(strings.ToLower(parts[1]), "value%d", &out); err == nil {
-					out--
-				}
-				if out < 0 || out >= nOut {
-					out = 0
+				switch {
+				case ref == "value":
+				case strings.HasPrefix(ref, "value"):
+					n, err := strconv.Atoi(ref[len("value"):])
+					if err != nil {
+						return fmt.Errorf("mcdbr: CREATE TABLE %s: unknown VG output reference %s (use %s.value1..value%d or %s.*)",
+							s.Name, item, s.VGAlias, nOut, s.VGAlias)
+					}
+					if n < 1 || n > nOut {
+						return fmt.Errorf("mcdbr: CREATE TABLE %s: %s references VG output %d, but %s has %d output(s)",
+							s.Name, item, n, s.VGName, nOut)
+					}
+					out = n - 1
+				default:
+					return fmt.Errorf("mcdbr: CREATE TABLE %s: unknown VG output reference %s (use %s.value1..value%d or %s.*)",
+						s.Name, item, s.VGAlias, nOut, s.VGAlias)
 				}
 				cols = append(cols, RandomCol{Name: name, VGOut: out})
 			} else {

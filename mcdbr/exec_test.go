@@ -2,6 +2,7 @@ package mcdbr
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/stats"
@@ -183,6 +184,62 @@ func TestExecErrors(t *testing.T) {
 		if _, err := e.Exec(sql); err == nil {
 			t.Errorf("expected error for %q", sql)
 		}
+	}
+}
+
+// TestExecCreateValueNOutOfRange: a myVal.valueN select item referencing
+// a VG output the function does not produce must be a descriptive error,
+// not a silent fallback to output 0.
+func TestExecCreateValueNOutOfRange(t *testing.T) {
+	e := New()
+	e.RegisterTable(workload.LossMeans(5, 2, 8, 3))
+	// Normal has exactly one output; value3 is out of range.
+	_, err := e.Exec(`
+CREATE TABLE bad (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.value3 FROM myVal`)
+	if err == nil {
+		t.Fatal("out-of-range valueN must error")
+	}
+	if !strings.Contains(err.Error(), "output 3") || !strings.Contains(err.Error(), "1 output") {
+		t.Fatalf("error must name the bad output and the VG arity, got: %v", err)
+	}
+	// value0 is below range (outputs are 1-based).
+	if _, err := e.Exec(`
+CREATE TABLE bad (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.value0 FROM myVal`); err == nil {
+		t.Fatal("valueN below range must error")
+	}
+	// A typo'd VG-alias reference must error, not silently bind output 0.
+	if _, err := e.Exec(`
+CREATE TABLE bad (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.vaule1 FROM myVal`); err == nil {
+		t.Fatal("unknown VG output reference must error")
+	}
+	// Trailing garbage after valueN must error too.
+	if _, err := e.Exec(`
+CREATE TABLE bad (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.value1x FROM myVal`); err == nil {
+		t.Fatal("malformed valueN must error")
+	}
+	// In-range valueN still works: MultiNormal2 has two outputs.
+	if _, err := e.Exec(`
+CREATE TABLE ok (CID, y) AS
+FOR EACH CID IN means
+WITH v AS MultiNormal2(VALUES(1, 2, 1, 1, 0.5))
+SELECT CID, v.value2 FROM v`); err != nil {
+		t.Fatalf("in-range valueN must work: %v", err)
+	}
+	rt, ok := e.RandomTableDef("ok")
+	if !ok || rt.Columns[1].VGOut != 1 {
+		t.Fatalf("value2 must map to VG output index 1, got %+v", rt)
 	}
 }
 

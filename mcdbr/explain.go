@@ -1,0 +1,158 @@
+package mcdbr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/sqlish"
+)
+
+// Explain describes how the engine would execute a query: the rewritten
+// logical plan, the rewrite rules that fired, and the physical operator
+// tree it lowers to. Produce one with Engine.Explain, QueryBuilder.Explain,
+// or an `EXPLAIN <query>` statement through Exec.
+type Explain struct {
+	// Logical is the logical plan (internal/plan operators, indented),
+	// annotated with row estimates and deterministic-subtree marks.
+	Logical string
+	// Rules lists the rewrite rules that changed the plan, in order.
+	Rules []string
+	// Physical is the lowered exec operator tree, with [det] marking
+	// subtrees served from the materialization cache on re-execution.
+	Physical string
+	// FinalPred is the conjunction the Gibbs looper evaluates as its
+	// final predicate (paper App. A); empty when nothing was extracted.
+	FinalPred string
+	// Aggregate renders the looper's aggregate.
+	Aggregate string
+	// Notes carries execution-strategy remarks: GROUP BY expansion, tail
+	// sampling, Monte Carlo repetitions.
+	Notes []string
+}
+
+// String renders the explanation as the multi-line text printed by
+// cmd/mcdbr.
+func (x *Explain) String() string {
+	var b strings.Builder
+	b.WriteString("logical plan:\n")
+	writeIndented(&b, x.Logical)
+	b.WriteString("rules fired:\n")
+	for _, r := range x.Rules {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	b.WriteString("physical plan:\n")
+	writeIndented(&b, x.Physical)
+	if x.FinalPred != "" {
+		fmt.Fprintf(&b, "final predicate (Gibbs looper): %s\n", x.FinalPred)
+	}
+	fmt.Fprintf(&b, "aggregate: %s\n", x.Aggregate)
+	for _, n := range x.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func writeIndented(b *strings.Builder, block string) {
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+}
+
+// Explain compiles the fluent query without executing it.
+func (q *QueryBuilder) Explain() (*Explain, error) {
+	c, err := q.compile(0)
+	if err != nil {
+		return nil, err
+	}
+	x := &Explain{
+		Logical:   plan.Format(c.lp.Root),
+		Rules:     append([]string(nil), c.lp.Fired...),
+		Physical:  exec.FormatPlan(c.plan),
+		Aggregate: formatAgg(q.agg, q.aggE),
+	}
+	if c.gq.FinalPred != nil {
+		x.FinalPred = c.gq.FinalPred.String()
+	}
+	return x, nil
+}
+
+func formatAgg(a Agg, e expr.Expr) string {
+	switch a {
+	case Count:
+		return "COUNT(*)"
+	case Avg:
+		return fmt.Sprintf("AVG(%s)", e)
+	default:
+		return fmt.Sprintf("SUM(%s)", e)
+	}
+}
+
+// Explain parses one SQL-ish SELECT statement (a leading EXPLAIN keyword
+// is optional) and returns its plan description without executing it.
+func (e *Engine) Explain(sql string) (*Explain, error) {
+	stmt, err := sqlish.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlish.ExplainStmt:
+		return e.explainSelect(s.Stmt)
+	case *sqlish.SelectStmt:
+		return e.explainSelect(s)
+	default:
+		return nil, fmt.Errorf("mcdbr: EXPLAIN supports SELECT statements, got %T", stmt)
+	}
+}
+
+// explainSelect plans a parsed SELECT through the same builder path the
+// executor uses and attaches execution-strategy notes.
+func (e *Engine) explainSelect(s *sqlish.SelectStmt) (*Explain, error) {
+	qb := e.Query()
+	for _, f := range s.Froms {
+		qb.From(f.Table, f.Alias)
+	}
+	if s.Where != nil {
+		qb.Where(s.Where)
+	}
+	switch s.Agg {
+	case "SUM":
+		qb.SelectSum(s.AggExpr)
+	case "AVG":
+		qb.SelectAvg(s.AggExpr)
+	case "COUNT":
+		qb.SelectCount()
+	default:
+		return nil, fmt.Errorf("mcdbr: EXPLAIN: aggregate %s is not plannable (use SUM, COUNT, or AVG)", s.Agg)
+	}
+	x, err := qb.Explain()
+	if err != nil {
+		return nil, err
+	}
+	if s.GroupBy != "" {
+		gt, gc, err := e.resolveGroupBy(s)
+		if err != nil {
+			return nil, err
+		}
+		x.Notes = append(x.Notes,
+			fmt.Sprintf("GROUP BY %s: one query per distinct value of %s.%s (paper App. A)", s.GroupBy, gt, gc))
+	}
+	switch {
+	case s.Domain != nil:
+		dir := ">="
+		if s.Domain.Lower {
+			dir = "<="
+		}
+		x.Notes = append(x.Notes,
+			fmt.Sprintf("DOMAIN %s %s QUANTILE(%g): Gibbs tail sampling, %d conditioned samples", s.Domain.Name, dir, s.Domain.Quantile, s.MCReps))
+	case s.With:
+		x.Notes = append(x.Notes, fmt.Sprintf("plain Monte Carlo, %d repetitions", s.MCReps))
+	default:
+		x.Notes = append(x.Notes, "deterministic aggregate (no RESULTDISTRIBUTION): executes as a scalar query")
+	}
+	return x, nil
+}

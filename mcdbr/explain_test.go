@@ -1,0 +1,300 @@
+package mcdbr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// checkGolden compares an EXPLAIN rendering against its expected text,
+// pointing at the first differing line.
+func checkGolden(t *testing.T, name, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s: line %d differs:\n got: %q\nwant: %q\n\nfull output:\n%s", name, i+1, gl[i], wl[i], got)
+		}
+	}
+	t.Fatalf("%s: length differs (%d vs %d lines):\n%s", name, len(gl), len(wl), got)
+}
+
+// TestExplainGoldenQuickstart pins the plan shape of the §2 quickstart
+// aggregate: pushdown of the CID filter below the generation pipeline and
+// the deterministic parameter scan marked for materialization caching.
+func TestExplainGoldenQuickstart(t *testing.T) {
+	e := New(WithSeed(42))
+	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
+	if _, err := e.Exec(`
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Explain(`EXPLAIN SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10050 WITH RESULTDISTRIBUTION MONTECARLO(1000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `logical plan:
+  Filter((Losses.CID < 10050)) [rows~30]
+    Rename(Losses) [rows~100]
+      Project[CID, val] [rows~100]
+        Instantiate [rows~100]
+          Seed(Normal) [rows~100]
+            Rel(means AS __param) [rows~100 det]
+rules fired:
+  resolve-columns
+  expand-random-tables
+  push-filters-below-joins
+  mark-deterministic
+physical plan:
+  Select((Losses.CID < 10050))
+    Rename(Losses)
+      Project[__param.CID __vg0]
+        Instantiate
+          Seed(Normal)
+            Scan(means AS __param) [det]
+aggregate: SUM(val)
+note: plain Monte Carlo, 1000 repetitions
+`
+	checkGolden(t, "quickstart", x.String(), want)
+}
+
+// TestExplainGoldenSalaryInversion pins the Fig. 2 self-join: joins are
+// ordered smallest-first (sup, 4 rows, not FROM order), and the cross-seed
+// predicate emp2.sal > emp1.sal leaves the plan for the looper's final
+// predicate (paper App. A).
+func TestExplainGoldenSalaryInversion(t *testing.T) {
+	e := New(WithSeed(77))
+	sup, empmeans := workload.SalaryDB()
+	e.RegisterTable(sup)
+	e.RegisterTable(empmeans)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "emp", ParamTable: "empmeans", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("msal"), expr.F(4e6)},
+		Columns:  []RandomCol{{Name: "eid", FromParam: "eid"}, {Name: "sal", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Explain(`EXPLAIN SELECT SUM(emp2.sal - emp1.sal) AS inv
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `logical plan:
+  Join(sup.peon = emp2.eid) [rows~4]
+    Join(sup.boss = emp1.eid) [rows~4]
+      Rel(sup AS sup) [rows~4 det]
+      Rename(emp1) [rows~5]
+        Project[eid, sal] [rows~5]
+          Instantiate [rows~5]
+            Seed(Normal) [rows~5]
+              Rel(empmeans AS __param) [rows~5 det]
+    Rename(emp2) [rows~5]
+      Project[eid, sal] [rows~5]
+        Instantiate [rows~5]
+          Seed(Normal) [rows~5]
+            Rel(empmeans AS __param) [rows~5 det]
+rules fired:
+  expand-random-tables
+  order-joins-greedy
+  extract-looper-predicates
+  mark-deterministic
+physical plan:
+  HashJoin([sup.peon] = [emp2.eid])
+    HashJoin([sup.boss] = [emp1.eid])
+      Scan(sup AS sup) [det]
+      Rename(emp1)
+        Project[__param.eid __vg0]
+          Instantiate
+            Seed(Normal)
+              Scan(empmeans AS __param) [det]
+    Rename(emp2)
+      Project[__param.eid __vg0]
+        Instantiate
+          Seed(Normal)
+            Scan(empmeans AS __param) [det]
+final predicate (Gibbs looper): (emp2.sal > emp1.sal)
+aggregate: SUM((emp2.sal - emp1.sal))
+note: plain Monte Carlo, 100 repetitions
+`
+	checkGolden(t, "salary-inversion", x.String(), want)
+}
+
+// TestExplainGoldenSplitJoin pins the §8 rewrite: a join keyed on a
+// VG-generated attribute gets a Split below the join, converting the
+// random key into a deterministic one.
+func TestExplainGoldenSplitJoin(t *testing.T) {
+	e := New(WithSeed(31))
+	rc := storage.NewTable("riskclass", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindFloat},
+		types.Column{Name: "premium", Kind: types.KindFloat},
+	))
+	rc.MustAppend(types.Row{types.NewFloat(0), types.NewFloat(10)})
+	rc.MustAppend(types.Row{types.NewFloat(1), types.NewFloat(100)})
+	e.RegisterTable(rc)
+	cust := storage.NewTable("cust", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "p", Kind: types.KindFloat},
+	))
+	for i := 0; i < 12; i++ {
+		cust.MustAppend(types.Row{types.NewInt(int64(i)), types.NewFloat(0.25)})
+	}
+	e.RegisterTable(cust)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "assignment", ParamTable: "cust", VG: "Bernoulli",
+		VGParams: []expr.Expr{expr.C("p")},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "class", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Explain(`EXPLAIN SELECT SUM(r.premium) AS total FROM assignment AS a, riskclass AS r
+WHERE a.class = r.rid WITH RESULTDISTRIBUTION MONTECARLO(4000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `logical plan:
+  Join(r.rid = a.class) [rows~2]
+    Rel(riskclass AS r) [rows~2 det]
+    Split(a.class) [rows~48]
+      Rename(a) [rows~12]
+        Project[cid, class] [rows~12]
+          Instantiate [rows~12]
+            Seed(Bernoulli) [rows~12]
+              Rel(cust AS __param) [rows~12 det]
+rules fired:
+  expand-random-tables
+  order-joins-greedy
+  split-random-join-keys
+  mark-deterministic
+physical plan:
+  HashJoin([r.rid] = [a.class])
+    Scan(riskclass AS r) [det]
+    Split(a.class)
+      Rename(a)
+        Project[__param.cid __vg0]
+          Instantiate
+            Seed(Bernoulli)
+              Scan(cust AS __param) [det]
+aggregate: SUM(r.premium)
+note: plain Monte Carlo, 4000 repetitions
+`
+	checkGolden(t, "split-join", x.String(), want)
+}
+
+// TestExplainGoldenGroupByTail pins the App. A GROUP BY treatment: the
+// base plan plus notes for the per-group expansion and tail sampling.
+func TestExplainGoldenGroupByTail(t *testing.T) {
+	e := New(WithSeed(42))
+	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
+	if _, err := e.Exec(`
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Explain(`EXPLAIN SELECT SUM(val) AS x FROM Losses GROUP BY CID
+WITH RESULTDISTRIBUTION MONTECARLO(20) DOMAIN x >= QUANTILE(0.9)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `logical plan:
+  Rename(Losses) [rows~100]
+    Project[CID, val] [rows~100]
+      Instantiate [rows~100]
+        Seed(Normal) [rows~100]
+          Rel(means AS __param) [rows~100 det]
+rules fired:
+  expand-random-tables
+  mark-deterministic
+physical plan:
+  Rename(Losses)
+    Project[__param.CID __vg0]
+      Instantiate
+        Seed(Normal)
+          Scan(means AS __param) [det]
+aggregate: SUM(val)
+note: GROUP BY CID: one query per distinct value of means.CID (paper App. A)
+note: DOMAIN x >= QUANTILE(0.9): Gibbs tail sampling, 20 conditioned samples
+`
+	checkGolden(t, "group-by-tail", x.String(), want)
+}
+
+// TestExplainFromBuilder: the fluent API exposes the same explanation.
+func TestExplainFromBuilder(t *testing.T) {
+	e := New(WithSeed(1))
+	e.RegisterTable(workload.LossMeans(10, 2, 8, 3))
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Query().From("losses", "l").
+		Where(expr.B(expr.OpLt, expr.C("cid"), expr.I(10005))).
+		SelectSum(expr.C("val")).
+		Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(x.Logical, "Filter((l.cid < 10005))") {
+		t.Fatalf("builder explain missing resolved filter:\n%s", x.Logical)
+	}
+	if len(x.Rules) == 0 || x.Rules[0] != "resolve-columns" {
+		t.Fatalf("rules = %v", x.Rules)
+	}
+	if !strings.Contains(x.Physical, "Seed(Normal)") {
+		t.Fatalf("physical plan missing Seed:\n%s", x.Physical)
+	}
+}
+
+// TestExplainErrors: EXPLAIN rejects what it cannot plan.
+func TestExplainErrors(t *testing.T) {
+	e := New(WithSeed(1))
+	e.RegisterTable(workload.LossMeans(5, 2, 8, 3))
+	if _, err := e.Explain(`EXPLAIN SELECT MIN(m) FROM means`); err == nil {
+		t.Fatal("MIN must not be plannable")
+	}
+	if _, err := e.Explain(`SELECT SUM(x) FROM nope WITH RESULTDISTRIBUTION MONTECARLO(5)`); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if _, err := e.Exec(`EXPLAIN CREATE TABLE x (a) AS FOR EACH a IN means WITH v AS Normal(VALUES(m,1)) SELECT v.*`); err == nil {
+		t.Fatal("EXPLAIN CREATE must be rejected")
+	}
+}
+
+// TestExecExplainKind: EXPLAIN through Exec produces ExecExplained without
+// running the query.
+func TestExecExplainKind(t *testing.T) {
+	e := New(WithSeed(42))
+	e.RegisterTable(workload.LossMeans(10, 2, 8, 7))
+	if _, err := e.Exec(`
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`EXPLAIN SELECT SUM(val) AS t FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(999999999)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != ExecExplained || res.Explain == nil {
+		t.Fatalf("res = %+v", res)
+	}
+	if !strings.Contains(res.Explain.String(), "Seed(Normal)") {
+		t.Fatalf("explain text:\n%s", res.Explain)
+	}
+}

@@ -2,6 +2,7 @@ package mcdbr
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/expr"
@@ -302,10 +303,23 @@ func TestQueryValidationErrors(t *testing.T) {
 	if _, err := e.Query().From("nope", "").SelectCount().MonteCarlo(10); err == nil {
 		t.Fatal("unknown table must error")
 	}
+	// cid exists in both losses and means: ambiguous, and the error must
+	// name the candidate aliases.
+	_, err := e.Query().From("losses", "l").From("means", "m").
+		Where(expr.B(expr.OpGt, expr.C("cid"), expr.F(0))).
+		SelectCount().MonteCarlo(10)
+	if err == nil {
+		t.Fatal("ambiguous unqualified column must error")
+	}
+	if !strings.Contains(err.Error(), "l.cid") || !strings.Contains(err.Error(), "m.cid") {
+		t.Fatalf("ambiguity error must name candidates, got: %v", err)
+	}
+	// val exists only in losses: unqualified reference resolves to l.val.
 	if _, err := e.Query().From("losses", "l").From("means", "m").
-		Where(expr.B(expr.OpGt, expr.C("val"), expr.F(0))).
-		SelectCount().MonteCarlo(10); err == nil {
-		t.Fatal("unqualified column in multi-table query must error")
+		Where(expr.B(expr.OpEq, expr.C("l.cid"), expr.C("m.cid"))).
+		Where(expr.B(expr.OpGt, expr.C("val"), expr.F(-1e12))).
+		SelectCount().MonteCarlo(10); err != nil {
+		t.Fatalf("unambiguous unqualified column must resolve: %v", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/gibbs"
+	"repro/internal/plan"
 )
 
 // Agg names the supported aggregates.
@@ -21,7 +22,7 @@ const (
 
 // QueryBuilder assembles an aggregation query over ordinary and random
 // tables. Build one with Engine.Query, chain the fluent methods, then call
-// MonteCarlo or TailSample.
+// MonteCarlo, TailSample, or Explain.
 type QueryBuilder struct {
 	e     *Engine
 	froms []fromItem
@@ -73,20 +74,19 @@ func (q *QueryBuilder) SelectAvg(e expr.Expr) *QueryBuilder {
 	return q
 }
 
-// plan compiles the builder into an executable plan plus the looper query.
+// compiled is an executable query: the workspace, the physical plan, the
+// looper query, and the logical plan it was lowered from (for EXPLAIN).
 type compiled struct {
 	ws   *exec.Workspace
 	plan exec.Node
 	gq   gibbs.Query
+	lp   *plan.Plan
 }
 
-// compile builds the physical plan: one subplan per FROM item (random
-// tables expand to Scan -> Seed -> Instantiate -> ProjectAs -> Rename),
-// left-deep hash joins over WHERE equi-conjuncts (inserting Split before
-// joins on random attributes, paper §8), per-alias selections pushed below
-// the join, cross-alias deterministic selections above it, and predicates
-// spanning random attributes of several aliases pulled into the looper's
-// final predicate (paper App. A).
+// compile validates the builder, plans it through the logical-plan layer
+// (internal/plan: predicate classification and pushdown, Split insertion,
+// greedy join ordering, looper-predicate extraction — see plan.Rules), and
+// lowers the result to physical exec operators.
 func (q *QueryBuilder) compile(window int) (*compiled, error) {
 	if len(q.froms) == 0 {
 		return nil, fmt.Errorf("mcdbr: query has no FROM items")
@@ -102,245 +102,83 @@ func (q *QueryBuilder) compile(window int) (*compiled, error) {
 		}
 		seen[key] = true
 	}
+	froms := make([]plan.From, len(q.froms))
+	for i, f := range q.froms {
+		froms[i] = plan.From{Table: f.table, Alias: f.alias}
+	}
+	lp, err := plan.Build(planCatalog{q.e}, plan.Query{Froms: froms, Where: q.where})
+	if err != nil {
+		return nil, err
+	}
+	node, err := plan.Lower(lp.Root, q.e.cat, q.e.vgs)
+	if err != nil {
+		return nil, err
+	}
 	if window <= 0 {
 		window = q.e.window
 	}
 	ws := exec.NewWorkspace(q.e.cat, q.e.masterStream(), window)
-
-	// Classify WHERE conjuncts.
-	aliasOf := func(col string) (string, bool) {
-		i := strings.IndexByte(col, '.')
-		if i < 0 {
-			return "", false
-		}
-		return strings.ToLower(col[:i]), true
-	}
-	tableOf := map[string]string{}
-	for _, f := range q.froms {
-		tableOf[strings.ToLower(f.alias)] = f.table
-	}
-	colIsRandom := func(col string) bool {
-		a, ok := aliasOf(col)
-		if !ok {
-			return false
-		}
-		t, ok := tableOf[a]
-		if !ok {
-			return false
-		}
-		base := col[strings.IndexByte(col, '.')+1:]
-		return q.e.isRandomColumn(t, base)
-	}
-	type conjunct struct {
-		e           expr.Expr
-		aliases     map[string]bool
-		randAliases map[string]bool
-		used        bool
-	}
-	conjs := make([]conjunct, len(q.where))
-	for i, c := range q.where {
-		cj := conjunct{e: c, aliases: map[string]bool{}, randAliases: map[string]bool{}}
-		for _, col := range expr.Columns(c) {
-			a, ok := aliasOf(col)
-			if !ok {
-				// Unqualified columns: resolve by probing each alias later;
-				// for classification, treat as belonging to all aliases
-				// that can resolve it. Conservative: require qualified
-				// names in multi-table queries.
-				if len(q.froms) > 1 {
-					return nil, fmt.Errorf("mcdbr: unqualified column %q in multi-table query; qualify as alias.column", col)
-				}
-				a = strings.ToLower(q.froms[0].alias)
-			}
-			cj.aliases[a] = true
-			if colIsRandom(qualify(a, col)) {
-				cj.randAliases[a] = true
-			}
-		}
-		conjs[i] = cj
-	}
-
-	// Build per-alias subplans with single-alias selections pushed down.
-	subplans := make([]exec.Node, len(q.froms))
-	randCols := make([]map[string]bool, len(q.froms))
-	for i, f := range q.froms {
-		sub, rc, err := q.e.buildFromItem(ws, f)
-		if err != nil {
-			return nil, err
-		}
-		randCols[i] = rc
-		for j := range conjs {
-			cj := &conjs[j]
-			if cj.used || len(cj.aliases) != 1 || !cj.aliases[strings.ToLower(f.alias)] {
-				continue
-			}
-			// Defer single-alias predicates spanning... impossible: one
-			// alias means at most one seed per tuple here, except multi-VG
-			// tables; exec.Select validates per tuple.
-			sub = &exec.Select{Child: sub, Pred: cj.e}
-			cj.used = true
-		}
-		subplans[i] = sub
-	}
-
-	// Left-deep joins over equi-conjuncts.
-	plan := subplans[0]
-	joined := map[string]bool{strings.ToLower(q.froms[0].alias): true}
-	joinedIdx := []int{0}
-	remaining := make([]int, 0, len(q.froms)-1)
-	for i := 1; i < len(q.froms); i++ {
-		remaining = append(remaining, i)
-	}
-	for len(remaining) > 0 {
-		progress := false
-		for ri, idx := range remaining {
-			alias := strings.ToLower(q.froms[idx].alias)
-			var lKeys, rKeys []string
-			for j := range conjs {
-				cj := &conjs[j]
-				if cj.used || len(cj.aliases) != 2 || !cj.aliases[alias] {
-					continue
-				}
-				other := ""
-				for a := range cj.aliases {
-					if a != alias {
-						other = a
-					}
-				}
-				if !joined[other] {
-					continue
-				}
-				l, r, ok := expr.EquiJoinSides(cj.e)
-				if !ok {
-					continue
-				}
-				// Order sides: l belongs to the joined plan, r to the new one.
-				la, _ := aliasOf(l)
-				if la == alias {
-					l, r = r, l
-				}
-				lKeys = append(lKeys, l)
-				rKeys = append(rKeys, r)
-				cj.used = true
-			}
-			if len(lKeys) == 0 {
-				continue
-			}
-			// Split random join keys (paper §8) on either side.
-			left := plan
-			right := subplans[idx]
-			for _, k := range lKeys {
-				if colIsRandom(k) {
-					left = &exec.Split{Child: left, Col: k}
-				}
-			}
-			for _, k := range rKeys {
-				if colIsRandom(k) {
-					right = &exec.Split{Child: right, Col: k}
-				}
-			}
-			j, err := exec.NewHashJoin(left, right, lKeys, rKeys, nil)
-			if err != nil {
-				return nil, err
-			}
-			plan = j
-			joined[alias] = true
-			joinedIdx = append(joinedIdx, idx)
-			remaining = append(remaining[:ri], remaining[ri+1:]...)
-			progress = true
-			break
-		}
-		if !progress {
-			// No connecting equi-join: fall back to a cross product with
-			// the first remaining item.
-			idx := remaining[0]
-			plan = exec.NewCross(plan, subplans[idx], nil)
-			joined[strings.ToLower(q.froms[idx].alias)] = true
-			joinedIdx = append(joinedIdx, idx)
-			remaining = remaining[1:]
-		}
-	}
-
-	// Remaining conjuncts: deterministic or single-random-alias ones become
-	// a Select above the join; conjuncts touching random columns of >= 2
-	// aliases go to the looper's final predicate.
-	var selects, finals []expr.Expr
-	for j := range conjs {
-		cj := &conjs[j]
-		if cj.used {
-			continue
-		}
-		if len(cj.randAliases) >= 2 {
-			finals = append(finals, cj.e)
-		} else {
-			selects = append(selects, cj.e)
-		}
-	}
-	if len(selects) > 0 {
-		plan = &exec.Select{Child: plan, Pred: expr.And(selects...)}
-	}
 	gq := gibbs.Query{Agg: q.agg, AggExpr: q.aggE}
-	if len(finals) > 0 {
-		gq.FinalPred = expr.And(finals...)
+	if len(lp.Final) > 0 {
+		gq.FinalPred = expr.And(lp.Final...)
 	}
-	return &compiled{ws: ws, plan: plan, gq: gq}, nil
+	return &compiled{ws: ws, plan: node, gq: gq, lp: lp}, nil
 }
 
-func qualify(alias, col string) string {
-	if strings.IndexByte(col, '.') >= 0 {
-		return col
-	}
-	return alias + "." + col
+// planCatalog adapts the engine's catalog and random-table definitions to
+// the planner's metadata interface.
+type planCatalog struct {
+	e *Engine
 }
 
-// buildFromItem expands one FROM entry into a subplan; for random tables
-// this is the paper's Scan -> Seed -> Instantiate pipeline plus projection
-// to the declared columns.
-func (e *Engine) buildFromItem(ws *exec.Workspace, f fromItem) (exec.Node, map[string]bool, error) {
-	if rt, ok := e.rand[strings.ToLower(f.table)]; ok {
-		scan, err := exec.NewScan(e.cat, rt.ParamTable, "__param")
-		if err != nil {
-			return nil, nil, err
-		}
-		gen, ok := e.vgs.Lookup(rt.VG)
-		if !ok {
-			return nil, nil, fmt.Errorf("mcdbr: VG function %q not registered", rt.VG)
-		}
-		// Qualify VG parameter expressions against the param scan.
-		params := make([]expr.Expr, len(rt.VGParams))
-		for i, p := range rt.VGParams {
-			params[i] = p
-		}
-		outNames := make([]string, len(gen.OutKinds()))
-		for i := range outNames {
-			outNames[i] = fmt.Sprintf("__vg%d", i)
-		}
-		seed, err := exec.NewSeed(scan, gen, params, outNames)
-		if err != nil {
-			return nil, nil, err
-		}
-		inst := &exec.Instantiate{Child: seed}
-		cols := make([]string, len(rt.Columns))
-		names := make([]string, len(rt.Columns))
-		randSet := map[string]bool{}
-		for i, c := range rt.Columns {
-			if c.FromParam != "" {
-				cols[i] = "__param." + c.FromParam
-			} else {
-				cols[i] = fmt.Sprintf("__vg%d", c.VGOut)
-				randSet[strings.ToLower(c.Name)] = true
+// TableRows implements plan.Catalog.
+func (c planCatalog) TableRows(name string) (int, bool) {
+	t, ok := c.e.cat.Get(name)
+	if !ok {
+		// Row counts of random tables are those of their parameter table.
+		if rt, isRand := c.e.rand[strings.ToLower(name)]; isRand {
+			if pt, ok := c.e.cat.Get(rt.ParamTable); ok {
+				return pt.NumRows(), true
 			}
-			names[i] = c.Name
 		}
-		proj, err := exec.NewProjectAs(inst, cols, names)
-		if err != nil {
-			return nil, nil, err
-		}
-		return exec.NewRename(proj, f.alias), randSet, nil
+		return 0, false
 	}
-	scan, err := exec.NewScan(e.cat, f.table, f.alias)
-	if err != nil {
-		return nil, nil, err
+	return t.NumRows(), true
+}
+
+// TableColumns implements plan.Catalog.
+func (c planCatalog) TableColumns(name string) ([]string, bool) {
+	t, ok := c.e.cat.Get(name)
+	if !ok {
+		return nil, false
 	}
-	return scan, map[string]bool{}, nil
+	cols := t.Schema().Columns()
+	names := make([]string, len(cols))
+	for i, col := range cols {
+		names[i] = col.Name
+	}
+	return names, true
+}
+
+// Random implements plan.Catalog.
+func (c planCatalog) Random(name string) (*plan.RandomMeta, bool) {
+	rt, ok := c.e.rand[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	gen, ok := c.e.vgs.Lookup(rt.VG)
+	if !ok {
+		return nil, false
+	}
+	meta := &plan.RandomMeta{
+		ParamTable: rt.ParamTable,
+		VG:         rt.VG,
+		VGParams:   rt.VGParams,
+		NumOuts:    len(gen.OutKinds()),
+		Columns:    make([]plan.RandomColMeta, len(rt.Columns)),
+	}
+	for i, col := range rt.Columns {
+		meta.Columns[i] = plan.RandomColMeta{Name: col.Name, FromParam: col.FromParam, VGOut: col.VGOut}
+	}
+	return meta, true
 }

@@ -15,7 +15,11 @@ package repro_test
 //	E5 (App. B regime)   BenchmarkE5_HeavyTailRejections
 //	Ablations            BenchmarkAblation_*
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/gibbs"
 	"repro/internal/prng"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tail"
@@ -225,6 +230,116 @@ func BenchmarkParallel_Speedup(b *testing.B) {
 	if parDur > 0 {
 		b.ReportMetric(seqDur.Seconds()/parDur.Seconds(), "speedup")
 		b.ReportMetric(float64(workers), "workers")
+	}
+}
+
+// servingBenchEngine builds the serving-path benchmark workload: the §2
+// quickstart loss model with a small stream window so per-run execution
+// cost does not drown out the parse+plan cost being compared.
+func servingBenchEngine(b *testing.B) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(42), mcdbr.WithWindow(8), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(10, 2, 8, 7))
+	if _, err := e.Exec(`
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const servingBenchSQL = `SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10008
+WITH RESULTDISTRIBUTION MONTECARLO(8)`
+
+// BenchmarkPrepared_Reexec measures re-running a prepared quickstart query:
+// the plan is built once, each iteration only executes it.
+func BenchmarkPrepared_Reexec(b *testing.B) {
+	e := servingBenchEngine(b)
+	pq, err := e.Prepare(servingBenchSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 8 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+}
+
+// BenchmarkPrepared_ParsePlanPerCall is the Exec baseline: the same query
+// pays sqlish parsing and internal/plan rewriting/lowering on every call.
+// Prepared re-execution must beat this (ISSUE 3 acceptance).
+func BenchmarkPrepared_ParsePlanPerCall(b *testing.B) {
+	e := servingBenchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Exec(servingBenchSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 8 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+}
+
+// BenchmarkPrepared_PrepareOnly measures Prepare itself with a warm plan
+// cache (the server's steady-state cost of routing a repeated statement).
+func BenchmarkPrepared_PrepareOnly(b *testing.B) {
+	e := servingBenchEngine(b)
+	if _, err := e.Prepare(servingBenchSQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pq, err := e.Prepare(servingBenchSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !pq.CacheHit() {
+			b.Fatal("cache miss on repeated Prepare")
+		}
+	}
+}
+
+// BenchmarkServe_ConcurrentQueries measures end-to-end HTTP throughput of
+// the query service under parallel clients, reporting queries/sec.
+func BenchmarkServe_ConcurrentQueries(b *testing.B) {
+	e := servingBenchEngine(b)
+	srv := server.New(e, server.Options{MaxConcurrent: runtime.NumCPU()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body, err := json.Marshal(server.QueryRequest{SQL: servingBenchSQL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				// FailNow must not be called off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	if d := time.Since(start).Seconds(); d > 0 {
+		b.ReportMetric(float64(b.N)/d, "queries/s")
 	}
 }
 

@@ -11,12 +11,21 @@
 //
 // -scalediv shrinks the TPC-H-like workload (paper scale / scalediv);
 // -runs sets the number of Figure 5 repetitions (paper: 20).
+//
+// -benchjson converts `go test -bench` output piped on stdin into a JSON
+// array for the performance trajectory:
+//
+//	go test -bench 'Prepared|Serve' -benchtime=1x -run '^$' . | mcdbr-bench -benchjson
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -30,7 +39,16 @@ func main() {
 	seed := flag.Uint64("seed", 42, "master PRNG seed")
 	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
+	benchJSON := flag.Bool("benchjson", false, "read `go test -bench` output from stdin and write JSON results to stdout")
 	flag.Parse()
+
+	if *benchJSON {
+		if err := emitBenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	engineOpts := []mcdbr.Option{mcdbr.WithParallelism(*workers)}
 	want := strings.ToUpper(*exp)
@@ -91,4 +109,71 @@ func main() {
 		experiments.PrintE5(os.Stdout, rows)
 		fmt.Println()
 	}
+}
+
+// benchResult is one parsed `go test -bench` line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// emitBenchJSON parses benchmark lines of the form
+//
+//	BenchmarkName-8   123   4567 ns/op   9.9 queries/s   2 allocs/op
+//
+// from r and writes them to w as a JSON array, so CI can archive serving
+// and experiment benchmarks as machine-readable trajectory points.
+// Non-benchmark lines are ignored.
+func emitBenchJSON(r io.Reader, w io.Writer) error {
+	var results []benchResult
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{
+			Name:       strings.TrimSuffix(fields[0], "-"+lastDashSuffix(fields[0])),
+			Iterations: iters,
+		}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// lastDashSuffix returns the GOMAXPROCS suffix of a benchmark name
+// ("BenchmarkX-8" -> "8"), or "" when absent.
+func lastDashSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[i+1:]
+		}
+	}
+	return ""
 }

@@ -1,0 +1,101 @@
+// Command mcdbr-serve runs the MCDB-R engine as a concurrent HTTP JSON
+// query service (see internal/server):
+//
+//	mcdbr-serve -addr :8080 -load means=means.csv -init schema.sql
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/tables
+//	curl -s -d '{"sql":"SELECT SUM(val) AS t FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(200)"}' localhost:8080/query
+//	curl -s -d '{"sql":"EXPLAIN SELECT SUM(val) AS t FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(200)"}' localhost:8080/explain
+//
+// -init points at a semicolon-separated SQL-ish script (typically CREATE
+// TABLE ... FOR EACH statements defining random tables) executed before
+// the listener starts. The server stops gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sqlish"
+	"repro/internal/storage"
+	"repro/mcdbr"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	flag.Var(&loads, "load", "load a CSV table: name=path (repeatable)")
+	addr := flag.String("addr", ":8080", "listen address")
+	initScript := flag.String("init", "", "SQL-ish script executed at startup (CREATE TABLE ... statements)")
+	seed := flag.Uint64("seed", 42, "master PRNG seed")
+	window := flag.Int("window", 1024, "stream values materialized per TS-seed per run")
+	workers := flag.Int("workers", 0, "worker goroutines per query for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneously executing queries (0 = NumCPU)")
+	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU capacity (0 = default 64)")
+	samples := flag.Int("samples", 0, "default tail-sampling budget N (0 = choose via Appendix C)")
+	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	flag.Parse()
+
+	if err := run(loads, *addr, *initScript, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(loads loadFlags, addr, initScript string, seed uint64, window, workers, maxConcurrent, planCache, samples int, grace time.Duration) error {
+	engine := mcdbr.New(
+		mcdbr.WithSeed(seed),
+		mcdbr.WithWindow(window),
+		mcdbr.WithParallelism(workers),
+		mcdbr.WithPlanCacheSize(planCache),
+	)
+	for _, spec := range loads {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -load %q, want name=path", spec)
+		}
+		t, err := storage.LoadCSV(parts[0], parts[1])
+		if err != nil {
+			return err
+		}
+		engine.RegisterTable(t)
+		fmt.Printf("loaded %s\n", t)
+	}
+	if initScript != "" {
+		src, err := os.ReadFile(initScript)
+		if err != nil {
+			return err
+		}
+		for _, stmt := range sqlish.SplitStatements(string(src)) {
+			if _, err := engine.Exec(stmt); err != nil {
+				return fmt.Errorf("init script: %w", err)
+			}
+		}
+		fmt.Printf("ran init script %s\n", initScript)
+	}
+
+	srv := server.New(engine, server.Options{
+		MaxConcurrent: maxConcurrent,
+		Tail:          mcdbr.TailSampleOptions{TotalSamples: samples},
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("mcdbr-serve listening on %s (max %d concurrent queries)\n", addr, srv.MaxConcurrent())
+	return srv.Serve(ctx, addr, grace)
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/sqlish"
 	"repro/internal/storage"
 	"repro/mcdbr"
 )
@@ -82,46 +83,7 @@ func run(loads loadFlags, seed uint64, window, samples, workers int, args []stri
 }
 
 // splitStatements splits on semicolons outside single-quoted strings.
-func splitStatements(src string) []string {
-	var out []string
-	var sb strings.Builder
-	inStr := false
-	for i := 0; i < len(src); i++ {
-		c := src[i]
-		switch {
-		case c == '\'':
-			inStr = !inStr
-			sb.WriteByte(c)
-		case c == ';' && !inStr:
-			out = append(out, sb.String())
-			sb.Reset()
-		default:
-			sb.WriteByte(c)
-		}
-	}
-	if s := strings.TrimSpace(sb.String()); s != "" {
-		out = append(out, s)
-	}
-	var clean []string
-	for _, s := range out {
-		if !isBlank(s) {
-			clean = append(clean, s)
-		}
-	}
-	return clean
-}
-
-// isBlank reports whether a statement consists solely of whitespace and
-// line comments.
-func isBlank(s string) bool {
-	for _, line := range strings.Split(s, "\n") {
-		t := strings.TrimSpace(line)
-		if t != "" && !strings.HasPrefix(t, "--") {
-			return false
-		}
-	}
-	return true
-}
+func splitStatements(src string) []string { return sqlish.SplitStatements(src) }
 
 func condense(s string) string {
 	return strings.Join(strings.Fields(s), " ")

@@ -91,6 +91,14 @@ func RunSharded(proto *Workspace, n, workers int, fn func(Shard) ([]float64, err
 		wg.Add(1)
 		go func(i int, sh Shard) {
 			defer wg.Done()
+			// A panic on a worker goroutine would kill the whole process
+			// regardless of recovery installed by the caller; contain it
+			// here so one bad query surfaces as an error instead.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("exec: shard %d panicked: %v", sh.Index, r)
+				}
+			}()
 			res, err := fn(sh)
 			if err == nil && len(res) != sh.Len() {
 				err = fmt.Errorf("exec: shard %d returned %d results for %d replicates", sh.Index, len(res), sh.Len())

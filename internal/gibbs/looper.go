@@ -377,6 +377,17 @@ func (lp *looper) recomputeStatesParallel(nVersions int) error {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				// Contain worker panics (a panic here would be fatal to the
+				// process even if the caller installed a recover).
+				defer func() {
+					if r := recover(); r != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("gibbs: recompute worker panicked: %v", r)
+						}
+						mu.Unlock()
+					}
+				}()
 				buf := make(types.Row, len(lp.buf))
 				for v := lo; v < hi; v++ {
 					st := lp.base
@@ -427,6 +438,15 @@ func (lp *looper) run() (*Result, error) {
 	cfg := lp.cfg
 	if err := lp.recomputeStates(cfg.N); err != nil {
 		return nil, err
+	}
+	// Reject NaN aggregates before sampling: every NaN comparison against
+	// the cutoff is false, so rejection sampling would burn its whole
+	// MaxTriesPerUpdate budget for every (seed, version) pair and the
+	// purge would select garbage elites. Surface the bad input instead.
+	for v, st := range lp.states {
+		if math.IsNaN(st.value(lp.q.Agg)) {
+			return nil, fmt.Errorf("gibbs: DB version %d has a NaN query result; a VG function or aggregate expression produced a non-finite value", v)
+		}
 	}
 	res := &Result{}
 	pi := math.Pow(cfg.P, 1/float64(cfg.M))

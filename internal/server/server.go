@@ -1,0 +1,407 @@
+// Package server exposes an mcdbr.Engine as a concurrent HTTP JSON query
+// service — the serving layer on top of the thread-safe engine and the
+// prepared-query plan cache:
+//
+//	POST /query    {"sql": "...", "seed": 7, "samples": 100, "workers": 2}
+//	POST /explain  {"sql": "..."}
+//	GET  /tables
+//	GET  /healthz
+//
+// Query execution is bounded by a configurable worker limit (requests
+// beyond it queue until a slot frees or their context is cancelled), SELECT
+// statements are routed through Engine.Prepare so repeated statements hit
+// the LRU plan cache, and Serve shuts down gracefully on context
+// cancellation. Engine-level panic containment means a malformed query
+// returns a JSON error instead of killing the process.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/sqlish"
+	"repro/mcdbr"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxConcurrent bounds simultaneously executing queries (not
+	// connections); 0 selects runtime.NumCPU(). Excess requests wait for a
+	// slot until their context is cancelled.
+	MaxConcurrent int
+	// Tail supplies default tail-sampling options for DOMAIN queries;
+	// per-request fields override them.
+	Tail mcdbr.TailSampleOptions
+}
+
+// Server is the HTTP query service. Create one with New; its Handler can
+// be mounted in any http server, or use Serve for a managed listener with
+// graceful shutdown.
+type Server struct {
+	engine *mcdbr.Engine
+	opts   Options
+	sem    chan struct{}
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a server over a (shared, concurrency-safe) engine.
+func New(e *mcdbr.Engine, opts Options) *Server {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.NumCPU()
+	}
+	s := &Server{
+		engine: e,
+		opts:   opts,
+		sem:    make(chan struct{}, opts.MaxConcurrent),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MaxConcurrent reports the query worker limit.
+func (s *Server) MaxConcurrent() int { return cap(s.sem) }
+
+// Serve listens on addr until ctx is cancelled, then shuts down
+// gracefully: in-flight requests get up to grace to finish (grace <= 0
+// selects 10s). It returns nil on clean shutdown.
+func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("server: shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// QueryRequest is the body of POST /query. SQL is required; the remaining
+// fields are per-run overrides (see mcdbr.RunOptions). Seed and Samples
+// need a preparable statement — a SELECT without GROUP BY — and are
+// rejected otherwise; Workers additionally applies to tail sampling in
+// GROUP BY queries via the tail options.
+type QueryRequest struct {
+	SQL     string `json:"sql"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Samples int    `json:"samples,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	// TotalSamples is the tail-sampling budget N for DOMAIN queries
+	// (0 = server default, then Appendix C selection).
+	TotalSamples int `json:"total_samples,omitempty"`
+}
+
+// DistSummary describes a result distribution without shipping every
+// sample.
+type DistSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Q50  float64 `json:"q50"`
+	Q90  float64 `json:"q90"`
+	Q99  float64 `json:"q99"`
+}
+
+// TailSummary extends DistSummary with the MCDB-R tail estimates.
+type TailSummary struct {
+	DistSummary
+	QuantileEstimate  float64 `json:"quantile_estimate"`
+	P                 float64 `json:"p"`
+	Lower             bool    `json:"lower"`
+	ExpectedShortfall float64 `json:"expected_shortfall"`
+	Replenishments    int     `json:"replenishments"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Kind       string                  `json:"kind"`
+	Scalar     *float64                `json:"scalar,omitempty"`
+	Dist       *DistSummary            `json:"dist,omitempty"`
+	Tail       *TailSummary            `json:"tail,omitempty"`
+	GroupDists map[string]*DistSummary `json:"group_dists,omitempty"`
+	GroupTails map[string]*TailSummary `json:"group_tails,omitempty"`
+	Explain    string                  `json:"explain,omitempty"`
+	PlanCached bool                    `json:"plan_cached"`
+	ElapsedMS  float64                 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of any non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// acquire takes a query-execution slot, waiting until one frees or the
+// request is cancelled.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: cancelled while waiting for a query slot (limit %d): %w", cap(s.sem), ctx.Err())
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: %s needs POST", r.URL.Path))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: missing \"sql\""))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	res, cached, err := s.execute(req)
+	if err != nil {
+		// A recovered engine panic is a server fault, not a bad request.
+		status := http.StatusBadRequest
+		var pe *mcdbr.PanicError
+		if errors.As(err, &pe) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	resp := buildResponse(res)
+	resp.PlanCached = cached
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute routes a request: preparable SELECTs go through Prepare
+// (hitting the plan cache for repeated statements); everything else —
+// CREATE TABLE, EXPLAIN, GROUP BY — runs through Exec. The statement kind
+// is sniffed with one parse up front so non-preparable statements neither
+// inflate the plan-cache miss counter nor get parsed twice on the routing
+// decision.
+func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
+	tail := s.opts.Tail
+	if req.TotalSamples > 0 {
+		tail.TotalSamples = req.TotalSamples
+	}
+	if req.Workers > 0 {
+		tail.Parallelism = req.Workers
+	}
+	stmt, err := sqlish.Parse(req.SQL)
+	if err != nil {
+		return nil, false, err
+	}
+	if sel, ok := stmt.(*sqlish.SelectStmt); ok && sel.GroupBy == "" {
+		pq, err := s.engine.Prepare(req.SQL)
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := pq.Run(mcdbr.RunOptions{
+			Seed:    req.Seed,
+			Samples: req.Samples,
+			Workers: req.Workers,
+			Tail:    tail,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return res, pq.CacheHit(), nil
+	}
+	// Exec has no per-run seed/samples channel; reject the overrides
+	// loudly rather than silently computing with engine defaults.
+	if req.Seed != 0 || req.Samples != 0 {
+		return nil, false, fmt.Errorf("server: per-request seed/samples need a preparable statement (a SELECT without GROUP BY); this statement executes with engine defaults — drop the overrides to run it")
+	}
+	res, err := s.engine.ExecWithOptions(req.SQL, tail)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, false, nil
+}
+
+func summarize(d *mcdbr.Distribution) *DistSummary {
+	ecdf := d.ECDF()
+	return &DistSummary{
+		N:    len(d.Samples),
+		Mean: d.Mean(),
+		Std:  d.Std(),
+		Min:  ecdf.Min(),
+		Max:  ecdf.Max(),
+		Q50:  ecdf.Quantile(0.50),
+		Q90:  ecdf.Quantile(0.90),
+		Q99:  ecdf.Quantile(0.99),
+	}
+}
+
+func summarizeTail(t *mcdbr.TailResult) *TailSummary {
+	return &TailSummary{
+		DistSummary:       *summarize(&t.Distribution),
+		QuantileEstimate:  t.QuantileEstimate,
+		P:                 t.P,
+		Lower:             t.Lower,
+		ExpectedShortfall: t.ExpectedShortfall,
+		Replenishments:    t.Diag.Replenishments,
+	}
+}
+
+func buildResponse(res *mcdbr.ExecResult) *QueryResponse {
+	resp := &QueryResponse{Kind: res.Kind.String()}
+	switch res.Kind {
+	case mcdbr.ExecScalar:
+		v := res.Scalar
+		resp.Scalar = &v
+	case mcdbr.ExecDistribution:
+		resp.Dist = summarize(res.Dist)
+	case mcdbr.ExecTail:
+		resp.Tail = summarizeTail(res.Tail)
+	case mcdbr.ExecGroupedDistribution:
+		resp.GroupDists = make(map[string]*DistSummary, len(res.GroupDists))
+		for g, d := range res.GroupDists {
+			resp.GroupDists[g] = summarize(d)
+		}
+	case mcdbr.ExecGroupedTail:
+		resp.GroupTails = make(map[string]*TailSummary, len(res.GroupTails))
+		for g, t := range res.GroupTails {
+			resp.GroupTails[g] = summarizeTail(t)
+		}
+	case mcdbr.ExecExplained:
+		resp.Explain = res.Explain.String()
+	}
+	return resp
+}
+
+// ExplainRequest is the body of POST /explain.
+type ExplainRequest struct {
+	SQL string `json:"sql"`
+}
+
+// ExplainResponse is the body of a successful POST /explain.
+type ExplainResponse struct {
+	Logical   string   `json:"logical"`
+	Physical  string   `json:"physical"`
+	Rules     []string `json:"rules"`
+	FinalPred string   `json:"final_pred,omitempty"`
+	Aggregate string   `json:"aggregate"`
+	Notes     []string `json:"notes,omitempty"`
+	Text      string   `json:"text"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	x, err := s.engine.Explain(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Logical:   x.Logical,
+		Physical:  x.Physical,
+		Rules:     x.Rules,
+		FinalPred: x.FinalPred,
+		Aggregate: x.Aggregate,
+		Notes:     x.Notes,
+		Text:      x.String(),
+	})
+}
+
+// TablesResponse is the body of GET /tables.
+type TablesResponse struct {
+	Tables       []string `json:"tables"`
+	RandomTables []string `json:"random_tables"`
+	VGFunctions  []string `json:"vg_functions"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: /tables needs GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, TablesResponse{
+		Tables:       s.engine.Catalog().Names(),
+		RandomTables: s.engine.RandomTableNames(),
+		VGFunctions:  s.engine.VGNames(),
+	})
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status          string  `json:"status"`
+	UptimeSeconds   float64 `json:"uptime_s"`
+	Goroutines      int     `json:"goroutines"`
+	MaxConcurrent   int     `json:"max_concurrent"`
+	ActiveQueries   int     `json:"active_queries"`
+	PlanCacheHits   uint64  `json:"plan_cache_hits"`
+	PlanCacheMisses uint64  `json:"plan_cache_misses"`
+	PlanCacheSize   int     `json:"plan_cache_size"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.engine.PlanCacheStats()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:          "ok",
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		Goroutines:      runtime.NumGoroutine(),
+		MaxConcurrent:   cap(s.sem),
+		ActiveQueries:   len(s.sem),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		PlanCacheSize:   size,
+	})
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/workload"
+	"repro/mcdbr"
+)
+
+func testEngine(t *testing.T) *mcdbr.Engine {
+	t.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(42), mcdbr.WithParallelism(2))
+	e.RegisterTable(workload.LossMeans(30, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+const mcSQL = `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(60)`
+
+func TestServerEndpoints(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// healthz
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(r.Body)
+		return r, b.Bytes()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", resp.StatusCode, body)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz body %s (err %v)", body, err)
+	}
+	if health.MaxConcurrent != 4 {
+		t.Fatalf("max_concurrent = %d", health.MaxConcurrent)
+	}
+
+	// tables
+	r2, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables TablesResponse
+	if err := json.NewDecoder(r2.Body).Decode(&tables); err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if len(tables.Tables) == 0 || tables.Tables[0] != "means" {
+		t.Fatalf("tables = %+v", tables.Tables)
+	}
+	if len(tables.RandomTables) != 1 || tables.RandomTables[0] != "losses" {
+		t.Fatalf("random tables = %+v", tables.RandomTables)
+	}
+	if len(tables.VGFunctions) == 0 {
+		t.Fatal("no VG functions listed")
+	}
+
+	// scalar query
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: `SELECT COUNT(*) FROM means`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scalar query = %d: %s", resp.StatusCode, body)
+	}
+	var q QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != "scalar" || q.Scalar == nil || *q.Scalar != 30 {
+		t.Fatalf("scalar response = %s", body)
+	}
+
+	// Monte Carlo query: second request must hit the plan cache.
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: mcSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mc query = %d: %s", resp.StatusCode, body)
+	}
+	var q1 QueryResponse
+	if err := json.Unmarshal(body, &q1); err != nil {
+		t.Fatal(err)
+	}
+	if q1.Kind != "distribution" || q1.Dist == nil || q1.Dist.N != 60 {
+		t.Fatalf("mc response = %s", body)
+	}
+	if q1.PlanCached {
+		t.Fatal("first request reported a cached plan")
+	}
+	_, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: mcSQL, Seed: 7})
+	var q2 QueryResponse
+	if err := json.Unmarshal(body, &q2); err != nil {
+		t.Fatal(err)
+	}
+	if !q2.PlanCached {
+		t.Fatalf("second request missed the plan cache: %s", body)
+	}
+	if q2.Dist.Mean == q1.Dist.Mean {
+		t.Fatal("per-request seed had no effect")
+	}
+
+	// explain
+	resp, body = postJSON(t, ts.URL+"/explain", ExplainRequest{SQL: mcSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain = %d: %s", resp.StatusCode, body)
+	}
+	var ex ExplainResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Rules) == 0 || !strings.Contains(ex.Physical, "Seed(Normal)") {
+		t.Fatalf("explain response = %s", body)
+	}
+
+	// bad SQL is a 400 with a JSON error, and the server stays up.
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: `SELEC nonsense`})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sql = %d: %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body = %s", body)
+	}
+	// missing sql
+	resp, _ = postJSON(t, ts.URL+"/query", QueryRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing sql = %d", resp.StatusCode)
+	}
+	// wrong method
+	r3, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d", r3.StatusCode)
+	}
+}
+
+// TestServerCreateThenQuery: a CREATE TABLE statement (not preparable)
+// falls back to Exec, and the defined table is immediately queryable.
+func TestServerCreateThenQuery(t *testing.T) {
+	e := mcdbr.New(mcdbr.WithSeed(1))
+	e.RegisterTable(workload.LossMeans(10, 2, 8, 3))
+	s := New(e, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{SQL: `CREATE TABLE L (CID, v) AS
+FOR EACH CID IN means
+WITH w AS Normal(VALUES(m, 1.0))
+SELECT CID, w.* FROM w`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create = %d: %s", resp.StatusCode, body)
+	}
+	var q QueryResponse
+	if err := json.Unmarshal(body, &q); err != nil || q.Kind != "created" {
+		t.Fatalf("create response = %s", body)
+	}
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: `SELECT SUM(v) AS x FROM L WITH RESULTDISTRIBUTION MONTECARLO(20)`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query over created table = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerConcurrentQueries fires many simultaneous requests at one
+// server (run under -race in CI): every response must be a valid 200 and
+// equal-seed responses must agree.
+func TestServerConcurrentQueries(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, base := postJSON(t, ts.URL+"/query", QueryRequest{SQL: mcSQL})
+	var want QueryResponse
+	if err := json.Unmarshal(base, &want); err != nil || want.Dist == nil {
+		t.Fatalf("baseline = %s", base)
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			b, _ := json.Marshal(QueryRequest{SQL: mcSQL, Workers: 1 + c%3})
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			var q QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			if q.Dist == nil || q.Dist.N != want.Dist.N || q.Dist.Mean != want.Dist.Mean {
+				errc <- fmt.Errorf("client %d: diverging result %+v", c, q.Dist)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if s.MaxConcurrent() != 3 {
+		t.Fatalf("MaxConcurrent = %d", s.MaxConcurrent())
+	}
+}
+
+// TestServeGracefulShutdown: Serve returns nil once its context is
+// cancelled and the listener has drained.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := New(testEngine(t), Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, "127.0.0.1:0", time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not shut down")
+	}
+}

@@ -1,0 +1,48 @@
+package sqlish
+
+import "strings"
+
+// SplitStatements splits a script into statements on semicolons outside
+// single-quoted strings, dropping pieces that contain only whitespace and
+// `--` line comments. cmd/mcdbr scripts and cmd/mcdbr-serve -init files
+// share this splitter.
+func SplitStatements(src string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			sb.WriteByte(c)
+		case c == ';' && !inStr:
+			out = append(out, sb.String())
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	var clean []string
+	for _, s := range out {
+		if !isBlankStatement(s) {
+			clean = append(clean, s)
+		}
+	}
+	return clean
+}
+
+// isBlankStatement reports whether a statement consists solely of
+// whitespace and line comments.
+func isBlankStatement(s string) bool {
+	for _, line := range strings.Split(s, "\n") {
+		t := strings.TrimSpace(line)
+		if t != "" && !strings.HasPrefix(t, "--") {
+			return false
+		}
+	}
+	return true
+}

@@ -83,6 +83,24 @@ func (e *ECDF) KSDistance(cdf func(float64) float64) float64 {
 	return d
 }
 
+// CheckFinite reports the first non-finite element of a sample as a
+// descriptive error, or nil when every element is finite. NaN query
+// results would otherwise silently sort to the front of an ECDF or
+// FrequencyTable (sort.Float64s places NaN first) and corrupt Quantile,
+// Min, and tail-boundary estimates; callers building result
+// distributions reject such samples up front.
+func CheckFinite(sample []float64) error {
+	for i, x := range sample {
+		if math.IsNaN(x) {
+			return fmt.Errorf("stats: sample %d of %d is NaN", i, len(sample))
+		}
+		if math.IsInf(x, 0) {
+			return fmt.Errorf("stats: sample %d of %d is %g", i, len(sample), x)
+		}
+	}
+	return nil
+}
+
 // Summary holds moment statistics of a sample.
 type Summary struct {
 	N              int

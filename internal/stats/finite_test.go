@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite([]float64{1, -2.5, 0, 1e300}); err != nil {
+		t.Fatalf("finite sample rejected: %v", err)
+	}
+	if err := CheckFinite(nil); err != nil {
+		t.Fatalf("empty sample rejected: %v", err)
+	}
+	err := CheckFinite([]float64{1, math.NaN(), 3})
+	if err == nil {
+		t.Fatal("NaN not detected")
+	}
+	if !strings.Contains(err.Error(), "NaN") || !strings.Contains(err.Error(), "1 of 3") {
+		t.Fatalf("NaN error not descriptive: %v", err)
+	}
+	err = CheckFinite([]float64{math.Inf(-1)})
+	if err == nil {
+		t.Fatal("-Inf not detected")
+	}
+	if !strings.Contains(err.Error(), "-Inf") {
+		t.Fatalf("Inf error not descriptive: %v", err)
+	}
+}
+
+// TestNaNPoisonsECDFWithoutCheck documents the failure mode CheckFinite
+// guards against: NaN sorts to the front, so Min and low quantiles come
+// back NaN silently.
+func TestNaNPoisonsECDFWithoutCheck(t *testing.T) {
+	e := NewECDF([]float64{5, math.NaN(), 7})
+	if !math.IsNaN(e.Min()) {
+		t.Skip("sort placed NaN elsewhere; nothing to document")
+	}
+	// This silent NaN is exactly why result distributions must be checked
+	// before construction.
+	if !math.IsNaN(e.Quantile(0.01)) {
+		t.Fatalf("expected poisoned quantile, got %g", e.Quantile(0.01))
+	}
+}

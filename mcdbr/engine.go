@@ -15,23 +15,45 @@ package mcdbr
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
-	"repro/internal/prng"
 	"repro/internal/storage"
 	"repro/internal/vg"
 )
 
-// Engine is a Monte Carlo database instance. Create one with New; an
-// Engine is not safe for concurrent query execution.
+// Engine is a Monte Carlo database instance. Create one with New.
+//
+// An Engine is safe for concurrent use: any number of goroutines may call
+// Exec, ExecWithOptions, Prepare, PreparedQuery.Run, Explain, and the
+// QueryBuilder execution methods on one shared Engine. Per-query state
+// (workspaces, TS-seed stores, materialization caches) is private to each
+// call; the shared catalog, VG registry, and random-table definitions are
+// guarded by locks. DDL (RegisterTable, DefineRandomTable, CREATE TABLE
+// statements, FREQUENCYTABLE registration) is atomic: a concurrent query
+// sees the state either before or after a definition, never a partial one.
+// Registered tables must not be mutated after registration — replace them
+// with RegisterTable instead.
 type Engine struct {
-	cat         *storage.Catalog
-	vgs         *vg.Registry
-	rand        map[string]*RandomTable
+	cat *storage.Catalog
+	vgs *vg.Registry
+
+	// seed, window, and parallelism are set by New options only and are
+	// immutable afterwards, so queries read them without locking.
 	seed        uint64
 	window      int
 	parallelism int
+
+	// mu guards rand and ddlEpoch. The catalog and VG registry carry their
+	// own locks; mu is the engine-level lock for definition state and is
+	// always acquired before (never inside) the catalog lock.
+	mu       sync.RWMutex
+	rand     map[string]*RandomTable
+	ddlEpoch uint64
+
+	plans *planCache
 }
 
 // Option configures an Engine.
@@ -63,6 +85,12 @@ func WithParallelism(n int) Option {
 // Parallelism reports the engine's worker count.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
+// WithPlanCacheSize sets how many prepared plans the engine's LRU plan
+// cache retains (see Prepare); n <= 0 selects the default of 64.
+func WithPlanCacheSize(n int) Option {
+	return func(e *Engine) { e.plans = newPlanCache(n) }
+}
+
 // New creates an empty engine with all built-in VG functions registered.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -72,6 +100,7 @@ func New(opts ...Option) *Engine {
 		seed:        0x6d636462, // "mcdb"
 		window:      1024,
 		parallelism: runtime.NumCPU(),
+		plans:       newPlanCache(0),
 	}
 	for _, o := range opts {
 		o(e)
@@ -79,12 +108,55 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// RegisterTable adds (or replaces) an ordinary table.
-func (e *Engine) RegisterTable(t *storage.Table) { e.cat.Put(t) }
+// RegisterTable adds (or replaces) an ordinary table. The table must not
+// be mutated afterwards; concurrent queries read it without locking.
+func (e *Engine) RegisterTable(t *storage.Table) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cat.Put(t)
+	e.ddlEpoch++
+}
 
 // RegisterVG adds a user-defined VG function (the paper's black-box
 // variable-generation functions).
-func (e *Engine) RegisterVG(f vg.Func) { e.vgs.Register(f) }
+func (e *Engine) RegisterVG(f vg.Func) {
+	e.vgs.Register(f)
+	e.mu.Lock()
+	e.ddlEpoch++
+	e.mu.Unlock()
+}
+
+// VGNames returns the registered VG function names, sorted.
+func (e *Engine) VGNames() []string { return e.vgs.Names() }
+
+// epoch returns the DDL epoch: a counter bumped by every definition change
+// that can invalidate a cached plan (table or VG registration, random-table
+// definition, FTABLE schema change).
+func (e *Engine) epoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ddlEpoch
+}
+
+// randomDef looks up a random-table definition under the engine lock.
+func (e *Engine) randomDef(name string) (*RandomTable, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rt, ok := e.rand[strings.ToLower(name)]
+	return rt, ok
+}
+
+// RandomTableNames returns the names of all defined random tables, sorted.
+func (e *Engine) RandomTableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.rand))
+	for n := range e.rand {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Table looks up an ordinary table.
 func (e *Engine) Table(name string) (*storage.Table, bool) { return e.cat.Get(name) }
@@ -157,15 +229,14 @@ func (e *Engine) DefineRandomTable(rt RandomTable) error {
 	if !hasRandom {
 		return fmt.Errorf("mcdbr: random table %q exposes no VG output; use an ordinary table", rt.Name)
 	}
+	e.mu.Lock()
 	e.rand[strings.ToLower(rt.Name)] = &rt
+	e.ddlEpoch++
+	e.mu.Unlock()
 	return nil
 }
 
 // RandomTableDef looks up a random-table definition.
 func (e *Engine) RandomTableDef(name string) (*RandomTable, bool) {
-	rt, ok := e.rand[strings.ToLower(name)]
-	return rt, ok
+	return e.randomDef(name)
 }
-
-// masterStream derives the engine's master PRNG stream.
-func (e *Engine) masterStream() prng.Stream { return prng.NewStream(e.seed) }

@@ -38,6 +38,28 @@ const (
 	ExecExplained
 )
 
+// String names the result kind (used by the HTTP serving layer).
+func (k ExecKind) String() string {
+	switch k {
+	case ExecCreated:
+		return "created"
+	case ExecScalar:
+		return "scalar"
+	case ExecDistribution:
+		return "distribution"
+	case ExecTail:
+		return "tail"
+	case ExecGroupedDistribution:
+		return "grouped_distribution"
+	case ExecGroupedTail:
+		return "grouped_tail"
+	case ExecExplained:
+		return "explained"
+	default:
+		return fmt.Sprintf("ExecKind(%d)", uint8(k))
+	}
+}
+
 // ExecResult is the outcome of Engine.Exec.
 type ExecResult struct {
 	Kind       ExecKind
@@ -56,8 +78,35 @@ func (e *Engine) Exec(sql string) (*ExecResult, error) {
 	return e.ExecWithOptions(sql, TailSampleOptions{})
 }
 
+// PanicError is a panic recovered at an engine entry point, surfaced as
+// an error. Callers (e.g. the HTTP serving layer) can errors.As on it to
+// distinguish engine faults from bad-input errors.
+type PanicError struct {
+	// Op names the entry point that recovered the panic.
+	Op string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("mcdbr: %s: internal panic: %v", p.Op, p.Value)
+}
+
+// recoverToError converts a panic escaping a public entry point into a
+// *PanicError, so one bad query (a type-confused expression, VG misuse,
+// or a panicking user VG function) cannot crash a process serving other
+// queries. Parallel execution installs the same net in its worker
+// goroutines, where a panic would otherwise be fatal regardless of
+// deferred recovery on the calling goroutine.
+func recoverToError(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &PanicError{Op: op, Value: r}
+	}
+}
+
 // ExecWithOptions is Exec with explicit tail-sampling options.
-func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (*ExecResult, error) {
+func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (res *ExecResult, err error) {
+	defer recoverToError("Exec", &err)
 	stmt, err := sqlish.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -179,7 +228,7 @@ func (e *Engine) execScalar(s *sqlish.SelectStmt) (float64, error) {
 	if len(s.Froms) != 1 {
 		return 0, fmt.Errorf("mcdbr: deterministic aggregates support exactly one table, got %d", len(s.Froms))
 	}
-	if _, isRandom := e.rand[strings.ToLower(s.Froms[0].Table)]; isRandom {
+	if _, isRandom := e.randomDef(s.Froms[0].Table); isRandom {
 		return 0, fmt.Errorf("mcdbr: query over random table %q needs WITH RESULTDISTRIBUTION", s.Froms[0].Table)
 	}
 	t, ok := e.cat.Get(s.Froms[0].Table)
@@ -255,11 +304,9 @@ func (e *Engine) filterRows(t *storage.Table, where expr.Expr) ([]types.Row, err
 	return out, nil
 }
 
-// execResultDistribution runs a WITH RESULTDISTRIBUTION query: plain Monte
-// Carlo without DOMAIN, tail sampling with it. A FREQUENCYTABLE clause
-// registers the table FTABLE(<name>, FRAC) in the catalog for follow-up
-// queries.
-func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOptions) (*ExecResult, error) {
+// selectBuilder turns a parsed SELECT into a QueryBuilder; shared by Exec,
+// EXPLAIN, and Prepare.
+func (e *Engine) selectBuilder(s *sqlish.SelectStmt) (*QueryBuilder, error) {
 	qb := e.Query()
 	for _, f := range s.Froms {
 		qb.From(f.Table, f.Alias)
@@ -277,6 +324,30 @@ func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOpt
 	default:
 		return nil, fmt.Errorf("mcdbr: aggregate %s is not supported with RESULTDISTRIBUTION (use SUM, COUNT, or AVG)", s.Agg)
 	}
+	return qb, nil
+}
+
+// domainTailProbability maps the DOMAIN clause to the looper's upper/lower
+// tail probability, validating the aggregate alias reference.
+func domainTailProbability(s *sqlish.SelectStmt) (float64, error) {
+	if s.AggAlias != "" && !strings.EqualFold(s.Domain.Name, s.AggAlias) {
+		return 0, fmt.Errorf("mcdbr: DOMAIN references %q but the aggregate is named %q", s.Domain.Name, s.AggAlias)
+	}
+	if s.Domain.Lower {
+		return s.Domain.Quantile, nil
+	}
+	return 1 - s.Domain.Quantile, nil
+}
+
+// execResultDistribution runs a WITH RESULTDISTRIBUTION query: plain Monte
+// Carlo without DOMAIN, tail sampling with it. A FREQUENCYTABLE clause
+// registers the table FTABLE(<name>, FRAC) in the catalog for follow-up
+// queries.
+func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOptions) (*ExecResult, error) {
+	qb, err := e.selectBuilder(s)
+	if err != nil {
+		return nil, err
+	}
 	var groupTable, groupCol string
 	if s.GroupBy != "" {
 		var err error
@@ -286,14 +357,11 @@ func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOpt
 		}
 	}
 	if s.Domain != nil {
-		if s.AggAlias != "" && !strings.EqualFold(s.Domain.Name, s.AggAlias) {
-			return nil, fmt.Errorf("mcdbr: DOMAIN references %q but the aggregate is named %q", s.Domain.Name, s.AggAlias)
+		p, err := domainTailProbability(s)
+		if err != nil {
+			return nil, err
 		}
-		p := 1 - s.Domain.Quantile
 		opts.Lower = s.Domain.Lower
-		if s.Domain.Lower {
-			p = s.Domain.Quantile
-		}
 		if s.GroupBy != "" {
 			groups, err := qb.GroupedTailSample(groupTable, groupCol, p, s.MCReps, opts)
 			if err != nil {
@@ -305,7 +373,7 @@ func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOpt
 		if err != nil {
 			return nil, err
 		}
-		e.maybeRegisterFTable(s, &res.Distribution)
+		e.registerFTable(s, &res.Distribution)
 		return &ExecResult{Kind: ExecTail, Tail: res}, nil
 	}
 	if s.GroupBy != "" {
@@ -319,7 +387,7 @@ func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOpt
 	if err != nil {
 		return nil, err
 	}
-	e.maybeRegisterFTable(s, d)
+	e.registerFTable(s, d)
 	return &ExecResult{Kind: ExecDistribution, Dist: d}, nil
 }
 
@@ -349,7 +417,7 @@ func (e *Engine) resolveGroupBy(s *sqlish.SelectStmt) (table, col string, err er
 	if tableName == "" {
 		return "", "", fmt.Errorf("mcdbr: GROUP BY alias %q not in FROM clause", alias)
 	}
-	if rt, ok := e.rand[strings.ToLower(tableName)]; ok {
+	if rt, ok := e.randomDef(tableName); ok {
 		for _, c := range rt.Columns {
 			if strings.EqualFold(c.Name, col) {
 				if c.FromParam == "" {
@@ -363,7 +431,15 @@ func (e *Engine) resolveGroupBy(s *sqlish.SelectStmt) (table, col string, err er
 	return tableName, col, nil
 }
 
-func (e *Engine) maybeRegisterFTable(s *sqlish.SelectStmt, d *Distribution) {
+// registerFTable is the explicit post-execution step that materializes a
+// FREQUENCYTABLE clause as the catalog table FTABLE(<name>, FRAC). It runs
+// only after the query has fully completed (never mid-query) and swaps the
+// table in atomically under the engine lock: a concurrent query sees the
+// previous FTABLE or the new one, never a half-built relation. The DDL
+// epoch is bumped only when the FTABLE schema changes (a different
+// aggregate name), so repeated runs of the same query do not invalidate
+// cached plans.
+func (e *Engine) registerFTable(s *sqlish.SelectStmt, d *Distribution) {
 	if s.FreqTable == "" {
 		return
 	}
@@ -374,5 +450,25 @@ func (e *Engine) maybeRegisterFTable(s *sqlish.SelectStmt, d *Distribution) {
 	for i, v := range d.FTable.Values {
 		t.MustAppend(types.Row{types.NewFloat(v), types.NewFloat(d.FTable.Fracs[i])})
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.cat.Get("ftable"); !ok || !sameSchema(old.Schema(), t.Schema()) {
+		e.ddlEpoch++
+	}
 	e.cat.Put(t)
+}
+
+// sameSchema reports whether two schemas have identical column names and
+// kinds.
+func sameSchema(a, b *types.Schema) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ca, cb := a.Col(i), b.Col(i)
+		if !strings.EqualFold(ca.Name, cb.Name) || ca.Kind != cb.Kind {
+			return false
+		}
+	}
+	return true
 }

@@ -64,12 +64,13 @@ func writeIndented(b *strings.Builder, block string) {
 }
 
 // Explain compiles the fluent query without executing it.
-func (q *QueryBuilder) Explain() (*Explain, error) {
-	c, err := q.compile(0)
+func (q *QueryBuilder) Explain() (x *Explain, err error) {
+	defer recoverToError("Explain", &err)
+	c, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
-	x := &Explain{
+	x = &Explain{
 		Logical:   plan.Format(c.lp.Root),
 		Rules:     append([]string(nil), c.lp.Fired...),
 		Physical:  exec.FormatPlan(c.plan),
@@ -94,7 +95,8 @@ func formatAgg(a Agg, e expr.Expr) string {
 
 // Explain parses one SQL-ish SELECT statement (a leading EXPLAIN keyword
 // is optional) and returns its plan description without executing it.
-func (e *Engine) Explain(sql string) (*Explain, error) {
+func (e *Engine) Explain(sql string) (x *Explain, err error) {
+	defer recoverToError("Explain", &err)
 	stmt, err := sqlish.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -112,22 +114,9 @@ func (e *Engine) Explain(sql string) (*Explain, error) {
 // explainSelect plans a parsed SELECT through the same builder path the
 // executor uses and attaches execution-strategy notes.
 func (e *Engine) explainSelect(s *sqlish.SelectStmt) (*Explain, error) {
-	qb := e.Query()
-	for _, f := range s.Froms {
-		qb.From(f.Table, f.Alias)
-	}
-	if s.Where != nil {
-		qb.Where(s.Where)
-	}
-	switch s.Agg {
-	case "SUM":
-		qb.SelectSum(s.AggExpr)
-	case "AVG":
-		qb.SelectAvg(s.AggExpr)
-	case "COUNT":
-		qb.SelectCount()
-	default:
-		return nil, fmt.Errorf("mcdbr: EXPLAIN: aggregate %s is not plannable (use SUM, COUNT, or AVG)", s.Agg)
+	qb, err := e.selectBuilder(s)
+	if err != nil {
+		return nil, fmt.Errorf("mcdbr: EXPLAIN: %w", err)
 	}
 	x, err := qb.Explain()
 	if err != nil {

@@ -1,0 +1,247 @@
+package mcdbr_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/workload"
+	"repro/mcdbr"
+)
+
+const preparedSQL = `SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10030
+WITH RESULTDISTRIBUTION MONTECARLO(120)`
+
+// TestPreparedRunMatchesExec: with the same seed, Prepare+Run must be
+// bit-for-bit identical to a direct Exec, for every worker count.
+func TestPreparedRunMatchesExec(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		e := lossEngine(t, workers)
+		direct, err := e.Exec(preparedSQL)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		pq, err := e.Prepare(preparedSQL)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for run := 0; run < 3; run++ {
+			res, err := pq.Run(mcdbr.RunOptions{})
+			if err != nil {
+				t.Fatalf("workers=%d run=%d: %v", workers, run, err)
+			}
+			if res.Kind != mcdbr.ExecDistribution {
+				t.Fatalf("kind = %v", res.Kind)
+			}
+			if len(res.Dist.Samples) != len(direct.Dist.Samples) {
+				t.Fatalf("workers=%d: %d samples, want %d", workers, len(res.Dist.Samples), len(direct.Dist.Samples))
+			}
+			for i := range direct.Dist.Samples {
+				if res.Dist.Samples[i] != direct.Dist.Samples[i] {
+					t.Fatalf("workers=%d run=%d: sample %d = %v, want %v",
+						workers, run, i, res.Dist.Samples[i], direct.Dist.Samples[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPreparedSeedOverride: Run with an explicit seed matches Exec on an
+// engine created with that seed, and differs from the default-seed run.
+func TestPreparedSeedOverride(t *testing.T) {
+	const seed = 977
+	want, err := mustEngineWithSeed(t, seed).Exec(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := lossEngine(t, 2).Prepare(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run(mcdbr.RunOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Dist.Samples {
+		if res.Dist.Samples[i] != want.Dist.Samples[i] {
+			t.Fatalf("sample %d = %v, want %v", i, res.Dist.Samples[i], want.Dist.Samples[i])
+		}
+	}
+	def, err := pq.Run(mcdbr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range def.Dist.Samples {
+		if def.Dist.Samples[i] != res.Dist.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sample vectors")
+	}
+}
+
+// mustEngineWithSeed is lossEngine with a caller-chosen master seed.
+func mustEngineWithSeed(t *testing.T, seed uint64) *mcdbr.Engine {
+	t.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithParallelism(2))
+	e.RegisterTable(workload.LossMeans(40, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPreparedSamplesAndWorkersOverride: per-run Samples replaces the
+// statement's MONTECARLO count; per-run Workers changes nothing about the
+// values.
+func TestPreparedSamplesAndWorkersOverride(t *testing.T) {
+	pq, err := lossEngine(t, 1).Prepare(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pq.Run(mcdbr.RunOptions{Samples: 37, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dist.Samples) != 37 {
+		t.Fatalf("samples = %d, want 37", len(a.Dist.Samples))
+	}
+	b, err := pq.Run(mcdbr.RunOptions{Samples: 37, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Dist.Samples {
+		if a.Dist.Samples[i] != b.Dist.Samples[i] {
+			t.Fatalf("worker override changed sample %d", i)
+		}
+	}
+}
+
+// TestPlanCacheAccounting: normalized-SQL keying, hit/miss counts, and
+// DDL-epoch invalidation.
+func TestPlanCacheAccounting(t *testing.T) {
+	e := lossEngine(t, 1)
+	h0, m0, s0 := e.PlanCacheStats()
+	if h0 != 0 || m0 != 0 || s0 != 0 {
+		t.Fatalf("fresh cache stats = %d/%d/%d", h0, m0, s0)
+	}
+
+	p1, err := e.Prepare(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit() {
+		t.Fatal("first Prepare reported a cache hit")
+	}
+	// Same statement, different whitespace and keyword case: must hit.
+	p2, err := e.Prepare(`select  SUM(val) AS totalLoss
+		FROM Losses WHERE CID < 10030 with RESULTDISTRIBUTION MONTECARLO(120);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit() {
+		t.Fatalf("reformatted statement missed the cache (key %q vs %q)", p2.SQL(), p1.SQL())
+	}
+	hits, misses, size := e.PlanCacheStats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("stats = %d hits / %d misses / %d entries, want 1/1/1", hits, misses, size)
+	}
+
+	// DDL bumps the epoch: the cached plan is stale and must be re-planned.
+	means, ok := e.Table("means")
+	if !ok {
+		t.Fatal("means missing")
+	}
+	e.RegisterTable(means)
+	p3, err := e.Prepare(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.CacheHit() {
+		t.Fatal("Prepare after DDL must re-plan")
+	}
+	// And the refreshed entry serves hits again.
+	p4, err := e.Prepare(preparedSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p4.CacheHit() {
+		t.Fatal("re-planned entry not cached")
+	}
+}
+
+// TestPrepareRejectsNonSelect: CREATE and GROUP BY statements are not
+// preparable and must say so.
+func TestPrepareRejectsNonSelect(t *testing.T) {
+	e := lossEngine(t, 1)
+	if _, err := e.Prepare(`CREATE TABLE x (CID, v) AS
+FOR EACH CID IN means
+WITH w AS Normal(VALUES(m, 1.0))
+SELECT CID, w.* FROM w`); err == nil {
+		t.Fatal("CREATE TABLE prepared without error")
+	}
+	if _, err := e.Prepare(`SELECT SUM(val) AS x FROM Losses GROUP BY cid
+WITH RESULTDISTRIBUTION MONTECARLO(5)`); err == nil {
+		t.Fatal("GROUP BY prepared without error")
+	}
+}
+
+// TestPreparedScalarFollowsCatalog: a prepared deterministic aggregate
+// re-reads the catalog each run, so it sees an FTABLE registered after
+// Prepare.
+func TestPreparedScalarFollowsCatalog(t *testing.T) {
+	e := lossEngine(t, 1)
+	if _, err := e.Exec(`SELECT SUM(val) AS totalLoss FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(25)
+FREQUENCYTABLE totalLoss`); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := e.Prepare(`SELECT COUNT(*) FROM FTABLE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := pq.Run(mcdbr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kind != mcdbr.ExecScalar || r1.Scalar < 1 {
+		t.Fatalf("r1 = %+v", r1)
+	}
+}
+
+// TestPreparedTailMatchesExec covers DOMAIN queries through the prepared
+// path.
+func TestPreparedTailMatchesExec(t *testing.T) {
+	const sql = `SELECT SUM(val) AS totalLoss FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(30)
+DOMAIN totalLoss >= QUANTILE(0.95)`
+	opts := mcdbr.TailSampleOptions{TotalSamples: 120, ForceM: 2}
+	e := lossEngine(t, 2)
+	direct, err := e.ExecWithOptions(sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := e.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run(mcdbr.RunOptions{Tail: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tail.QuantileEstimate != direct.Tail.QuantileEstimate {
+		t.Fatalf("quantile %v, want %v", res.Tail.QuantileEstimate, direct.Tail.QuantileEstimate)
+	}
+	for i := range direct.Tail.Samples {
+		if res.Tail.Samples[i] != direct.Tail.Samples[i] {
+			t.Fatalf("tail sample %d diverged", i)
+		}
+	}
+}

@@ -74,10 +74,13 @@ func (q *QueryBuilder) SelectAvg(e expr.Expr) *QueryBuilder {
 	return q
 }
 
-// compiled is an executable query: the workspace, the physical plan, the
-// looper query, and the logical plan it was lowered from (for EXPLAIN).
+// compiled is a planned query: the physical plan, the looper query
+// template, and the logical plan it was lowered from (for EXPLAIN).
+// A compiled plan holds no per-run state — exec nodes are stateless at
+// Run time (mutable state lives in the per-run exec.Workspace) — so one
+// compiled plan may be executed by many goroutines concurrently; that is
+// what PreparedQuery relies on. Callers must copy gq before mutating it.
 type compiled struct {
-	ws   *exec.Workspace
 	plan exec.Node
 	gq   gibbs.Query
 	lp   *plan.Plan
@@ -87,7 +90,7 @@ type compiled struct {
 // (internal/plan: predicate classification and pushdown, Split insertion,
 // greedy join ordering, looper-predicate extraction — see plan.Rules), and
 // lowers the result to physical exec operators.
-func (q *QueryBuilder) compile(window int) (*compiled, error) {
+func (q *QueryBuilder) compile() (*compiled, error) {
 	if len(q.froms) == 0 {
 		return nil, fmt.Errorf("mcdbr: query has no FROM items")
 	}
@@ -114,15 +117,11 @@ func (q *QueryBuilder) compile(window int) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	if window <= 0 {
-		window = q.e.window
-	}
-	ws := exec.NewWorkspace(q.e.cat, q.e.masterStream(), window)
 	gq := gibbs.Query{Agg: q.agg, AggExpr: q.aggE}
 	if len(lp.Final) > 0 {
 		gq.FinalPred = expr.And(lp.Final...)
 	}
-	return &compiled{ws: ws, plan: node, gq: gq, lp: lp}, nil
+	return &compiled{plan: node, gq: gq, lp: lp}, nil
 }
 
 // planCatalog adapts the engine's catalog and random-table definitions to
@@ -136,7 +135,7 @@ func (c planCatalog) TableRows(name string) (int, bool) {
 	t, ok := c.e.cat.Get(name)
 	if !ok {
 		// Row counts of random tables are those of their parameter table.
-		if rt, isRand := c.e.rand[strings.ToLower(name)]; isRand {
+		if rt, isRand := c.e.randomDef(name); isRand {
 			if pt, ok := c.e.cat.Get(rt.ParamTable); ok {
 				return pt.NumRows(), true
 			}
@@ -162,7 +161,7 @@ func (c planCatalog) TableColumns(name string) ([]string, bool) {
 
 // Random implements plan.Catalog.
 func (c planCatalog) Random(name string) (*plan.RandomMeta, bool) {
-	rt, ok := c.e.rand[strings.ToLower(name)]
+	rt, ok := c.e.randomDef(name)
 	if !ok {
 		return nil, false
 	}

@@ -6,8 +6,10 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/gibbs"
+	"repro/internal/prng"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tail"
@@ -86,18 +88,31 @@ type TailResult struct {
 // MCDB semantics) and returns the unconditioned result distribution. The
 // repetitions are replicate-sharded across the engine's worker count (see
 // WithParallelism); samples are identical for every worker count.
-func (q *QueryBuilder) MonteCarlo(n int) (*Distribution, error) {
-	window := q.e.window
+func (q *QueryBuilder) MonteCarlo(n int) (d *Distribution, err error) {
+	defer recoverToError("MonteCarlo", &err)
+	c, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	return q.e.runMonteCarlo(c, n, q.e.seed, q.e.parallelism)
+}
+
+// runMonteCarlo executes a compiled plan for n Monte Carlo repetitions in
+// a fresh per-run workspace. It is the shared execution path of
+// QueryBuilder.MonteCarlo and PreparedQuery.Run; seed and workers are
+// per-run so prepared queries can override them.
+func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*Distribution, error) {
+	window := e.window
 	if n > window {
 		window = n
 	}
-	c, err := q.compile(window)
+	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
+	samples, err := gibbs.MonteCarloParallel(ws, c.plan, c.gq, n, workers)
 	if err != nil {
 		return nil, err
 	}
-	samples, err := gibbs.MonteCarloParallel(c.ws, c.plan, c.gq, n, q.e.parallelism)
-	if err != nil {
-		return nil, err
+	if err := stats.CheckFinite(samples); err != nil {
+		return nil, fmt.Errorf("mcdbr: Monte Carlo produced a non-finite query result (%w); check VG parameters and aggregate expressions", err)
 	}
 	return newDistribution(samples), nil
 }
@@ -130,10 +145,23 @@ type TailSampleOptions struct {
 //	DOMAIN result >= QUANTILE(1-p)
 //
 // clause. For Lower tails the DOMAIN is result <= QUANTILE(p).
-func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (*TailResult, error) {
+func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (tr *TailResult, err error) {
+	defer recoverToError("TailSample", &err)
+	c, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	return q.e.runTail(c, p, l, opts, q.e.seed)
+}
+
+// runTail executes a compiled plan's tail sampling in a fresh per-run
+// workspace; the shared execution path of QueryBuilder.TailSample and
+// PreparedQuery.Run. The looper query is copied, never mutated, so one
+// compiled plan can serve concurrent runs.
+func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64) (*TailResult, error) {
 	parallelism := opts.Parallelism
 	if parallelism == 0 {
-		parallelism = q.e.parallelism
+		parallelism = e.parallelism
 	}
 	cfg, err := tail.Configure(p, l, tail.Options{
 		TotalSamples:      opts.TotalSamples,
@@ -146,18 +174,19 @@ func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (*Ta
 	if err != nil {
 		return nil, err
 	}
-	window := q.e.window
+	window := e.window
 	if need := cfg.N + cfg.L; need > window {
 		window = need
 	}
-	c, err := q.compile(window)
+	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
+	gq := c.gq
+	gq.LowerTail = opts.Lower
+	res, err := gibbs.Run(ws, c.plan, gq, cfg)
 	if err != nil {
 		return nil, err
 	}
-	c.gq.LowerTail = opts.Lower
-	res, err := gibbs.Run(c.ws, c.plan, c.gq, cfg)
-	if err != nil {
-		return nil, err
+	if err := stats.CheckFinite(res.TailSamples); err != nil {
+		return nil, fmt.Errorf("mcdbr: tail sampling produced a non-finite query result (%w); check VG parameters and aggregate expressions", err)
 	}
 	return &TailResult{
 		Distribution:      *newDistribution(res.TailSamples),

@@ -33,6 +33,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tail"
+	"repro/internal/types"
 	"repro/internal/vg"
 	"repro/internal/workload"
 	"repro/mcdbr"
@@ -43,6 +44,7 @@ const benchScaleDiv = 1000 // 100 orders, 1000 lineitems
 // BenchmarkE1_TailSampling measures one full MCDB-R tail-sampling run
 // (m=5, N=500, l=100, p≈0.001) on the Appendix D timing workload.
 func BenchmarkE1_TailSampling(b *testing.B) {
+	b.ReportAllocs()
 	p := math.Pow(0.25, 5)
 	for i := 0; i < b.N; i++ {
 		e, err := experiments.TPCHTimingEngine(benchScaleDiv, uint64(i))
@@ -65,6 +67,7 @@ func BenchmarkE1_TailSampling(b *testing.B) {
 // repetitions, so the per-op cost must be multiplied by ~102 for the
 // apples-to-apples Appendix D comparison.
 func BenchmarkE1_NaiveMCDB(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e, err := experiments.TPCHTimingEngine(benchScaleDiv, uint64(i))
 		if err != nil {
@@ -83,6 +86,7 @@ func BenchmarkE1_NaiveMCDB(b *testing.B) {
 // BenchmarkE2_Fig5Accuracy measures one Figure 5 accuracy run (skewed-join
 // workload, m=5, N=500, l=100) including the analytic-truth comparison.
 func BenchmarkE2_Fig5Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	p := math.Pow(0.25, 5)
 	for i := 0; i < b.N; i++ {
 		e, err := experiments.TPCHEngine(benchScaleDiv, 42)
@@ -106,6 +110,7 @@ func BenchmarkE2_Fig5Accuracy(b *testing.B) {
 // throughput and verifies the §1 hit-rate arithmetic: tail hits arrive at
 // rate p.
 func BenchmarkE3_NaiveTailHitRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := mcdbr.New(mcdbr.WithSeed(uint64(i)), mcdbr.WithWindow(6000))
 		e.RegisterTable(workload.LossMeans(20, 2, 8, 3))
@@ -127,6 +132,7 @@ func BenchmarkE3_NaiveTailHitRate(b *testing.B) {
 // BenchmarkE4_ParamSelection measures Appendix C parameter selection:
 // Theorem 1 m*, budget choice, and a simulated-MSRE validation pass.
 func BenchmarkE4_ParamSelection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		params, err := tail.Choose(500, 0.001)
 		if err != nil {
@@ -145,6 +151,7 @@ func BenchmarkE4_ParamSelection(b *testing.B) {
 // BenchmarkE5_HeavyTailRejections measures the full Appendix B regime
 // sweep (Normal vs Lognormal vs Pareto rejection cost).
 func BenchmarkE5_HeavyTailRejections(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.RunE5(uint64(i))
 		if err != nil {
@@ -188,12 +195,16 @@ func benchParallelMonteCarlo(b *testing.B, workers int) {
 
 // BenchmarkParallel_MonteCarloSequential is the workers=1 baseline for the
 // replicate-sharded executor.
-func BenchmarkParallel_MonteCarloSequential(b *testing.B) { benchParallelMonteCarlo(b, 1) }
+func BenchmarkParallel_MonteCarloSequential(b *testing.B) {
+	b.ReportAllocs()
+	benchParallelMonteCarlo(b, 1)
+}
 
 // BenchmarkParallel_MonteCarloWorkers runs the same 2000-replicate query
 // replicate-sharded across NumCPU workers; output is bit-identical to the
 // sequential baseline.
 func BenchmarkParallel_MonteCarloWorkers(b *testing.B) {
+	b.ReportAllocs()
 	benchParallelMonteCarlo(b, runtime.NumCPU())
 }
 
@@ -203,6 +214,7 @@ func BenchmarkParallel_MonteCarloWorkers(b *testing.B) {
 // multi-core machine, 1.0 on a single-core one). It also re-checks
 // bit-identity of the two sample vectors on every iteration.
 func BenchmarkParallel_Speedup(b *testing.B) {
+	b.ReportAllocs()
 	const reps = 2000
 	workers := runtime.NumCPU()
 	var seqDur, parDur time.Duration
@@ -256,6 +268,7 @@ WITH RESULTDISTRIBUTION MONTECARLO(8)`
 // BenchmarkPrepared_Reexec measures re-running a prepared quickstart query:
 // the plan is built once, each iteration only executes it.
 func BenchmarkPrepared_Reexec(b *testing.B) {
+	b.ReportAllocs()
 	e := servingBenchEngine(b)
 	pq, err := e.Prepare(servingBenchSQL)
 	if err != nil {
@@ -277,6 +290,7 @@ func BenchmarkPrepared_Reexec(b *testing.B) {
 // pays sqlish parsing and internal/plan rewriting/lowering on every call.
 // Prepared re-execution must beat this (ISSUE 3 acceptance).
 func BenchmarkPrepared_ParsePlanPerCall(b *testing.B) {
+	b.ReportAllocs()
 	e := servingBenchEngine(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -293,6 +307,7 @@ func BenchmarkPrepared_ParsePlanPerCall(b *testing.B) {
 // BenchmarkPrepared_PrepareOnly measures Prepare itself with a warm plan
 // cache (the server's steady-state cost of routing a repeated statement).
 func BenchmarkPrepared_PrepareOnly(b *testing.B) {
+	b.ReportAllocs()
 	e := servingBenchEngine(b)
 	if _, err := e.Prepare(servingBenchSQL); err != nil {
 		b.Fatal(err)
@@ -312,6 +327,7 @@ func BenchmarkPrepared_PrepareOnly(b *testing.B) {
 // BenchmarkServe_ConcurrentQueries measures end-to-end HTTP throughput of
 // the query service under parallel clients, reporting queries/sec.
 func BenchmarkServe_ConcurrentQueries(b *testing.B) {
+	b.ReportAllocs()
 	e := servingBenchEngine(b)
 	srv := server.New(e, server.Options{MaxConcurrent: runtime.NumCPU()})
 	ts := httptest.NewServer(srv.Handler())
@@ -343,6 +359,175 @@ func BenchmarkServe_ConcurrentQueries(b *testing.B) {
 	}
 }
 
+// hotpathEngine builds the quickstart workload at the hot-path benchmark
+// scale: 100 customers, sequential execution so allocation counts are
+// stable across runs.
+func hotpathEngine(b *testing.B) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(42), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
+	if _, err := e.Exec(`
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal`); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkHotpath_QuickstartAggregate measures the §2 quickstart SUM
+// aggregate on the prepared-query hot path (plan built once, executed per
+// iteration), reporting allocs/op for the slab-allocation trajectory.
+func BenchmarkHotpath_QuickstartAggregate(b *testing.B) {
+	e := hotpathEngine(b)
+	pq, err := e.Prepare(`SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10090
+WITH RESULTDISTRIBUTION MONTECARLO(256)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 256 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+}
+
+// BenchmarkHotpath_Fig2SelfJoin measures the paper's Fig. 2 salary
+// inversion self-join (two scans of one random table, cross-seed final
+// predicate in the looper) on the prepared hot path.
+func BenchmarkHotpath_Fig2SelfJoin(b *testing.B) {
+	e := mcdbr.New(mcdbr.WithSeed(77), mcdbr.WithParallelism(1))
+	sup, empmeans := workload.SalaryDB()
+	e.RegisterTable(sup)
+	e.RegisterTable(empmeans)
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "emp", ParamTable: "empmeans", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("msal"), expr.F(4e6)},
+		Columns:  []mcdbr.RandomCol{{Name: "eid", FromParam: "eid"}, {Name: "sal", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pq, err := e.Prepare(`SELECT SUM(emp2.sal - emp1.sal) AS inv
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(128)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 128 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+}
+
+// BenchmarkHotpath_TailSampling measures one small Gibbs tail-sampling run
+// (the MCDB-R core loop: bootstrapping, rejection sampling, replenishing)
+// with allocation reporting.
+func BenchmarkHotpath_TailSampling(b *testing.B) {
+	e := mcdbr.New(mcdbr.WithSeed(5), mcdbr.WithWindow(2048), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(50, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pq, err := e.Prepare(`SELECT SUM(val) AS totalLoss FROM losses
+WITH RESULTDISTRIBUTION MONTECARLO(50) DOMAIN totalLoss >= QUANTILE(0.99)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pq.Run(mcdbr.RunOptions{Tail: mcdbr.TailSampleOptions{TotalSamples: 200, ForceM: 3}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tail.Samples) != 50 {
+			b.Fatalf("samples = %d", len(res.Tail.Samples))
+		}
+	}
+}
+
+// detPrefixEngine builds a workload whose query has a non-trivial
+// deterministic prefix: accounts joined to regions is a purely
+// deterministic two-table join below the random loss table. With the
+// deterministic-prefix materialization cache, prepared re-execution skips
+// that join entirely.
+func detPrefixEngine(b *testing.B) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(11), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(400, 2, 8, 9))
+	regions := storage.NewTable("regions", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindInt},
+		types.Column{Name: "weight", Kind: types.KindFloat},
+	))
+	for r := 0; r < 8; r++ {
+		regions.MustAppend(types.Row{types.NewInt(int64(r)), types.NewFloat(1 + float64(r)/8)})
+	}
+	e.RegisterTable(regions)
+	accounts := storage.NewTable("accounts", types.NewSchema(
+		types.Column{Name: "aid", Kind: types.KindInt},
+		types.Column{Name: "rid", Kind: types.KindInt},
+	))
+	for i := 0; i < 400; i++ {
+		accounts.MustAppend(types.Row{types.NewInt(int64(10000 + i)), types.NewInt(int64(i % 8))})
+	}
+	e.RegisterTable(accounts)
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const detPrefixSQL = `SELECT SUM(losses.val * regions.weight) AS wloss
+FROM losses, accounts, regions
+WHERE losses.cid = accounts.aid AND accounts.rid = regions.rid
+WITH RESULTDISTRIBUTION MONTECARLO(64)`
+
+// BenchmarkHotpath_PreparedDetPrefix measures prepared re-execution of a
+// query with a non-trivial deterministic prefix (accounts ⋈ regions). The
+// engine-level materialization cache makes re-executions skip the
+// deterministic join; this benchmark is the ISSUE 4 acceptance measurement.
+func BenchmarkHotpath_PreparedDetPrefix(b *testing.B) {
+	e := detPrefixEngine(b)
+	pq, err := e.Prepare(detPrefixSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 64 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+}
+
 // benchTailOnce runs a small tail sampling with the given knobs; shared by
 // the ablation benchmarks.
 func benchTailOnce(b *testing.B, seed uint64, window int, opts mcdbr.TailSampleOptions) {
@@ -366,6 +551,7 @@ func benchTailOnce(b *testing.B, seed uint64, window int, opts mcdbr.TailSampleO
 // small windows carry less data through the plan but force more
 // replenishing runs.
 func BenchmarkAblation_WindowSmall(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 256, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
 	}
@@ -373,6 +559,7 @@ func BenchmarkAblation_WindowSmall(b *testing.B) {
 
 // BenchmarkAblation_WindowLarge is the large-window counterpart.
 func BenchmarkAblation_WindowLarge(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 8192, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5})
 	}
@@ -381,6 +568,7 @@ func BenchmarkAblation_WindowLarge(b *testing.B) {
 // BenchmarkAblation_K1 vs K3 quantifies extra Gibbs updating steps (the
 // paper finds k=1 suffices).
 func BenchmarkAblation_K1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5, K: 1})
 	}
@@ -388,6 +576,7 @@ func BenchmarkAblation_K1(b *testing.B) {
 
 // BenchmarkAblation_K3 is the k=3 counterpart.
 func BenchmarkAblation_K3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 5, K: 3})
 	}
@@ -396,6 +585,7 @@ func BenchmarkAblation_K3(b *testing.B) {
 // BenchmarkAblation_M2 vs the Theorem 1 m*: fewer bootstrapping steps mean
 // each step must estimate a much more extreme per-step quantile.
 func BenchmarkAblation_M2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500, ForceM: 2})
 	}
@@ -403,6 +593,7 @@ func BenchmarkAblation_M2(b *testing.B) {
 
 // BenchmarkAblation_MStar uses the Appendix C optimum.
 func BenchmarkAblation_MStar(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTailOnce(b, uint64(i), 2048, mcdbr.TailSampleOptions{TotalSamples: 500})
 	}
@@ -412,11 +603,13 @@ func BenchmarkAblation_MStar(b *testing.B) {
 // delta-maintenance optimization: without it every rejection-sampling
 // candidate recomputes the aggregate over all tuples.
 func BenchmarkAblation_DeltaAggregates(b *testing.B) {
+	b.ReportAllocs()
 	benchDeltaAblation(b, false)
 }
 
 // BenchmarkAblation_FullRecompute is the naive counterpart.
 func BenchmarkAblation_FullRecompute(b *testing.B) {
+	b.ReportAllocs()
 	benchDeltaAblation(b, true)
 }
 

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +42,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
 	benchJSON := flag.Bool("benchjson", false, "read `go test -bench` output from stdin and write JSON results to stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *benchJSON {
@@ -50,11 +54,51 @@ func main() {
 		return
 	}
 
+	// flushProfiles finalizes both profiles; it runs on normal exit via
+	// defer AND from fail(), since os.Exit skips defers and a truncated
+	// CPU profile is unreadable by go tool pprof.
+	flushed := false
+	flushProfiles := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			}
+		}
+	}
+	defer flushProfiles()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			os.Exit(1)
+		}
+	}
+
 	engineOpts := []mcdbr.Option{mcdbr.WithParallelism(*workers)}
 	want := strings.ToUpper(*exp)
 	run := func(name string) bool { return want == "ALL" || want == name }
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 

@@ -17,6 +17,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,15 +51,32 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU capacity (0 = default 64)")
 	samples := flag.Int("samples", 0, "default tail-sampling budget N (0 = choose via Appendix C)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	if err := run(loads, *addr, *initScript, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *grace); err != nil {
+	if err := run(loads, *addr, *initScript, *pprofAddr, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdbr-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, addr, initScript string, seed uint64, window, workers, maxConcurrent, planCache, samples int, grace time.Duration) error {
+// servePprof starts the opt-in profiling listener on its own mux (never
+// the query mux, so profiles are not exposed on the public address).
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-serve: pprof:", err)
+		}
+	}()
+}
+
+func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, window, workers, maxConcurrent, planCache, samples int, grace time.Duration) error {
 	engine := mcdbr.New(
 		mcdbr.WithSeed(seed),
 		mcdbr.WithWindow(window),
@@ -93,6 +112,11 @@ func run(loads loadFlags, addr, initScript string, seed uint64, window, workers,
 		MaxConcurrent: maxConcurrent,
 		Tail:          mcdbr.TailSampleOptions{TotalSamples: samples},
 	})
+
+	if pprofAddr != "" {
+		servePprof(pprofAddr)
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", pprofAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

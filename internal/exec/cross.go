@@ -70,21 +70,20 @@ func (n *Cross) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 		}
 	}
 	lw := n.Left.Schema().Len()
+	slab := ws.alloc()
 	var out []*bundle.Tuple
 	for _, ltu := range left {
 		for _, rtu := range right {
-			det := make(types.Row, lw+len(rtu.Det))
+			det := slab.Row(lw + len(rtu.Det))
 			copy(det, ltu.Det)
 			copy(det[lw:], rtu.Det)
 			if residual != nil && !residual.EvalBool(det) {
 				continue
 			}
-			nt := &bundle.Tuple{Det: det}
-			nt.Rand = append(nt.Rand, ltu.Rand...)
-			for _, r := range rtu.Rand {
-				nt.Rand = append(nt.Rand, bundle.RandRef{Slot: r.Slot + lw, SeedID: r.SeedID, Out: r.Out})
-			}
-			nt.Pres = append(append([]bundle.PresVec(nil), ltu.Pres...), rtu.Pres...)
+			nt := slab.Tuple()
+			nt.Det = det
+			nt.Rand = concatRand(slab, ltu.Rand, rtu.Rand, lw)
+			nt.Pres = concatPres(ltu.Pres, rtu.Pres)
 			out = append(out, nt)
 		}
 	}

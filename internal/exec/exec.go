@@ -13,6 +13,7 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bundle"
 	"repro/internal/expr"
@@ -44,8 +45,25 @@ type Workspace struct {
 	Catalog *storage.Catalog
 	// Replenishing is true during a §9 replenishing run.
 	Replenishing bool
+	// Prefix, when non-nil, is the engine-level deterministic-prefix
+	// materialization cache handle: Materialize nodes store and look up
+	// their subtree results there, keyed by subtree fingerprint, so
+	// repeated runs (prepared queries, shard workers) skip the
+	// deterministic part of the plan entirely.
+	Prefix *PrefixHandle
 
-	matCache map[Node][]*bundle.Tuple
+	matCache  map[Node][]*bundle.Tuple
+	scanCache map[string][]*bundle.Tuple
+
+	// det holds allocations that must survive replenishing runs
+	// (deterministic subtree outputs, TS-seed parameter rows); tmp holds
+	// everything else and is recycled by BeginReplenish, when the previous
+	// plan output is discarded wholesale.
+	det, tmp *bundle.Slab
+	// detDepth > 0 while running inside a deterministic subtree, whose
+	// output is retained by matCache (and possibly the engine prefix
+	// cache) and therefore must come from the pinned slab.
+	detDepth int
 }
 
 // NewWorkspace builds a workspace. window <= 0 selects 1024.
@@ -54,12 +72,26 @@ func NewWorkspace(cat *storage.Catalog, master prng.Stream, window int) *Workspa
 		window = 1024
 	}
 	return &Workspace{
-		Master:   master,
-		Seeds:    seeds.NewStore(),
-		Window:   window,
-		Catalog:  cat,
-		matCache: make(map[Node][]*bundle.Tuple),
+		Master:    master,
+		Seeds:     seeds.NewStore(),
+		Window:    window,
+		Catalog:   cat,
+		matCache:  make(map[Node][]*bundle.Tuple),
+		scanCache: make(map[string][]*bundle.Tuple),
+		det:       bundle.NewSlab(),
+		tmp:       bundle.NewSlab(),
 	}
+}
+
+// alloc returns the slab node Run methods must allocate tuples from:
+// the pinned slab inside deterministic subtrees (their output outlives
+// replenishing runs via the materialization caches), the recyclable slab
+// everywhere else.
+func (ws *Workspace) alloc() *bundle.Slab {
+	if ws.detDepth > 0 {
+		return ws.det
+	}
+	return ws.tmp
 }
 
 // Run executes the plan rooted at n. On replenishing runs, call
@@ -69,7 +101,9 @@ func (ws *Workspace) Run(n Node) ([]*bundle.Tuple, error) {
 		if cached, ok := ws.matCache[n]; ok {
 			return cached, nil
 		}
+		ws.detDepth++
 		out, err := n.Run(ws)
+		ws.detDepth--
 		if err != nil {
 			return nil, err
 		}
@@ -81,11 +115,15 @@ func (ws *Workspace) Run(n Node) ([]*bundle.Tuple, error) {
 
 // BeginReplenish prepares the workspace for a §9 replenishing run: existing
 // Gibbs tuples are discarded by the caller, the seed allocator is rewound
-// so the deterministic pipeline revisits the same seeds, and Instantiate
-// switches to new-or-assigned materialization.
+// so the deterministic pipeline revisits the same seeds, Instantiate
+// switches to new-or-assigned materialization, and the recyclable tuple
+// slab is reset — the caller has dropped every reference into it, and the
+// deterministic outputs that survive (materialization caches, seed
+// parameter rows) live on the pinned slab.
 func (ws *Workspace) BeginReplenish() {
 	ws.Replenishing = true
 	ws.Seeds.ResetAlloc()
+	ws.tmp.Reset()
 }
 
 // Node is one operator in a physical plan.
@@ -132,16 +170,28 @@ func (s *Scan) Deterministic() bool { return true }
 
 func (s *Scan) String() string { return fmt.Sprintf("Scan(%s AS %s)", s.Table, s.Alias) }
 
-// Run implements Node.
+// Run implements Node. Scan tuples share the catalog's immutable row
+// storage (rows are never copied), and scans of the same table — e.g. the
+// two aliases of a self-join — share one tuple batch per workspace via the
+// scan cache: the batch depends only on the table contents, never on the
+// alias, because tuples carry values, not column names.
 func (s *Scan) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	key := strings.ToLower(s.Table)
+	if out, ok := ws.scanCache[key]; ok {
+		return out, nil
+	}
 	t, ok := ws.Catalog.Get(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: table %q not found", s.Table)
 	}
+	slab := ws.alloc()
 	out := make([]*bundle.Tuple, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
-		out[i] = bundle.NewDet(t.Row(i))
+		tu := slab.Tuple()
+		tu.Det = t.Row(i)
+		out[i] = tu
 	}
+	ws.scanCache[key] = out
 	return out, nil
 }
 
@@ -202,8 +252,13 @@ func (s *Seed) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 	}
 	childWidth := s.Child.Schema().Len()
 	nOut := len(s.Gen.OutKinds())
+	slab := ws.alloc()
 	out := make([]*bundle.Tuple, len(in))
 	for i, tu := range in {
+		// The seed store retains the parameter row (and replaces it on each
+		// replenishing run), so it must be an ordinary GC-managed
+		// allocation: carving it from the pinned slab would leak one row
+		// per seed per replenishment, since that slab is never reset.
 		params := make([]types.Value, len(compiled))
 		for j, c := range compiled {
 			params[j] = c.Eval(tu.Det)
@@ -222,14 +277,18 @@ func (s *Seed) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			}
 		}
 		seed := ws.Seeds.Alloc(ws.Master, s.Gen, params)
-		det := make(types.Row, childWidth+nOut)
+		det := slab.Row(childWidth + nOut)
 		copy(det, tu.Det)
-		nt := &bundle.Tuple{Det: det}
-		nt.Rand = append(append([]bundle.RandRef(nil), tu.Rand...), make([]bundle.RandRef, 0, nOut)...)
+		nt := slab.Tuple()
+		nt.Det = det
+		nt.Rand = slab.RandRefs(len(tu.Rand) + nOut)
+		copy(nt.Rand, tu.Rand)
 		for o := 0; o < nOut; o++ {
-			nt.Rand = append(nt.Rand, bundle.RandRef{Slot: childWidth + o, SeedID: seed.ID, Out: o})
+			nt.Rand[len(tu.Rand)+o] = bundle.RandRef{Slot: childWidth + o, SeedID: seed.ID, Out: o}
 		}
-		nt.Pres = append([]bundle.PresVec(nil), tu.Pres...)
+		// Presence lineage is shared, not copied: tuples never mutate their
+		// Pres slices in place (extensions always build a fresh slice).
+		nt.Pres = tu.Pres
 		out[i] = nt
 	}
 	return out, nil
@@ -326,16 +385,29 @@ func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 	for _, name := range expr.Columns(n.Pred) {
 		refSlots = append(refSlots, schema.MustLookup(name))
 	}
+	slab := ws.alloc()
+	scratch := make(types.Row, schema.Len())
+	var refs []bundle.RandRef
+	var seedIDs []uint64
 	var out []*bundle.Tuple
 	for _, tu := range in {
 		// Which referenced slots are random in this tuple, and for which seed?
-		var refs []bundle.RandRef
-		seedSet := map[uint64]bool{}
+		refs = refs[:0]
+		seedIDs = seedIDs[:0]
 		for _, slot := range refSlots {
 			for _, r := range tu.Rand {
 				if r.Slot == slot {
 					refs = append(refs, r)
-					seedSet[r.SeedID] = true
+					seen := false
+					for _, id := range seedIDs {
+						if id == r.SeedID {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						seedIDs = append(seedIDs, r.SeedID)
+					}
 				}
 			}
 		}
@@ -344,19 +416,26 @@ func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			if compiled.EvalBool(tu.Det) {
 				out = append(out, tu)
 			}
-		case len(seedSet) == 1:
-			pv, any, err := buildPresVec(ws, tu, refs, compiled)
+		case len(seedIDs) == 1:
+			pv, any, err := buildPresVec(ws, tu, refs, compiled, scratch)
 			if err != nil {
 				return nil, err
 			}
 			if !any {
 				continue // paper §5: predicate satisfied in no DB instance
 			}
-			nt := tu.Clone()
-			nt.Pres = append(nt.Pres, pv)
+			// Shallow clone: Det and Rand are shared read-only with the
+			// input tuple; only the presence lineage is extended, into a
+			// fresh slice so the input's Pres is never mutated.
+			nt := slab.Tuple()
+			nt.Det = tu.Det
+			nt.Rand = tu.Rand
+			nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
+			copy(nt.Pres, tu.Pres)
+			nt.Pres[len(tu.Pres)] = pv
 			out = append(out, nt)
 		default:
-			return nil, fmt.Errorf("exec: Select predicate %s spans random attributes of %d seeds; pull it up into the GibbsLooper", n.Pred, len(seedSet))
+			return nil, fmt.Errorf("exec: Select predicate %s spans random attributes of %d seeds; pull it up into the GibbsLooper", n.Pred, len(seedIDs))
 		}
 	}
 	return out, nil
@@ -364,12 +443,14 @@ func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 
 // buildPresVec evaluates the predicate for every materialized position of
 // the (single) seed behind refs, substituting that position's VG outputs
-// into the referenced slots.
-func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *expr.Compiled) (bundle.PresVec, bool, error) {
+// into the referenced slots. scratch is a caller-provided row buffer of
+// the tuple's width, overwritten per call.
+func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *expr.Compiled, scratch types.Row) (bundle.PresVec, bool, error) {
 	seedID := refs[0].SeedID
 	s := ws.Seeds.MustGet(seedID)
 	w := &s.Window
-	row := tu.Det.Clone()
+	row := scratch
+	copy(row, tu.Det)
 	evalAt := func(pos uint64) (bool, error) {
 		vals, ok := w.Get(pos)
 		if !ok {
@@ -443,21 +524,35 @@ func (n *Project) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	slab := ws.alloc()
 	out := make([]*bundle.Tuple, len(in))
 	for i, tu := range in {
-		det := make(types.Row, len(n.idx))
-		nt := &bundle.Tuple{Det: det}
+		det := slab.Row(len(n.idx))
+		nt := slab.Tuple()
+		nt.Det = det
+		nRand := 0
+		for _, oldSlot := range n.idx {
+			for _, r := range tu.Rand {
+				if r.Slot == oldSlot {
+					nRand++
+				}
+			}
+		}
+		nt.Rand = slab.RandRefs(nRand)
+		k := 0
 		for newSlot, oldSlot := range n.idx {
 			det[newSlot] = tu.Det[oldSlot]
 			for _, r := range tu.Rand {
 				if r.Slot == oldSlot {
-					nt.Rand = append(nt.Rand, bundle.RandRef{Slot: newSlot, SeedID: r.SeedID, Out: r.Out})
+					nt.Rand[k] = bundle.RandRef{Slot: newSlot, SeedID: r.SeedID, Out: r.Out}
+					k++
 				}
 			}
 		}
 		// Presence lineage always survives projection: it constrains the
-		// tuple's existence, not a particular column.
-		nt.Pres = append([]bundle.PresVec(nil), tu.Pres...)
+		// tuple's existence, not a particular column. Shared, not copied —
+		// Pres slices are never mutated in place.
+		nt.Pres = tu.Pres
 		out[i] = nt
 	}
 	return out, nil
@@ -534,6 +629,7 @@ func (n *HashJoin) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 		build[h] = append(build[h], tu)
 	}
 	lw := n.Left.Schema().Len()
+	slab := ws.alloc()
 	var out []*bundle.Tuple
 	for _, ltu := range left {
 		if err := checkDetKey(ltu, lIdx, "left"); err != nil {
@@ -544,22 +640,51 @@ func (n *HashJoin) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			if !keysEqual(ltu.Det, lIdx, rtu.Det, rIdx) {
 				continue
 			}
-			det := make(types.Row, lw+len(rtu.Det))
+			det := slab.Row(lw + len(rtu.Det))
 			copy(det, ltu.Det)
 			copy(det[lw:], rtu.Det)
 			if residual != nil && !residual.EvalBool(det) {
 				continue
 			}
-			nt := &bundle.Tuple{Det: det}
-			nt.Rand = append(nt.Rand, ltu.Rand...)
-			for _, r := range rtu.Rand {
-				nt.Rand = append(nt.Rand, bundle.RandRef{Slot: r.Slot + lw, SeedID: r.SeedID, Out: r.Out})
-			}
-			nt.Pres = append(append([]bundle.PresVec(nil), ltu.Pres...), rtu.Pres...)
+			nt := slab.Tuple()
+			nt.Det = det
+			nt.Rand = concatRand(slab, ltu.Rand, rtu.Rand, lw)
+			nt.Pres = concatPres(ltu.Pres, rtu.Pres)
 			out = append(out, nt)
 		}
 	}
 	return out, nil
+}
+
+// concatRand builds the joined tuple's random bindings: the left side's
+// unchanged, the right side's shifted by the left schema width. The result
+// comes from the slab; nil when both sides are deterministic.
+func concatRand(slab *bundle.Slab, l, r []bundle.RandRef, lw int) []bundle.RandRef {
+	if len(l)+len(r) == 0 {
+		return nil
+	}
+	out := slab.RandRefs(len(l) + len(r))
+	copy(out, l)
+	for i, ref := range r {
+		out[len(l)+i] = bundle.RandRef{Slot: ref.Slot + lw, SeedID: ref.SeedID, Out: ref.Out}
+	}
+	return out
+}
+
+// concatPres merges presence lineage from both join sides; nil when both
+// are empty, the (shared, read-only) non-empty side when only one side
+// carries lineage.
+func concatPres(l, r []bundle.PresVec) []bundle.PresVec {
+	switch {
+	case len(l) == 0:
+		return r
+	case len(r) == 0:
+		return l
+	}
+	out := make([]bundle.PresVec, len(l)+len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
 }
 
 func lookupAll(s *types.Schema, cols []string) []int {
@@ -623,10 +748,12 @@ func (n *Split) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 	if slot < 0 {
 		return nil, fmt.Errorf("exec: Split column %q not in %s", n.Col, n.Child.Schema())
 	}
+	slab := ws.alloc()
 	var out []*bundle.Tuple
+	var restRand []bundle.RandRef
 	for _, tu := range in {
 		ref, isRand := (*bundle.RandRef)(nil), false
-		restRand := make([]bundle.RandRef, 0, len(tu.Rand))
+		restRand = restRand[:0]
 		for i := range tu.Rand {
 			if tu.Rand[i].Slot == slot {
 				ref, isRand = &tu.Rand[i], true
@@ -678,11 +805,16 @@ func (n *Split) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			}
 		}
 		for _, g := range groups {
-			det := tu.Det.Clone()
+			det := slab.Row(len(tu.Det))
+			copy(det, tu.Det)
 			det[slot] = g.val
-			nt := &bundle.Tuple{Det: det}
-			nt.Rand = append([]bundle.RandRef(nil), restRand...)
-			nt.Pres = append(append([]bundle.PresVec(nil), tu.Pres...), g.pv)
+			nt := slab.Tuple()
+			nt.Det = det
+			nt.Rand = slab.RandRefs(len(restRand))
+			copy(nt.Rand, restRand)
+			nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
+			copy(nt.Pres, tu.Pres)
+			nt.Pres[len(tu.Pres)] = g.pv
 			out = append(out, nt)
 		}
 	}

@@ -65,6 +65,10 @@ func Shards(n, workers int) [][2]int {
 func ShardWorkspace(proto *Workspace, lo, hi int) *Workspace {
 	ws := NewWorkspace(proto.Catalog, proto.Master, hi-lo)
 	ws.Base = uint64(lo)
+	// Workers share the engine-level deterministic-prefix cache: the first
+	// worker to reach a Materialize node computes its subtree, the others
+	// wait and share the read-only result instead of re-running it.
+	ws.Prefix = proto.Prefix
 	return ws
 }
 

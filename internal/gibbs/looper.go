@@ -207,6 +207,7 @@ type looper struct {
 
 	tuples    []*bundle.Tuple // full plan output
 	randIdx   []int           // indexes of tuples with random lineage
+	seedIDs   [][]uint64      // per tuple: distinct seed handles, ascending
 	base      aggState        // contribution of purely deterministic tuples
 	states    []aggState      // per-version aggregate state
 	aggExpr   *expr.Compiled
@@ -266,11 +267,22 @@ func (lp *looper) loadTuples(replenishing bool) error {
 	lp.tuples = out
 	lp.randIdx = lp.randIdx[:0]
 	lp.base = aggState{}
+	// Precompute each random tuple's distinct seed handles once per plan
+	// run: the Gibbs pass re-keys tuples in the priority queue constantly,
+	// and calling SeedIDs (a map build plus a sort) per re-key dominated
+	// its allocation profile.
+	if cap(lp.seedIDs) >= len(out) {
+		lp.seedIDs = lp.seedIDs[:len(out)]
+	} else {
+		lp.seedIDs = make([][]uint64, len(out))
+	}
 	for i, tu := range out {
 		if tu.IsRandom() {
 			lp.randIdx = append(lp.randIdx, i)
+			lp.seedIDs[i] = tu.SeedIDs()
 			continue
 		}
+		lp.seedIDs[i] = nil
 		s, c, err := lp.contribRow(tu.Det)
 		if err != nil {
 			return err
@@ -531,7 +543,7 @@ func (lp *looper) pass(cutoff float64) error {
 	queue := pq.New(lp.cfg.PQMemLimit, lp.cfg.SpillDir)
 	defer queue.Reset()
 	for _, i := range lp.randIdx {
-		ids := lp.tuples[i].SeedIDs()
+		ids := lp.seedIDs[i]
 		if len(ids) == 0 {
 			continue
 		}
@@ -553,7 +565,7 @@ func (lp *looper) pass(cutoff float64) error {
 			}
 		}
 		for _, p := range payloads {
-			nk, ok := lp.tuples[p].NextSeedAfter(key)
+			nk, ok := nextSeedAfter(lp.seedIDs[p], key)
 			if !ok {
 				nk = pq.MaxKey
 			}
@@ -629,6 +641,18 @@ func (lp *looper) updateSeedVersion(seedID uint64, payloads []uint64, v int, cut
 		lp.stats.GiveUps++
 	}
 	return nil
+}
+
+// nextSeedAfter returns the first handle in ids (sorted ascending)
+// strictly greater than key; the allocation-free counterpart of
+// bundle.Tuple.NextSeedAfter over the looper's precomputed seed lists.
+func nextSeedAfter(ids []uint64, key uint64) (uint64, bool) {
+	for _, id := range ids {
+		if id > key {
+			return id, true
+		}
+	}
+	return 0, false
 }
 
 // fullState recomputes one version's aggregate over every tuple under the

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint canonically serializes a logical subtree. It is the key of
+// the engine-level deterministic-prefix materialization cache: two plans
+// whose deterministic prefixes fingerprint identically (same operators,
+// same tables and aliases, same predicates and projections) share one
+// materialized result as long as the catalog has not changed (the cache
+// additionally keys on the engine's DDL epoch).
+//
+// The serialization covers every field that influences the subtree's
+// output tuples, and is lower-cased where the engine is case-insensitive
+// (table names, aliases), so reformatted copies of one query share an
+// entry.
+func Fingerprint(n Node) string {
+	var b strings.Builder
+	fingerprintInto(&b, n)
+	return b.String()
+}
+
+func fingerprintInto(b *strings.Builder, n Node) {
+	switch n := n.(type) {
+	case *Rel:
+		fmt.Fprintf(b, "rel(%s as %s)", strings.ToLower(n.Table), strings.ToLower(n.Alias))
+	case *Seed:
+		fmt.Fprintf(b, "seed(%s;", strings.ToLower(n.VG))
+		for i, p := range n.Params {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s", p)
+		}
+		b.WriteByte(';')
+		b.WriteString(strings.ToLower(strings.Join(n.OutNames, ",")))
+		b.WriteByte(';')
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	case *Instantiate:
+		b.WriteString("inst(")
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	case *Filter:
+		fmt.Fprintf(b, "filter(%s;", n.Pred)
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	case *Project:
+		fmt.Fprintf(b, "project(%s=>%s;",
+			strings.ToLower(strings.Join(n.Cols, ",")), strings.ToLower(strings.Join(n.Names, ",")))
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	case *Join:
+		b.WriteString("join(")
+		for i := range n.LeftKeys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%s", strings.ToLower(n.LeftKeys[i]), strings.ToLower(n.RightKeys[i]))
+		}
+		b.WriteByte(';')
+		fingerprintInto(b, n.Left)
+		b.WriteByte(';')
+		fingerprintInto(b, n.Right)
+		b.WriteByte(')')
+	case *Cross:
+		b.WriteString("cross(")
+		fingerprintInto(b, n.Left)
+		b.WriteByte(';')
+		fingerprintInto(b, n.Right)
+		b.WriteByte(')')
+	case *Split:
+		fmt.Fprintf(b, "split(%s;", strings.ToLower(n.Col))
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	case *Rename:
+		fmt.Fprintf(b, "rename(%s;", strings.ToLower(n.Alias))
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "%T", n)
+	}
+}

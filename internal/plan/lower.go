@@ -11,12 +11,33 @@ import (
 // Lower compiles a logical tree into the physical exec operators. The
 // catalog resolves Scan schemas and the registry resolves VG functions;
 // schema errors (unknown tables, columns, key mismatches) surface here.
+//
+// Maximal deterministic subtrees (the Det marks of the mark-deterministic
+// rule) other than bare table scans are lowered under an exec.Materialize
+// node carrying the subtree's Fingerprint: their result is computed once,
+// shared across replicate-shard workers, and — through the engine's
+// deterministic-prefix cache — across runs, so prepared re-execution skips
+// the deterministic scan/join/filter prefix entirely. Bare scans are left
+// unwrapped: the workspace-level scan cache already shares their batches,
+// and wrapping every leaf would churn the prefix LRU for no win.
 func Lower(root Node, cat *storage.Catalog, vgs *vg.Registry) (exec.Node, error) {
+	return lowerNode(root, cat, vgs, false)
+}
+
+// lowerNode lowers one logical node. inDet reports whether an ancestor is
+// already deterministic (so this node is part of a larger materialized
+// subtree and must not be wrapped again).
+func lowerNode(root Node, cat *storage.Catalog, vgs *vg.Registry, inDet bool) (exec.Node, error) {
+	det := root.P().Det
+	childDet := inDet || det
+	var node exec.Node
+	var err error
 	switch n := root.(type) {
 	case *Rel:
-		return exec.NewScan(cat, n.Table, n.Alias)
+		node, err = exec.NewScan(cat, n.Table, n.Alias)
 	case *Seed:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
@@ -24,57 +45,74 @@ func Lower(root Node, cat *storage.Catalog, vgs *vg.Registry) (exec.Node, error)
 		if !ok {
 			return nil, fmt.Errorf("plan: VG function %q not registered", n.VG)
 		}
-		return exec.NewSeed(child, gen, n.Params, n.OutNames)
+		node, err = exec.NewSeed(child, gen, n.Params, n.OutNames)
 	case *Instantiate:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return &exec.Instantiate{Child: child}, nil
+		node = &exec.Instantiate{Child: child}
 	case *Filter:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return &exec.Select{Child: child, Pred: n.Pred}, nil
+		node = &exec.Select{Child: child, Pred: n.Pred}
 	case *Project:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewProjectAs(child, n.Cols, n.Names)
+		node, err = exec.NewProjectAs(child, n.Cols, n.Names)
 	case *Join:
-		left, err := Lower(n.Left, cat, vgs)
+		var left, right exec.Node
+		left, err = lowerNode(n.Left, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Lower(n.Right, cat, vgs)
+		right, err = lowerNode(n.Right, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashJoin(left, right, n.LeftKeys, n.RightKeys, nil)
+		node, err = exec.NewHashJoin(left, right, n.LeftKeys, n.RightKeys, nil)
 	case *Cross:
-		left, err := Lower(n.Left, cat, vgs)
+		var left, right exec.Node
+		left, err = lowerNode(n.Left, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Lower(n.Right, cat, vgs)
+		right, err = lowerNode(n.Right, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewCross(left, right, nil), nil
+		node = exec.NewCross(left, right, nil)
 	case *Split:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return &exec.Split{Child: child, Col: n.Col}, nil
+		node = &exec.Split{Child: child, Col: n.Col}
 	case *Rename:
-		child, err := Lower(n.Child, cat, vgs)
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, childDet)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewRename(child, n.Alias), nil
+		node = exec.NewRename(child, n.Alias)
+	default:
+		return nil, fmt.Errorf("plan: cannot lower %T", root)
 	}
-	return nil, fmt.Errorf("plan: cannot lower %T", root)
+	if err != nil {
+		return nil, err
+	}
+	if det && !inDet {
+		if _, isRel := root.(*Rel); !isRel {
+			node = &exec.Materialize{Child: node, Fingerprint: Fingerprint(root)}
+		}
+	}
+	return node, nil
 }

@@ -1,0 +1,144 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vg"
+)
+
+// detJoinCatalog builds two deterministic tables joined below a random
+// table: the canonical non-trivial deterministic prefix.
+func detJoinCatalog() (*storageCat, *vg.Registry) {
+	cat := storage.NewCatalog()
+	means := storage.NewTable("means", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "m", Kind: types.KindFloat},
+	))
+	accounts := storage.NewTable("accounts", types.NewSchema(
+		types.Column{Name: "aid", Kind: types.KindInt},
+		types.Column{Name: "rid", Kind: types.KindInt},
+	))
+	regions := storage.NewTable("regions", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindInt},
+		types.Column{Name: "w", Kind: types.KindFloat},
+	))
+	for i := 0; i < 6; i++ {
+		means.MustAppend(types.Row{types.NewInt(int64(i)), types.NewFloat(3)})
+		accounts.MustAppend(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 2))})
+	}
+	regions.MustAppend(types.Row{types.NewInt(0), types.NewFloat(1)})
+	regions.MustAppend(types.Row{types.NewInt(1), types.NewFloat(2)})
+	cat.Put(means)
+	cat.Put(accounts)
+	cat.Put(regions)
+	pcat := &storageCat{cat: cat, rand: map[string]*RandomMeta{"losses": {
+		ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1)},
+		NumOuts:  1,
+		Columns: []RandomColMeta{
+			{Name: "cid", FromParam: "cid"},
+			{Name: "val", VGOut: 0},
+		},
+	}}}
+	return pcat, vg.NewRegistry()
+}
+
+func detJoinQuery() Query {
+	return Query{
+		Froms: []From{{Table: "losses", Alias: "losses"}, {Table: "accounts", Alias: "accounts"}, {Table: "regions", Alias: "regions"}},
+		Where: []expr.Expr{
+			expr.B(expr.OpEq, expr.C("losses.cid"), expr.C("accounts.aid")),
+			expr.B(expr.OpEq, expr.C("accounts.rid"), expr.C("regions.rid")),
+		},
+	}
+}
+
+// TestLowerWrapsMaximalDetSubtrees: the deterministic accounts ⋈ regions
+// prefix lowers under exactly one Materialize node with a non-empty
+// fingerprint; bare scans (the parameter-table leaf) are not wrapped.
+func TestLowerWrapsMaximalDetSubtrees(t *testing.T) {
+	pcat, vgs := detJoinCatalog()
+	p, err := Build(pcat, detJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := Lower(p.Root, pcat.cat, vgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mats []*exec.Materialize
+	var walkExec func(exec.Node)
+	walkExec = func(n exec.Node) {
+		if m, ok := n.(*exec.Materialize); ok {
+			mats = append(mats, m)
+		}
+		for _, c := range n.Children() {
+			walkExec(c)
+		}
+	}
+	walkExec(node)
+	if len(mats) != 1 {
+		t.Fatalf("want exactly 1 Materialize, got %d in:\n%s", len(mats), exec.FormatPlan(node))
+	}
+	m := mats[0]
+	if m.Fingerprint == "" {
+		t.Fatal("Materialize has no fingerprint")
+	}
+	if !m.Deterministic() {
+		t.Fatal("Materialize must report deterministic")
+	}
+	if _, ok := m.Child.(*exec.HashJoin); !ok {
+		t.Fatalf("expected the deterministic join under Materialize, got %T", m.Child)
+	}
+	if !strings.Contains(exec.FormatPlan(node), "Materialize [det]") {
+		t.Fatalf("FormatPlan missing Materialize marker:\n%s", exec.FormatPlan(node))
+	}
+	// Nested deterministic nodes must not be re-wrapped.
+	var inner func(exec.Node)
+	inner = func(n exec.Node) {
+		if _, ok := n.(*exec.Materialize); ok {
+			t.Fatalf("nested Materialize inside a materialized subtree:\n%s", exec.FormatPlan(node))
+		}
+		for _, c := range n.Children() {
+			inner(c)
+		}
+	}
+	inner(m.Child)
+}
+
+// TestFingerprintStability: fingerprints are deterministic across
+// re-plans of one query, distinguish different subtrees, and are
+// case-normalized on table names and aliases.
+func TestFingerprintStability(t *testing.T) {
+	pcat, _ := detJoinCatalog()
+	p1, err := Build(pcat, detJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(pcat, detJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1, f2 := Fingerprint(p1.Root), Fingerprint(p2.Root); f1 != f2 {
+		t.Fatalf("re-planning changed the fingerprint:\n%s\nvs\n%s", f1, f2)
+	}
+	a := &Rel{Table: "T1", Alias: "A"}
+	b := &Rel{Table: "t1", Alias: "a"}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint must be case-insensitive on tables/aliases")
+	}
+	c := &Rel{Table: "t2", Alias: "a"}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different tables must fingerprint differently")
+	}
+	j1 := &Join{Left: a, Right: c, LeftKeys: []string{"a.x"}, RightKeys: []string{"a.y"}}
+	j2 := &Join{Left: a, Right: c, LeftKeys: []string{"a.x"}, RightKeys: []string{"a.z"}}
+	if Fingerprint(j1) == Fingerprint(j2) {
+		t.Fatal("different join keys must fingerprint differently")
+	}
+}

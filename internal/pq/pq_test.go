@@ -218,6 +218,7 @@ func TestQueueEquivalentToSortProperty(t *testing.T) {
 }
 
 func BenchmarkPushPopInMemory(b *testing.B) {
+	b.ReportAllocs()
 	q := New(1<<20, b.TempDir())
 	for i := 0; i < b.N; i++ {
 		if err := q.Push(Entry{Key: uint64(i % 1000), Payload: uint64(i)}); err != nil {

@@ -52,7 +52,15 @@ func (s Stream) Seed() uint64 { return s.seed }
 // deterministic: At(i) always yields the same sequence of draws, regardless
 // of the order in which elements are visited.
 func (s Stream) At(i uint64) *Sub {
-	return &Sub{state: mix64(s.seed+0x632be59bd9b4e019) ^ mix64(i*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)}
+	sub := s.SubAt(i)
+	return &sub
+}
+
+// SubAt is At by value: hot loops that materialize thousands of stream
+// elements keep the substream on the stack instead of allocating one per
+// element. SubAt(i) and At(i) yield identical draw sequences.
+func (s Stream) SubAt(i uint64) Sub {
+	return Sub{state: mix64(s.seed+0x632be59bd9b4e019) ^ mix64(i*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d)}
 }
 
 // Derive returns a child stream; used to give each TS-seed its own stream

@@ -250,6 +250,7 @@ func TestPoissonSmallLambdaExact(t *testing.T) {
 }
 
 func BenchmarkStreamAt(b *testing.B) {
+	b.ReportAllocs()
 	s := NewStream(1)
 	var sink float64
 	for i := 0; i < b.N; i++ {
@@ -259,6 +260,7 @@ func BenchmarkStreamAt(b *testing.B) {
 }
 
 func BenchmarkNormalSample(b *testing.B) {
+	b.ReportAllocs()
 	r := NewSub(1)
 	d := Normal{Mu: 0, Sigma: 1}
 	var sink float64

@@ -94,14 +94,44 @@ func (s *TSSeed) ValueAt(pos uint64) ([]types.Value, error) {
 // Materialize fills the window with the contiguous range [lo, lo+count) plus
 // the given sparse positions (used by replenishing runs to keep currently
 // assigned values available). Existing window contents are replaced.
+//
+// VG functions implementing vg.Preparer take the fast path: the parameter
+// row is parsed once and all output rows are carved from one flat value
+// arena, so a window costs O(1) allocations instead of several per
+// element. Both paths produce bit-identical values (vg.Preparer contract).
 func (s *TSSeed) Materialize(lo uint64, count int, sparse []uint64) error {
 	w := Window{Lo: lo, Vals: make([][]types.Value, count)}
-	for i := 0; i < count; i++ {
-		v, err := s.ValueAt(lo + uint64(i))
+	nOut := len(s.Gen.OutKinds())
+	var sampler vg.Sampler
+	if p, ok := s.Gen.(vg.Preparer); ok && nOut > 0 && count > 0 {
+		sp, err := p.Prepare(s.Params)
 		if err != nil {
-			return fmt.Errorf("seeds: seed %d materialize pos %d: %w", s.ID, lo+uint64(i), err)
+			return fmt.Errorf("seeds: seed %d materialize pos %d: %w", s.ID, lo, err)
 		}
-		w.Vals[i] = v
+		sampler = sp
+	}
+	if sampler != nil {
+		arena := make([]types.Value, count*nOut)
+		// sub is hoisted out of the loop: passing a per-iteration variable's
+		// address through the Sampler indirection would make it escape and
+		// cost one heap allocation per element.
+		var sub prng.Sub
+		for i := 0; i < count; i++ {
+			dst := arena[i*nOut : (i+1)*nOut : (i+1)*nOut]
+			sub = s.Stream.SubAt(lo + uint64(i))
+			if err := sampler(&sub, dst); err != nil {
+				return fmt.Errorf("seeds: seed %d materialize pos %d: %w", s.ID, lo+uint64(i), err)
+			}
+			w.Vals[i] = dst
+		}
+	} else {
+		for i := 0; i < count; i++ {
+			v, err := s.ValueAt(lo + uint64(i))
+			if err != nil {
+				return fmt.Errorf("seeds: seed %d materialize pos %d: %w", s.ID, lo+uint64(i), err)
+			}
+			w.Vals[i] = v
+		}
 	}
 	if len(sparse) > 0 {
 		w.Sparse = make(map[uint64][]types.Value, len(sparse))

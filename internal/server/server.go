@@ -390,18 +390,27 @@ type HealthResponse struct {
 	PlanCacheHits   uint64  `json:"plan_cache_hits"`
 	PlanCacheMisses uint64  `json:"plan_cache_misses"`
 	PlanCacheSize   int     `json:"plan_cache_size"`
+	// PrefixCache* report the engine's deterministic-prefix
+	// materialization cache (see mcdbr.Engine.PrefixCacheStats).
+	PrefixCacheHits   uint64 `json:"prefix_cache_hits"`
+	PrefixCacheMisses uint64 `json:"prefix_cache_misses"`
+	PrefixCacheSize   int    `json:"prefix_cache_size"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.engine.PlanCacheStats()
+	phits, pmisses, psize := s.engine.PrefixCacheStats()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:          "ok",
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		Goroutines:      runtime.NumGoroutine(),
-		MaxConcurrent:   cap(s.sem),
-		ActiveQueries:   len(s.sem),
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		PlanCacheSize:   size,
+		Status:            "ok",
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Goroutines:        runtime.NumGoroutine(),
+		MaxConcurrent:     cap(s.sem),
+		ActiveQueries:     len(s.sem),
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+		PlanCacheSize:     size,
+		PrefixCacheHits:   phits,
+		PrefixCacheMisses: pmisses,
+		PrefixCacheSize:   psize,
 	})
 }

@@ -21,6 +21,21 @@ func NewECDF(sample []float64) *ECDF {
 	return &ECDF{sorted: s}
 }
 
+// NewECDFSorted builds an ECDF over a sample that is already sorted
+// ascending, taking ownership of the slice (no copy, no re-sort). Callers
+// that evaluate many quantiles on one result sort once and share the
+// sorted sample between the ECDF and the frequency table instead of
+// re-sorting per call. It panics on an empty or unsorted sample.
+func NewECDFSorted(sorted []float64) *ECDF {
+	if len(sorted) == 0 {
+		panic("stats: NewECDFSorted on empty sample")
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		panic("stats: NewECDFSorted on unsorted sample")
+	}
+	return &ECDF{sorted: sorted}
+}
+
 // N returns the sample size.
 func (e *ECDF) N() int { return len(e.sorted) }
 
@@ -169,6 +184,19 @@ func NewFrequencyTable(samples []float64) *FrequencyTable {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return NewFrequencyTableSorted(s)
+}
+
+// NewFrequencyTableSorted builds the table from an already-sorted sample
+// without copying or re-sorting it (the slice is only read). It panics on
+// an unsorted sample; an empty one yields an empty table.
+func NewFrequencyTableSorted(s []float64) *FrequencyTable {
+	if len(s) == 0 {
+		return &FrequencyTable{}
+	}
+	if !sort.Float64sAreSorted(s) {
+		panic("stats: NewFrequencyTableSorted on unsorted sample")
+	}
 	ft := &FrequencyTable{}
 	n := float64(len(s))
 	i := 0

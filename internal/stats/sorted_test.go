@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// TestSortedConstructorsMatch: the sorted-input constructors (the cached
+// hot path behind Distribution) produce outputs identical to the sorting
+// constructors for every quantile and table row.
+func TestSortedConstructorsMatch(t *testing.T) {
+	r := prng.NewSub(99)
+	sample := make([]float64, 501)
+	for i := range sample {
+		sample[i] = math.Round(r.Norm()*8) / 4 // coarse grid forces ties
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+
+	ref, cached := NewECDF(sample), NewECDFSorted(sorted)
+	if ref.N() != cached.N() {
+		t.Fatalf("N: %d vs %d", ref.N(), cached.N())
+	}
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		if a, b := ref.Quantile(q), cached.Quantile(q); a != b {
+			t.Fatalf("Quantile(%g): %v vs %v", q, a, b)
+		}
+	}
+	for _, x := range []float64{-5, -1, 0, 0.25, 2, 9} {
+		if a, b := ref.At(x), cached.At(x); a != b {
+			t.Fatalf("At(%g): %v vs %v", x, a, b)
+		}
+	}
+	if ref.Min() != cached.Min() || ref.Max() != cached.Max() {
+		t.Fatal("Min/Max differ")
+	}
+
+	ftRef, ftCached := NewFrequencyTable(sample), NewFrequencyTableSorted(sorted)
+	if ftRef.Len() != ftCached.Len() {
+		t.Fatalf("FT len: %d vs %d", ftRef.Len(), ftCached.Len())
+	}
+	for i := range ftRef.Values {
+		if ftRef.Values[i] != ftCached.Values[i] || ftRef.Fracs[i] != ftCached.Fracs[i] {
+			t.Fatalf("FT row %d differs", i)
+		}
+	}
+}
+
+// TestSortedConstructorsRejectUnsorted: handing unsorted data to the
+// no-copy constructors must fail loudly, not corrupt quantiles silently.
+func TestSortedConstructorsRejectUnsorted(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewECDFSorted([]float64{2, 1}) },
+		func() { NewFrequencyTableSorted([]float64{2, 1}) },
+		func() { NewECDFSorted(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

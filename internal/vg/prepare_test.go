@@ -1,0 +1,92 @@
+package vg
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/types"
+)
+
+// TestPrepareMatchesGenerate: for every built-in VG function, the prepared
+// sampler (the window-materialization fast path) must produce values
+// bit-identical to Generate at every stream position — the vg.Preparer
+// contract that keeps cached and uncached runs reproducible.
+func TestPrepareMatchesGenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		params []types.Value
+	}{
+		{"Normal", vals(10, 4)},
+		{"Uniform", vals(-2, 7)},
+		{"Exponential", vals(0.5)},
+		{"Gamma", vals(2.5, 1.5)},
+		{"InverseGamma", vals(3, 2)},
+		{"Lognormal", vals(0.2, 0.8)},
+		{"Pareto", vals(1.5, 2)},
+		{"Bernoulli", vals(0.3)},
+		{"Poisson", vals(4.5)},
+		{"StudentT", vals(5, 1, 2)},
+		{"Weibull", vals(1.5, 2)},
+		{"Beta", vals(2, 3)},
+		{"PoissonGamma", vals(3, 1.5)},
+		{"Triangular", vals(0, 1, 4)},
+		{"DiscreteChoice", vals(1, 0.2, 5, 0.5, 9, 0.3)},
+		{"MultiNormal2", vals(1, 2, 3, 4, 0.5)},
+		{"RandomWalk", vals(100, 0.1, 0.3, 12)},
+	}
+	reg := NewRegistry()
+	for _, tc := range cases {
+		f, ok := reg.Lookup(tc.name)
+		if !ok {
+			t.Fatalf("%s not registered", tc.name)
+		}
+		p, ok := f.(Preparer)
+		if !ok {
+			t.Fatalf("%s does not implement Preparer", tc.name)
+		}
+		sampler, err := p.Prepare(tc.params)
+		if err != nil {
+			t.Fatalf("%s Prepare: %v", tc.name, err)
+		}
+		stream := prng.NewStream(42).Derive(7)
+		nOut := len(f.OutKinds())
+		dst := make([]types.Value, nOut)
+		for pos := uint64(0); pos < 64; pos++ {
+			want, err := f.Generate(tc.params, stream.At(pos))
+			if err != nil {
+				t.Fatalf("%s Generate pos %d: %v", tc.name, pos, err)
+			}
+			sub := stream.SubAt(pos)
+			if err := sampler(&sub, dst); err != nil {
+				t.Fatalf("%s sampler pos %d: %v", tc.name, pos, err)
+			}
+			if len(want) != nOut {
+				t.Fatalf("%s Generate emitted %d values, OutKinds says %d", tc.name, len(want), nOut)
+			}
+			for o := range want {
+				if !want[o].Equal(dst[o]) {
+					t.Fatalf("%s pos %d out %d: Generate %v, prepared %v", tc.name, pos, o, want[o], dst[o])
+				}
+			}
+		}
+	}
+}
+
+// TestPrepareValidatesParams: Prepare surfaces the same parameter errors
+// Generate would, once, instead of per element.
+func TestPrepareValidatesParams(t *testing.T) {
+	reg := NewRegistry()
+	bad := map[string][]types.Value{
+		"Normal":         vals(0, -1),
+		"Uniform":        vals(5, 1),
+		"Pareto":         vals(-1, 1),
+		"DiscreteChoice": vals(1),
+		"RandomWalk":     vals(0, 0, 1, 0),
+	}
+	for name, params := range bad {
+		f, _ := reg.Lookup(name)
+		if _, err := f.(Preparer).Prepare(params); err == nil {
+			t.Fatalf("%s.Prepare(%v) should fail", name, params)
+		}
+	}
+}

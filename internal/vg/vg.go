@@ -33,6 +33,22 @@ type Func interface {
 	Generate(params []types.Value, sub *prng.Sub) ([]types.Value, error)
 }
 
+// Sampler generates one output row per call into dst (whose length equals
+// len(OutKinds())), drawing randomness from sub. It is the allocation-free
+// counterpart of Func.Generate for window materialization.
+type Sampler func(sub *prng.Sub, dst []types.Value) error
+
+// Preparer is an optional fast path a Func may implement: Prepare
+// validates and parses the parameter row once and returns a Sampler
+// invoked per stream element. For a given parameter row, the Sampler must
+// consume the substream exactly as Generate does, so that prepared and
+// unprepared materialization produce bit-identical values. All built-in
+// VG functions implement it; user functions that do not fall back to
+// Generate.
+type Preparer interface {
+	Prepare(params []types.Value) (Sampler, error)
+}
+
 // Registry maps VG function names (case-insensitive) to implementations.
 type Registry struct {
 	mu    sync.RWMutex
@@ -192,6 +208,23 @@ func (d distFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Value, 
 	return []types.Value{types.NewFloat(dist.Sample(sub))}, nil
 }
 
+// Prepare implements Preparer: parameters are parsed and the distribution
+// built once, then each element is a single allocation-free draw.
+func (d distFunc) Prepare(params []types.Value) (Sampler, error) {
+	fs, err := floats(d.name, params, d.arity)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := d.build(fs)
+	if err != nil {
+		return nil, err
+	}
+	return func(sub *prng.Sub, dst []types.Value) error {
+		dst[0] = types.NewFloat(dist.Sample(sub))
+		return nil
+	}, nil
+}
+
 // discreteFunc is DiscreteChoice(v1, w1, v2, w2, ...): sample value vi with
 // probability proportional to wi.
 type discreteFunc struct{}
@@ -222,6 +255,32 @@ func (discreteFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Value
 	return []types.Value{types.NewFloat(d.Sample(sub))}, nil
 }
 
+// Prepare implements Preparer.
+func (discreteFunc) Prepare(params []types.Value) (Sampler, error) {
+	if len(params) == 0 || len(params)%2 != 0 {
+		return nil, fmt.Errorf("vg: DiscreteChoice needs value/weight pairs, got %d args", len(params))
+	}
+	fs, err := floats("DiscreteChoice", params, len(params))
+	if err != nil {
+		return nil, err
+	}
+	n := len(fs) / 2
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = fs[2*i]
+		weights[i] = fs[2*i+1]
+	}
+	d, err := prng.NewDiscrete(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	return func(sub *prng.Sub, dst []types.Value) error {
+		dst[0] = types.NewFloat(d.Sample(sub))
+		return nil
+	}, nil
+}
+
 // multiNormal2Func is MultiNormal2(mu1, mu2, sigma1, sigma2, rho): one draw
 // from a bivariate normal, producing two *correlated* output values — the
 // paper's "table containing one or more correlated data values".
@@ -247,6 +306,26 @@ func (multiNormal2Func) Generate(params []types.Value, sub *prng.Sub) ([]types.V
 	x1 := mu1 + s1*z1
 	x2 := mu2 + s2*(rho*z1+math.Sqrt(1-rho*rho)*z2)
 	return []types.Value{types.NewFloat(x1), types.NewFloat(x2)}, nil
+}
+
+// Prepare implements Preparer.
+func (multiNormal2Func) Prepare(params []types.Value) (Sampler, error) {
+	p, err := floats("MultiNormal2", params, 5)
+	if err != nil {
+		return nil, err
+	}
+	mu1, mu2, s1, s2, rho := p[0], p[1], p[2], p[3], p[4]
+	if s1 < 0 || s2 < 0 || rho < -1 || rho > 1 {
+		return nil, fmt.Errorf("vg: MultiNormal2 invalid parameters (s1=%g s2=%g rho=%g)", s1, s2, rho)
+	}
+	cross := math.Sqrt(1 - rho*rho)
+	return func(sub *prng.Sub, dst []types.Value) error {
+		z1 := sub.Norm()
+		z2 := sub.Norm()
+		dst[0] = types.NewFloat(mu1 + s1*z1)
+		dst[1] = types.NewFloat(mu2 + s2*(rho*z1+cross*z2))
+		return nil
+	}, nil
 }
 
 // randomWalkFunc is RandomWalk(start, drift, vol, steps): the terminal value
@@ -276,6 +355,29 @@ func (randomWalkFunc) Generate(params []types.Value, sub *prng.Sub) ([]types.Val
 		x += drift*dt + vol*sq*sub.Norm()
 	}
 	return []types.Value{types.NewFloat(x)}, nil
+}
+
+// Prepare implements Preparer.
+func (randomWalkFunc) Prepare(params []types.Value) (Sampler, error) {
+	p, err := floats("RandomWalk", params, 4)
+	if err != nil {
+		return nil, err
+	}
+	start, drift, vol, stepsF := p[0], p[1], p[2], p[3]
+	steps := int(stepsF)
+	if steps <= 0 || vol < 0 {
+		return nil, fmt.Errorf("vg: RandomWalk needs steps > 0 and vol >= 0, got (%g, %g)", stepsF, vol)
+	}
+	dt := 1.0 / float64(steps)
+	sq := math.Sqrt(dt)
+	return func(sub *prng.Sub, dst []types.Value) error {
+		x := start
+		for i := 0; i < steps; i++ {
+			x += drift*dt + vol*sq*sub.Norm()
+		}
+		dst[0] = types.NewFloat(x)
+		return nil
+	}, nil
 }
 
 func floats(name string, params []types.Value, arity int) ([]float64, error) {

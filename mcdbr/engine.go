@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/vg"
@@ -52,8 +53,18 @@ type Engine struct {
 	mu       sync.RWMutex
 	rand     map[string]*RandomTable
 	ddlEpoch uint64
+	// dataEpoch advances at least as often as ddlEpoch: it additionally
+	// counts catalog content changes that keep the schema (an FTABLE
+	// re-registration with new values). The plan cache keys on ddlEpoch
+	// (plans embed no data); the deterministic-prefix cache keys on
+	// dataEpoch (materialized results embed table contents).
+	dataEpoch uint64
 
 	plans *planCache
+	// prefixes caches materialized deterministic-prefix results (see
+	// exec.PrefixCache) behind the same DDL-epoch invalidation as the plan
+	// cache; nil when disabled via WithPrefixCacheSize.
+	prefixes *exec.PrefixCache
 }
 
 // Option configures an Engine.
@@ -91,6 +102,43 @@ func WithPlanCacheSize(n int) Option {
 	return func(e *Engine) { e.plans = newPlanCache(n) }
 }
 
+// WithPrefixCacheSize sets how many materialized deterministic-prefix
+// results the engine retains (LRU, invalidated by DDL). n == 0 selects
+// the default of 64; n < 0 disables the cache entirely — results stay
+// bit-identical either way, the cache only changes how often the
+// deterministic part of a plan is recomputed.
+func WithPrefixCacheSize(n int) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			e.prefixes = nil
+			return
+		}
+		e.prefixes = exec.NewPrefixCache(n)
+	}
+}
+
+// PrefixCacheStats reports the deterministic-prefix cache's lifetime hit
+// and miss counts and its current size; all zero when the cache is
+// disabled.
+func (e *Engine) PrefixCacheStats() (hits, misses uint64, size int) {
+	if e.prefixes == nil {
+		return 0, 0, 0
+	}
+	return e.prefixes.Stats()
+}
+
+// prefixHandle returns the per-run view of the deterministic-prefix cache,
+// pinned to the current data epoch; nil when the cache is disabled.
+func (e *Engine) prefixHandle() *exec.PrefixHandle {
+	if e.prefixes == nil {
+		return nil
+	}
+	e.mu.RLock()
+	epoch := e.dataEpoch
+	e.mu.RUnlock()
+	return e.prefixes.Handle(epoch)
+}
+
 // New creates an empty engine with all built-in VG functions registered.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -101,6 +149,7 @@ func New(opts ...Option) *Engine {
 		window:      1024,
 		parallelism: runtime.NumCPU(),
 		plans:       newPlanCache(0),
+		prefixes:    exec.NewPrefixCache(0),
 	}
 	for _, o := range opts {
 		o(e)
@@ -115,6 +164,7 @@ func (e *Engine) RegisterTable(t *storage.Table) {
 	defer e.mu.Unlock()
 	e.cat.Put(t)
 	e.ddlEpoch++
+	e.dataEpoch++
 }
 
 // RegisterVG adds a user-defined VG function (the paper's black-box
@@ -123,6 +173,7 @@ func (e *Engine) RegisterVG(f vg.Func) {
 	e.vgs.Register(f)
 	e.mu.Lock()
 	e.ddlEpoch++
+	e.dataEpoch++
 	e.mu.Unlock()
 }
 
@@ -232,6 +283,7 @@ func (e *Engine) DefineRandomTable(rt RandomTable) error {
 	e.mu.Lock()
 	e.rand[strings.ToLower(rt.Name)] = &rt
 	e.ddlEpoch++
+	e.dataEpoch++
 	e.mu.Unlock()
 	return nil
 }

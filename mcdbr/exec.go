@@ -455,6 +455,10 @@ func (e *Engine) registerFTable(s *sqlish.SelectStmt, d *Distribution) {
 	if old, ok := e.cat.Get("ftable"); !ok || !sameSchema(old.Schema(), t.Schema()) {
 		e.ddlEpoch++
 	}
+	// The data epoch always advances: cached plans stay valid across
+	// same-schema re-registrations, but materialized prefixes over FTABLE
+	// embed its contents and must be recomputed.
+	e.dataEpoch++
 	e.cat.Put(t)
 }
 

@@ -1,0 +1,317 @@
+package mcdbr
+
+// Correctness tests for the engine-level deterministic-prefix
+// materialization cache (ISSUE 4): bit-identity with the cache on and
+// off at every worker count, invalidation by every DDL path (CREATE
+// TABLE / RegisterTable, RegisterVG, FTABLE registration), strict
+// per-engine isolation, and a concurrent SELECT/DDL hammer for -race.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/prng"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vg"
+	"repro/internal/workload"
+)
+
+// prefixTestEngine builds the accounts ⋈ regions workload whose query has
+// a non-trivial deterministic prefix below the random losses table.
+// regionWeight parameterizes the deterministic data so invalidation tests
+// can change it and observe whether results follow.
+func prefixTestEngine(t testing.TB, regionWeight float64, opts ...Option) *Engine {
+	t.Helper()
+	e := New(append([]Option{WithSeed(11)}, opts...)...)
+	e.RegisterTable(workload.LossMeans(60, 2, 8, 9))
+	e.RegisterTable(regionsTable(regionWeight))
+	accounts := storage.NewTable("accounts", types.NewSchema(
+		types.Column{Name: "aid", Kind: types.KindInt},
+		types.Column{Name: "rid", Kind: types.KindInt},
+	))
+	for i := 0; i < 60; i++ {
+		accounts.MustAppend(types.Row{types.NewInt(int64(10000 + i)), types.NewInt(int64(i % 4))})
+	}
+	e.RegisterTable(accounts)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func regionsTable(weight float64) *storage.Table {
+	regions := storage.NewTable("regions", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindInt},
+		types.Column{Name: "weight", Kind: types.KindFloat},
+	))
+	for r := 0; r < 4; r++ {
+		regions.MustAppend(types.Row{types.NewInt(int64(r)), types.NewFloat(weight)})
+	}
+	return regions
+}
+
+const prefixTestSQL = `SELECT SUM(losses.val * regions.weight) AS wloss
+FROM losses, accounts, regions
+WHERE losses.cid = accounts.aid AND accounts.rid = regions.rid
+WITH RESULTDISTRIBUTION MONTECARLO(40)`
+
+func runPrefixQuery(t testing.TB, e *Engine, workers int) []float64 {
+	t.Helper()
+	pq, err := e.Prepare(prefixTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run(RunOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Dist.Samples
+}
+
+// TestPrefixCacheBitIdentity: equal seeds produce bit-identical samples
+// with the cache enabled and disabled, at workers {1, 2, 3, NumCPU}, on
+// first runs and cache-hit re-runs alike.
+func TestPrefixCacheBitIdentity(t *testing.T) {
+	ref := runPrefixQuery(t, prefixTestEngine(t, 1.5, WithPrefixCacheSize(-1), WithParallelism(1)), 1)
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU()} {
+		cached := prefixTestEngine(t, 1.5)
+		for round := 0; round < 3; round++ {
+			got := runPrefixQuery(t, cached, workers)
+			if len(got) != len(ref) {
+				t.Fatalf("workers=%d round=%d: %d samples, want %d", workers, round, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d round=%d sample %d: %v != %v", workers, round, i, got[i], ref[i])
+				}
+			}
+		}
+		hits, misses, size := cached.PrefixCacheStats()
+		if hits == 0 || misses == 0 || size == 0 {
+			t.Fatalf("workers=%d: prefix cache unused (hits=%d misses=%d size=%d)", workers, hits, misses, size)
+		}
+	}
+}
+
+// TestPrefixCacheInvalidatedByRegisterTable: replacing a table the
+// deterministic prefix reads must change the results to match a fresh
+// engine over the new data — a stale cached prefix would keep the old
+// weights.
+func TestPrefixCacheInvalidatedByRegisterTable(t *testing.T) {
+	e := prefixTestEngine(t, 1.0, WithParallelism(1))
+	before := runPrefixQuery(t, e, 1)
+	runPrefixQuery(t, e, 1) // populate + hit
+
+	e.RegisterTable(regionsTable(3.0))
+	after := runPrefixQuery(t, e, 1)
+	want := runPrefixQuery(t, prefixTestEngine(t, 3.0, WithPrefixCacheSize(-1), WithParallelism(1)), 1)
+	for i := range after {
+		if after[i] != want[i] {
+			t.Fatalf("sample %d after DDL: %v, want %v (stale prefix?)", i, after[i], want[i])
+		}
+		if after[i] == before[i] {
+			t.Fatalf("sample %d unchanged after weights tripled: %v", i, after[i])
+		}
+	}
+}
+
+// TestPrefixCacheInvalidatedByCreateAndRegisterVG: CREATE TABLE ... FOR
+// EACH and RegisterVG both advance the epoch, so cached prefixes are
+// recomputed (observable as extra misses, never stale data).
+func TestPrefixCacheInvalidatedByCreateAndRegisterVG(t *testing.T) {
+	e := prefixTestEngine(t, 1.0, WithParallelism(1))
+	runPrefixQuery(t, e, 1)
+	_, missesBefore, _ := e.PrefixCacheStats()
+
+	if _, err := e.Exec(`
+CREATE TABLE Extra (CID, v) AS
+FOR EACH CID IN means
+WITH x AS Normal(VALUES(m, 2.0))
+SELECT CID, x.* FROM x`); err != nil {
+		t.Fatal(err)
+	}
+	runPrefixQuery(t, e, 1)
+	_, missesAfterCreate, _ := e.PrefixCacheStats()
+	if missesAfterCreate <= missesBefore {
+		t.Fatalf("CREATE TABLE did not invalidate the prefix cache (misses %d -> %d)", missesBefore, missesAfterCreate)
+	}
+
+	e.RegisterVG(constVG{})
+	runPrefixQuery(t, e, 1)
+	_, missesAfterVG, _ := e.PrefixCacheStats()
+	if missesAfterVG <= missesAfterCreate {
+		t.Fatalf("RegisterVG did not invalidate the prefix cache (misses %d -> %d)", missesAfterCreate, missesAfterVG)
+	}
+}
+
+type constVG struct{}
+
+func (constVG) Name() string           { return "ConstSeven" }
+func (constVG) Arity() int             { return 0 }
+func (constVG) OutKinds() []types.Kind { return []types.Kind{types.KindFloat} }
+func (constVG) Generate([]types.Value, *prng.Sub) ([]types.Value, error) {
+	return []types.Value{types.NewFloat(7)}, nil
+}
+
+var _ vg.Func = constVG{}
+
+// TestPrefixCacheInvalidatedByFTableRegistration: FREQUENCYTABLE
+// re-registration keeps the schema (so plans stay cached) but changes
+// FTABLE's contents; a prefix materialized over FTABLE must be recomputed,
+// not served stale.
+func TestPrefixCacheInvalidatedByFTableRegistration(t *testing.T) {
+	e := New(WithSeed(3), WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(20, 2, 8, 3))
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	freqSQL := func(n int) string {
+		return fmt.Sprintf(`SELECT SUM(val) AS totalLoss FROM losses
+WITH RESULTDISTRIBUTION MONTECARLO(%d) FREQUENCYTABLE totalLoss`, n)
+	}
+	if _, err := e.Exec(freqSQL(16)); err != nil {
+		t.Fatal(err)
+	}
+	// A deterministic filter over FTABLE forces a materialized prefix
+	// whose contents depend on FTABLE's rows.
+	countTail := func() float64 {
+		res, err := e.Exec(`SELECT SUM(frac) AS f FROM ftable WHERE frac > 0
+WITH RESULTDISTRIBUTION MONTECARLO(4)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Dist.Samples[0]
+	}
+	first := countTail()
+	if first <= 0.999 || first >= 1.001 {
+		t.Fatalf("fracs should sum to ~1, got %v", first)
+	}
+	// Re-register FTABLE with a different sample count: same schema, new
+	// contents. The prefix must follow the new relation.
+	if _, err := e.Exec(freqSQL(64)); err != nil {
+		t.Fatal(err)
+	}
+	second := countTail()
+	if second <= 0.999 || second >= 1.001 {
+		t.Fatalf("fracs over re-registered FTABLE should still sum to ~1, got %v (stale prefix?)", second)
+	}
+	ft, ok := e.Table("ftable")
+	if !ok {
+		t.Fatal("ftable not registered")
+	}
+	if ft.NumRows() < 17 {
+		t.Fatalf("ftable should hold the 64-sample run, has %d rows", ft.NumRows())
+	}
+}
+
+// TestPrefixCacheNotSharedAcrossEngines: two engines with identical SQL
+// (identical fingerprints) but different catalog contents must never see
+// each other's materialized prefixes.
+func TestPrefixCacheNotSharedAcrossEngines(t *testing.T) {
+	e1 := prefixTestEngine(t, 1.0, WithParallelism(1))
+	e2 := prefixTestEngine(t, 5.0, WithParallelism(1))
+	s1 := runPrefixQuery(t, e1, 1)
+	s2 := runPrefixQuery(t, e2, 1)
+	for i := range s1 {
+		if s1[i] == s2[i] {
+			t.Fatalf("sample %d identical across engines with different weights: %v", i, s1[i])
+		}
+		// Weight-5 must scale weight-1 by ~5 (up to float summation order).
+		if ratio := s2[i] / s1[i]; ratio < 4.999999 || ratio > 5.000001 {
+			t.Fatalf("sample %d: weight-5 engine should scale weight-1 by 5, ratio %v", i, ratio)
+		}
+	}
+}
+
+// TestConcurrentPrefixCacheDDLHammer mixes cached SELECTs with DDL that
+// keeps results stable (re-registering identical tables, registering
+// unrelated VGs) on one engine. Under -race this exercises the
+// cache's locking and single-flight; every result must stay bit-identical
+// to the sequential reference.
+func TestConcurrentPrefixCacheDDLHammer(t *testing.T) {
+	e := prefixTestEngine(t, 1.5)
+	ref := runPrefixQuery(t, e, 1)
+
+	const goroutines = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				switch {
+				case g%4 == 0:
+					// DDL: replace regions with identical contents (epoch
+					// bumps, results must not change).
+					e.RegisterTable(regionsTable(1.5))
+				case g%4 == 1 && r%2 == 0:
+					e.RegisterVG(constVG{})
+				default:
+					got := runPrefixQuery(t, e, 1+g%3)
+					for i := range ref {
+						if got[i] != ref[i] {
+							errs <- fmt.Errorf("goroutine %d round %d sample %d: %v != %v", g, r, i, got[i], ref[i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDistributionQuantileCache: repeated Quantile/Min/ECDF calls on one
+// Distribution reuse the sorted sample and stay identical to freshly
+// sorting the raw samples (the internal/stats satellite regression).
+func TestDistributionQuantileCache(t *testing.T) {
+	e := prefixTestEngine(t, 1.0, WithParallelism(1))
+	pq, err := e.Prepare(prefixTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Dist
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999, 1} {
+		fresh := stats.NewECDF(d.Samples).Quantile(q)
+		if a := d.Quantile(q); a != fresh {
+			t.Fatalf("Quantile(%g): cached %v != fresh %v", q, a, fresh)
+		}
+		if a, b := d.Quantile(q), d.Quantile(q); a != b {
+			t.Fatalf("Quantile(%g) not stable across calls: %v vs %v", q, a, b)
+		}
+	}
+	if d.Min() != stats.NewECDF(d.Samples).Min() {
+		t.Fatal("Min differs from fresh sort")
+	}
+	if d.ECDF() != d.ECDF() {
+		t.Fatal("ECDF must return the cached instance")
+	}
+	// Zero-constructed Distributions still work (lazy sort fallback).
+	lit := &Distribution{Samples: []float64{3, 1, 2}}
+	if lit.Quantile(0.5) != 2 || lit.Min() != 1 {
+		t.Fatalf("literal distribution: q50=%v min=%v", lit.Quantile(0.5), lit.Min())
+	}
+}

@@ -24,10 +24,33 @@ type Distribution struct {
 	Samples []float64
 	// FTable is the paper's FTABLE(value, FRAC) relation.
 	FTable *stats.FrequencyTable
+
+	// ecdf caches the sorted sample: building the frequency table already
+	// sorts a copy of the samples, so Quantile/Min/ECDF reuse it instead
+	// of re-sorting per call. nil for zero-constructed Distributions,
+	// which fall back to sorting on demand.
+	ecdf *stats.ECDF
 }
 
 func newDistribution(samples []float64) *Distribution {
-	return &Distribution{Samples: samples, FTable: stats.NewFrequencyTable(samples)}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return &Distribution{
+		Samples: samples,
+		FTable:  stats.NewFrequencyTableSorted(sorted),
+		ecdf:    stats.NewECDFSorted(sorted),
+	}
+}
+
+// dist returns the cached ECDF. Distributions built literally rather
+// than by the engine have no cache; they sort per call (the pre-cache
+// behavior) instead of lazily writing d.ecdf, which would race when one
+// Distribution is read from several goroutines.
+func (d *Distribution) dist() *stats.ECDF {
+	if d.ecdf == nil {
+		return stats.NewECDF(d.Samples)
+	}
+	return d.ecdf
 }
 
 // Mean estimates the expected query result.
@@ -39,19 +62,19 @@ func (d *Distribution) Std() float64 { return stats.Summarize(d.Samples).Std }
 // Quantile estimates the q-quantile of the (possibly conditioned)
 // query-result distribution.
 func (d *Distribution) Quantile(q float64) float64 {
-	return stats.NewECDF(d.Samples).Quantile(q)
+	return d.dist().Quantile(q)
 }
 
 // Min returns the smallest sample — for a tail distribution, the paper's
 // SELECT MIN(totalLoss) FROM FTABLE tail-boundary estimate.
-func (d *Distribution) Min() float64 { return stats.NewECDF(d.Samples).Min() }
+func (d *Distribution) Min() float64 { return d.dist().Min() }
 
 // ExpectedValue returns SUM(value*FRAC) over the frequency table; on a
 // tail distribution this is the expected shortfall.
 func (d *Distribution) ExpectedValue() float64 { return d.FTable.WeightedSum() }
 
 // ECDF returns the empirical CDF of the samples.
-func (d *Distribution) ECDF() *stats.ECDF { return stats.NewECDF(d.Samples) }
+func (d *Distribution) ECDF() *stats.ECDF { return d.dist() }
 
 // FTableRelation materializes the frequency table as an ordinary relation
 // FTABLE(value FLOAT, frac FLOAT) that can be registered and re-queried,
@@ -102,11 +125,13 @@ func (q *QueryBuilder) MonteCarlo(n int) (d *Distribution, err error) {
 // QueryBuilder.MonteCarlo and PreparedQuery.Run; seed and workers are
 // per-run so prepared queries can override them.
 func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*Distribution, error) {
-	window := e.window
-	if n > window {
-		window = n
-	}
-	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
+	// Plain Monte Carlo evaluates exactly positions [0, n) of every
+	// stream, so the window is n — not the engine window, which exists to
+	// amortize tail-sampling replenishment. (Shard workers already
+	// materialize exactly their replicate range; stream values depend only
+	// on (seed, position), so the window size never changes results.)
+	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), n)
+	ws.Prefix = e.prefixHandle()
 	samples, err := gibbs.MonteCarloParallel(ws, c.plan, c.gq, n, workers)
 	if err != nil {
 		return nil, err
@@ -179,6 +204,7 @@ func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, 
 		window = need
 	}
 	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
+	ws.Prefix = e.prefixHandle()
 	gq := c.gq
 	gq.LowerTail = opts.Lower
 	res, err := gibbs.Run(ws, c.plan, gq, cfg)

@@ -631,10 +631,130 @@ func benchDeltaAblation(b *testing.B, disable bool) {
 		}
 		plan := &exec.Instantiate{Child: seed}
 		_, err = gibbs.Run(ws, plan,
-			gibbs.Query{Agg: gibbs.AggSum, AggExpr: expr.C("val")},
+			gibbs.Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("val")}},
 			gibbs.Config{N: 50, M: 3, P: 0.01, L: 25, DisableDeltaAggregates: disable})
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// groupedBenchEngine builds the ISSUE 5 grouped-aggregation workload:
+// losses(cid, val) ~ Normal(m, 1) over nCustomers customers joined to a
+// grp table assigning customers round-robin to nGroups groups.
+func groupedBenchEngine(b *testing.B, seed uint64, nCustomers, nGroups int) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(nCustomers, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	grp := storage.NewTable("grp", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "g", Kind: types.KindInt},
+	))
+	m, _ := e.Table("means")
+	for i, r := range m.Rows() {
+		grp.MustAppend(types.Row{r[0], types.NewInt(int64(i % nGroups))})
+	}
+	e.RegisterTable(grp)
+	return e
+}
+
+const (
+	groupedBenchGroups    = 8
+	groupedBenchCustomers = 64
+	groupedBenchReps      = 500
+)
+
+// groupedBenchPerGroupLoop reconstructs the pre-ISSUE-5 architecture for
+// comparison: one full query per group — the grouped query re-planned
+// and re-executed with a per-group selection predicate, exactly what the
+// deleted GroupedMonteCarlo outer loop did.
+func groupedBenchPerGroupLoop(b *testing.B, e *mcdbr.Engine) map[int][]float64 {
+	out := make(map[int][]float64, groupedBenchGroups)
+	for g := 0; g < groupedBenchGroups; g++ {
+		d, err := e.Query().
+			From("losses", "l").From("grp", "grp").
+			Where(expr.B(expr.OpEq, expr.C("l.cid"), expr.C("grp.cid"))).
+			Where(expr.B(expr.OpEq, expr.C("grp.g"), expr.I(int64(g)))).
+			SelectSum(expr.C("l.val")).
+			MonteCarlo(groupedBenchReps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[g] = d.Samples
+	}
+	return out
+}
+
+// groupedBenchSinglePass runs the same workload through the ISSUE 5
+// grouped Aggregate operator: one plan run, one pass per repetition.
+func groupedBenchSinglePass(b *testing.B, e *mcdbr.Engine) *mcdbr.GroupedDistribution {
+	gd, err := e.Query().
+		From("losses", "l").From("grp", "grp").
+		Where(expr.B(expr.OpEq, expr.C("l.cid"), expr.C("grp.cid"))).
+		SelectSum(expr.C("l.val")).
+		GroupBy(expr.C("grp.g")).
+		MonteCarloGrouped(groupedBenchReps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(gd.Groups) != groupedBenchGroups {
+		b.Fatalf("groups = %d", len(gd.Groups))
+	}
+	return gd
+}
+
+// BenchmarkGrouped_PerGroupLoop is the pre-ISSUE-5 baseline: GROUP BY
+// over 8 groups executed as 8 full per-group queries.
+func BenchmarkGrouped_PerGroupLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		groupedBenchPerGroupLoop(b, groupedBenchEngine(b, uint64(i), groupedBenchCustomers, groupedBenchGroups))
+	}
+}
+
+// BenchmarkGrouped_SinglePass is the ISSUE 5 pipeline: the same GROUP BY
+// workload in one plan run with per-repetition aggregate vectors.
+func BenchmarkGrouped_SinglePass(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		groupedBenchSinglePass(b, groupedBenchEngine(b, uint64(i), groupedBenchCustomers, groupedBenchGroups))
+	}
+}
+
+// BenchmarkGrouped_Speedup times both architectures back to back,
+// reports their ratio as the "speedup" metric, and re-checks per-group
+// bit-identity of the sample vectors on every iteration.
+func BenchmarkGrouped_Speedup(b *testing.B) {
+	b.ReportAllocs()
+	var loopDur, passDur time.Duration
+	for i := 0; i < b.N; i++ {
+		e := groupedBenchEngine(b, uint64(i), groupedBenchCustomers, groupedBenchGroups)
+		start := time.Now()
+		perGroup := groupedBenchPerGroupLoop(b, e)
+		loopDur += time.Since(start)
+		start = time.Now()
+		gd := groupedBenchSinglePass(b, e)
+		passDur += time.Since(start)
+		for gi := range gd.Groups {
+			g := &gd.Groups[gi]
+			want := perGroup[int(g.Key[0].Int())]
+			for j := range want {
+				if g.Dists[0].Samples[j] != want[j] {
+					b.Fatalf("group %s sample %d: single-pass %v vs per-group %v",
+						g.KeyString(), j, g.Dists[0].Samples[j], want[j])
+				}
+			}
+		}
+	}
+	if passDur > 0 {
+		b.ReportMetric(loopDur.Seconds()/passDur.Seconds(), "speedup")
+		b.ReportMetric(groupedBenchGroups, "groups")
 	}
 }

@@ -95,10 +95,52 @@ func printResult(res *mcdbr.ExecResult) {
 		fmt.Println("random table defined")
 	case mcdbr.ExecScalar:
 		fmt.Printf("%g\n", res.Scalar)
+	case mcdbr.ExecTable:
+		cols := res.Table.Schema().Columns()
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = c.Name
+		}
+		fmt.Println(strings.Join(names, " | "))
+		for _, r := range res.Table.Rows() {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
 	case mcdbr.ExecDistribution:
 		d := res.Dist
-		fmt.Printf("result distribution: n=%d mean=%g sd=%g min=%g max=%g\n",
-			len(d.Samples), d.Mean(), d.Std(), d.ECDF().Min(), d.ECDF().Max())
+		fmt.Printf("result distribution: n=%d mean=%g sd=%g min=%g max=%g cvar95=%g\n",
+			len(d.Samples), d.Mean(), d.Std(), d.ECDF().Min(), d.ECDF().Max(), d.CVaR(0.95))
+	case mcdbr.ExecGroupedDistribution:
+		g := res.Grouped
+		fmt.Printf("grouped result distribution: %d group(s), aggregates: %s\n",
+			len(g.Groups), strings.Join(g.AggCols, ", "))
+		for i := range g.Groups {
+			grp := &g.Groups[i]
+			key := grp.KeyString()
+			if key == "" {
+				key = "(all)"
+			}
+			for a, d := range grp.Dists {
+				fmt.Printf("  %s %s: n=%d mean=%g sd=%g cvar95=%g",
+					key, g.AggCols[a], len(d.Samples), d.Mean(), d.Std(), d.CVaR(0.95))
+				if grp.Inclusion < 1 {
+					fmt.Printf(" (HAVING held in %.0f%% of runs)", 100*grp.Inclusion)
+				}
+				fmt.Println()
+			}
+		}
+	case mcdbr.ExecGroupedTail:
+		gt := res.GroupedTail
+		fmt.Printf("grouped tail distribution: %d group(s), aggregate %s\n", len(gt.Groups), gt.AggCol)
+		for i := range gt.Groups {
+			grp := &gt.Groups[i]
+			t := grp.Tail
+			fmt.Printf("  %s: quantile estimate %g, expected shortfall %g, %d samples\n",
+				grp.KeyString(), t.QuantileEstimate, t.ExpectedShortfall, len(t.Samples))
+		}
 	case mcdbr.ExecExplained:
 		fmt.Print(res.Explain)
 	case mcdbr.ExecTail:
@@ -107,7 +149,7 @@ func printResult(res *mcdbr.ExecResult) {
 		if t.Lower {
 			dir = "<="
 		}
-		fmt.Printf("tail distribution (%s quantile, p=%g): quantile estimate %g, expected shortfall %g, %d samples\n",
+		fmt.Printf("tail distribution (%s quantile, p=%g): quantile estimate %g, expected shortfall (CVaR) %g, %d samples\n",
 			dir, t.P, t.QuantileEstimate, t.ExpectedShortfall, len(t.Samples))
 		fmt.Printf("  iterations: %d, replenishing runs: %d\n", len(t.Diag.Iters), t.Diag.Replenishments)
 	}

@@ -87,17 +87,22 @@ func main() {
 	fmt.Printf("total penalty 0.99-quantile: $%.0f, expected shortfall $%.0f\n",
 		res.QuantileEstimate, res.ExpectedShortfall)
 
-	// Alternative schemes compared: one tail-sampling run per scheme (the
-	// paper's GROUP BY treatment runs g separate conditioned queries).
-	bySch, err := penalty.GroupedTailSample("shipments", "scheme", 0.05, 50,
-		mcdbr.TailSampleOptions{TotalSamples: 300})
+	// Alternative schemes compared: GROUP BY runs one conditioned Gibbs
+	// chain per scheme over a single compiled plan (the paper's GROUP BY
+	// treatment, Appendix A) — no per-group re-planning.
+	bySch, err := engine.Query().
+		From("delays", "d").
+		Where(expr.B(expr.OpGt, expr.C("d.delay"), expr.F(sla))).
+		SelectSum(expr.C("d.penalty")).
+		GroupBy(expr.C("d.scheme")).
+		TailSampleGrouped(0.05, 50, mcdbr.TailSampleOptions{TotalSamples: 300})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("per-scheme 0.95-quantile of penalty cost:")
-	for _, scheme := range []string{"express", "ground"} {
-		r := bySch[scheme]
+	for _, g := range bySch.Groups {
+		r := g.Tail
 		fmt.Printf("  %-8s VaR $%.0f, shortfall $%.0f\n",
-			scheme, r.QuantileEstimate, r.ExpectedShortfall)
+			g.KeyString(), r.QuantileEstimate, r.ExpectedShortfall)
 	}
 }

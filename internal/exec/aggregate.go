@@ -1,0 +1,535 @@
+// First-class aggregation. MCDB-R queries are aggregation queries; until
+// ISSUE 5 the aggregate lived outside the plan (a single gibbs.AggKind
+// carried beside the physical tree) and GROUP BY was an ad-hoc top-layer
+// loop re-running the whole pipeline once per group. This file makes
+// aggregation a physical operator: Aggregate is the plan root, carrying
+// the grouping expressions, the (multi-item) aggregate list, and the
+// optional HAVING predicate; AggEval is its single-pass evaluator — the
+// plan runs once, tuples are partitioned by their deterministic group key
+// once, and every Monte Carlo repetition produces one vector of aggregate
+// values per group in a single sweep over the tuples.
+
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bundle"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// AggKind enumerates the aggregates the Monte Carlo layers maintain
+// incrementally (moved here from internal/gibbs: the looper now consumes
+// aggregate specs instead of owning them).
+type AggKind uint8
+
+const (
+	// AggSum is SUM(expr).
+	AggSum AggKind = iota
+	// AggCount is COUNT(*) over tuples passing the final predicate.
+	AggCount
+	// AggAvg is AVG(expr).
+	AggAvg
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// AggSpec is one item of an aggregation select list.
+type AggSpec struct {
+	// Kind is the aggregate operation.
+	Kind AggKind
+	// Expr is the aggregated expression; nil for COUNT(*).
+	Expr expr.Expr
+	// Name is the output column name (the SQL alias, or the rendered
+	// aggregate when none was given).
+	Name string
+}
+
+// String renders the spec as it appears in EXPLAIN ("SUM(val) AS loss").
+func (s AggSpec) String() string {
+	body := "*"
+	if s.Expr != nil {
+		body = s.Expr.String()
+	}
+	out := fmt.Sprintf("%s(%s)", s.Kind, body)
+	if s.Name != "" && s.Name != out {
+		out += " AS " + s.Name
+	}
+	return out
+}
+
+// AggState is the incremental state of one aggregate for one DB version:
+// a running sum and a contribution count. SUM reads Sum, COUNT reads
+// Count, AVG reads Sum/Count. The Gibbs looper delta-maintains these
+// fields during rejection sampling, which is why MIN/MAX (not expressible
+// as a reversible delta) stay outside the Monte Carlo layers.
+type AggState struct {
+	Sum   float64
+	Count int64
+}
+
+// Add folds one tuple contribution into the state.
+func (a *AggState) Add(sum float64, count int64) {
+	a.Sum += sum
+	a.Count += count
+}
+
+// Value reads the aggregate under the given kind. An empty AVG yields
+// -Inf: in the looper's cutoff comparisons an empty average can never
+// beat a threshold, and result-building layers reject non-finite samples
+// with a descriptive error.
+func (a AggState) Value(k AggKind) float64 {
+	switch k {
+	case AggSum:
+		return a.Sum
+	case AggCount:
+		return float64(a.Count)
+	default: // AVG
+		if a.Count == 0 {
+			return math.Inf(-1)
+		}
+		return a.Sum / float64(a.Count)
+	}
+}
+
+// Contribution evaluates one aggregate's contribution of a row that
+// already passed presence and final-predicate checks, mirroring the Gibbs
+// looper's accumulation exactly (NULLs are skipped per SQL semantics;
+// sign is -1 for lower-tail conditioning, +1 otherwise).
+func (s AggSpec) Contribution(compiled *expr.Compiled, row types.Row, sign float64) (float64, int64, error) {
+	if s.Kind == AggCount {
+		return 0, 1, nil
+	}
+	v := compiled.Eval(row)
+	if v.IsNull() {
+		return 0, 0, nil // SQL aggregates ignore NULLs
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return 0, 0, fmt.Errorf("exec: aggregate expression %s produced %s, need numeric", s, v.Kind())
+	}
+	return sign * f, 1, nil
+}
+
+// Aggregate is the plan-root physical operator of an aggregation query.
+// Run passes its child's Gibbs-tuple stream through unchanged (aggregate
+// values vary per DB version, so they cannot be materialized as tuples);
+// consumers — gibbs.MonteCarloGrouped for single-pass grouped Monte
+// Carlo, the Gibbs looper for tail sampling — evaluate the aggregates
+// per version through NewEval. Aggregate never appears below another
+// operator.
+type Aggregate struct {
+	Child Node
+	// GroupBy are the grouping expressions; they must evaluate over
+	// deterministic attributes only (paper App. A). Empty means one
+	// global group.
+	GroupBy []expr.Expr
+	// GroupNames name the grouping output columns.
+	GroupNames []string
+	// Aggs is the aggregate list; at least one item.
+	Aggs []AggSpec
+	// Having, when non-nil, is a predicate over the output row (group
+	// columns followed by aggregate columns) evaluated once per group per
+	// Monte Carlo repetition; repetitions where it fails are excluded
+	// from that group's result distribution.
+	Having expr.Expr
+
+	schema *types.Schema
+}
+
+// NewAggregate builds the operator, validating the grouping and aggregate
+// expressions against the child schema and constructing the output schema
+// (group columns, then aggregate columns; duplicate names are
+// disambiguated with a positional suffix).
+func NewAggregate(child Node, groupBy []expr.Expr, groupNames []string, aggs []AggSpec, having expr.Expr) (*Aggregate, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("exec: Aggregate needs at least one aggregate")
+	}
+	if len(groupNames) != len(groupBy) {
+		return nil, fmt.Errorf("exec: Aggregate got %d group names for %d grouping expressions", len(groupNames), len(groupBy))
+	}
+	for i, g := range groupBy {
+		if _, err := expr.Compile(g, child.Schema()); err != nil {
+			return nil, fmt.Errorf("exec: GROUP BY expression %d (%s): %w", i+1, g, err)
+		}
+	}
+	for _, a := range aggs {
+		if a.Expr != nil {
+			if _, err := expr.Compile(a.Expr, child.Schema()); err != nil {
+				return nil, fmt.Errorf("exec: aggregate %s: %w", a, err)
+			}
+		} else if a.Kind != AggCount {
+			return nil, fmt.Errorf("exec: %s requires an aggregate expression", a.Kind)
+		}
+	}
+	agg := &Aggregate{Child: child, GroupBy: groupBy, GroupNames: groupNames, Aggs: aggs, Having: having}
+	cols := make([]types.Column, 0, len(groupBy)+len(aggs))
+	uniq := UniqueNamer()
+	for i, g := range groupBy {
+		kind := types.KindFloat
+		if c, ok := g.(*expr.Col); ok {
+			if j := child.Schema().Lookup(c.Name); j >= 0 {
+				kind = child.Schema().Col(j).Kind
+			}
+		}
+		cols = append(cols, types.Column{Name: uniq(groupNames[i]), Kind: kind})
+	}
+	for _, a := range aggs {
+		cols = append(cols, types.Column{Name: uniq(a.Name), Kind: types.KindFloat})
+	}
+	agg.schema = types.NewSchema(cols...)
+	if having != nil {
+		if _, err := expr.Compile(having, agg.schema); err != nil {
+			return nil, fmt.Errorf("exec: HAVING may reference grouping columns and aggregate aliases %s: %w", agg.schema, err)
+		}
+	}
+	return agg, nil
+}
+
+// UniqueNamer returns a closure that disambiguates output column names:
+// the first use of a name keeps it, later collisions get an increasing
+// "_N" suffix, re-probed until genuinely unused (a user alias may occupy
+// the suffixed form too). Shared with the deterministic scalar path in
+// mcdbr so both sides name result columns identically.
+func UniqueNamer() func(string) string {
+	seen := map[string]bool{}
+	return func(name string) string {
+		base := name
+		for n := 2; seen[strings.ToLower(name)]; n++ {
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		seen[strings.ToLower(name)] = true
+		return name
+	}
+}
+
+// Schema implements Node: the aggregation output schema (group columns
+// followed by aggregate columns).
+func (a *Aggregate) Schema() *types.Schema { return a.schema }
+
+// AggColNames returns the disambiguated output column names of the
+// aggregate list (the schema columns after the grouping columns) — use
+// these, not AggSpec.Name, when labeling results.
+func (a *Aggregate) AggColNames() []string {
+	out := make([]string, len(a.Aggs))
+	for i := range a.Aggs {
+		out[i] = a.schema.Col(len(a.GroupBy) + i).Name
+	}
+	return out
+}
+
+// GroupColNames returns the disambiguated grouping output column names
+// (the leading schema columns) — the counterpart of AggColNames for the
+// group key.
+func (a *Aggregate) GroupColNames() []string {
+	out := make([]string, len(a.GroupBy))
+	for i := range a.GroupBy {
+		out[i] = a.schema.Col(i).Name
+	}
+	return out
+}
+
+// Deterministic implements Node.
+func (a *Aggregate) Deterministic() bool { return a.Child.Deterministic() }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+func (a *Aggregate) String() string {
+	parts := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		parts[i] = s.String()
+	}
+	out := "Aggregate[" + strings.Join(parts, ", ")
+	if len(a.GroupBy) > 0 {
+		keys := make([]string, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			keys[i] = g.String()
+		}
+		out += "; group by " + strings.Join(keys, ", ")
+	}
+	if a.Having != nil {
+		out += "; having " + a.Having.String()
+	}
+	return out + "]"
+}
+
+// Run implements Node: the child's tuple stream passes through unchanged.
+func (a *Aggregate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
+	return ws.Run(a.Child)
+}
+
+// aggGroup is one group's evaluation state: the key, the contributions of
+// purely deterministic member tuples (computed once), and the member
+// tuples with random lineage (re-evaluated per DB version).
+type aggGroup struct {
+	key  types.Row
+	base []AggState
+	rand []*bundle.Tuple
+}
+
+// AggEval is the single-pass grouped-aggregation evaluator over one plan
+// run's tuple stream. Build it once per run with NewEval; EvalVersion then
+// produces the vector of aggregate values for every group for one DB
+// version in a single sweep over the (partitioned) tuples. Scratch rows
+// and per-group state are allocated once, in contiguous backing arrays,
+// and reused across versions — the evaluator adds no per-version
+// allocation to the Monte Carlo hot path.
+type AggEval struct {
+	agg      *Aggregate
+	final    *expr.Compiled
+	aggExprs []*expr.Compiled
+	having   *expr.Compiled
+	groups   []aggGroup
+	buf      types.Row  // tuple evaluation scratch
+	outRow   types.Row  // having-evaluation scratch (group cols + agg cols)
+	states   []AggState // per-version scratch, reset per group
+}
+
+// groupKeySlots collects the schema slots the grouping expressions read;
+// NewEval uses them to reject tuples whose group key would read a random
+// (VG-generated) slot — grouping columns must be deterministic (paper
+// App. A).
+func groupKeySlots(agg *Aggregate, schema *types.Schema) ([]int, error) {
+	var slots []int
+	for _, g := range agg.GroupBy {
+		for _, name := range expr.Columns(g) {
+			j := schema.Lookup(name)
+			if j < 0 {
+				return nil, fmt.Errorf("exec: GROUP BY column %q not in %s", name, schema)
+			}
+			slots = append(slots, j)
+		}
+	}
+	return slots, nil
+}
+
+// NewEval builds the evaluator for one run's tuple stream. final is the
+// Gibbs-looper final predicate (paper App. A) applied to every tuple
+// before aggregation; nil means no predicate. When the query has no
+// GROUP BY the evaluator always exposes exactly one group (with an empty
+// key), even over an empty tuple stream.
+func (a *Aggregate) NewEval(tuples []*bundle.Tuple, final expr.Expr) (*AggEval, error) {
+	schema := a.Child.Schema()
+	ev := &AggEval{agg: a, aggExprs: make([]*expr.Compiled, len(a.Aggs))}
+	var err error
+	if final != nil {
+		if ev.final, err = expr.Compile(final, schema); err != nil {
+			return nil, fmt.Errorf("exec: final predicate: %w", err)
+		}
+	}
+	for i, s := range a.Aggs {
+		if s.Expr != nil {
+			if ev.aggExprs[i], err = expr.Compile(s.Expr, schema); err != nil {
+				return nil, fmt.Errorf("exec: aggregate %s: %w", s, err)
+			}
+		}
+	}
+	if a.Having != nil {
+		if ev.having, err = expr.Compile(a.Having, a.schema); err != nil {
+			return nil, err
+		}
+	}
+	groupExprs := make([]*expr.Compiled, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		if groupExprs[i], err = expr.Compile(g, schema); err != nil {
+			return nil, fmt.Errorf("exec: GROUP BY expression %s: %w", g, err)
+		}
+	}
+	keySlots, err := groupKeySlots(a, schema)
+	if err != nil {
+		return nil, err
+	}
+	ev.buf = make(types.Row, schema.Len())
+	ev.outRow = make(types.Row, len(a.GroupBy)+len(a.Aggs))
+
+	// Partition the stream: group keys are deterministic, so the
+	// tuple->group mapping is computed exactly once per plan run.
+	index := map[uint64][]int{} // key hash -> group indexes (collision list)
+	findGroup := func(key types.Row) *aggGroup {
+		h := key.Hash()
+		for _, gi := range index[h] {
+			if ev.groups[gi].key.Equal(key) {
+				return &ev.groups[gi]
+			}
+		}
+		ev.groups = append(ev.groups, aggGroup{key: key.Clone(), base: make([]AggState, len(a.Aggs))})
+		index[h] = append(index[h], len(ev.groups)-1)
+		return &ev.groups[len(ev.groups)-1]
+	}
+	if len(a.GroupBy) == 0 {
+		findGroup(types.Row{})
+	}
+	keyBuf := make(types.Row, len(groupExprs))
+	for _, tu := range tuples {
+		for _, slot := range keySlots {
+			for _, r := range tu.Rand {
+				if r.Slot == slot {
+					return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+				}
+			}
+		}
+		for i, ge := range groupExprs {
+			keyBuf[i] = ge.Eval(tu.Det)
+		}
+		g := findGroup(keyBuf)
+		if tu.IsRandom() {
+			g.rand = append(g.rand, tu)
+			continue
+		}
+		if err := ev.contribute(tu.Det, g.base); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic group order for every consumer: sort by key.
+	sort.SliceStable(ev.groups, func(i, j int) bool {
+		return LessRow(ev.groups[i].key, ev.groups[j].key)
+	})
+	ev.states = make([]AggState, len(a.Aggs))
+	return ev, nil
+}
+
+// LessRow orders group keys lexicographically by Value.Compare; the
+// canonical group order of every aggregation surface.
+func LessRow(a, b types.Row) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a) < len(b)
+}
+
+// GroupKeys partitions one plan run's tuple stream by group key and
+// returns the distinct keys in ascending order, without building the
+// full evaluator — the cheap discovery pass of per-group tail sampling.
+// It applies the same validation as NewEval (unknown columns, random
+// grouping slots). Ungrouped queries yield one empty key.
+func (a *Aggregate) GroupKeys(tuples []*bundle.Tuple) ([]types.Row, error) {
+	schema := a.Child.Schema()
+	if len(a.GroupBy) == 0 {
+		return []types.Row{{}}, nil
+	}
+	groupExprs := make([]*expr.Compiled, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		c, err := expr.Compile(g, schema)
+		if err != nil {
+			return nil, fmt.Errorf("exec: GROUP BY expression %s: %w", g, err)
+		}
+		groupExprs[i] = c
+	}
+	keySlots, err := groupKeySlots(a, schema)
+	if err != nil {
+		return nil, err
+	}
+	var keys []types.Row
+	index := map[uint64][]int{}
+	keyBuf := make(types.Row, len(groupExprs))
+	for _, tu := range tuples {
+		for _, slot := range keySlots {
+			for _, r := range tu.Rand {
+				if r.Slot == slot {
+					return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+				}
+			}
+		}
+		for i, ge := range groupExprs {
+			keyBuf[i] = ge.Eval(tu.Det)
+		}
+		h := keyBuf.Hash()
+		known := false
+		for _, ki := range index[h] {
+			if keys[ki].Equal(keyBuf) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			keys = append(keys, keyBuf.Clone())
+			index[h] = append(index[h], len(keys)-1)
+		}
+	}
+	sort.SliceStable(keys, func(i, j int) bool { return LessRow(keys[i], keys[j]) })
+	return keys, nil
+}
+
+// contribute folds one present row (past presence and final-predicate
+// checks) into a per-aggregate state vector, in select-list order.
+func (ev *AggEval) contribute(row types.Row, states []AggState) error {
+	if ev.final != nil && !ev.final.EvalBool(row) {
+		return nil
+	}
+	for i, spec := range ev.agg.Aggs {
+		s, c, err := spec.Contribution(ev.aggExprs[i], row, 1)
+		if err != nil {
+			return err
+		}
+		states[i].Add(s, c)
+	}
+	return nil
+}
+
+// NumGroups returns the number of groups discovered in the stream.
+func (ev *AggEval) NumGroups() int { return len(ev.groups) }
+
+// Key returns group g's key values (empty for ungrouped queries).
+func (ev *AggEval) Key(g int) types.Row { return ev.groups[g].key }
+
+// EvalVersion computes the aggregate vector of every group for one DB
+// version in a single pass: out[g][a] is aggregate a of group g.
+// include[g] reports the HAVING outcome per group (always true without a
+// HAVING clause); pass nil when the query has none. Both buffers must be
+// pre-sized ([NumGroups][len(Aggs)] and [NumGroups]).
+func (ev *AggEval) EvalVersion(b bundle.Binding, out [][]float64, include []bool) error {
+	for g := range ev.groups {
+		grp := &ev.groups[g]
+		copy(ev.states, grp.base)
+		for _, tu := range grp.rand {
+			row, present, err := tu.Eval(b, ev.buf)
+			if err != nil {
+				return err
+			}
+			if !present {
+				continue
+			}
+			if err := ev.contribute(row, ev.states); err != nil {
+				return err
+			}
+		}
+		for a, spec := range ev.agg.Aggs {
+			out[g][a] = ev.states[a].Value(spec.Kind)
+		}
+		if include != nil {
+			ok := true
+			if ev.having != nil {
+				nk := len(ev.agg.GroupBy)
+				copy(ev.outRow[:nk], grp.key)
+				for a := range ev.agg.Aggs {
+					ev.outRow[nk+a] = types.NewFloat(out[g][a])
+				}
+				ok = ev.having.EvalBool(ev.outRow)
+			}
+			include[g] = ok
+		}
+	}
+	return nil
+}

@@ -42,16 +42,15 @@ func TestDeltaAggregateEqualsRecompute(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want.sum += s
-			want.count += c
+			want.Add(s, c)
 		}
 		got := lp.states[v]
-		if math.Abs(got.sum-want.sum) > 1e-6*(1+math.Abs(want.sum)) || got.count != want.count {
+		if math.Abs(got.Sum-want.Sum) > 1e-6*(1+math.Abs(want.Sum)) || got.Count != want.Count {
 			t.Fatalf("version %d: incremental (%g,%d) vs recomputed (%g,%d)",
-				v, got.sum, got.count, want.sum, want.count)
+				v, got.Sum, got.Count, want.Sum, want.Count)
 		}
-		if math.Abs(res.TailSamples[v]-want.value(q.Agg)) > 1e-6 {
-			t.Fatalf("version %d: reported %g vs recomputed %g", v, res.TailSamples[v], want.value(q.Agg))
+		if math.Abs(res.TailSamples[v]-want.Value(q.Agg.Kind)) > 1e-6 {
+			t.Fatalf("version %d: reported %g vs recomputed %g", v, res.TailSamples[v], want.Value(q.Agg.Kind))
 		}
 	}
 }
@@ -152,7 +151,7 @@ func TestSeedSharedAcrossTuples(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := exec.NewCross(inst, threes, nil)
-	res, err := Run(ws, plan, Query{Agg: AggSum, AggExpr: expr.C("val")},
+	res, err := Run(ws, plan, Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("val")}},
 		Config{N: 40, M: 2, P: 0.02, L: 20})
 	if err != nil {
 		t.Fatal(err)

@@ -25,38 +25,16 @@ import (
 	"repro/internal/types"
 )
 
-// AggKind enumerates the aggregates the looper can maintain incrementally.
-type AggKind uint8
-
-const (
-	// AggSum is SUM(expr).
-	AggSum AggKind = iota
-	// AggCount is COUNT(*) over tuples passing the final predicate.
-	AggCount
-	// AggAvg is AVG(expr).
-	AggAvg
-)
-
-// String names the aggregate.
-func (k AggKind) String() string {
-	switch k {
-	case AggSum:
-		return "SUM"
-	case AggCount:
-		return "COUNT"
-	case AggAvg:
-		return "AVG"
-	default:
-		return fmt.Sprintf("AggKind(%d)", uint8(k))
-	}
-}
-
 // Query describes what the looper aggregates (Appendix A inputs 2–4).
+// Aggregate kinds and state live in internal/exec (exec.AggKind,
+// exec.AggState) since ISSUE 5 made aggregation a plan/exec operator; the
+// looper consumes one exec.AggSpec and delta-maintains its AggState per
+// DB version.
 type Query struct {
-	// Agg is the aggregate operation.
-	Agg AggKind
-	// AggExpr is the aggregated expression (ignored for COUNT).
-	AggExpr expr.Expr
+	// Agg is the single aggregate the looper maintains incrementally.
+	// Tail sampling conditions on one aggregate; multi-aggregate select
+	// lists are a plain-Monte-Carlo feature (see MonteCarloGrouped).
+	Agg exec.AggSpec
 	// FinalPred is the final selection predicate applied to each tuple
 	// before inclusion in the aggregate — the place where predicates
 	// spanning random attributes of multiple seeds must live (App. A).
@@ -65,6 +43,13 @@ type Query struct {
 	// instead of the upper tail; the looper negates query results
 	// internally.
 	LowerTail bool
+	// GroupBy, when non-empty, restricts the looper to the tuples whose
+	// grouping expressions (deterministic, paper App. A) evaluate to
+	// GroupKey — the per-group conditioned run of a GROUP BY ... DOMAIN
+	// query. The plan still executes once per run over all groups; only
+	// the aggregation is restricted.
+	GroupBy  []expr.Expr
+	GroupKey types.Row
 }
 
 // Config sets the sampling parameters of Algorithm 3.
@@ -180,51 +165,35 @@ func Run(ws *exec.Workspace, plan exec.Node, q Query, cfg Config) (*Result, erro
 	return lp.run()
 }
 
-type aggState struct {
-	sum   float64
-	count int64
-}
-
-func (a aggState) value(kind AggKind) float64 {
-	switch kind {
-	case AggSum:
-		return a.sum
-	case AggCount:
-		return float64(a.count)
-	default: // AVG
-		if a.count == 0 {
-			return math.Inf(-1) // an empty average can never beat a cutoff
-		}
-		return a.sum / float64(a.count)
-	}
-}
-
 type looper struct {
 	ws   *exec.Workspace
 	plan exec.Node
 	q    Query
 	cfg  Config
 
-	tuples    []*bundle.Tuple // full plan output
-	randIdx   []int           // indexes of tuples with random lineage
-	seedIDs   [][]uint64      // per tuple: distinct seed handles, ascending
-	base      aggState        // contribution of purely deterministic tuples
-	states    []aggState      // per-version aggregate state
-	aggExpr   *expr.Compiled
-	finalPred *expr.Compiled
-	buf       types.Row
-	sign      float64 // -1 for lower-tail queries
-	totalRepl int
-	stats     *IterStats // current step's counters
+	tuples     []*bundle.Tuple // plan output (restricted to the group, if any)
+	randIdx    []int           // indexes of tuples with random lineage
+	seedIDs    [][]uint64      // per tuple: distinct seed handles, ascending
+	base       exec.AggState   // contribution of purely deterministic tuples
+	states     []exec.AggState // per-version aggregate state
+	aggExpr    *expr.Compiled
+	finalPred  *expr.Compiled
+	groupExprs []*expr.Compiled // compiled Query.GroupBy, nil when ungrouped
+	groupSlots []int            // schema slots the grouping expressions read
+	keyBuf     types.Row
+	buf        types.Row
+	sign       float64 // -1 for lower-tail queries
+	totalRepl  int
+	stats      *IterStats // current step's counters
 }
 
 func (lp *looper) init() error {
 	schema := lp.plan.Schema()
-	if lp.q.Agg != AggCount {
-		if lp.q.AggExpr == nil {
-			return fmt.Errorf("gibbs: %s requires an aggregate expression", lp.q.Agg)
+	if lp.q.Agg.Kind != exec.AggCount {
+		if lp.q.Agg.Expr == nil {
+			return fmt.Errorf("gibbs: %s requires an aggregate expression", lp.q.Agg.Kind)
 		}
-		c, err := expr.Compile(lp.q.AggExpr, schema)
+		c, err := expr.Compile(lp.q.Agg.Expr, schema)
 		if err != nil {
 			return fmt.Errorf("gibbs: aggregate expression: %w", err)
 		}
@@ -236,6 +205,23 @@ func (lp *looper) init() error {
 			return fmt.Errorf("gibbs: final predicate: %w", err)
 		}
 		lp.finalPred = c
+	}
+	if len(lp.q.GroupBy) > 0 {
+		if len(lp.q.GroupKey) != len(lp.q.GroupBy) {
+			return fmt.Errorf("gibbs: group key has %d values for %d grouping expressions", len(lp.q.GroupKey), len(lp.q.GroupBy))
+		}
+		lp.groupExprs = make([]*expr.Compiled, len(lp.q.GroupBy))
+		for i, g := range lp.q.GroupBy {
+			c, err := expr.Compile(g, schema)
+			if err != nil {
+				return fmt.Errorf("gibbs: GROUP BY expression %s: %w", g, err)
+			}
+			lp.groupExprs[i] = c
+			for _, name := range expr.Columns(g) {
+				lp.groupSlots = append(lp.groupSlots, schema.MustLookup(name))
+			}
+		}
+		lp.keyBuf = make(types.Row, len(lp.groupExprs))
 	}
 	lp.sign = 1
 	if lp.q.LowerTail {
@@ -252,7 +238,9 @@ func (lp *looper) init() error {
 	return nil
 }
 
-// loadTuples (re-)runs the query plan and classifies its output.
+// loadTuples (re-)runs the query plan, restricts the output to the
+// looper's group (when the query is a per-group conditioned run), and
+// classifies it.
 func (lp *looper) loadTuples(replenishing bool) error {
 	if replenishing {
 		lp.ws.BeginReplenish()
@@ -261,12 +249,18 @@ func (lp *looper) loadTuples(replenishing bool) error {
 	if err != nil {
 		return err
 	}
+	if lp.groupExprs != nil {
+		out, err = lp.restrictToGroup(out)
+		if err != nil {
+			return err
+		}
+	}
 	if replenishing && len(out) != len(lp.tuples) {
 		return fmt.Errorf("gibbs: replenishing run produced %d tuples, previously %d; plan is not deterministic", len(out), len(lp.tuples))
 	}
 	lp.tuples = out
 	lp.randIdx = lp.randIdx[:0]
-	lp.base = aggState{}
+	lp.base = exec.AggState{}
 	// Precompute each random tuple's distinct seed handles once per plan
 	// run: the Gibbs pass re-keys tuples in the priority queue constantly,
 	// and calling SeedIDs (a map build plus a sort) per re-key dominated
@@ -287,10 +281,38 @@ func (lp *looper) loadTuples(replenishing bool) error {
 		if err != nil {
 			return err
 		}
-		lp.base.sum += s
-		lp.base.count += c
+		lp.base.Add(s, c)
 	}
 	return nil
+}
+
+// restrictToGroup keeps the tuples whose grouping expressions evaluate to
+// the looper's group key. Group keys are deterministic by construction;
+// a grouping expression reading a VG-generated slot is an error.
+func (lp *looper) restrictToGroup(in []*bundle.Tuple) ([]*bundle.Tuple, error) {
+	out := make([]*bundle.Tuple, 0, len(in))
+	schema := lp.plan.Schema()
+	for _, tu := range in {
+		for _, slot := range lp.groupSlots {
+			for _, r := range tu.Rand {
+				if r.Slot == slot {
+					return nil, fmt.Errorf("gibbs: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+				}
+			}
+		}
+		match := true
+		for i, ge := range lp.groupExprs {
+			lp.keyBuf[i] = ge.Eval(tu.Det)
+			if !lp.keyBuf[i].Equal(lp.q.GroupKey[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, tu)
+		}
+	}
+	return out, nil
 }
 
 // contrib evaluates one tuple's aggregate contribution under a binding.
@@ -315,18 +337,7 @@ func (lp *looper) contribRow(row types.Row) (float64, int64, error) {
 	if lp.finalPred != nil && !lp.finalPred.EvalBool(row) {
 		return 0, 0, nil
 	}
-	if lp.q.Agg == AggCount {
-		return 0, 1, nil
-	}
-	v := lp.aggExpr.Eval(row)
-	if v.IsNull() {
-		return 0, 0, nil // SQL aggregates ignore NULLs
-	}
-	f, ok := v.AsFloat()
-	if !ok {
-		return 0, 0, fmt.Errorf("gibbs: aggregate expression produced %s, need numeric", v.Kind())
-	}
-	return lp.sign * f, 1, nil
+	return lp.q.Agg.Contribution(lp.aggExpr, row, lp.sign)
 }
 
 // recomputeStates rebuilds every version's aggregate state from scratch,
@@ -335,7 +346,7 @@ func (lp *looper) recomputeStates(nVersions int) error {
 	if lp.cfg.Parallelism > 1 && nVersions > 1 {
 		return lp.recomputeStatesParallel(nVersions)
 	}
-	lp.states = make([]aggState, nVersions)
+	lp.states = make([]exec.AggState, nVersions)
 	for v := 0; v < nVersions; {
 		st := lp.base
 		b := bundle.Bind(lp.ws.Seeds, v)
@@ -353,8 +364,7 @@ func (lp *looper) recomputeStates(nVersions int) error {
 				retry = true
 				break
 			}
-			st.sum += s
-			st.count += c
+			st.Add(s, c)
 		}
 		if retry {
 			continue // re-evaluate the same version against fresh windows
@@ -377,7 +387,7 @@ func (lp *looper) recomputeStates(nVersions int) error {
 // idempotent, so convergence matches the sequential path).
 func (lp *looper) recomputeStatesParallel(nVersions int) error {
 	for {
-		states := make([]aggState, nVersions)
+		states := make([]exec.AggState, nVersions)
 		var (
 			wg       sync.WaitGroup
 			mu       sync.Mutex
@@ -417,8 +427,7 @@ func (lp *looper) recomputeStatesParallel(nVersions int) error {
 							mu.Unlock()
 							return
 						}
-						st.sum += s
-						st.count += c
+						st.Add(s, c)
 					}
 					states[v] = st
 				}
@@ -456,7 +465,7 @@ func (lp *looper) run() (*Result, error) {
 	// MaxTriesPerUpdate budget for every (seed, version) pair and the
 	// purge would select garbage elites. Surface the bad input instead.
 	for v, st := range lp.states {
-		if math.IsNaN(st.value(lp.q.Agg)) {
+		if math.IsNaN(st.Value(lp.q.Agg.Kind)) {
 			return nil, fmt.Errorf("gibbs: DB version %d has a NaN query result; a VG function or aggregate expression produced a non-finite value", v)
 		}
 	}
@@ -478,7 +487,7 @@ func (lp *looper) run() (*Result, error) {
 			e = nS
 		}
 		elite := lp.eliteVersions(e)
-		cutoff = lp.states[elite[len(elite)-1]].value(lp.q.Agg)
+		cutoff = lp.states[elite[len(elite)-1]].Value(lp.q.Agg.Kind)
 		step.Cutoff = lp.sign * cutoff
 
 		// Clone elite assignments into the next step's version count.
@@ -508,7 +517,7 @@ func (lp *looper) run() (*Result, error) {
 	res.Quantile = lp.sign * cutoff
 	res.TailSamples = make([]float64, len(lp.states))
 	for v, st := range lp.states {
-		res.TailSamples[v] = lp.sign * st.value(lp.q.Agg)
+		res.TailSamples[v] = lp.sign * st.Value(lp.q.Agg.Kind)
 	}
 	res.Replenishments = lp.totalRepl
 	return res, nil
@@ -525,8 +534,8 @@ func (lp *looper) eliteVersions(e int) []int {
 	for i := 0; i < e; i++ {
 		best := i
 		for j := i + 1; j < len(idx); j++ {
-			vj := lp.states[idx[j]].value(lp.q.Agg)
-			vb := lp.states[idx[best]].value(lp.q.Agg)
+			vj := lp.states[idx[j]].Value(lp.q.Agg.Kind)
+			vb := lp.states[idx[best]].Value(lp.q.Agg.Kind)
 			if vj > vb {
 				best = j
 			}
@@ -609,7 +618,7 @@ func (lp *looper) updateSeedVersion(seedID uint64, payloads []uint64, v int, cut
 		}
 		seed.MaxUsed = pos // consumed whether accepted or not (paper §6 item 4)
 		cand := cur.WithOverride(seedID, pos)
-		var st aggState
+		var st exec.AggState
 		if lp.cfg.DisableDeltaAggregates {
 			// Ablation mode: full recomputation per candidate (§4.3's
 			// "obviously unacceptable" strategy, minus the plan re-run).
@@ -623,10 +632,10 @@ func (lp *looper) updateSeedVersion(seedID uint64, payloads []uint64, v int, cut
 				return err
 			}
 			st = lp.states[v]
-			st.sum += newS - oldS
-			st.count += newC - oldC
+			st.Sum += newS - oldS
+			st.Count += newC - oldC
 		}
-		if st.value(lp.q.Agg) >= cutoff {
+		if st.Value(lp.q.Agg.Kind) >= cutoff {
 			seed.Assign[v] = pos
 			lp.states[v] = st
 			if lp.stats != nil {
@@ -657,15 +666,14 @@ func nextSeedAfter(ids []uint64, key uint64) (uint64, bool) {
 
 // fullState recomputes one version's aggregate over every tuple under the
 // given binding; used only by the DisableDeltaAggregates ablation.
-func (lp *looper) fullState(b bundle.Binding) (aggState, error) {
+func (lp *looper) fullState(b bundle.Binding) (exec.AggState, error) {
 	st := lp.base
 	for _, i := range lp.randIdx {
 		s, c, err := lp.contrib(lp.tuples[i], b)
 		if err != nil {
 			return st, err
 		}
-		st.sum += s
-		st.count += c
+		st.Add(s, c)
 	}
 	return st, nil
 }

@@ -45,7 +45,7 @@ func lossPlan(t testing.TB, ws *exec.Workspace, variance float64) exec.Node {
 }
 
 func sumQuery() Query {
-	return Query{Agg: AggSum, AggExpr: expr.C("losses.val")}
+	return Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("losses.val")}}
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -204,7 +204,7 @@ func TestCountAggregate(t *testing.T) {
 	cat := lossCatalog(meansVals)
 	ws := exec.NewWorkspace(cat, prng.NewStream(5), 4096)
 	plan := lossPlan(t, ws, 1)
-	q := Query{Agg: AggCount, FinalPred: expr.B(expr.OpGt, expr.C("losses.val"), expr.F(6))}
+	q := Query{Agg: exec.AggSpec{Kind: exec.AggCount}, FinalPred: expr.B(expr.OpGt, expr.C("losses.val"), expr.F(6))}
 	res, err := Run(ws, plan, q, Config{N: 100, M: 2, P: 0.01, L: 30})
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +228,7 @@ func TestAvgAggregate(t *testing.T) {
 	cat := lossCatalog(meansVals)
 	ws := exec.NewWorkspace(cat, prng.NewStream(6), 2048)
 	plan := lossPlan(t, ws, 1)
-	q := Query{Agg: AggAvg, AggExpr: expr.C("losses.val")}
+	q := Query{Agg: exec.AggSpec{Kind: exec.AggAvg, Expr: expr.C("losses.val")}}
 	res, err := Run(ws, plan, q, Config{N: 100, M: 2, P: 0.01, L: 20})
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +245,7 @@ func TestLowerTail(t *testing.T) {
 	cat := lossCatalog(meansVals)
 	ws := exec.NewWorkspace(cat, prng.NewStream(7), 2048)
 	plan := lossPlan(t, ws, 1)
-	q := Query{Agg: AggSum, AggExpr: expr.C("losses.val"), LowerTail: true}
+	q := Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("losses.val")}, LowerTail: true}
 	res, err := Run(ws, plan, q, Config{N: 100, M: 2, P: 0.01, L: 20})
 	if err != nil {
 		t.Fatal(err)
@@ -304,8 +304,7 @@ func TestFinalPredicateSpanningSeeds(t *testing.T) {
 	}
 	plan := &exec.Instantiate{Child: seed2}
 	q := Query{
-		Agg:       AggSum,
-		AggExpr:   expr.B(expr.OpSub, expr.C("b"), expr.C("a")),
+		Agg:       exec.AggSpec{Kind: exec.AggSum, Expr: expr.B(expr.OpSub, expr.C("b"), expr.C("a"))},
 		FinalPred: expr.B(expr.OpGt, expr.C("b"), expr.C("a")),
 	}
 	res, err := Run(ws, plan, q, Config{N: 50, M: 2, P: 0.04, L: 20})

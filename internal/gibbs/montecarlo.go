@@ -1,9 +1,14 @@
 package gibbs
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
+	"repro/internal/bundle"
 	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/types"
 )
 
 // MonteCarlo evaluates the query result for n independent Monte Carlo
@@ -26,7 +31,7 @@ func MonteCarlo(ws *exec.Workspace, plan exec.Node, q Query, n int) ([]float64, 
 	}
 	out := make([]float64, n)
 	for v, st := range lp.states {
-		out[v] = st.value(q.Agg)
+		out[v] = st.Value(q.Agg.Kind)
 	}
 	return out, nil
 }
@@ -51,4 +56,187 @@ func MonteCarloParallel(ws *exec.Workspace, plan exec.Node, q Query, n, workers 
 	return exec.RunSharded(ws, n, workers, func(sh exec.Shard) ([]float64, error) {
 		return MonteCarlo(sh.WS, plan, q, sh.Len())
 	})
+}
+
+// GroupedRuns is the output of single-pass grouped Monte Carlo: one
+// sample vector per (group, aggregate) pair, with groups in ascending
+// key order.
+type GroupedRuns struct {
+	// Keys holds each group's grouping-expression values; a single group
+	// with an empty key for ungrouped queries.
+	Keys []types.Row
+	// Samples[g][a][r] is aggregate a of group g in Monte Carlo
+	// repetition r.
+	Samples [][][]float64
+	// Include[g][r] reports whether group g satisfied the HAVING clause
+	// in repetition r; nil when the query has no HAVING.
+	Include [][]bool
+}
+
+// MonteCarloGrouped evaluates a grouped (and/or multi-aggregate) query
+// for n Monte Carlo repetitions in a single pass: the plan below agg runs
+// once, its tuples are partitioned by their deterministic group key once,
+// and each repetition produces the whole per-group aggregate vector in
+// one sweep — replacing the pre-ISSUE-5 outer loop that re-ran the entire
+// pipeline once per group. final is the Gibbs-looper final predicate
+// (paper App. A), applied to every tuple before aggregation.
+//
+// For a single ungrouped aggregate the per-repetition arithmetic is
+// identical, operation for operation, to MonteCarlo — deterministic
+// tuples accumulate first, then random tuples in plan order — so results
+// are bit-for-bit unchanged through this path.
+func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr, n int) (*GroupedRuns, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gibbs: need n >= 1 repetitions, got %d", n)
+	}
+	tuples, err := ws.Run(agg) // Aggregate passes its child's stream through
+	if err != nil {
+		return nil, err
+	}
+	ev, err := agg.NewEval(tuples, final)
+	if err != nil {
+		return nil, err
+	}
+	ws.Seeds.InitAssignAt(ws.Base, n)
+	nG, nA := ev.NumGroups(), len(agg.Aggs)
+	out := &GroupedRuns{Keys: make([]types.Row, nG), Samples: make([][][]float64, nG)}
+	for g := 0; g < nG; g++ {
+		out.Keys[g] = ev.Key(g)
+		out.Samples[g] = make([][]float64, nA)
+		for a := 0; a < nA; a++ {
+			out.Samples[g][a] = make([]float64, n)
+		}
+	}
+	vec := make([][]float64, nG)
+	for g := range vec {
+		vec[g] = make([]float64, nA)
+	}
+	var include []bool
+	if agg.Having != nil {
+		include = make([]bool, nG)
+		out.Include = make([][]bool, nG)
+		for g := range out.Include {
+			out.Include[g] = make([]bool, n)
+		}
+	}
+	for v := 0; v < n; {
+		if err := ev.EvalVersion(bundle.Bind(ws.Seeds, v), vec, include); err != nil {
+			// A workspace window smaller than n leaves some assigned
+			// positions unmaterialized; run a §9 replenishing pass (which
+			// covers currently-assigned positions) and retry the version,
+			// exactly like the looper's recomputeStates.
+			var nm *bundle.ErrNotMaterialized
+			if !errors.As(err, &nm) {
+				return nil, err
+			}
+			ws.BeginReplenish()
+			if tuples, err = ws.Run(agg); err != nil {
+				return nil, err
+			}
+			if ev, err = agg.NewEval(tuples, final); err != nil {
+				return nil, err
+			}
+			if ev.NumGroups() != nG {
+				return nil, fmt.Errorf("gibbs: replenishing run discovered %d groups, previously %d; plan is not deterministic", ev.NumGroups(), nG)
+			}
+			for g := 0; g < nG; g++ {
+				if !ev.Key(g).Equal(out.Keys[g]) {
+					return nil, fmt.Errorf("gibbs: replenishing run changed group %d key (%s vs %s); plan is not deterministic", g, ev.Key(g), out.Keys[g])
+				}
+			}
+			continue
+		}
+		for g := 0; g < nG; g++ {
+			for a := 0; a < nA; a++ {
+				out.Samples[g][a][v] = vec[g][a]
+			}
+			if include != nil {
+				out.Include[g][v] = include[g]
+			}
+		}
+		v++
+	}
+	return out, nil
+}
+
+// MonteCarloGroupedParallel is MonteCarloGrouped with the n repetitions
+// replicate-sharded across up to workers goroutines, exactly like
+// MonteCarloParallel: every shard re-runs the (deterministic-prefix-
+// cached) plan in a private workspace, discovers the identical group
+// partition, and evaluates only its replicate window; shard outputs are
+// merged in replicate order, so results are bit-for-bit identical for
+// every worker count.
+func MonteCarloGroupedParallel(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr, n, workers int) (*GroupedRuns, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gibbs: need n >= 1 repetitions, got %d", n)
+	}
+	if workers <= 1 || n < 2 {
+		return MonteCarloGrouped(ws, agg, final, n)
+	}
+	windows := exec.Shards(n, workers)
+	parts := make([]*GroupedRuns, len(windows))
+	errs := make([]error, len(windows))
+	var wg sync.WaitGroup
+	for i, w := range windows {
+		sh := exec.Shard{Index: i, Lo: w[0], Hi: w[1], WS: exec.ShardWorkspace(ws, w[0], w[1])}
+		wg.Add(1)
+		go func(i int, sh exec.Shard) {
+			defer wg.Done()
+			// Contain worker panics (fatal to the process regardless of
+			// recovery installed by the caller).
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("gibbs: grouped shard %d panicked: %v", sh.Index, r)
+				}
+			}()
+			parts[i], errs[i] = MonteCarloGrouped(sh.WS, agg, final, sh.Len())
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeGroupedRuns(parts)
+}
+
+// mergeGroupedRuns concatenates per-shard grouped runs in replicate
+// order. The group partition is a pure function of the deterministic
+// pipeline, so every shard must discover the same keys in the same
+// order; a mismatch means the plan is not deterministic and is an error.
+func mergeGroupedRuns(parts []*GroupedRuns) (*GroupedRuns, error) {
+	first := parts[0]
+	out := &GroupedRuns{Keys: first.Keys, Samples: make([][][]float64, len(first.Keys))}
+	if first.Include != nil {
+		out.Include = make([][]bool, len(first.Keys))
+	}
+	for _, p := range parts[1:] {
+		if len(p.Keys) != len(first.Keys) {
+			return nil, fmt.Errorf("gibbs: shard discovered %d groups, previously %d; plan is not deterministic", len(p.Keys), len(first.Keys))
+		}
+		for g := range p.Keys {
+			if !p.Keys[g].Equal(first.Keys[g]) {
+				return nil, fmt.Errorf("gibbs: shard group %d key %s differs from %s; plan is not deterministic", g, p.Keys[g], first.Keys[g])
+			}
+		}
+	}
+	for g := range first.Keys {
+		out.Samples[g] = make([][]float64, len(first.Samples[g]))
+		for a := range first.Samples[g] {
+			var merged []float64
+			for _, p := range parts {
+				merged = append(merged, p.Samples[g][a]...)
+			}
+			out.Samples[g][a] = merged
+		}
+		if out.Include != nil {
+			var merged []bool
+			for _, p := range parts {
+				merged = append(merged, p.Include[g]...)
+			}
+			out.Include[g] = merged
+		}
+	}
+	return out, nil
 }

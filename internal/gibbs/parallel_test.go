@@ -37,7 +37,7 @@ func TestMonteCarloParallelDeterminism(t *testing.T) {
 	}{
 		{"sum", func(t testing.TB, ws *exec.Workspace, v float64) exec.Node { return lossPlan(t, ws, v) }, sumQuery()},
 		{"select-sum", selectivePlan, sumQuery()},
-		{"select-count", selectivePlan, Query{Agg: AggCount}},
+		{"select-count", selectivePlan, Query{Agg: exec.AggSpec{Kind: exec.AggCount}}},
 	}
 	for _, tc := range plans {
 		t.Run(tc.name, func(t *testing.T) {

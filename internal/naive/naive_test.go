@@ -38,7 +38,9 @@ func lossSetup(t testing.TB, seed uint64, meansVals []float64, window int) (*exe
 	return ws, &exec.Instantiate{Child: sd}
 }
 
-func sumQ() gibbs.Query { return gibbs.Query{Agg: gibbs.AggSum, AggExpr: expr.C("val")} }
+func sumQ() gibbs.Query {
+	return gibbs.Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("val")}}
+}
 
 func TestMonteCarloMatchesAnalyticDistribution(t *testing.T) {
 	// Sum of 5 N(i,1): N(15, 5).

@@ -14,12 +14,23 @@ type From struct {
 	Alias string
 }
 
-// Query is the planner's input: FROM items plus WHERE conjuncts. The
-// aggregate is not part of the logical plan — it belongs to the Gibbs
-// looper, which consumes the plan's output stream.
+// Query is the planner's input: FROM items, WHERE conjuncts, and — since
+// ISSUE 5 made aggregation a first-class operator — the aggregate select
+// list with optional grouping expressions and HAVING predicate. When Aggs
+// is empty the plan is a bare tuple-stream plan (used by low-level tests
+// and benchmarks); otherwise the place-aggregate rule roots the tree in
+// an Aggregate node.
 type Query struct {
 	Froms []From
 	Where []expr.Expr
+	// GroupBy are the grouping expressions; they must be deterministic
+	// (paper App. A) — referencing a VG-generated attribute is an error.
+	GroupBy []expr.Expr
+	// Aggs is the aggregate select list.
+	Aggs []AggItem
+	// Having is a predicate over the aggregation output (grouping columns
+	// and aggregate aliases), evaluated per group per Monte Carlo run.
+	Having expr.Expr
 }
 
 // Plan is the planner's output: the rewritten logical tree, the conjuncts
@@ -59,12 +70,15 @@ func (c *conjunct) touches(alias string) bool {
 // Before join ordering the plan is a forest (one subtree per FROM item)
 // plus the conjunct pool; order-joins-greedy collapses it into root.
 type state struct {
-	cat   Catalog
-	froms []From
-	subs  []Node
-	conjs []conjunct
-	final []expr.Expr
-	root  Node
+	cat     Catalog
+	froms   []From
+	subs    []Node
+	conjs   []conjunct
+	final   []expr.Expr
+	root    Node
+	groupBy []expr.Expr
+	aggs    []AggItem
+	having  expr.Expr
 
 	aliasIdx map[string]int    // lower-cased alias -> froms index
 	cols     []map[string]bool // per FROM item: lower-cased column names
@@ -142,6 +156,12 @@ func newState(cat Catalog, q Query) (*state, error) {
 		for _, c := range expr.SplitConjuncts(w) {
 			s.conjs = append(s.conjs, conjunct{e: c})
 		}
+	}
+	s.groupBy = append([]expr.Expr(nil), q.GroupBy...)
+	s.aggs = append([]AggItem(nil), q.Aggs...)
+	s.having = q.Having
+	if q.Having != nil && len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("plan: HAVING requires an aggregate select list")
 	}
 	return s, nil
 }

@@ -79,6 +79,28 @@ func fingerprintInto(b *strings.Builder, n Node) {
 		fmt.Fprintf(b, "rename(%s;", strings.ToLower(n.Alias))
 		fingerprintInto(b, n.Child)
 		b.WriteByte(')')
+	case *Aggregate:
+		b.WriteString("agg(")
+		for i, a := range n.Aggs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s", a)
+		}
+		b.WriteByte(';')
+		for i, g := range n.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s", g)
+		}
+		b.WriteByte(';')
+		if n.Having != nil {
+			fmt.Fprintf(b, "%s", n.Having)
+		}
+		b.WriteByte(';')
+		fingerprintInto(b, n.Child)
+		b.WriteByte(')')
 	default:
 		fmt.Fprintf(b, "%T", n)
 	}

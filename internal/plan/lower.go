@@ -2,8 +2,10 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/vg"
 )
@@ -103,6 +105,24 @@ func lowerNode(root Node, cat *storage.Catalog, vgs *vg.Registry, inDet bool) (e
 			return nil, err
 		}
 		node = exec.NewRename(child, n.Alias)
+	case *Aggregate:
+		// Aggregate is transparent to prefix materialization: aggregate
+		// values vary per DB version, so the node itself is never wrapped;
+		// its (maximal deterministic) child subtree is the wrap point.
+		var child exec.Node
+		child, err = lowerNode(n.Child, cat, vgs, inDet)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]exec.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			specs[i] = exec.AggSpec{Kind: a.Kind, Expr: a.Expr, Name: a.Name()}
+		}
+		names := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			names[i] = groupColName(g)
+		}
+		return exec.NewAggregate(child, n.GroupBy, names, specs, n.Having)
 	default:
 		return nil, fmt.Errorf("plan: cannot lower %T", root)
 	}
@@ -115,4 +135,18 @@ func lowerNode(root Node, cat *storage.Catalog, vgs *vg.Registry, inDet bool) (e
 		}
 	}
 	return node, nil
+}
+
+// groupColName derives the output column name of a grouping expression:
+// the unqualified column name for a bare reference, the rendered
+// expression otherwise.
+func groupColName(g expr.Expr) string {
+	if c, ok := g.(*expr.Col); ok {
+		name := c.Name
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		return name
+	}
+	return g.String()
 }

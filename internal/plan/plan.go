@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/expr"
 )
 
@@ -108,6 +109,55 @@ type Rename struct {
 	Alias string
 }
 
+// Aggregate is the aggregation root of a query: grouping expressions
+// (deterministic, paper App. A), the multi-item aggregate list, and the
+// optional HAVING predicate over the aggregation output. It is placed
+// above the whole join/filter tree by the place-aggregate rule, so
+// filters always sit below it, and it lowers to exec.Aggregate.
+type Aggregate struct {
+	Props
+	Child   Node
+	GroupBy []expr.Expr
+	Aggs    []AggItem
+	Having  expr.Expr
+}
+
+// AggItem is one item of the aggregate select list.
+type AggItem struct {
+	// Kind is the aggregate operation (exec.AggSum/AggCount/AggAvg).
+	Kind exec.AggKind
+	// Expr is the aggregated expression; nil for COUNT(*).
+	Expr expr.Expr
+	// Alias names the output column ("" derives a name from the
+	// rendered aggregate).
+	Alias string
+}
+
+// String renders the item as it appears in EXPLAIN.
+func (a AggItem) String() string {
+	body := "*"
+	if a.Expr != nil {
+		body = a.Expr.String()
+	}
+	out := fmt.Sprintf("%s(%s)", a.Kind, body)
+	if a.Alias != "" {
+		out += " AS " + a.Alias
+	}
+	return out
+}
+
+// Name returns the output column name of the item.
+func (a AggItem) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	body := "*"
+	if a.Expr != nil {
+		body = a.Expr.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, body)
+}
+
 // P implements Node for every operator via the embedded Props.
 
 func (n *Rel) P() *Props         { return &n.Props }
@@ -119,6 +169,7 @@ func (n *Join) P() *Props        { return &n.Props }
 func (n *Cross) P() *Props       { return &n.Props }
 func (n *Split) P() *Props       { return &n.Props }
 func (n *Rename) P() *Props      { return &n.Props }
+func (n *Aggregate) P() *Props   { return &n.Props }
 
 // Children implements Node.
 
@@ -131,6 +182,7 @@ func (n *Join) Children() []Node        { return []Node{n.Left, n.Right} }
 func (n *Cross) Children() []Node       { return []Node{n.Left, n.Right} }
 func (n *Split) Children() []Node       { return []Node{n.Child} }
 func (n *Rename) Children() []Node      { return []Node{n.Child} }
+func (n *Aggregate) Children() []Node   { return []Node{n.Child} }
 
 // Label implements Node.
 
@@ -149,6 +201,24 @@ func (n *Join) Label() string {
 func (n *Cross) Label() string  { return "Cross" }
 func (n *Split) Label() string  { return fmt.Sprintf("Split(%s)", n.Col) }
 func (n *Rename) Label() string { return fmt.Sprintf("Rename(%s)", n.Alias) }
+func (n *Aggregate) Label() string {
+	parts := make([]string, len(n.Aggs))
+	for i, a := range n.Aggs {
+		parts[i] = a.String()
+	}
+	out := "Aggregate[" + strings.Join(parts, ", ")
+	if len(n.GroupBy) > 0 {
+		keys := make([]string, len(n.GroupBy))
+		for i, g := range n.GroupBy {
+			keys[i] = g.String()
+		}
+		out += "; group by " + strings.Join(keys, ", ")
+	}
+	if n.Having != nil {
+		out += "; having " + n.Having.String()
+	}
+	return out + "]"
+}
 
 // Format renders the logical tree as an indented listing with the Props
 // annotations, one node per line — the "logical plan" block of EXPLAIN.

@@ -43,6 +43,9 @@ var Rules = []Rule{
 	{"lift-residual-filters",
 		"apply remaining conjuncts as one Filter above the join tree",
 		ruleLiftResiduals},
+	{"place-aggregate",
+		"root the plan in an Aggregate operator (grouping exprs + aggregate list + HAVING); grouping must be deterministic",
+		rulePlaceAggregate},
 	{"mark-deterministic",
 		"annotate randomness-free subtrees (materialization-cache candidates) and row estimates",
 		ruleMarkDeterministic},
@@ -60,16 +63,18 @@ func ruleByName(name string) *Rule {
 }
 
 // ruleResolveColumns qualifies unqualified column references in WHERE
-// conjuncts. A reference found in exactly one alias's columns resolves to
-// that alias; one found in several is an error naming the candidates; one
-// found nowhere is an error naming the aliases probed. It also (re)fills
-// every conjunct's alias classification, which later rules rely on.
+// conjuncts, grouping expressions, and aggregate expressions. A reference
+// found in exactly one alias's columns resolves to that alias; one found
+// in several is an error naming the candidates; one found nowhere is an
+// error naming the aliases probed. It also (re)fills every conjunct's
+// alias classification, which later rules rely on. HAVING is not resolved
+// here: it references the aggregation output (grouping columns and
+// aggregate aliases), not FROM columns.
 func ruleResolveColumns(s *state) (bool, error) {
 	changed := false
-	for j := range s.conjs {
-		c := &s.conjs[j]
+	resolve := func(e expr.Expr) (expr.Expr, error) {
 		var resolveErr error
-		c.e = expr.RenameColumns(c.e, func(name string) string {
+		out := expr.RenameColumns(e, func(name string) string {
 			if resolveErr != nil {
 				return name
 			}
@@ -94,12 +99,34 @@ func ruleResolveColumns(s *state) (bool, error) {
 			}
 			return name
 		})
-		if resolveErr != nil {
-			return false, resolveErr
+		return out, resolveErr
+	}
+	for j := range s.conjs {
+		c := &s.conjs[j]
+		var err error
+		if c.e, err = resolve(c.e); err != nil {
+			return false, err
 		}
 		if err := s.classify(c); err != nil {
 			return false, err
 		}
+	}
+	for i, g := range s.groupBy {
+		resolved, err := resolve(g)
+		if err != nil {
+			return false, fmt.Errorf("%w (in GROUP BY)", err)
+		}
+		s.groupBy[i] = resolved
+	}
+	for i := range s.aggs {
+		if s.aggs[i].Expr == nil {
+			continue
+		}
+		resolved, err := resolve(s.aggs[i].Expr)
+		if err != nil {
+			return false, fmt.Errorf("%w (in aggregate %s)", err, s.aggs[i])
+		}
+		s.aggs[i].Expr = resolved
 	}
 	return changed, nil
 }
@@ -201,6 +228,11 @@ func (s *state) estimate(n Node) float64 {
 		return joinEstimate(s.estimate(n.Left), s.estimate(n.Right))
 	case *Cross:
 		return s.estimate(n.Left) * s.estimate(n.Right)
+	case *Aggregate:
+		if len(n.GroupBy) == 0 {
+			return 1
+		}
+		return math.Max(s.estimate(n.Child)*groupSelectivity, 1)
 	}
 	return 1
 }
@@ -415,6 +447,35 @@ func ruleLiftResiduals(s *state) (bool, error) {
 		return false, nil
 	}
 	s.root = &Filter{Child: s.root, Pred: expr.And(rest...)}
+	return true, nil
+}
+
+// groupSelectivity is the textbook distinct-count proxy: a grouped
+// aggregation is estimated to emit one row per ~10 input rows.
+const groupSelectivity = 0.1
+
+// rulePlaceAggregate roots the plan in an Aggregate operator when the
+// query has an aggregate select list. It runs after every filter and join
+// rewrite, so pushed-down filters sit below the aggregation by
+// construction and deterministic prefixes keep materializing into the
+// prefix cache unchanged. Grouping expressions must be deterministic
+// (paper App. A): referencing a VG-generated attribute is an error here,
+// at plan time.
+func rulePlaceAggregate(s *state) (bool, error) {
+	if len(s.aggs) == 0 {
+		if len(s.groupBy) > 0 {
+			return false, fmt.Errorf("plan: GROUP BY requires an aggregate select list")
+		}
+		return false, nil
+	}
+	for _, g := range s.groupBy {
+		for _, col := range expr.Columns(g) {
+			if s.isRandomColumn(col) {
+				return false, fmt.Errorf("plan: GROUP BY expression %s references VG-generated attribute %q; grouping columns must be deterministic (paper App. A)", g, col)
+			}
+		}
+	}
+	s.root = &Aggregate{Child: s.root, GroupBy: s.groupBy, Aggs: s.aggs, Having: s.having}
 	return true, nil
 }
 

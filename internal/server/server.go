@@ -117,16 +117,44 @@ type QueryRequest struct {
 }
 
 // DistSummary describes a result distribution without shipping every
-// sample.
+// sample. CVaR95/CVaR99 are the expected shortfalls beyond the 0.95- and
+// 0.99-quantiles (Distribution.CVaR): the conditional mean of the result
+// given that it lies in the tail.
 type DistSummary struct {
-	N    int     `json:"n"`
-	Mean float64 `json:"mean"`
-	Std  float64 `json:"std"`
-	Min  float64 `json:"min"`
-	Max  float64 `json:"max"`
-	Q50  float64 `json:"q50"`
-	Q90  float64 `json:"q90"`
-	Q99  float64 `json:"q99"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Q50    float64 `json:"q50"`
+	Q90    float64 `json:"q90"`
+	Q99    float64 `json:"q99"`
+	CVaR95 float64 `json:"cvar95"`
+	CVaR99 float64 `json:"cvar99"`
+}
+
+// GroupSummary is one group of a grouped (or multi-aggregate) result:
+// the group key, the HAVING inclusion fraction, and one DistSummary per
+// aggregate in select-list order.
+type GroupSummary struct {
+	Key       []string       `json:"key"`
+	Inclusion float64        `json:"inclusion"`
+	Dists     []*DistSummary `json:"dists"`
+}
+
+// GroupedSummary is the ordered multi-column view of a GROUP BY and/or
+// multi-aggregate query result.
+type GroupedSummary struct {
+	GroupCols []string       `json:"group_cols"`
+	AggCols   []string       `json:"agg_cols"`
+	Groups    []GroupSummary `json:"groups"`
+}
+
+// TableSummary ships a small deterministic relation (grouped/multi
+// scalar aggregates).
+type TableSummary struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // TailSummary extends DistSummary with the MCDB-R tail estimates.
@@ -139,12 +167,17 @@ type TailSummary struct {
 	Replenishments    int     `json:"replenishments"`
 }
 
-// QueryResponse is the body of a successful POST /query.
+// QueryResponse is the body of a successful POST /query. Grouped carries
+// the ordered multi-column result of GROUP BY and multi-aggregate
+// queries; GroupDists/GroupTails remain the legacy single-aggregate map
+// views.
 type QueryResponse struct {
 	Kind       string                  `json:"kind"`
 	Scalar     *float64                `json:"scalar,omitempty"`
+	Table      *TableSummary           `json:"table,omitempty"`
 	Dist       *DistSummary            `json:"dist,omitempty"`
 	Tail       *TailSummary            `json:"tail,omitempty"`
+	Grouped    *GroupedSummary         `json:"grouped,omitempty"`
 	GroupDists map[string]*DistSummary `json:"group_dists,omitempty"`
 	GroupTails map[string]*TailSummary `json:"group_tails,omitempty"`
 	Explain    string                  `json:"explain,omitempty"`
@@ -227,12 +260,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// execute routes a request: preparable SELECTs go through Prepare
-// (hitting the plan cache for repeated statements); everything else —
-// CREATE TABLE, EXPLAIN, GROUP BY — runs through Exec. The statement kind
-// is sniffed with one parse up front so non-preparable statements neither
-// inflate the plan-cache miss counter nor get parsed twice on the routing
-// decision.
+// execute routes a request: SELECT statements — GROUP BY and
+// multi-aggregate included, since ISSUE 5 made aggregation part of the
+// single compiled plan — go through Prepare (hitting the plan cache for
+// repeated statements); everything else (CREATE TABLE, EXPLAIN) runs
+// through Exec. The statement kind is sniffed with one parse up front so
+// non-preparable statements neither inflate the plan-cache miss counter
+// nor get parsed twice on the routing decision.
 func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 	tail := s.opts.Tail
 	if req.TotalSamples > 0 {
@@ -245,7 +279,7 @@ func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if sel, ok := stmt.(*sqlish.SelectStmt); ok && sel.GroupBy == "" {
+	if _, ok := stmt.(*sqlish.SelectStmt); ok {
 		pq, err := s.engine.Prepare(req.SQL)
 		if err != nil {
 			return nil, false, err
@@ -264,7 +298,7 @@ func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 	// Exec has no per-run seed/samples channel; reject the overrides
 	// loudly rather than silently computing with engine defaults.
 	if req.Seed != 0 || req.Samples != 0 {
-		return nil, false, fmt.Errorf("server: per-request seed/samples need a preparable statement (a SELECT without GROUP BY); this statement executes with engine defaults — drop the overrides to run it")
+		return nil, false, fmt.Errorf("server: per-request seed/samples need a preparable SELECT statement; this statement executes with engine defaults — drop the overrides to run it")
 	}
 	res, err := s.engine.ExecWithOptions(req.SQL, tail)
 	if err != nil {
@@ -276,15 +310,33 @@ func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 func summarize(d *mcdbr.Distribution) *DistSummary {
 	ecdf := d.ECDF()
 	return &DistSummary{
-		N:    len(d.Samples),
-		Mean: d.Mean(),
-		Std:  d.Std(),
-		Min:  ecdf.Min(),
-		Max:  ecdf.Max(),
-		Q50:  ecdf.Quantile(0.50),
-		Q90:  ecdf.Quantile(0.90),
-		Q99:  ecdf.Quantile(0.99),
+		N:      len(d.Samples),
+		Mean:   d.Mean(),
+		Std:    d.Std(),
+		Min:    ecdf.Min(),
+		Max:    ecdf.Max(),
+		Q50:    ecdf.Quantile(0.50),
+		Q90:    ecdf.Quantile(0.90),
+		Q99:    ecdf.Quantile(0.99),
+		CVaR95: d.CVaR(0.95),
+		CVaR99: d.CVaR(0.99),
 	}
+}
+
+func summarizeGrouped(gd *mcdbr.GroupedDistribution) *GroupedSummary {
+	out := &GroupedSummary{GroupCols: gd.GroupCols, AggCols: gd.AggCols}
+	for i := range gd.Groups {
+		g := &gd.Groups[i]
+		gs := GroupSummary{Inclusion: g.Inclusion}
+		for _, v := range g.Key {
+			gs.Key = append(gs.Key, v.String())
+		}
+		for _, d := range g.Dists {
+			gs.Dists = append(gs.Dists, summarize(d))
+		}
+		out.Groups = append(out.Groups, gs)
+	}
+	return out
 }
 
 func summarizeTail(t *mcdbr.TailResult) *TailSummary {
@@ -304,14 +356,30 @@ func buildResponse(res *mcdbr.ExecResult) *QueryResponse {
 	case mcdbr.ExecScalar:
 		v := res.Scalar
 		resp.Scalar = &v
+	case mcdbr.ExecTable:
+		t := &TableSummary{}
+		for _, c := range res.Table.Schema().Columns() {
+			t.Columns = append(t.Columns, c.Name)
+		}
+		for _, r := range res.Table.Rows() {
+			row := make([]string, len(r))
+			for i, v := range r {
+				row[i] = v.String()
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		resp.Table = t
 	case mcdbr.ExecDistribution:
 		resp.Dist = summarize(res.Dist)
 	case mcdbr.ExecTail:
 		resp.Tail = summarizeTail(res.Tail)
 	case mcdbr.ExecGroupedDistribution:
-		resp.GroupDists = make(map[string]*DistSummary, len(res.GroupDists))
-		for g, d := range res.GroupDists {
-			resp.GroupDists[g] = summarize(d)
+		resp.Grouped = summarizeGrouped(res.Grouped)
+		if res.GroupDists != nil {
+			resp.GroupDists = make(map[string]*DistSummary, len(res.GroupDists))
+			for g, d := range res.GroupDists {
+				resp.GroupDists[g] = summarize(d)
+			}
 		}
 	case mcdbr.ExecGroupedTail:
 		resp.GroupTails = make(map[string]*TailSummary, len(res.GroupTails))

@@ -272,3 +272,86 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("Serve did not shut down")
 	}
 }
+
+// TestServerGroupedAndMultiAggregate: GROUP BY and multi-aggregate
+// SELECTs run through the prepared path (plan_cached on repeat) and ship
+// the ordered grouped JSON view plus the legacy map and CVaR fields.
+func TestServerGroupedAndMultiAggregate(t *testing.T) {
+	e := testEngine(t)
+	s := New(e, Options{MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const sql = `SELECT SUM(val) AS x, AVG(val) AS a FROM Losses GROUP BY cid
+WITH RESULTDISTRIBUTION MONTECARLO(30)`
+	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grouped query = %d: %s", resp.StatusCode, body)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != "grouped_distribution" || out.Grouped == nil {
+		t.Fatalf("response = %s", body)
+	}
+	if len(out.Grouped.Groups) != 30 || len(out.Grouped.AggCols) != 2 {
+		t.Fatalf("grouped = %+v", out.Grouped)
+	}
+	if out.Grouped.AggCols[0] != "x" || out.Grouped.AggCols[1] != "a" {
+		t.Fatalf("agg cols = %v", out.Grouped.AggCols)
+	}
+	for _, g := range out.Grouped.Groups {
+		if len(g.Key) != 1 || len(g.Dists) != 2 || g.Inclusion != 1 {
+			t.Fatalf("group = %+v", g)
+		}
+		if g.Dists[0].N != 30 {
+			t.Fatalf("group %v n = %d", g.Key, g.Dists[0].N)
+		}
+		// CVaR95 is a conditional tail mean: at least the 0.9-quantile.
+		if g.Dists[0].CVaR95 < g.Dists[0].Q90 {
+			t.Fatalf("group %v cvar95 %g < q90 %g", g.Key, g.Dists[0].CVaR95, g.Dists[0].Q90)
+		}
+	}
+	// Second run of the same statement hits the plan cache.
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat = %d: %s", resp.StatusCode, body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.PlanCached {
+		t.Fatalf("grouped statement did not hit the plan cache: %s", body)
+	}
+	// Per-request seed/samples now work for GROUP BY too.
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: sql, Seed: 7, Samples: 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override = %d: %s", resp.StatusCode, body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Grouped == nil || out.Grouped.Groups[0].Dists[0].N != 12 {
+		t.Fatalf("override response = %s", body)
+	}
+
+	// Deterministic grouped aggregate over FTABLE-ish data: ExecTable JSON.
+	if _, err := e.Exec(`SELECT SUM(val) AS totalLoss FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(20) FREQUENCYTABLE totalLoss`); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/query", QueryRequest{SQL: `SELECT COUNT(*) AS n, MIN(totalLoss) AS lo FROM FTABLE`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table query = %d: %s", resp.StatusCode, body)
+	}
+	out = QueryResponse{}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != "table" || out.Table == nil || len(out.Table.Rows) != 1 || len(out.Table.Columns) != 2 {
+		t.Fatalf("table response = %s", body)
+	}
+}

@@ -47,19 +47,43 @@ type Domain struct {
 	Quantile float64
 }
 
-// SelectStmt is an aggregation query, optionally with the MCDB-R
-// result-distribution clauses. When With is false the statement is an
-// ordinary deterministic aggregate (used for follow-up queries over
-// FTABLE).
+// SelectItem is one item of an aggregation select list:
+// SUM(a.x) AS loss, AVG(b.y), COUNT(*), ...
+type SelectItem struct {
+	Agg   string    // SUM, COUNT, AVG, MIN, MAX (upper-cased)
+	Expr  expr.Expr // nil for COUNT(*)
+	Alias string
+}
+
+// String renders the item in SQL-ish syntax.
+func (it SelectItem) String() string {
+	body := "*"
+	if it.Expr != nil {
+		body = it.Expr.String()
+	}
+	out := fmt.Sprintf("%s(%s)", it.Agg, body)
+	if it.Alias != "" {
+		out += " AS " + it.Alias
+	}
+	return out
+}
+
+// SelectStmt is an aggregation query — a multi-item aggregate select
+// list, optional GROUP BY over deterministic expressions and HAVING over
+// the aggregation output, and optionally the MCDB-R result-distribution
+// clauses. When With is false the statement is an ordinary deterministic
+// aggregate (used for follow-up queries over FTABLE).
 type SelectStmt struct {
-	Agg      string // SUM, COUNT, AVG, MIN, MAX
-	AggExpr  expr.Expr
-	AggAlias string
-	Froms    []FromItem
-	Where    expr.Expr
-	// GroupBy, when non-empty, names the (deterministic) grouping column;
-	// the engine executes one conditioned query per group (paper App. A).
-	GroupBy string
+	// Items is the aggregate select list; at least one item.
+	Items []SelectItem
+	Froms []FromItem
+	Where expr.Expr
+	// GroupBy, when non-empty, holds the (deterministic) grouping
+	// expressions: the query produces one result per distinct key, in a
+	// single pass (paper App. A).
+	GroupBy []expr.Expr
+	// Having is a predicate over grouping columns and aggregate aliases.
+	Having expr.Expr
 
 	With      bool
 	MCReps    int
@@ -308,42 +332,59 @@ func hasStar(items []string) bool {
 	return false
 }
 
-func (p *parser) parseSelect() (*SelectStmt, error) {
-	p.next() // SELECT
-	out := &SelectStmt{}
+// parseSelectItem parses one aggregate of the select list.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var out SelectItem
 	agg, err := p.ident()
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	out.Agg = strings.ToUpper(agg)
 	switch out.Agg {
 	case "SUM", "COUNT", "AVG", "MIN", "MAX":
 	default:
-		return nil, fmt.Errorf("sqlish: unsupported aggregate %q", agg)
+		return out, fmt.Errorf("sqlish: unsupported aggregate %q", agg)
 	}
 	if err := p.expect("("); err != nil {
-		return nil, err
+		return out, err
 	}
 	if p.accept("*") {
 		if out.Agg != "COUNT" {
-			return nil, fmt.Errorf("sqlish: %s(*) is not valid", out.Agg)
+			return out, fmt.Errorf("sqlish: %s(*) is not valid", out.Agg)
 		}
 	} else {
-		if out.AggExpr, err = p.parseExpr(); err != nil {
-			return nil, err
+		if out.Expr, err = p.parseExpr(); err != nil {
+			return out, err
 		}
 	}
 	if err := p.expect(")"); err != nil {
-		return nil, err
+		return out, err
 	}
 	if p.acceptKeyword("AS") {
-		if out.AggAlias, err = p.ident(); err != nil {
+		if out.Alias, err = p.ident(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.next() // SELECT
+	out := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
 			return nil, err
+		}
+		out.Items = append(out.Items, item)
+		if !p.accept(",") {
+			break
 		}
 	}
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
+	var err error
 	for {
 		tbl, err := p.ident()
 		if err != nil {
@@ -372,11 +413,23 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		if out.GroupBy, err = p.qualifiedName(); err != nil {
-			return nil, err
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			out.GroupBy = append(out.GroupBy, g)
+			if !p.accept(",") {
+				break
+			}
 		}
-		if strings.HasSuffix(out.GroupBy, ".*") {
-			return nil, fmt.Errorf("sqlish: GROUP BY %s is not valid", out.GroupBy)
+	}
+	if p.acceptKeyword("HAVING") {
+		if len(out.GroupBy) == 0 {
+			return nil, fmt.Errorf("sqlish: HAVING requires a GROUP BY clause")
+		}
+		if out.Having, err = p.parseExpr(); err != nil {
+			return nil, err
 		}
 	}
 	if p.acceptKeyword("WITH") {
@@ -447,7 +500,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 
 func isClauseKeyword(s string) bool {
 	switch strings.ToUpper(s) {
-	case "WHERE", "WITH", "FROM", "AS", "DOMAIN", "FREQUENCYTABLE", "GROUP", "ORDER":
+	case "WHERE", "WITH", "FROM", "AS", "DOMAIN", "FREQUENCYTABLE", "GROUP", "HAVING", "ORDER":
 		return true
 	}
 	return false

@@ -53,8 +53,8 @@ func TestParsePaperQuery(t *testing.T) {
 	if !ok {
 		t.Fatalf("statement type %T", s)
 	}
-	if q.Agg != "SUM" || q.AggAlias != "totalLoss" {
-		t.Fatalf("agg = %q AS %q", q.Agg, q.AggAlias)
+	if len(q.Items) != 1 || q.Items[0].Agg != "SUM" || q.Items[0].Alias != "totalLoss" {
+		t.Fatalf("items = %+v", q.Items)
 	}
 	if len(q.Froms) != 1 || q.Froms[0].Table != "Losses" {
 		t.Fatalf("froms = %+v", q.Froms)
@@ -113,7 +113,7 @@ func TestParseDeterministicAggregate(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := s.(*SelectStmt)
-	if q.Agg != "MIN" || q.With {
+	if len(q.Items) != 1 || q.Items[0].Agg != "MIN" || q.With {
 		t.Fatalf("q = %+v", q)
 	}
 	s, err = Parse(`SELECT SUM(totalLoss * FRAC) FROM FTABLE;`)
@@ -121,7 +121,7 @@ func TestParseDeterministicAggregate(t *testing.T) {
 		t.Fatal(err)
 	}
 	q = s.(*SelectStmt)
-	if q.Agg != "SUM" || q.AggExpr == nil {
+	if len(q.Items) != 1 || q.Items[0].Agg != "SUM" || q.Items[0].Expr == nil {
 		t.Fatalf("q = %+v", q)
 	}
 }
@@ -132,7 +132,7 @@ func TestParseCountStar(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := s.(*SelectStmt)
-	if q.Agg != "COUNT" || q.AggExpr != nil {
+	if len(q.Items) != 1 || q.Items[0].Agg != "COUNT" || q.Items[0].Expr != nil {
 		t.Fatalf("q = %+v", q)
 	}
 	if _, err := Parse(`SELECT SUM(*) FROM t`); err == nil {
@@ -146,7 +146,7 @@ func TestParseExprPrecedence(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := s.(*SelectStmt)
-	if got := q.AggExpr.String(); got != "((a + (b * c)) - -d)" {
+	if got := q.Items[0].Expr.String(); got != "((a + (b * c)) - -d)" {
 		t.Fatalf("agg expr = %s", got)
 	}
 	if got := q.Where.String(); got != "((NOT (a > 1) AND (b < 2)) OR (c = 3))" {
@@ -210,8 +210,8 @@ func TestParseGroupBy(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := s.(*SelectStmt)
-	if q.GroupBy != "t.region" {
-		t.Fatalf("GroupBy = %q", q.GroupBy)
+	if len(q.GroupBy) != 1 || q.GroupBy[0].String() != "t.region" {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
 	}
 	if q.Domain == nil {
 		t.Fatal("domain lost after GROUP BY")
@@ -221,6 +221,62 @@ func TestParseGroupBy(t *testing.T) {
 	}
 	if _, err := Parse(`SELECT SUM(v) FROM t GROUP ORDER`); err == nil {
 		t.Fatal("GROUP without BY must error")
+	}
+	// Multiple grouping expressions, including computed ones.
+	s, err = Parse(`SELECT SUM(v) FROM t GROUP BY t.region, t.cid / 10 WITH RESULTDISTRIBUTION MONTECARLO(5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q = s.(*SelectStmt)
+	if len(q.GroupBy) != 2 || q.GroupBy[1].String() != "(t.cid / 10)" {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseMultiAggregateSelectList(t *testing.T) {
+	s, err := Parse(`SELECT SUM(a.x) AS loss, AVG(b.y), COUNT(*) FROM a, b WHERE a.k = b.k WITH RESULTDISTRIBUTION MONTECARLO(10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %+v", q.Items)
+	}
+	if q.Items[0].Agg != "SUM" || q.Items[0].Alias != "loss" {
+		t.Fatalf("item 0 = %+v", q.Items[0])
+	}
+	if q.Items[1].Agg != "AVG" || q.Items[1].Alias != "" || q.Items[1].Expr.String() != "b.y" {
+		t.Fatalf("item 1 = %+v", q.Items[1])
+	}
+	if q.Items[2].Agg != "COUNT" || q.Items[2].Expr != nil {
+		t.Fatalf("item 2 = %+v", q.Items[2])
+	}
+	if len(q.Froms) != 2 {
+		t.Fatalf("froms = %+v", q.Froms)
+	}
+	// A dangling comma must error.
+	if _, err := Parse(`SELECT SUM(x), FROM t`); err == nil {
+		t.Fatal("dangling select-list comma must error")
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	s, err := Parse(`SELECT SUM(v) AS x FROM t GROUP BY t.g HAVING x > 100 WITH RESULTDISTRIBUTION MONTECARLO(10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.(*SelectStmt)
+	if q.Having == nil || q.Having.String() != "(x > 100)" {
+		t.Fatalf("Having = %v", q.Having)
+	}
+	// HAVING without GROUP BY is rejected with a descriptive error.
+	_, err = Parse(`SELECT SUM(v) AS x FROM t HAVING x > 100`)
+	if err == nil || !strings.Contains(err.Error(), "HAVING requires a GROUP BY") {
+		t.Fatalf("HAVING without GROUP BY: err = %v", err)
+	}
+	// Dangling HAVING.
+	if _, err := Parse(`SELECT SUM(v) FROM t GROUP BY g HAVING`); err == nil {
+		t.Fatal("dangling HAVING must error")
 	}
 }
 
@@ -233,7 +289,7 @@ func TestParseExplain(t *testing.T) {
 	if !ok {
 		t.Fatalf("statement = %T, want *ExplainStmt", s)
 	}
-	if ex.Stmt.Agg != "SUM" || !ex.Stmt.With || ex.Stmt.MCReps != 10 {
+	if ex.Stmt.Items[0].Agg != "SUM" || !ex.Stmt.With || ex.Stmt.MCReps != 10 {
 		t.Fatalf("inner select = %+v", ex.Stmt)
 	}
 	// EXPLAIN of a deterministic aggregate parses too.

@@ -159,14 +159,25 @@ func Summarize(sample []float64) Summary {
 // the sample is a set of tail samples — estimates E[X | X >= quantile],
 // the paper's SELECT SUM(totalLoss * FRAC) FROM FTABLE query.
 func ExpectedShortfall(tailSample []float64) float64 {
-	if len(tailSample) == 0 {
+	return ConditionalMean(tailSample, math.Inf(-1), false)
+}
+
+// ConditionalMean returns the mean of the sample points at or beyond the
+// threshold: E[X | X >= t] for the upper tail, E[X | X <= t] with lower
+// set — the expected-shortfall (CVaR) estimator when t is a quantile of
+// the sample. NaN when no point qualifies.
+func ConditionalMean(sample []float64, threshold float64, lower bool) float64 {
+	sum, n := 0.0, 0
+	for _, x := range sample {
+		if (!lower && x >= threshold) || (lower && x <= threshold) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
 		return math.NaN()
 	}
-	sum := 0.0
-	for _, x := range tailSample {
-		sum += x
-	}
-	return sum / float64(len(tailSample))
+	return sum / float64(n)
 }
 
 // FrequencyTable is the FTABLE(value, FRAC) relation from the paper:

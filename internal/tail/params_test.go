@@ -234,7 +234,7 @@ func TestSampleEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := &exec.Instantiate{Child: seed}
-	res, err := Sample(ws, plan, gibbs.Query{Agg: gibbs.AggSum, AggExpr: expr.C("val")},
+	res, err := Sample(ws, plan, gibbs.Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("val")}},
 		0.01, 50, Options{TotalSamples: 400})
 	if err != nil {
 		t.Fatal(err)
@@ -258,7 +258,7 @@ func TestSampleWindowValidation(t *testing.T) {
 	scan, _ := exec.NewScan(cat, "t", "t")
 	seed, _ := exec.NewSeed(scan, normal, []expr.Expr{expr.C("m"), expr.F(1)}, []string{"v"})
 	plan := &exec.Instantiate{Child: seed}
-	_, err := Sample(ws, plan, gibbs.Query{Agg: gibbs.AggSum, AggExpr: expr.C("v")},
+	_, err := Sample(ws, plan, gibbs.Query{Agg: exec.AggSpec{Kind: exec.AggSum, Expr: expr.C("v")}},
 		0.01, 10, Options{TotalSamples: 400})
 	if err == nil {
 		t.Fatal("window smaller than per-step N must be rejected")

@@ -3,9 +3,11 @@ package mcdbr
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/sqlish"
 	"repro/internal/storage"
@@ -19,19 +21,24 @@ const (
 	// ExecCreated: a CREATE TABLE ... FOR EACH statement defined a random
 	// table.
 	ExecCreated ExecKind = iota
-	// ExecScalar: a deterministic aggregate (e.g. over FTABLE) produced a
-	// single number.
+	// ExecScalar: a deterministic single-aggregate query (e.g. over
+	// FTABLE) produced a single number.
 	ExecScalar
-	// ExecDistribution: a WITH RESULTDISTRIBUTION query without DOMAIN
-	// produced a Monte Carlo distribution.
+	// ExecTable: a deterministic multi-aggregate and/or GROUP BY query
+	// produced a relation (group columns followed by aggregate columns).
+	ExecTable
+	// ExecDistribution: a single-aggregate WITH RESULTDISTRIBUTION query
+	// without DOMAIN produced a Monte Carlo distribution.
 	ExecDistribution
 	// ExecTail: a DOMAIN ... QUANTILE query produced a tail distribution.
 	ExecTail
-	// ExecGroupedDistribution: a GROUP BY query without DOMAIN produced
-	// one distribution per group.
+	// ExecGroupedDistribution: a GROUP BY and/or multi-aggregate query
+	// without DOMAIN produced per-group, per-aggregate distributions in a
+	// single pass.
 	ExecGroupedDistribution
 	// ExecGroupedTail: a GROUP BY ... DOMAIN query produced one tail
-	// distribution per group (paper App. A: g conditioned queries).
+	// distribution per group (paper App. A: g conditioned runs over one
+	// shared plan).
 	ExecGroupedTail
 	// ExecExplained: an EXPLAIN statement produced a plan description
 	// without executing the query.
@@ -45,6 +52,8 @@ func (k ExecKind) String() string {
 		return "created"
 	case ExecScalar:
 		return "scalar"
+	case ExecTable:
+		return "table"
 	case ExecDistribution:
 		return "distribution"
 	case ExecTail:
@@ -62,10 +71,21 @@ func (k ExecKind) String() string {
 
 // ExecResult is the outcome of Engine.Exec.
 type ExecResult struct {
-	Kind       ExecKind
-	Scalar     float64
-	Dist       *Distribution
-	Tail       *TailResult
+	Kind   ExecKind
+	Scalar float64
+	// Table holds the relation produced by a deterministic grouped or
+	// multi-aggregate query (ExecTable).
+	Table *storage.Table
+	Dist  *Distribution
+	Tail  *TailResult
+	// Grouped holds the per-group, per-aggregate distributions of an
+	// ExecGroupedDistribution result.
+	Grouped *GroupedDistribution
+	// GroupedTail holds the ordered per-group tails of an ExecGroupedTail
+	// result.
+	GroupedTail *GroupedTail
+	// GroupDists and GroupTails are the legacy map views, populated for
+	// single-aggregate grouped queries.
 	GroupDists map[string]*Distribution
 	GroupTails map[string]*TailResult
 	Explain    *Explain
@@ -125,13 +145,13 @@ func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (res *ExecR
 		return &ExecResult{Kind: ExecExplained, Explain: x}, nil
 	case *sqlish.SelectStmt:
 		if !s.With {
-			v, err := e.execScalar(s)
-			if err != nil {
-				return nil, err
-			}
-			return &ExecResult{Kind: ExecScalar, Scalar: v}, nil
+			return e.execScalar(s)
 		}
-		return e.execResultDistribution(s, opts)
+		c, err := e.compileSelect(s)
+		if err != nil {
+			return nil, err
+		}
+		return e.runSelectCompiled(c, s, opts, e.seed, e.parallelism, s.MCReps)
 	default:
 		return nil, fmt.Errorf("mcdbr: unsupported statement %T", stmt)
 	}
@@ -221,70 +241,182 @@ func (e *Engine) execCreate(s *sqlish.CreateRandomTable) error {
 	})
 }
 
-// execScalar evaluates a deterministic aggregate over a single ordinary
-// table — the paper's follow-up queries such as
-// SELECT MIN(totalLoss) FROM FTABLE.
-func (e *Engine) execScalar(s *sqlish.SelectStmt) (float64, error) {
+// scalarAccum accumulates one deterministic aggregate over rows.
+type scalarAccum struct {
+	sum  float64
+	n    int
+	rows int
+	best float64
+}
+
+func (a *scalarAccum) value(agg string, hasExpr bool) float64 {
+	switch agg {
+	case "SUM":
+		return a.sum
+	case "COUNT":
+		if !hasExpr {
+			return float64(a.rows)
+		}
+		return float64(a.n)
+	case "AVG":
+		if a.n == 0 {
+			return math.NaN()
+		}
+		return a.sum / float64(a.n)
+	default: // MIN, MAX
+		return a.best
+	}
+}
+
+// execScalar evaluates deterministic aggregates over a single ordinary
+// table — the paper's follow-up queries such as SELECT MIN(totalLoss)
+// FROM FTABLE — now with multi-item select lists, GROUP BY over arbitrary
+// deterministic expressions, and HAVING. A single ungrouped aggregate
+// yields ExecScalar; anything else yields an ExecTable relation (group
+// columns followed by aggregate columns, sorted by group key).
+func (e *Engine) execScalar(s *sqlish.SelectStmt) (*ExecResult, error) {
 	if len(s.Froms) != 1 {
-		return 0, fmt.Errorf("mcdbr: deterministic aggregates support exactly one table, got %d", len(s.Froms))
+		return nil, fmt.Errorf("mcdbr: deterministic aggregates support exactly one table, got %d", len(s.Froms))
 	}
 	if _, isRandom := e.randomDef(s.Froms[0].Table); isRandom {
-		return 0, fmt.Errorf("mcdbr: query over random table %q needs WITH RESULTDISTRIBUTION", s.Froms[0].Table)
+		return nil, fmt.Errorf("mcdbr: query over random table %q needs WITH RESULTDISTRIBUTION", s.Froms[0].Table)
 	}
 	t, ok := e.cat.Get(s.Froms[0].Table)
 	if !ok {
-		return 0, fmt.Errorf("mcdbr: table %q not registered", s.Froms[0].Table)
+		return nil, fmt.Errorf("mcdbr: table %q not registered", s.Froms[0].Table)
 	}
 	rows, err := e.filterRows(t, s.Where)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	if s.Agg == "COUNT" && s.AggExpr == nil {
-		return float64(len(rows)), nil
+	schema := t.Schema()
+	groupExprs := make([]*expr.Compiled, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		if groupExprs[i], err = expr.Compile(g, schema); err != nil {
+			return nil, fmt.Errorf("mcdbr: GROUP BY expression %s: %w", g, err)
+		}
 	}
-	c, err := expr.Compile(s.AggExpr, t.Schema())
-	if err != nil {
-		return 0, err
-	}
-	var sum float64
-	var n int
-	best := math.NaN()
-	for _, r := range rows {
-		v := c.Eval(r)
-		if v.IsNull() {
+	aggExprs := make([]*expr.Compiled, len(s.Items))
+	for i, it := range s.Items {
+		if it.Expr == nil {
+			if it.Agg != "COUNT" {
+				return nil, fmt.Errorf("mcdbr: %s requires an aggregate expression", it.Agg)
+			}
 			continue
 		}
-		f, ok := v.AsFloat()
-		if !ok {
-			return 0, fmt.Errorf("mcdbr: aggregate over non-numeric value %s", v.Kind())
+		if aggExprs[i], err = expr.Compile(it.Expr, schema); err != nil {
+			return nil, fmt.Errorf("mcdbr: aggregate %s: %w", it, err)
 		}
-		sum += f
-		n++
-		switch s.Agg {
-		case "MIN":
-			if math.IsNaN(best) || f < best {
-				best = f
+	}
+	type group struct {
+		key    types.Row
+		accums []scalarAccum
+	}
+	var groups []group
+	index := map[uint64][]int{}
+	findGroup := func(key types.Row) *group {
+		h := key.Hash()
+		for _, gi := range index[h] {
+			if groups[gi].key.Equal(key) {
+				return &groups[gi]
 			}
-		case "MAX":
-			if math.IsNaN(best) || f > best {
-				best = f
+		}
+		g := group{key: key.Clone(), accums: make([]scalarAccum, len(s.Items))}
+		for i := range g.accums {
+			g.accums[i].best = math.NaN()
+		}
+		groups = append(groups, g)
+		index[h] = append(index[h], len(groups)-1)
+		return &groups[len(groups)-1]
+	}
+	if len(groupExprs) == 0 {
+		findGroup(types.Row{})
+	}
+	keyBuf := make(types.Row, len(groupExprs))
+	for _, r := range rows {
+		for i, ge := range groupExprs {
+			keyBuf[i] = ge.Eval(r)
+		}
+		g := findGroup(keyBuf)
+		for i, it := range s.Items {
+			acc := &g.accums[i]
+			acc.rows++
+			if it.Expr == nil {
+				continue
+			}
+			v := aggExprs[i].Eval(r)
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("mcdbr: aggregate over non-numeric value %s", v.Kind())
+			}
+			acc.sum += f
+			acc.n++
+			switch it.Agg {
+			case "MIN":
+				if math.IsNaN(acc.best) || f < acc.best {
+					acc.best = f
+				}
+			case "MAX":
+				if math.IsNaN(acc.best) || f > acc.best {
+					acc.best = f
+				}
 			}
 		}
 	}
-	switch s.Agg {
-	case "SUM":
-		return sum, nil
-	case "COUNT":
-		return float64(n), nil
-	case "AVG":
-		if n == 0 {
-			return math.NaN(), nil
+	sort.SliceStable(groups, func(i, j int) bool { return exec.LessRow(groups[i].key, groups[j].key) })
+
+	// Output schema: group columns (named after the expression), then
+	// aggregate columns, disambiguated exactly like exec.NewAggregate.
+	outCols := make([]types.Column, 0, len(s.GroupBy)+len(s.Items))
+	uniq := exec.UniqueNamer()
+	for _, g := range s.GroupBy {
+		kind := types.KindFloat
+		name := g.String()
+		if c, ok := g.(*expr.Col); ok {
+			name = c.Name
+			if i := strings.LastIndexByte(name, '.'); i >= 0 {
+				name = name[i+1:]
+			}
+			if j := schema.Lookup(c.Name); j >= 0 {
+				kind = schema.Col(j).Kind
+			}
 		}
-		return sum / float64(n), nil
-	case "MIN", "MAX":
-		return best, nil
+		outCols = append(outCols, types.Column{Name: uniq(name), Kind: kind})
 	}
-	return 0, fmt.Errorf("mcdbr: unsupported aggregate %q", s.Agg)
+	for _, it := range s.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.String()
+		}
+		outCols = append(outCols, types.Column{Name: uniq(name), Kind: types.KindFloat})
+	}
+	outSchema := types.NewSchema(outCols...)
+	var having *expr.Compiled
+	if s.Having != nil {
+		if having, err = expr.Compile(s.Having, outSchema); err != nil {
+			return nil, fmt.Errorf("mcdbr: HAVING may reference grouping columns and aggregate aliases %s: %w", outSchema, err)
+		}
+	}
+	out := storage.NewTable("result", outSchema)
+	for gi := range groups {
+		g := &groups[gi]
+		row := make(types.Row, 0, outSchema.Len())
+		row = append(row, g.key...)
+		for i, it := range s.Items {
+			row = append(row, types.NewFloat(g.accums[i].value(it.Agg, it.Expr != nil)))
+		}
+		if having != nil && !having.EvalBool(row) {
+			continue
+		}
+		out.MustAppend(row)
+	}
+	if len(s.GroupBy) == 0 && len(s.Items) == 1 && s.Having == nil {
+		return &ExecResult{Kind: ExecScalar, Scalar: out.Row(0)[0].Float()}, nil
+	}
+	return &ExecResult{Kind: ExecTable, Table: out}, nil
 }
 
 func (e *Engine) filterRows(t *storage.Table, where expr.Expr) ([]types.Row, error) {
@@ -314,121 +446,128 @@ func (e *Engine) selectBuilder(s *sqlish.SelectStmt) (*QueryBuilder, error) {
 	if s.Where != nil {
 		qb.Where(s.Where)
 	}
-	switch s.Agg {
-	case "SUM":
-		qb.SelectSum(s.AggExpr)
-	case "AVG":
-		qb.SelectAvg(s.AggExpr)
-	case "COUNT":
-		qb.SelectCount()
-	default:
-		return nil, fmt.Errorf("mcdbr: aggregate %s is not supported with RESULTDISTRIBUTION (use SUM, COUNT, or AVG)", s.Agg)
+	for _, it := range s.Items {
+		switch it.Agg {
+		case "SUM":
+			qb.SelectSumAs(it.Expr, it.Alias)
+		case "AVG":
+			qb.SelectAvgAs(it.Expr, it.Alias)
+		case "COUNT":
+			// The Monte Carlo layers count tuples passing the final
+			// predicate; a COUNT(expr) argument is ignored, as it always
+			// was on this path.
+			qb.SelectCountAs(it.Alias)
+		default:
+			return nil, fmt.Errorf("mcdbr: aggregate %s is not supported with RESULTDISTRIBUTION (use SUM, COUNT, or AVG)", it.Agg)
+		}
+	}
+	qb.GroupBy(s.GroupBy...)
+	if s.Having != nil {
+		qb.Having(s.Having)
 	}
 	return qb, nil
+}
+
+// compileSelect plans a parsed SELECT through the builder path.
+func (e *Engine) compileSelect(s *sqlish.SelectStmt) (*compiled, error) {
+	qb, err := e.selectBuilder(s)
+	if err != nil {
+		return nil, err
+	}
+	return qb.compile()
 }
 
 // domainTailProbability maps the DOMAIN clause to the looper's upper/lower
 // tail probability, validating the aggregate alias reference.
 func domainTailProbability(s *sqlish.SelectStmt) (float64, error) {
-	if s.AggAlias != "" && !strings.EqualFold(s.Domain.Name, s.AggAlias) {
-		return 0, fmt.Errorf("mcdbr: DOMAIN references %q but the aggregate is named %q", s.Domain.Name, s.AggAlias)
+	if alias := s.Items[0].Alias; alias != "" && !strings.EqualFold(s.Domain.Name, alias) {
+		return 0, fmt.Errorf("mcdbr: DOMAIN references %q but the aggregate is named %q", s.Domain.Name, alias)
 	}
-	if s.Domain.Lower {
-		return s.Domain.Quantile, nil
-	}
-	return 1 - s.Domain.Quantile, nil
+	return domainP(s.Domain), nil
 }
 
-// execResultDistribution runs a WITH RESULTDISTRIBUTION query: plain Monte
-// Carlo without DOMAIN, tail sampling with it. A FREQUENCYTABLE clause
-// registers the table FTABLE(<name>, FRAC) in the catalog for follow-up
-// queries.
-func (e *Engine) execResultDistribution(s *sqlish.SelectStmt, opts TailSampleOptions) (*ExecResult, error) {
-	qb, err := e.selectBuilder(s)
-	if err != nil {
-		return nil, err
+func domainP(d *sqlish.Domain) float64 {
+	if d.Lower {
+		return d.Quantile
 	}
-	var groupTable, groupCol string
-	if s.GroupBy != "" {
-		var err error
-		groupTable, groupCol, err = e.resolveGroupBy(s)
-		if err != nil {
-			return nil, err
+	return 1 - d.Quantile
+}
+
+// validateSelect rejects statement/plan combinations that can never
+// execute — multi-aggregate DOMAIN conditioning, HAVING under tail
+// sampling, FREQUENCYTABLE on grouped or multi-aggregate queries, and a
+// DOMAIN name that does not match the aggregate alias. Prepare runs it
+// too, so an impossible statement fails at preparation instead of
+// caching a plan whose every Run errors.
+func validateSelect(c *compiled, s *sqlish.SelectStmt) error {
+	grouped := c.grouped()
+	multi := len(c.agg.Aggs) > 1
+	if s.FreqTable != "" && (grouped || multi) {
+		return fmt.Errorf("mcdbr: FREQUENCYTABLE needs a single ungrouped aggregate; the query has %d aggregates and %d grouping expressions", len(c.agg.Aggs), len(c.agg.GroupBy))
+	}
+	if s.Domain != nil {
+		if multi {
+			return fmt.Errorf("mcdbr: DOMAIN tail sampling conditions on a single aggregate; the query has %d", len(c.agg.Aggs))
+		}
+		if c.agg.Having != nil {
+			return fmt.Errorf("mcdbr: HAVING is not supported with DOMAIN tail sampling; drop the DOMAIN clause or the HAVING clause")
+		}
+		if _, err := domainTailProbability(s); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// runSelectCompiled dispatches an already-compiled WITH RESULTDISTRIBUTION
+// statement: plain Monte Carlo without DOMAIN (single-pass grouped when
+// the query has GROUP BY or several aggregates), tail sampling with it
+// (one conditioned Gibbs run per group when grouped). It is the shared
+// execution path of Exec and PreparedQuery.Run; seed, workers, and the
+// repetition count are per-run so prepared queries can override them.
+func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailSampleOptions, seed uint64, workers, n int) (*ExecResult, error) {
+	if err := validateSelect(c, s); err != nil {
+		return nil, err
+	}
+	grouped := c.grouped()
+	multi := len(c.agg.Aggs) > 1
 	if s.Domain != nil {
 		p, err := domainTailProbability(s)
 		if err != nil {
 			return nil, err
 		}
 		opts.Lower = s.Domain.Lower
-		if s.GroupBy != "" {
-			groups, err := qb.GroupedTailSample(groupTable, groupCol, p, s.MCReps, opts)
+		if grouped {
+			gt, err := e.runGroupedTail(c, p, n, opts, seed)
 			if err != nil {
 				return nil, err
 			}
-			return &ExecResult{Kind: ExecGroupedTail, GroupTails: groups}, nil
+			return &ExecResult{Kind: ExecGroupedTail, GroupedTail: gt, GroupTails: gt.TailMap()}, nil
 		}
-		res, err := qb.TailSample(p, s.MCReps, opts)
+		tr, err := e.runTail(c, p, n, opts, seed)
 		if err != nil {
 			return nil, err
 		}
-		e.registerFTable(s, &res.Distribution)
-		return &ExecResult{Kind: ExecTail, Tail: res}, nil
+		e.registerFTable(s, &tr.Distribution)
+		return &ExecResult{Kind: ExecTail, Tail: tr}, nil
 	}
-	if s.GroupBy != "" {
-		groups, err := qb.GroupedMonteCarlo(groupTable, groupCol, s.MCReps)
+	if grouped || multi {
+		gd, err := e.runGroupedMonteCarlo(c, n, seed, workers)
 		if err != nil {
 			return nil, err
 		}
-		return &ExecResult{Kind: ExecGroupedDistribution, GroupDists: groups}, nil
+		res := &ExecResult{Kind: ExecGroupedDistribution, Grouped: gd}
+		if !multi {
+			res.GroupDists = gd.DistMap()
+		}
+		return res, nil
 	}
-	d, err := qb.MonteCarlo(s.MCReps)
+	d, err := e.runMonteCarlo(c, n, seed, workers)
 	if err != nil {
 		return nil, err
 	}
 	e.registerFTable(s, d)
 	return &ExecResult{Kind: ExecDistribution, Dist: d}, nil
-}
-
-// resolveGroupBy maps a GROUP BY column reference to the catalog table
-// holding its distinct values: for a deterministic table it is the table
-// itself; for a random table the column must be parameter-derived and the
-// values come from the parameter table.
-func (e *Engine) resolveGroupBy(s *sqlish.SelectStmt) (table, col string, err error) {
-	name := s.GroupBy
-	alias := ""
-	if i := strings.IndexByte(name, '.'); i >= 0 {
-		alias, col = name[:i], name[i+1:]
-	} else {
-		col = name
-		if len(s.Froms) != 1 {
-			return "", "", fmt.Errorf("mcdbr: GROUP BY %q needs an alias qualifier in multi-table queries", name)
-		}
-		alias = s.Froms[0].Alias
-	}
-	var tableName string
-	for _, f := range s.Froms {
-		if strings.EqualFold(f.Alias, alias) {
-			tableName = f.Table
-			break
-		}
-	}
-	if tableName == "" {
-		return "", "", fmt.Errorf("mcdbr: GROUP BY alias %q not in FROM clause", alias)
-	}
-	if rt, ok := e.randomDef(tableName); ok {
-		for _, c := range rt.Columns {
-			if strings.EqualFold(c.Name, col) {
-				if c.FromParam == "" {
-					return "", "", fmt.Errorf("mcdbr: GROUP BY column %q of %q is VG-generated; grouping columns must be deterministic", col, tableName)
-				}
-				return rt.ParamTable, c.FromParam, nil
-			}
-		}
-		return "", "", fmt.Errorf("mcdbr: GROUP BY column %q not in random table %q", col, tableName)
-	}
-	return tableName, col, nil
 }
 
 // registerFTable is the explicit post-execution step that materializes a

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"repro/internal/exec"
-	"repro/internal/expr"
 	"repro/internal/plan"
 	"repro/internal/sqlish"
 )
@@ -70,27 +69,20 @@ func (q *QueryBuilder) Explain() (x *Explain, err error) {
 	if err != nil {
 		return nil, err
 	}
+	aggs := make([]string, len(c.agg.Aggs))
+	for i, s := range c.agg.Aggs {
+		aggs[i] = s.String()
+	}
 	x = &Explain{
 		Logical:   plan.Format(c.lp.Root),
 		Rules:     append([]string(nil), c.lp.Fired...),
 		Physical:  exec.FormatPlan(c.plan),
-		Aggregate: formatAgg(q.agg, q.aggE),
+		Aggregate: strings.Join(aggs, ", "),
 	}
 	if c.gq.FinalPred != nil {
 		x.FinalPred = c.gq.FinalPred.String()
 	}
 	return x, nil
-}
-
-func formatAgg(a Agg, e expr.Expr) string {
-	switch a {
-	case Count:
-		return "COUNT(*)"
-	case Avg:
-		return fmt.Sprintf("AVG(%s)", e)
-	default:
-		return fmt.Sprintf("SUM(%s)", e)
-	}
 }
 
 // Explain parses one SQL-ish SELECT statement (a leading EXPLAIN keyword
@@ -122,13 +114,18 @@ func (e *Engine) explainSelect(s *sqlish.SelectStmt) (*Explain, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.GroupBy != "" {
-		gt, gc, err := e.resolveGroupBy(s)
-		if err != nil {
-			return nil, err
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = g.String()
 		}
-		x.Notes = append(x.Notes,
-			fmt.Sprintf("GROUP BY %s: one query per distinct value of %s.%s (paper App. A)", s.GroupBy, gt, gc))
+		if s.Domain != nil {
+			x.Notes = append(x.Notes,
+				fmt.Sprintf("GROUP BY %s: one conditioned Gibbs run per group over one shared plan (paper App. A)", strings.Join(keys, ", ")))
+		} else {
+			x.Notes = append(x.Notes,
+				fmt.Sprintf("GROUP BY %s: single-pass grouped aggregation (one plan run, per-group aggregate vectors)", strings.Join(keys, ", ")))
+		}
 	}
 	switch {
 	case s.Domain != nil:

@@ -44,25 +44,28 @@ SELECT CID, myVal.* FROM myVal`); err != nil {
 		t.Fatal(err)
 	}
 	want := `logical plan:
-  Filter((Losses.CID < 10050)) [rows~30]
-    Rename(Losses) [rows~100]
-      Project[CID, val] [rows~100]
-        Instantiate [rows~100]
-          Seed(Normal) [rows~100]
-            Rel(means AS __param) [rows~100 det]
+  Aggregate[SUM(Losses.val) AS totalLoss] [rows~1]
+    Filter((Losses.CID < 10050)) [rows~30]
+      Rename(Losses) [rows~100]
+        Project[CID, val] [rows~100]
+          Instantiate [rows~100]
+            Seed(Normal) [rows~100]
+              Rel(means AS __param) [rows~100 det]
 rules fired:
   resolve-columns
   expand-random-tables
   push-filters-below-joins
+  place-aggregate
   mark-deterministic
 physical plan:
-  Select((Losses.CID < 10050))
-    Rename(Losses)
-      Project[__param.CID __vg0]
-        Instantiate
-          Seed(Normal)
-            Scan(means AS __param) [det]
-aggregate: SUM(val)
+  Aggregate[SUM(Losses.val) AS totalLoss]
+    Select((Losses.CID < 10050))
+      Rename(Losses)
+        Project[__param.CID __vg0]
+          Instantiate
+            Seed(Normal)
+              Scan(means AS __param) [det]
+aggregate: SUM(Losses.val) AS totalLoss
 note: plain Monte Carlo, 1000 repetitions
 `
 	checkGolden(t, "quickstart", x.String(), want)
@@ -92,40 +95,43 @@ WITH RESULTDISTRIBUTION MONTECARLO(100)`)
 		t.Fatal(err)
 	}
 	want := `logical plan:
-  Join(sup.peon = emp2.eid) [rows~4]
-    Join(sup.boss = emp1.eid) [rows~4]
-      Rel(sup AS sup) [rows~4 det]
-      Rename(emp1) [rows~5]
+  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv] [rows~1]
+    Join(sup.peon = emp2.eid) [rows~4]
+      Join(sup.boss = emp1.eid) [rows~4]
+        Rel(sup AS sup) [rows~4 det]
+        Rename(emp1) [rows~5]
+          Project[eid, sal] [rows~5]
+            Instantiate [rows~5]
+              Seed(Normal) [rows~5]
+                Rel(empmeans AS __param) [rows~5 det]
+      Rename(emp2) [rows~5]
         Project[eid, sal] [rows~5]
           Instantiate [rows~5]
             Seed(Normal) [rows~5]
               Rel(empmeans AS __param) [rows~5 det]
-    Rename(emp2) [rows~5]
-      Project[eid, sal] [rows~5]
-        Instantiate [rows~5]
-          Seed(Normal) [rows~5]
-            Rel(empmeans AS __param) [rows~5 det]
 rules fired:
   expand-random-tables
   order-joins-greedy
   extract-looper-predicates
+  place-aggregate
   mark-deterministic
 physical plan:
-  HashJoin([sup.peon] = [emp2.eid])
-    HashJoin([sup.boss] = [emp1.eid])
-      Scan(sup AS sup) [det]
-      Rename(emp1)
+  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv]
+    HashJoin([sup.peon] = [emp2.eid])
+      HashJoin([sup.boss] = [emp1.eid])
+        Scan(sup AS sup) [det]
+        Rename(emp1)
+          Project[__param.eid __vg0]
+            Instantiate
+              Seed(Normal)
+                Scan(empmeans AS __param) [det]
+      Rename(emp2)
         Project[__param.eid __vg0]
           Instantiate
             Seed(Normal)
               Scan(empmeans AS __param) [det]
-    Rename(emp2)
-      Project[__param.eid __vg0]
-        Instantiate
-          Seed(Normal)
-            Scan(empmeans AS __param) [det]
 final predicate (Gibbs looper): (emp2.sal > emp1.sal)
-aggregate: SUM((emp2.sal - emp1.sal))
+aggregate: SUM((emp2.sal - emp1.sal)) AS inv
 note: plain Monte Carlo, 100 repetitions
 `
 	checkGolden(t, "salary-inversion", x.String(), want)
@@ -164,36 +170,40 @@ WHERE a.class = r.rid WITH RESULTDISTRIBUTION MONTECARLO(4000)`)
 		t.Fatal(err)
 	}
 	want := `logical plan:
-  Join(r.rid = a.class) [rows~2]
-    Rel(riskclass AS r) [rows~2 det]
-    Split(a.class) [rows~48]
-      Rename(a) [rows~12]
-        Project[cid, class] [rows~12]
-          Instantiate [rows~12]
-            Seed(Bernoulli) [rows~12]
-              Rel(cust AS __param) [rows~12 det]
+  Aggregate[SUM(r.premium) AS total] [rows~1]
+    Join(r.rid = a.class) [rows~2]
+      Rel(riskclass AS r) [rows~2 det]
+      Split(a.class) [rows~48]
+        Rename(a) [rows~12]
+          Project[cid, class] [rows~12]
+            Instantiate [rows~12]
+              Seed(Bernoulli) [rows~12]
+                Rel(cust AS __param) [rows~12 det]
 rules fired:
   expand-random-tables
   order-joins-greedy
   split-random-join-keys
+  place-aggregate
   mark-deterministic
 physical plan:
-  HashJoin([r.rid] = [a.class])
-    Scan(riskclass AS r) [det]
-    Split(a.class)
-      Rename(a)
-        Project[__param.cid __vg0]
-          Instantiate
-            Seed(Bernoulli)
-              Scan(cust AS __param) [det]
-aggregate: SUM(r.premium)
+  Aggregate[SUM(r.premium) AS total]
+    HashJoin([r.rid] = [a.class])
+      Scan(riskclass AS r) [det]
+      Split(a.class)
+        Rename(a)
+          Project[__param.cid __vg0]
+            Instantiate
+              Seed(Bernoulli)
+                Scan(cust AS __param) [det]
+aggregate: SUM(r.premium) AS total
 note: plain Monte Carlo, 4000 repetitions
 `
 	checkGolden(t, "split-join", x.String(), want)
 }
 
 // TestExplainGoldenGroupByTail pins the App. A GROUP BY treatment: the
-// base plan plus notes for the per-group expansion and tail sampling.
+// grouped Aggregate root plus notes for the per-group conditioned Gibbs
+// runs and tail sampling.
 func TestExplainGoldenGroupByTail(t *testing.T) {
 	e := New(WithSeed(42))
 	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
@@ -210,22 +220,26 @@ WITH RESULTDISTRIBUTION MONTECARLO(20) DOMAIN x >= QUANTILE(0.9)`)
 		t.Fatal(err)
 	}
 	want := `logical plan:
-  Rename(Losses) [rows~100]
-    Project[CID, val] [rows~100]
-      Instantiate [rows~100]
-        Seed(Normal) [rows~100]
-          Rel(means AS __param) [rows~100 det]
+  Aggregate[SUM(Losses.val) AS x; group by Losses.CID] [rows~10]
+    Rename(Losses) [rows~100]
+      Project[CID, val] [rows~100]
+        Instantiate [rows~100]
+          Seed(Normal) [rows~100]
+            Rel(means AS __param) [rows~100 det]
 rules fired:
+  resolve-columns
   expand-random-tables
+  place-aggregate
   mark-deterministic
 physical plan:
-  Rename(Losses)
-    Project[__param.CID __vg0]
-      Instantiate
-        Seed(Normal)
-          Scan(means AS __param) [det]
-aggregate: SUM(val)
-note: GROUP BY CID: one query per distinct value of means.CID (paper App. A)
+  Aggregate[SUM(Losses.val) AS x; group by Losses.CID]
+    Rename(Losses)
+      Project[__param.CID __vg0]
+        Instantiate
+          Seed(Normal)
+            Scan(means AS __param) [det]
+aggregate: SUM(Losses.val) AS x
+note: GROUP BY CID: one conditioned Gibbs run per group over one shared plan (paper App. A)
 note: DOMAIN x >= QUANTILE(0.9): Gibbs tail sampling, 20 conditioned samples
 `
 	checkGolden(t, "group-by-tail", x.String(), want)
@@ -296,5 +310,124 @@ SELECT CID, myVal.* FROM myVal`); err != nil {
 	}
 	if !strings.Contains(res.Explain.String(), "Seed(Normal)") {
 		t.Fatalf("explain text:\n%s", res.Explain)
+	}
+}
+
+// groupedPrefixEngine builds the det-grouped-prefix workload: random
+// losses joined through two deterministic tables (grp: cid->rid,
+// regions: rid->name) and grouped by region name. The planner joins the
+// two deterministic tables first (smallest-first greedy order), so the
+// grouped query has a non-leaf deterministic prefix that lowers under
+// Materialize and lands in the engine's prefix cache.
+func groupedPrefixEngine(t testing.TB) *Engine {
+	t.Helper()
+	e := New(WithSeed(123), WithWindow(2048))
+	e.RegisterTable(workload.LossMeans(8, 2, 8, 11))
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	regions := storage.NewTable("regions", types.NewSchema(
+		types.Column{Name: "rid", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindString},
+	))
+	regions.MustAppend(types.Row{types.NewInt(0), types.NewString("east")})
+	regions.MustAppend(types.Row{types.NewInt(1), types.NewString("west")})
+	e.RegisterTable(regions)
+	grp := storage.NewTable("grp", types.NewSchema(
+		types.Column{Name: "cid", Kind: types.KindInt},
+		types.Column{Name: "rid", Kind: types.KindInt},
+	))
+	m, _ := e.Table("means")
+	for i, r := range m.Rows() {
+		grp.MustAppend(types.Row{r[0], types.NewInt(int64(i % 2))})
+	}
+	e.RegisterTable(grp)
+	return e
+}
+
+const groupedPrefixSQL = `SELECT SUM(l.val) AS s, COUNT(*) AS n FROM losses l, grp g, regions r
+WHERE g.cid = l.cid AND g.rid = r.rid
+GROUP BY r.name
+WITH RESULTDISTRIBUTION MONTECARLO(40)`
+
+// TestExplainGoldenGroupedDetPrefix pins the ISSUE 5 grouped plan shape:
+// a multi-aggregate Aggregate root, and the deterministic regions-grp
+// join materialized below it (Materialize node, PR-4 prefix cache).
+func TestExplainGoldenGroupedDetPrefix(t *testing.T) {
+	e := groupedPrefixEngine(t)
+	x, err := e.Explain(`EXPLAIN ` + groupedPrefixSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `logical plan:
+  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name] [rows~1]
+    Join(g.cid = l.cid) [rows~2]
+      Join(r.rid = g.rid) [rows~2 det]
+        Rel(regions AS r) [rows~2 det]
+        Rel(grp AS g) [rows~8 det]
+      Rename(l) [rows~8]
+        Project[cid, val] [rows~8]
+          Instantiate [rows~8]
+            Seed(Normal) [rows~8]
+              Rel(means AS __param) [rows~8 det]
+rules fired:
+  expand-random-tables
+  order-joins-greedy
+  place-aggregate
+  mark-deterministic
+physical plan:
+  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name]
+    HashJoin([g.cid] = [l.cid])
+      Materialize [det]
+        HashJoin([r.rid] = [g.rid]) [det]
+          Scan(regions AS r) [det]
+          Scan(grp AS g) [det]
+      Rename(l)
+        Project[__param.cid __vg0]
+          Instantiate
+            Seed(Normal)
+              Scan(means AS __param) [det]
+aggregate: SUM(l.val) AS s, COUNT(*) AS n
+note: GROUP BY r.name: single-pass grouped aggregation (one plan run, per-group aggregate vectors)
+note: plain Monte Carlo, 40 repetitions
+`
+	checkGolden(t, "grouped-det-prefix", x.String(), want)
+}
+
+// TestGroupedDetPrefixHitsCache: re-executing the grouped query serves
+// the materialized deterministic join from the engine prefix cache.
+func TestGroupedDetPrefixHitsCache(t *testing.T) {
+	e := groupedPrefixEngine(t)
+	r1, err := e.Exec(groupedPrefixSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kind != ExecGroupedDistribution || len(r1.Grouped.Groups) != 2 {
+		t.Fatalf("kind=%v groups=%d", r1.Kind, len(r1.Grouped.Groups))
+	}
+	_, misses0, _ := e.PrefixCacheStats()
+	if misses0 == 0 {
+		t.Fatal("first run should have populated the prefix cache")
+	}
+	r2, err := e.Exec(groupedPrefixSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ := e.PrefixCacheStats()
+	if hits == 0 {
+		t.Fatal("second run did not hit the prefix cache")
+	}
+	// Cache reuse never changes samples.
+	for g := range r1.Grouped.Groups {
+		a, b := r1.Grouped.Groups[g], r2.Grouped.Groups[g]
+		for i := range a.Dists[0].Samples {
+			if a.Dists[0].Samples[i] != b.Dists[0].Samples[i] {
+				t.Fatalf("group %s sample %d changed across cached runs", a.KeyString(), i)
+			}
+		}
 	}
 }

@@ -274,15 +274,16 @@ func TestGroupedTailSample(t *testing.T) {
 		From("losses", "l").
 		From("grp", "grp").
 		Where(expr.B(expr.OpEq, expr.C("l.cid"), expr.C("grp.cid"))).
-		SelectSum(expr.C("l.val"))
-	out, err := q.GroupedTailSample("grp", "g", 0.05, 20, TailSampleOptions{TotalSamples: 200})
+		SelectSum(expr.C("l.val")).
+		GroupBy(expr.C("grp.g"))
+	out, err := q.TailSampleGrouped(0.05, 20, TailSampleOptions{TotalSamples: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 2 {
-		t.Fatalf("groups = %d", len(out))
+	if len(out.Groups) != 2 {
+		t.Fatalf("groups = %d", len(out.Groups))
 	}
-	for g, res := range out {
+	for g, res := range out.TailMap() {
 		if len(res.Samples) != 20 {
 			t.Fatalf("group %s samples = %d", g, len(res.Samples))
 		}

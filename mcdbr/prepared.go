@@ -57,13 +57,14 @@ type cachedPlan struct {
 }
 
 // Prepare parses and plans one SQL-ish SELECT statement for repeated
-// execution. CREATE TABLE statements and GROUP BY queries are not
-// preparable (the latter expand into one plan per group at execution
-// time); use Exec for those. Prepared plans are cached per engine in an
-// LRU keyed by whitespace/case-normalized SQL and invalidated whenever a
-// definition changes (RegisterTable, RegisterVG, DefineRandomTable, or an
-// FTABLE schema change), so a later Prepare of the same text re-plans
-// against the current catalog.
+// execution. CREATE TABLE statements are not preparable; use Exec for
+// those. GROUP BY queries prepare like any other SELECT since ISSUE 5:
+// aggregation (grouped or not) is part of the single compiled plan.
+// Prepared plans are cached per engine in an LRU keyed by
+// whitespace/case-normalized SQL and invalidated whenever a definition
+// changes (RegisterTable, RegisterVG, DefineRandomTable, or an FTABLE
+// schema change), so a later Prepare of the same text re-plans against
+// the current catalog.
 func (e *Engine) Prepare(sql string) (p *PreparedQuery, err error) {
 	defer recoverToError("Prepare", &err)
 	key := normalizeSQL(sql)
@@ -79,21 +80,15 @@ func (e *Engine) Prepare(sql string) (p *PreparedQuery, err error) {
 	if !ok {
 		return nil, fmt.Errorf("mcdbr: only SELECT statements can be prepared, got %T; use Exec", stmt)
 	}
-	if sel.GroupBy != "" {
-		return nil, fmt.Errorf("mcdbr: GROUP BY queries cannot be prepared (one plan per group); use Exec")
-	}
 	var c *compiled
 	if sel.With {
-		if sel.Domain != nil {
-			if _, err := domainTailProbability(sel); err != nil {
-				return nil, err
-			}
-		}
-		qb, err := e.selectBuilder(sel)
-		if err != nil {
+		if c, err = e.compileSelect(sel); err != nil {
 			return nil, err
 		}
-		if c, err = qb.compile(); err != nil {
+		// Fail statements that could never run at Prepare time (bad DOMAIN
+		// alias, multi-aggregate DOMAIN, grouped FREQUENCYTABLE, ...) so
+		// they never pollute the plan cache.
+		if err := validateSelect(c, sel); err != nil {
 			return nil, err
 		}
 	} else if len(sel.Froms) == 1 {
@@ -127,11 +122,7 @@ func (p *PreparedQuery) Run(opts RunOptions) (res *ExecResult, err error) {
 	if !s.With {
 		// Deterministic aggregate: re-executes against the current catalog
 		// (FTABLE contents may have changed since Prepare).
-		v, err := p.e.execScalar(s)
-		if err != nil {
-			return nil, err
-		}
-		return &ExecResult{Kind: ExecScalar, Scalar: v}, nil
+		return p.e.execScalar(s)
 	}
 	seed := opts.Seed
 	if seed == 0 {
@@ -145,29 +136,11 @@ func (p *PreparedQuery) Run(opts RunOptions) (res *ExecResult, err error) {
 	if opts.Samples > 0 {
 		n = opts.Samples
 	}
-	if s.Domain != nil {
-		pt, err := domainTailProbability(s)
-		if err != nil {
-			return nil, err
-		}
-		topts := opts.Tail
-		topts.Lower = s.Domain.Lower
-		if topts.Parallelism == 0 {
-			topts.Parallelism = workers
-		}
-		tr, err := p.e.runTail(p.c, pt, n, topts, seed)
-		if err != nil {
-			return nil, err
-		}
-		p.e.registerFTable(s, &tr.Distribution)
-		return &ExecResult{Kind: ExecTail, Tail: tr}, nil
+	topts := opts.Tail
+	if topts.Parallelism == 0 {
+		topts.Parallelism = workers
 	}
-	d, err := p.e.runMonteCarlo(p.c, n, seed, workers)
-	if err != nil {
-		return nil, err
-	}
-	p.e.registerFTable(s, d)
-	return &ExecResult{Kind: ExecDistribution, Dist: d}, nil
+	return p.e.runSelectCompiled(p.c, s, topts, seed, workers, n)
 }
 
 // PlanCacheStats reports the engine plan cache's lifetime hit and miss

@@ -177,8 +177,8 @@ func TestPlanCacheAccounting(t *testing.T) {
 	}
 }
 
-// TestPrepareRejectsNonSelect: CREATE and GROUP BY statements are not
-// preparable and must say so.
+// TestPrepareRejectsNonSelect: CREATE statements are not preparable and
+// must say so.
 func TestPrepareRejectsNonSelect(t *testing.T) {
 	e := lossEngine(t, 1)
 	if _, err := e.Prepare(`CREATE TABLE x (CID, v) AS
@@ -187,9 +187,53 @@ WITH w AS Normal(VALUES(m, 1.0))
 SELECT CID, w.* FROM w`); err == nil {
 		t.Fatal("CREATE TABLE prepared without error")
 	}
-	if _, err := e.Prepare(`SELECT SUM(val) AS x FROM Losses GROUP BY cid
-WITH RESULTDISTRIBUTION MONTECARLO(5)`); err == nil {
-		t.Fatal("GROUP BY prepared without error")
+}
+
+// TestPreparedGroupByMatchesExec: GROUP BY queries prepare like any other
+// SELECT (aggregation is part of the compiled plan since ISSUE 5) and
+// re-execute bit-identically to Exec.
+func TestPreparedGroupByMatchesExec(t *testing.T) {
+	const sql = `SELECT SUM(val) AS x, AVG(val) FROM Losses GROUP BY cid
+WITH RESULTDISTRIBUTION MONTECARLO(50)`
+	e := lossEngine(t, 2)
+	direct, err := e.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Kind != mcdbr.ExecGroupedDistribution || len(direct.Grouped.Groups) != 40 {
+		t.Fatalf("direct = kind %v, %d groups", direct.Kind, len(direct.Grouped.Groups))
+	}
+	pq, err := e.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Run(mcdbr.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grouped.Groups) != len(direct.Grouped.Groups) {
+		t.Fatalf("groups = %d, want %d", len(res.Grouped.Groups), len(direct.Grouped.Groups))
+	}
+	for g := range direct.Grouped.Groups {
+		dg, rg := &direct.Grouped.Groups[g], &res.Grouped.Groups[g]
+		if dg.KeyString() != rg.KeyString() {
+			t.Fatalf("group %d key %q vs %q", g, rg.KeyString(), dg.KeyString())
+		}
+		for a := range dg.Dists {
+			for i := range dg.Dists[a].Samples {
+				if rg.Dists[a].Samples[i] != dg.Dists[a].Samples[i] {
+					t.Fatalf("group %s agg %d sample %d diverged", dg.KeyString(), a, i)
+				}
+			}
+		}
+	}
+	// A second Prepare of the same text hits the plan cache.
+	pq2, err := e.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pq2.CacheHit() {
+		t.Fatal("grouped statement missed the plan cache on re-Prepare")
 	}
 }
 

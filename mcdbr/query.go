@@ -10,26 +10,31 @@ import (
 	"repro/internal/plan"
 )
 
-// Agg names the supported aggregates.
-type Agg = gibbs.AggKind
+// Agg names the supported Monte Carlo aggregates. Aggregation is a
+// first-class plan/exec operator (internal/exec.Aggregate) since ISSUE 5;
+// the kinds live in internal/exec and are re-exported here.
+type Agg = exec.AggKind
 
 // Aggregate kinds re-exported for the public API.
 const (
-	Sum   = gibbs.AggSum
-	Count = gibbs.AggCount
-	Avg   = gibbs.AggAvg
+	Sum   = exec.AggSum
+	Count = exec.AggCount
+	Avg   = exec.AggAvg
 )
 
 // QueryBuilder assembles an aggregation query over ordinary and random
-// tables. Build one with Engine.Query, chain the fluent methods, then call
-// MonteCarlo, TailSample, or Explain.
+// tables: a multi-item aggregate select list, optional GROUP BY over
+// deterministic expressions, and an optional HAVING predicate. Build one
+// with Engine.Query, chain the fluent methods, then call MonteCarlo,
+// MonteCarloGrouped, TailSample, TailSampleGrouped, or Explain.
 type QueryBuilder struct {
-	e     *Engine
-	froms []fromItem
-	where []expr.Expr
-	agg   Agg
-	aggE  expr.Expr
-	err   error
+	e       *Engine
+	froms   []fromItem
+	where   []expr.Expr
+	aggs    []plan.AggItem
+	groupBy []expr.Expr
+	having  expr.Expr
+	err     error
 }
 
 type fromItem struct {
@@ -56,46 +61,75 @@ func (q *QueryBuilder) Where(pred expr.Expr) *QueryBuilder {
 	return q
 }
 
-// SelectSum sets the aggregate to SUM(e).
-func (q *QueryBuilder) SelectSum(e expr.Expr) *QueryBuilder {
-	q.agg, q.aggE = Sum, e
+// SelectSum appends SUM(e) to the select list.
+func (q *QueryBuilder) SelectSum(e expr.Expr) *QueryBuilder { return q.SelectSumAs(e, "") }
+
+// SelectSumAs appends SUM(e) AS alias to the select list.
+func (q *QueryBuilder) SelectSumAs(e expr.Expr, alias string) *QueryBuilder {
+	q.aggs = append(q.aggs, plan.AggItem{Kind: Sum, Expr: e, Alias: alias})
 	return q
 }
 
-// SelectCount sets the aggregate to COUNT(*).
-func (q *QueryBuilder) SelectCount() *QueryBuilder {
-	q.agg, q.aggE = Count, nil
+// SelectCount appends COUNT(*) to the select list.
+func (q *QueryBuilder) SelectCount() *QueryBuilder { return q.SelectCountAs("") }
+
+// SelectCountAs appends COUNT(*) AS alias to the select list.
+func (q *QueryBuilder) SelectCountAs(alias string) *QueryBuilder {
+	q.aggs = append(q.aggs, plan.AggItem{Kind: Count, Alias: alias})
 	return q
 }
 
-// SelectAvg sets the aggregate to AVG(e).
-func (q *QueryBuilder) SelectAvg(e expr.Expr) *QueryBuilder {
-	q.agg, q.aggE = Avg, e
+// SelectAvg appends AVG(e) to the select list.
+func (q *QueryBuilder) SelectAvg(e expr.Expr) *QueryBuilder { return q.SelectAvgAs(e, "") }
+
+// SelectAvgAs appends AVG(e) AS alias to the select list.
+func (q *QueryBuilder) SelectAvgAs(e expr.Expr, alias string) *QueryBuilder {
+	q.aggs = append(q.aggs, plan.AggItem{Kind: Avg, Expr: e, Alias: alias})
 	return q
 }
 
-// compiled is a planned query: the physical plan, the looper query
-// template, and the logical plan it was lowered from (for EXPLAIN).
-// A compiled plan holds no per-run state — exec nodes are stateless at
-// Run time (mutable state lives in the per-run exec.Workspace) — so one
-// compiled plan may be executed by many goroutines concurrently; that is
-// what PreparedQuery relies on. Callers must copy gq before mutating it.
+// GroupBy adds grouping expressions; they must evaluate over
+// deterministic attributes only (paper App. A).
+func (q *QueryBuilder) GroupBy(exprs ...expr.Expr) *QueryBuilder {
+	q.groupBy = append(q.groupBy, exprs...)
+	return q
+}
+
+// Having sets the HAVING predicate, evaluated per group per Monte Carlo
+// run over the aggregation output row (grouping columns and aggregate
+// aliases). Requires GroupBy; not supported with tail sampling.
+func (q *QueryBuilder) Having(pred expr.Expr) *QueryBuilder {
+	q.having = pred
+	return q
+}
+
+// compiled is a planned query: the physical plan rooted in the grouped
+// aggregation operator, the looper query template, and the logical plan
+// it was lowered from (for EXPLAIN). A compiled plan holds no per-run
+// state — exec nodes are stateless at Run time (mutable state lives in
+// the per-run exec.Workspace) — so one compiled plan may be executed by
+// many goroutines concurrently; that is what PreparedQuery relies on.
+// Callers must copy gq before mutating it.
 type compiled struct {
-	plan exec.Node
+	plan exec.Node       // full physical tree (EXPLAIN)
+	agg  *exec.Aggregate // the aggregation root of plan
 	gq   gibbs.Query
 	lp   *plan.Plan
 }
 
 // compile validates the builder, plans it through the logical-plan layer
 // (internal/plan: predicate classification and pushdown, Split insertion,
-// greedy join ordering, looper-predicate extraction — see plan.Rules), and
-// lowers the result to physical exec operators.
+// greedy join ordering, looper-predicate extraction, aggregate placement
+// — see plan.Rules), and lowers the result to physical exec operators.
 func (q *QueryBuilder) compile() (*compiled, error) {
 	if len(q.froms) == 0 {
 		return nil, fmt.Errorf("mcdbr: query has no FROM items")
 	}
-	if q.aggE == nil && q.agg != Count {
+	if len(q.aggs) == 0 {
 		return nil, fmt.Errorf("mcdbr: query has no aggregate; call SelectSum/SelectCount/SelectAvg")
+	}
+	if q.having != nil && len(q.groupBy) == 0 {
+		return nil, fmt.Errorf("mcdbr: HAVING requires GROUP BY")
 	}
 	seen := map[string]bool{}
 	for _, f := range q.froms {
@@ -109,7 +143,13 @@ func (q *QueryBuilder) compile() (*compiled, error) {
 	for i, f := range q.froms {
 		froms[i] = plan.From{Table: f.table, Alias: f.alias}
 	}
-	lp, err := plan.Build(planCatalog{q.e}, plan.Query{Froms: froms, Where: q.where})
+	lp, err := plan.Build(planCatalog{q.e}, plan.Query{
+		Froms:   froms,
+		Where:   q.where,
+		GroupBy: q.groupBy,
+		Aggs:    q.aggs,
+		Having:  q.having,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -117,12 +157,19 @@ func (q *QueryBuilder) compile() (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	gq := gibbs.Query{Agg: q.agg, AggExpr: q.aggE}
+	root, ok := node.(*exec.Aggregate)
+	if !ok {
+		return nil, fmt.Errorf("mcdbr: internal: lowered plan root is %T, want *exec.Aggregate", node)
+	}
+	gq := gibbs.Query{Agg: root.Aggs[0]}
 	if len(lp.Final) > 0 {
 		gq.FinalPred = expr.And(lp.Final...)
 	}
-	return &compiled{plan: node, gq: gq, lp: lp}, nil
+	return &compiled{plan: node, agg: root, gq: gq, lp: lp}, nil
 }
+
+// grouped reports whether the compiled query has grouping expressions.
+func (c *compiled) grouped() bool { return len(c.agg.GroupBy) > 0 }
 
 // planCatalog adapts the engine's catalog and random-table definitions to
 // the planner's metadata interface.

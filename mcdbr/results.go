@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"repro/internal/exec"
-	"repro/internal/expr"
 	"repro/internal/gibbs"
 	"repro/internal/prng"
 	"repro/internal/stats"
@@ -65,6 +64,19 @@ func (d *Distribution) Quantile(q float64) float64 {
 	return d.dist().Quantile(q)
 }
 
+// CVaR returns the expected shortfall at level q: the conditional mean
+// of the query result beyond its q-quantile, E[X | X >= Quantile(q)] —
+// the standard risk measure paired with VaR. Computed through
+// stats.ConditionalMean over the sample.
+func (d *Distribution) CVaR(q float64) float64 {
+	return stats.ConditionalMean(d.Samples, d.Quantile(q), false)
+}
+
+// CVaRLower is CVaR for the loss-is-small tail: E[X | X <= Quantile(q)].
+func (d *Distribution) CVaRLower(q float64) float64 {
+	return stats.ConditionalMean(d.Samples, d.Quantile(q), true)
+}
+
 // Min returns the smallest sample — for a tail distribution, the paper's
 // SELECT MIN(totalLoss) FROM FTABLE tail-boundary estimate.
 func (d *Distribution) Min() float64 { return d.dist().Min() }
@@ -101,30 +113,157 @@ type TailResult struct {
 	P float64
 	// Lower reports whether this is a lower tail.
 	Lower bool
-	// ExpectedShortfall is E[result | result in tail].
+	// ExpectedShortfall is E[result | result in tail] — the CVaR paired
+	// with the QuantileEstimate VaR (stats.ConditionalMean over the
+	// conditioned sample).
 	ExpectedShortfall float64
 	// Diag exposes the Gibbs looper's per-iteration statistics.
 	Diag *gibbs.Result
 }
 
+// GroupedDistribution is the result of a grouped and/or multi-aggregate
+// Monte Carlo query: one Distribution per (group, aggregate) pair, with
+// groups in ascending key order. Ungrouped multi-aggregate queries have
+// exactly one group with an empty key.
+type GroupedDistribution struct {
+	// GroupCols name the grouping output columns (empty when ungrouped).
+	GroupCols []string
+	// AggCols name the aggregate output columns, in select-list order.
+	AggCols []string
+	// Groups holds the per-group results, sorted by key.
+	Groups []GroupDistribution
+}
+
+// GroupDistribution is one group's result.
+type GroupDistribution struct {
+	// Key holds the group's grouping-expression values.
+	Key types.Row
+	// Dists holds one result distribution per aggregate, in select-list
+	// order.
+	Dists []*Distribution
+	// Inclusion is the fraction of Monte Carlo runs in which the group
+	// satisfied the HAVING clause (1 when the query has none). Samples
+	// from excluded runs do not appear in Dists.
+	Inclusion float64
+}
+
+// KeyString renders the group key the way the legacy per-group maps are
+// keyed: the single value's string form, or comma-joined values for
+// multi-column keys.
+func (g *GroupDistribution) KeyString() string { return formatGroupKey(g.Key) }
+
+// Group returns the group with the given KeyString, or nil.
+func (gd *GroupedDistribution) Group(key string) *GroupDistribution {
+	for i := range gd.Groups {
+		if gd.Groups[i].KeyString() == key {
+			return &gd.Groups[i]
+		}
+	}
+	return nil
+}
+
+// DistMap flattens a single-aggregate grouped result into the legacy
+// map[key]*Distribution shape.
+func (gd *GroupedDistribution) DistMap() map[string]*Distribution {
+	out := make(map[string]*Distribution, len(gd.Groups))
+	for i := range gd.Groups {
+		out[gd.Groups[i].KeyString()] = gd.Groups[i].Dists[0]
+	}
+	return out
+}
+
+// GroupedTail is the result of a GROUP BY ... DOMAIN query: one
+// conditioned tail distribution per group (paper App. A), produced by one
+// Gibbs run per group over a single shared compiled plan.
+type GroupedTail struct {
+	// GroupCols name the grouping output columns.
+	GroupCols []string
+	// AggCol names the conditioned aggregate.
+	AggCol string
+	// Groups holds the per-group tails, sorted by key.
+	Groups []GroupTail
+}
+
+// GroupTail is one group's conditioned tail result.
+type GroupTail struct {
+	Key  types.Row
+	Tail *TailResult
+}
+
+// KeyString renders the group key (see GroupDistribution.KeyString).
+func (g *GroupTail) KeyString() string { return formatGroupKey(g.Key) }
+
+// TailMap flattens the grouped tails into the legacy
+// map[key]*TailResult shape.
+func (gt *GroupedTail) TailMap() map[string]*TailResult {
+	out := make(map[string]*TailResult, len(gt.Groups))
+	for i := range gt.Groups {
+		out[gt.Groups[i].KeyString()] = gt.Groups[i].Tail
+	}
+	return out
+}
+
+func formatGroupKey(key types.Row) string {
+	parts := make([]string, len(key))
+	for i, v := range key {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
 // MonteCarlo runs the query with n plain Monte Carlo repetitions (original
 // MCDB semantics) and returns the unconditioned result distribution. The
 // repetitions are replicate-sharded across the engine's worker count (see
-// WithParallelism); samples are identical for every worker count.
+// WithParallelism); samples are identical for every worker count. The
+// query must have a single aggregate and no GROUP BY — use
+// MonteCarloGrouped otherwise.
 func (q *QueryBuilder) MonteCarlo(n int) (d *Distribution, err error) {
 	defer recoverToError("MonteCarlo", &err)
 	c, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
+	if c.grouped() || len(c.agg.Aggs) > 1 {
+		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use MonteCarloGrouped")
+	}
 	return q.e.runMonteCarlo(c, n, q.e.seed, q.e.parallelism)
 }
 
-// runMonteCarlo executes a compiled plan for n Monte Carlo repetitions in
-// a fresh per-run workspace. It is the shared execution path of
+// MonteCarloGrouped runs a grouped and/or multi-aggregate query with n
+// plain Monte Carlo repetitions in a single pass: the plan executes once
+// per run, tuples are partitioned by their deterministic group key once,
+// and every repetition produces the whole per-group aggregate vector in
+// one sweep — no per-group re-execution.
+func (q *QueryBuilder) MonteCarloGrouped(n int) (gd *GroupedDistribution, err error) {
+	defer recoverToError("MonteCarloGrouped", &err)
+	c, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	return q.e.runGroupedMonteCarlo(c, n, q.e.seed, q.e.parallelism)
+}
+
+// runMonteCarlo executes a compiled single-aggregate ungrouped plan for n
+// Monte Carlo repetitions through the grouped single-pass evaluator (one
+// group, one aggregate — the per-repetition arithmetic is bit-for-bit
+// the pre-ISSUE-5 path). It is the shared execution path of
 // QueryBuilder.MonteCarlo and PreparedQuery.Run; seed and workers are
 // per-run so prepared queries can override them.
 func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*Distribution, error) {
+	gr, err := e.runGroupedRuns(c, n, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	samples := gr.Samples[0][0]
+	if err := stats.CheckFinite(samples); err != nil {
+		return nil, fmt.Errorf("mcdbr: Monte Carlo produced a non-finite query result (%w); check VG parameters and aggregate expressions", err)
+	}
+	return newDistribution(samples), nil
+}
+
+// runGroupedRuns is the raw single-pass grouped execution shared by the
+// Distribution-building paths.
+func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int) (*gibbs.GroupedRuns, error) {
 	// Plain Monte Carlo evaluates exactly positions [0, n) of every
 	// stream, so the window is n — not the engine window, which exists to
 	// amortize tail-sampling replenishment. (Shard workers already
@@ -132,14 +271,61 @@ func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*D
 	// on (seed, position), so the window size never changes results.)
 	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), n)
 	ws.Prefix = e.prefixHandle()
-	samples, err := gibbs.MonteCarloParallel(ws, c.plan, c.gq, n, workers)
+	return gibbs.MonteCarloGroupedParallel(ws, c.agg, c.gq.FinalPred, n, workers)
+}
+
+// runGroupedMonteCarlo executes a compiled grouped/multi-aggregate plan
+// and builds the per-group result distributions. With a HAVING clause,
+// each group keeps only the repetitions in which the predicate held;
+// groups that never satisfy it are dropped.
+func (e *Engine) runGroupedMonteCarlo(c *compiled, n int, seed uint64, workers int) (*GroupedDistribution, error) {
+	gr, err := e.runGroupedRuns(c, n, seed, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := stats.CheckFinite(samples); err != nil {
-		return nil, fmt.Errorf("mcdbr: Monte Carlo produced a non-finite query result (%w); check VG parameters and aggregate expressions", err)
+	out := &GroupedDistribution{
+		GroupCols: c.agg.GroupColNames(),
+		AggCols:   c.agg.AggColNames(),
 	}
-	return newDistribution(samples), nil
+	for g := range gr.Keys {
+		kept := n
+		samples := gr.Samples[g]
+		if gr.Include != nil {
+			samples = make([][]float64, len(gr.Samples[g]))
+			kept = 0
+			for _, inc := range gr.Include[g] {
+				if inc {
+					kept++
+				}
+			}
+			if kept == 0 {
+				continue // the group never satisfied HAVING
+			}
+			for a := range samples {
+				filtered := make([]float64, 0, kept)
+				for r, inc := range gr.Include[g] {
+					if inc {
+						filtered = append(filtered, gr.Samples[g][a][r])
+					}
+				}
+				samples[a] = filtered
+			}
+		}
+		gd := GroupDistribution{
+			Key:       gr.Keys[g],
+			Dists:     make([]*Distribution, len(samples)),
+			Inclusion: float64(kept) / float64(n),
+		}
+		for a := range samples {
+			if err := stats.CheckFinite(samples[a]); err != nil {
+				return nil, fmt.Errorf("mcdbr: group %s aggregate %s produced a non-finite query result (%w); check VG parameters and aggregate expressions",
+					formatGroupKey(gr.Keys[g]), c.agg.Aggs[a].Name, err)
+			}
+			gd.Dists[a] = newDistribution(samples[a])
+		}
+		out.Groups = append(out.Groups, gd)
+	}
+	return out, nil
 }
 
 // TailSampleOptions tunes tail sampling; the zero value uses the Appendix C
@@ -169,14 +355,38 @@ type TailSampleOptions struct {
 //	WITH RESULTDISTRIBUTION MONTECARLO(l)
 //	DOMAIN result >= QUANTILE(1-p)
 //
-// clause. For Lower tails the DOMAIN is result <= QUANTILE(p).
+// clause. For Lower tails the DOMAIN is result <= QUANTILE(p). The query
+// must have a single aggregate and no GROUP BY — use TailSampleGrouped
+// for per-group tails.
 func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (tr *TailResult, err error) {
 	defer recoverToError("TailSample", &err)
 	c, err := q.compile()
 	if err != nil {
 		return nil, err
 	}
+	if c.grouped() || len(c.agg.Aggs) > 1 {
+		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use TailSampleGrouped")
+	}
 	return q.e.runTail(c, p, l, opts, q.e.seed)
+}
+
+// TailSampleGrouped runs per-group tail sampling for a GROUP BY query:
+// the plan is compiled once, the groups are discovered from one plan run,
+// and each group gets its own conditioned Gibbs run restricted to its
+// tuples (paper App. A treats GROUP BY over g groups as g conditioned
+// queries) — without re-parsing, re-planning, or re-filtering per group,
+// and with deterministic prefixes shared through the engine's prefix
+// cache. The query must have exactly one aggregate and no HAVING.
+func (q *QueryBuilder) TailSampleGrouped(p float64, l int, opts TailSampleOptions) (gt *GroupedTail, err error) {
+	defer recoverToError("TailSampleGrouped", &err)
+	c, err := q.compile()
+	if err != nil {
+		return nil, err
+	}
+	if !c.grouped() {
+		return nil, fmt.Errorf("mcdbr: TailSampleGrouped needs GROUP BY; use TailSample")
+	}
+	return q.e.runGroupedTail(c, p, l, opts, q.e.seed)
 }
 
 // runTail executes a compiled plan's tail sampling in a fresh per-run
@@ -184,6 +394,20 @@ func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (tr 
 // PreparedQuery.Run. The looper query is copied, never mutated, so one
 // compiled plan can serve concurrent runs.
 func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64) (*TailResult, error) {
+	gq := c.gq
+	gq.LowerTail = opts.Lower
+	return e.runTailWith(c, gq, p, l, opts, seed)
+}
+
+// runTailWith is runTail with an explicit looper query — the per-group
+// conditioned runs of runGroupedTail pass a group-restricted copy.
+func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts TailSampleOptions, seed uint64) (*TailResult, error) {
+	if len(c.agg.Aggs) > 1 {
+		return nil, fmt.Errorf("mcdbr: DOMAIN tail sampling conditions on a single aggregate; the query has %d", len(c.agg.Aggs))
+	}
+	if c.agg.Having != nil {
+		return nil, fmt.Errorf("mcdbr: HAVING is not supported with DOMAIN tail sampling; drop the DOMAIN clause or the HAVING clause")
+	}
 	parallelism := opts.Parallelism
 	if parallelism == 0 {
 		parallelism = e.parallelism
@@ -205,9 +429,7 @@ func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, 
 	}
 	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
 	ws.Prefix = e.prefixHandle()
-	gq := c.gq
-	gq.LowerTail = opts.Lower
-	res, err := gibbs.Run(ws, c.plan, gq, cfg)
+	res, err := gibbs.Run(ws, c.agg.Child, gq, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -218,94 +440,48 @@ func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, 
 		Distribution:      *newDistribution(res.TailSamples),
 		QuantileEstimate:  res.Quantile,
 		P:                 p,
-		Lower:             opts.Lower,
+		Lower:             gq.LowerTail,
 		ExpectedShortfall: stats.ExpectedShortfall(res.TailSamples),
 		Diag:              res,
 	}, nil
 }
 
-// GroupedTailSample implements the paper's App. A footnote: a GROUP BY
-// query over g groups is treated as g separate queries, each with a
-// selection predicate limiting it to one group. groupCol must be a
-// deterministic column; its distinct values are taken from table
-// groupTable in the engine catalog.
-func (q *QueryBuilder) GroupedTailSample(groupTable, groupCol string, p float64, l int, opts TailSampleOptions) (map[string]*TailResult, error) {
-	values, qualCol, err := q.groupValues(groupTable, groupCol)
+// runGroupedTail runs one conditioned Gibbs chain per group of a compiled
+// GROUP BY query. Groups are discovered from a single plan run (shared
+// with the per-group runs through the deterministic-prefix cache); each
+// group's looper then executes in a fresh workspace restricted to the
+// group's tuples, exactly as if the query had been run with a per-group
+// selection predicate — samples are bit-identical to that formulation.
+func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64) (*GroupedTail, error) {
+	if c.agg.Having != nil {
+		return nil, fmt.Errorf("mcdbr: HAVING is not supported with DOMAIN tail sampling; drop the DOMAIN clause or the HAVING clause")
+	}
+	dws := exec.NewWorkspace(e.cat, prng.NewStream(seed), e.window)
+	dws.Prefix = e.prefixHandle()
+	tuples, err := dws.Run(c.agg)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*TailResult, len(values))
-	for _, v := range values {
-		gq := q.cloneWith(expr.B(expr.OpEq, expr.C(qualCol), &expr.Const{Val: v}))
-		res, err := gq.TailSample(p, l, opts)
-		if err != nil {
-			return nil, fmt.Errorf("mcdbr: group %s: %w", v, err)
-		}
-		out[v.String()] = res
-	}
-	return out, nil
-}
-
-// GroupedMonteCarlo runs one plain Monte Carlo query per distinct value of
-// groupCol in groupTable (the GROUP BY treatment of paper App. A, without
-// conditioning).
-func (q *QueryBuilder) GroupedMonteCarlo(groupTable, groupCol string, n int) (map[string]*Distribution, error) {
-	values, qualCol, err := q.groupValues(groupTable, groupCol)
+	keys, err := c.agg.GroupKeys(tuples)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*Distribution, len(values))
-	for _, v := range values {
-		gq := q.cloneWith(expr.B(expr.OpEq, expr.C(qualCol), &expr.Const{Val: v}))
-		d, err := gq.MonteCarlo(n)
+	out := &GroupedTail{
+		GroupCols: c.agg.GroupColNames(),
+		AggCol:    c.agg.AggColNames()[0],
+	}
+	for _, key := range keys {
+		gq := c.gq
+		gq.LowerTail = opts.Lower
+		gq.GroupBy = c.agg.GroupBy
+		gq.GroupKey = key
+		tr, err := e.runTailWith(c, gq, p, l, opts, seed)
 		if err != nil {
-			return nil, fmt.Errorf("mcdbr: group %s: %w", v, err)
+			return nil, fmt.Errorf("mcdbr: group %s: %w", formatGroupKey(key), err)
 		}
-		out[v.String()] = d
+		out.Groups = append(out.Groups, GroupTail{Key: key, Tail: tr})
 	}
 	return out, nil
-}
-
-// groupValues resolves the distinct grouping values and the qualified
-// predicate column for grouped execution.
-func (q *QueryBuilder) groupValues(groupTable, groupCol string) ([]types.Value, string, error) {
-	t, ok := q.e.cat.Get(groupTable)
-	if !ok {
-		return nil, "", fmt.Errorf("mcdbr: group table %q not registered", groupTable)
-	}
-	idx := t.Schema().Lookup(groupCol)
-	if idx < 0 {
-		return nil, "", fmt.Errorf("mcdbr: group column %q not in %s", groupCol, groupTable)
-	}
-	var values []types.Value
-	seen := map[string]bool{}
-	for _, r := range t.Rows() {
-		key := r[idx].String()
-		if !seen[key] {
-			seen[key] = true
-			values = append(values, r[idx])
-		}
-	}
-	sort.Slice(values, func(i, j int) bool { return values[i].Compare(values[j]) < 0 })
-	qualCol := groupCol
-	if !strings.Contains(groupCol, ".") {
-		for _, f := range q.froms {
-			if strings.EqualFold(f.table, groupTable) {
-				qualCol = f.alias + "." + groupCol
-				break
-			}
-		}
-	}
-	return values, qualCol, nil
-}
-
-// cloneWith copies the builder and appends one predicate.
-func (q *QueryBuilder) cloneWith(pred expr.Expr) *QueryBuilder {
-	gq := &QueryBuilder{e: q.e, agg: q.agg, aggE: q.aggE}
-	gq.froms = append(gq.froms, q.froms...)
-	gq.where = append(gq.where, q.where...)
-	gq.where = append(gq.where, pred)
-	return gq
 }
 
 // Histogram bins the samples into nBins equal-width buckets; a convenience

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -757,4 +758,189 @@ func BenchmarkGrouped_Speedup(b *testing.B) {
 		b.ReportMetric(loopDur.Seconds()/passDur.Seconds(), "speedup")
 		b.ReportMetric(groupedBenchGroups, "groups")
 	}
+}
+
+// measurePeakBytes runs f once and returns the peak live-heap growth over
+// the pre-run baseline, sampled by a background goroutine while f runs.
+// The GC growth target is lowered during the measurement so dead garbage
+// is reclaimed promptly and HeapAlloc tracks the live set — without this,
+// a streaming executor's recycled batches would be indistinguishable from
+// a materializing executor's retained relation.
+func measurePeakBytes(f func()) float64 {
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peakc := make(chan uint64, 1)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				peakc <- peak
+				return
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	f()
+	close(stop)
+	peak := <-peakc
+	if peak <= base.HeapAlloc {
+		return 0
+	}
+	return float64(peak - base.HeapAlloc)
+}
+
+// BenchmarkStreaming_QuickstartAggregate is the streaming-executor
+// measurement of the §2 quickstart SUM (same workload as
+// BenchmarkHotpath_QuickstartAggregate): wall-clock and allocs on the
+// prepared hot path, plus the sampled peak-live-bytes of one run as the
+// "peak-B" metric. BENCH_6.json compares these numbers against the
+// materializing executor's.
+func BenchmarkStreaming_QuickstartAggregate(b *testing.B) {
+	e := hotpathEngine(b)
+	pq, err := e.Prepare(`SELECT SUM(val) AS totalLoss FROM Losses WHERE CID < 10090
+WITH RESULTDISTRIBUTION MONTECARLO(256)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 256 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+	peak := measurePeakBytes(run)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(peak, "peak-B")
+}
+
+// BenchmarkStreaming_Fig2SelfJoin is the streaming-executor measurement of
+// the Fig. 2 salary-inversion self-join (same workload as
+// BenchmarkHotpath_Fig2SelfJoin), with the "peak-B" metric.
+func BenchmarkStreaming_Fig2SelfJoin(b *testing.B) {
+	e := mcdbr.New(mcdbr.WithSeed(77), mcdbr.WithParallelism(1))
+	sup, empmeans := workload.SalaryDB()
+	e.RegisterTable(sup)
+	e.RegisterTable(empmeans)
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "emp", ParamTable: "empmeans", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("msal"), expr.F(4e6)},
+		Columns:  []mcdbr.RandomCol{{Name: "eid", FromParam: "eid"}, {Name: "sal", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	pq, err := e.Prepare(`SELECT SUM(emp2.sal - emp1.sal) AS inv
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(128)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 128 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+	peak := measurePeakBytes(run)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(peak, "peak-B")
+}
+
+// streamingLargeScanRows sizes the large-scan workload: the accounts table
+// is two thousand times larger than what survives its filter, so run
+// footprint is dominated by how the executor carries the scan.
+const streamingLargeScanRows = 200000
+
+// streamingLargeScanEngine builds the large-scan workload: a 200k-row
+// deterministic accounts table filtered down to 2k rows and joined under a
+// 100-customer random loss table. The deterministic-prefix cache is
+// disabled so every run pays the scan — a materializing executor holds
+// every scanned tuple at once, a streaming one only the current batch plus
+// the filter survivors.
+func streamingLargeScanEngine(b *testing.B) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(23), mcdbr.WithParallelism(1), mcdbr.WithPrefixCacheSize(-1))
+	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
+	accounts := storage.NewTable("accounts", types.NewSchema(
+		types.Column{Name: "aid", Kind: types.KindInt},
+		types.Column{Name: "flag", Kind: types.KindInt},
+		types.Column{Name: "w", Kind: types.KindFloat},
+	))
+	for i := 0; i < streamingLargeScanRows; i++ {
+		flag := int64(0)
+		if i%100 == 0 {
+			flag = 1
+		}
+		accounts.MustAppend(types.Row{
+			types.NewInt(int64(10000 + i%100)),
+			types.NewInt(flag),
+			types.NewFloat(1 + float64(i%7)/8),
+		})
+	}
+	e.RegisterTable(accounts)
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const streamingLargeScanSQL = `SELECT SUM(losses.val * accounts.w) AS wloss
+FROM losses, accounts
+WHERE losses.cid = accounts.aid AND accounts.flag = 1
+WITH RESULTDISTRIBUTION MONTECARLO(16)`
+
+// BenchmarkStreaming_LargeScan is the bounded-memory acceptance benchmark:
+// the 200k-row filtered scan under a Monte Carlo aggregate, prefix cache
+// off. The "peak-B" metric must drop by at least half when the executor
+// streams (ISSUE 6 acceptance; see BENCH_6.json).
+func BenchmarkStreaming_LargeScan(b *testing.B) {
+	e := streamingLargeScanEngine(b)
+	pq, err := e.Prepare(streamingLargeScanSQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		res, err := pq.Run(mcdbr.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dist.Samples) != 16 {
+			b.Fatalf("samples = %d", len(res.Dist.Samples))
+		}
+	}
+	peak := measurePeakBytes(run)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(peak, "peak-B")
 }

@@ -50,11 +50,12 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneously executing queries (0 = NumCPU)")
 	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU capacity (0 = default 64)")
 	samples := flag.Int("samples", 0, "default tail-sampling budget N (0 = choose via Appendix C)")
+	maxQueryBytes := flag.Int64("max-query-bytes", 0, "per-query executor memory budget in bytes; queries exceeding it fail instead of exhausting memory (0 = unbounded)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful-shutdown timeout")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	if err := run(loads, *addr, *initScript, *pprofAddr, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *grace); err != nil {
+	if err := run(loads, *addr, *initScript, *pprofAddr, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *maxQueryBytes, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdbr-serve:", err)
 		os.Exit(1)
 	}
@@ -76,12 +77,13 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, window, workers, maxConcurrent, planCache, samples int, grace time.Duration) error {
+func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, window, workers, maxConcurrent, planCache, samples int, maxQueryBytes int64, grace time.Duration) error {
 	engine := mcdbr.New(
 		mcdbr.WithSeed(seed),
 		mcdbr.WithWindow(window),
 		mcdbr.WithParallelism(workers),
 		mcdbr.WithPlanCacheSize(planCache),
+		mcdbr.WithMaxQueryBytes(maxQueryBytes),
 	)
 	for _, spec := range loads {
 		parts := strings.SplitN(spec, "=", 2)

@@ -1,6 +1,31 @@
 package bundle
 
-import "repro/internal/types"
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/types"
+)
+
+// MemGauge is a shared, atomically-updated byte counter for slab arena
+// memory. Every slab of one query run (including the private slabs of
+// replicate-shard workers) points at the same gauge, so the executor's
+// per-run memory budget (exec.Workspace.MaxBytes) sees the query's total
+// arena footprint. Chunks are charged when freshly allocated, never on
+// free-list reuse, and are never un-charged: a slab's chunks live until
+// the slab itself is garbage, so the gauge tracks the high-water arena
+// footprint of the run.
+type MemGauge struct{ bytes atomic.Int64 }
+
+// Load returns the bytes charged so far.
+func (g *MemGauge) Load() int64 { return g.bytes.Load() }
+
+// Add charges n bytes; nil-safe so ungauged slabs cost nothing.
+func (g *MemGauge) Add(n int64) {
+	if g != nil {
+		g.bytes.Add(n)
+	}
+}
 
 // Chunk sizing for the three slab arenas: each arena starts with a small
 // chunk and doubles per growth up to the max, so a ten-tuple serving
@@ -50,10 +75,41 @@ type Slab struct {
 	nextValChunk   int
 	nextTupleChunk int
 	nextRefChunk   int
+
+	// gauge, when non-nil, is charged for every freshly allocated chunk
+	// (see MemGauge); free-list reuse is free.
+	gauge *MemGauge
+	// capBytes totals the bytes of every chunk the slab owns (used and
+	// free); AdoptGauge charges it when the slab moves to another run.
+	capBytes int64
 }
 
 // NewSlab returns an empty slab; chunks are allocated lazily.
 func NewSlab() *Slab { return &Slab{} }
+
+// SetGauge attaches the byte gauge charged for fresh chunk allocations.
+func (s *Slab) SetGauge(g *MemGauge) { s.gauge = g }
+
+// CapBytes returns the total bytes of arena chunks the slab owns.
+func (s *Slab) CapBytes() int64 { return s.capBytes }
+
+// AdoptGauge moves a recycled slab to a new run's gauge, charging the
+// chunks it already owns: a pooled slab must cost the adopting run what
+// a fresh slab growing the same chunks would, so the memory budget stays
+// independent of pool history. No-op when the slab already charges g.
+func (s *Slab) AdoptGauge(g *MemGauge) {
+	if s.gauge == g {
+		return
+	}
+	s.gauge = g
+	g.Add(s.capBytes)
+}
+
+// charge records a freshly allocated chunk of n bytes.
+func (s *Slab) charge(n int64) {
+	s.capBytes += n
+	s.gauge.Add(n)
+}
 
 // Row returns a zeroed row of width w (every slot is NULL), carved from
 // the value arena.
@@ -86,6 +142,7 @@ func (s *Slab) growVals(w int) {
 			n = w
 		}
 		chunk = make([]types.Value, n)
+		s.charge(int64(n) * int64(unsafe.Sizeof(types.Value{})))
 	}
 	s.usedVals = append(s.usedVals, chunk)
 	s.vals = chunk
@@ -115,6 +172,7 @@ func (s *Slab) growTuples() {
 			s.nextTupleChunk *= 2
 		}
 		chunk = make([]Tuple, n)
+		s.charge(int64(n) * int64(unsafe.Sizeof(Tuple{})))
 	}
 	s.usedTuples = append(s.usedTuples, chunk)
 	s.tuples = chunk
@@ -151,6 +209,7 @@ func (s *Slab) growRefs(n int) {
 			c = n
 		}
 		chunk = make([]RandRef, c)
+		s.charge(int64(c) * int64(unsafe.Sizeof(RandRef{})))
 	}
 	s.usedRefs = append(s.usedRefs, chunk)
 	s.refs = chunk

@@ -128,12 +128,12 @@ func (s AggSpec) Contribution(compiled *expr.Compiled, row types.Row, sign float
 }
 
 // Aggregate is the plan-root physical operator of an aggregation query.
-// Run passes its child's Gibbs-tuple stream through unchanged (aggregate
+// Open passes its child's Gibbs-tuple stream through unchanged (aggregate
 // values vary per DB version, so they cannot be materialized as tuples);
 // consumers — gibbs.MonteCarloGrouped for single-pass grouped Monte
-// Carlo, the Gibbs looper for tail sampling — evaluate the aggregates
-// per version through NewEval. Aggregate never appears below another
-// operator.
+// Carlo, the Gibbs looper for tail sampling — are the true sinks: they
+// drain the stream once and evaluate the aggregates per version through
+// OpenEval. Aggregate never appears below another operator.
 type Aggregate struct {
 	Child Node
 	// GroupBy are the grouping expressions; they must evaluate over
@@ -270,9 +270,9 @@ func (a *Aggregate) String() string {
 	return out + "]"
 }
 
-// Run implements Node: the child's tuple stream passes through unchanged.
-func (a *Aggregate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	return ws.Run(a.Child)
+// Open implements Node: the child's tuple stream passes through unchanged.
+func (a *Aggregate) Open(ws *Workspace) (Iterator, error) {
+	return a.Child.Open(ws)
 }
 
 // aggGroup is one group's evaluation state: the key, the contributions of
@@ -285,7 +285,7 @@ type aggGroup struct {
 }
 
 // AggEval is the single-pass grouped-aggregation evaluator over one plan
-// run's tuple stream. Build it once per run with NewEval; EvalVersion then
+// run's tuple stream. Build it once per run with OpenEval; EvalVersion then
 // produces the vector of aggregate values for every group for one DB
 // version in a single sweep over the (partitioned) tuples. Scratch rows
 // and per-group state are allocated once, in contiguous backing arrays,
@@ -303,7 +303,7 @@ type AggEval struct {
 }
 
 // groupKeySlots collects the schema slots the grouping expressions read;
-// NewEval uses them to reject tuples whose group key would read a random
+// OpenEval uses them to reject tuples whose group key would read a random
 // (VG-generated) slot — grouping columns must be deterministic (paper
 // App. A).
 func groupKeySlots(agg *Aggregate, schema *types.Schema) ([]int, error) {
@@ -320,12 +320,16 @@ func groupKeySlots(agg *Aggregate, schema *types.Schema) ([]int, error) {
 	return slots, nil
 }
 
-// NewEval builds the evaluator for one run's tuple stream. final is the
-// Gibbs-looper final predicate (paper App. A) applied to every tuple
-// before aggregation; nil means no predicate. When the query has no
-// GROUP BY the evaluator always exposes exactly one group (with an empty
-// key), even over an empty tuple stream.
-func (a *Aggregate) NewEval(tuples []*bundle.Tuple, final expr.Expr) (*AggEval, error) {
+// OpenEval builds the evaluator by streaming one run of the child plan
+// through the batch pipeline: deterministic member tuples fold into their
+// group's base state as they pass, and tuples with random lineage are
+// retained (Workspace.Retain) for per-version re-evaluation — the only
+// part of the stream the evaluator holds on to. final is the Gibbs-looper
+// final predicate (paper App. A) applied to every tuple before
+// aggregation; nil means no predicate. When the query has no GROUP BY the
+// evaluator always exposes exactly one group (with an empty key), even
+// over an empty tuple stream.
+func (a *Aggregate) OpenEval(ws *Workspace, final expr.Expr) (*AggEval, error) {
 	schema := a.Child.Schema()
 	ev := &AggEval{agg: a, aggExprs: make([]*expr.Compiled, len(a.Aggs))}
 	var err error
@@ -377,24 +381,45 @@ func (a *Aggregate) NewEval(tuples []*bundle.Tuple, final expr.Expr) (*AggEval, 
 		findGroup(types.Row{})
 	}
 	keyBuf := make(types.Row, len(groupExprs))
-	for _, tu := range tuples {
-		for _, slot := range keySlots {
-			for _, r := range tu.Rand {
-				if r.Slot == slot {
-					return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+	it, err := a.Child.Open(ws)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	durable := isDurable(it)
+	for {
+		if err := ws.checkBudget(); err != nil {
+			return nil, err
+		}
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for _, tu := range b.Tuples {
+			for _, slot := range keySlots {
+				for _, r := range tu.Rand {
+					if r.Slot == slot {
+						return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+					}
 				}
 			}
-		}
-		for i, ge := range groupExprs {
-			keyBuf[i] = ge.Eval(tu.Det)
-		}
-		g := findGroup(keyBuf)
-		if tu.IsRandom() {
-			g.rand = append(g.rand, tu)
-			continue
-		}
-		if err := ev.contribute(tu.Det, g.base); err != nil {
-			return nil, err
+			for i, ge := range groupExprs {
+				keyBuf[i] = ge.Eval(tu.Det)
+			}
+			g := findGroup(keyBuf)
+			if tu.IsRandom() {
+				if !durable {
+					tu = ws.Retain(tu)
+				}
+				g.rand = append(g.rand, tu)
+				continue
+			}
+			if err := ev.contribute(tu.Det, g.base); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Deterministic group order for every consumer: sort by key.
@@ -419,12 +444,13 @@ func LessRow(a, b types.Row) bool {
 	return len(a) < len(b)
 }
 
-// GroupKeys partitions one plan run's tuple stream by group key and
-// returns the distinct keys in ascending order, without building the
-// full evaluator — the cheap discovery pass of per-group tail sampling.
-// It applies the same validation as NewEval (unknown columns, random
+// StreamGroupKeys streams one run of the child plan and returns the
+// distinct group keys in ascending order, without building the full
+// evaluator — the cheap, bounded-memory discovery pass of per-group tail
+// sampling (only the distinct keys are retained, never the tuples). It
+// applies the same validation as OpenEval (unknown columns, random
 // grouping slots). Ungrouped queries yield one empty key.
-func (a *Aggregate) GroupKeys(tuples []*bundle.Tuple) ([]types.Row, error) {
+func (a *Aggregate) StreamGroupKeys(ws *Workspace) ([]types.Row, error) {
 	schema := a.Child.Schema()
 	if len(a.GroupBy) == 0 {
 		return []types.Row{{}}, nil
@@ -444,28 +470,45 @@ func (a *Aggregate) GroupKeys(tuples []*bundle.Tuple) ([]types.Row, error) {
 	var keys []types.Row
 	index := map[uint64][]int{}
 	keyBuf := make(types.Row, len(groupExprs))
-	for _, tu := range tuples {
-		for _, slot := range keySlots {
-			for _, r := range tu.Rand {
-				if r.Slot == slot {
-					return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+	it, err := a.Child.Open(ws)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		if err := ws.checkBudget(); err != nil {
+			return nil, err
+		}
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for _, tu := range b.Tuples {
+			for _, slot := range keySlots {
+				for _, r := range tu.Rand {
+					if r.Slot == slot {
+						return nil, fmt.Errorf("exec: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+					}
 				}
 			}
-		}
-		for i, ge := range groupExprs {
-			keyBuf[i] = ge.Eval(tu.Det)
-		}
-		h := keyBuf.Hash()
-		known := false
-		for _, ki := range index[h] {
-			if keys[ki].Equal(keyBuf) {
-				known = true
-				break
+			for i, ge := range groupExprs {
+				keyBuf[i] = ge.Eval(tu.Det)
 			}
-		}
-		if !known {
-			keys = append(keys, keyBuf.Clone())
-			index[h] = append(index[h], len(keys)-1)
+			h := keyBuf.Hash()
+			known := false
+			for _, ki := range index[h] {
+				if keys[ki].Equal(keyBuf) {
+					known = true
+					break
+				}
+			}
+			if !known {
+				keys = append(keys, keyBuf.Clone())
+				index[h] = append(index[h], len(keys)-1)
+			}
 		}
 	}
 	sort.SliceStable(keys, func(i, j int) bool { return LessRow(keys[i], keys[j]) })

@@ -52,40 +52,147 @@ func (n *Cross) Deterministic() bool { return n.Left.Deterministic() && n.Right.
 
 func (n *Cross) String() string { return "Cross" }
 
-// Run implements Node.
-func (n *Cross) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	left, err := ws.Run(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ws.Run(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	var residual *expr.Compiled
+// Open implements Node. The inner (right) side is buffered fully at Open —
+// it is rescanned once per left tuple. The outer (left) side streams batch
+// by batch, unless both sides are non-deterministic, in which case it too
+// is buffered at Open: the materializing executor evaluated the left
+// subtree — and allocated its TS-seeds — before the right, and streaming
+// the left after the right's buffering drain would reverse that order.
+func (n *Cross) Open(ws *Workspace) (Iterator, error) {
+	it := &crossIter{ws: ws, op: n, lw: n.Left.Schema().Len()}
 	if n.Residual != nil {
-		residual, err = expr.Compile(n.Residual, n.schema)
+		c, err := expr.Compile(n.Residual, n.schema)
 		if err != nil {
 			return nil, fmt.Errorf("exec: cross residual: %w", err)
 		}
+		it.residual = c
 	}
-	lw := n.Left.Schema().Len()
-	slab := ws.alloc()
-	var out []*bundle.Tuple
-	for _, ltu := range left {
-		for _, rtu := range right {
-			det := slab.Row(lw + len(rtu.Det))
-			copy(det, ltu.Det)
-			copy(det[lw:], rtu.Det)
-			if residual != nil && !residual.EvalBool(det) {
+	it.bufSlab = ws.getSlab()
+	if !n.Left.Deterministic() && !n.Right.Deterministic() {
+		buf, err := ws.drainNode(n.Left, it.bufSlab)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.leftBuf = buf
+	} else {
+		left, err := n.Left.Open(ws)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.left = left
+	}
+	right, err := ws.drainNode(n.Right, it.bufSlab)
+	if err != nil {
+		it.Close()
+		return nil, err
+	}
+	it.right = right
+	it.slab = ws.getSlab()
+	return it, nil
+}
+
+type crossIter struct {
+	ws       *Workspace
+	op       *Cross
+	residual *expr.Compiled
+	lw       int
+
+	right   []*bundle.Tuple
+	bufSlab *bundle.Slab // retains the inner side (and the buffered left)
+
+	left    Iterator // streaming outer side; nil when buffered
+	leftBuf []*bundle.Tuple
+	lpos    int
+	in      *Batch
+	pos     int
+
+	// Resume point: the current left tuple and its right-side cursor.
+	ltu *bundle.Tuple
+	ri  int
+
+	slab  *bundle.Slab
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+func (it *crossIter) nextLeft() (*bundle.Tuple, error) {
+	if it.left == nil {
+		if it.lpos >= len(it.leftBuf) {
+			return nil, nil
+		}
+		tu := it.leftBuf[it.lpos]
+		it.lpos++
+		return tu, nil
+	}
+	for it.in == nil || it.pos >= len(it.in.Tuples) {
+		b, err := it.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		it.in, it.pos = b, 0
+	}
+	tu := it.in.Tuples[it.pos]
+	it.pos++
+	return tu, nil
+}
+
+func (it *crossIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	limit := it.ws.batchSize()
+	for len(it.out) < limit {
+		if it.ltu != nil && it.ri < len(it.right) {
+			rtu := it.right[it.ri]
+			it.ri++
+			det := it.slab.Row(it.lw + len(rtu.Det))
+			copy(det, it.ltu.Det)
+			copy(det[it.lw:], rtu.Det)
+			if it.residual != nil && !it.residual.EvalBool(det) {
 				continue
 			}
-			nt := slab.Tuple()
+			nt := it.slab.Tuple()
 			nt.Det = det
-			nt.Rand = concatRand(slab, ltu.Rand, rtu.Rand, lw)
-			nt.Pres = concatPres(ltu.Pres, rtu.Pres)
-			out = append(out, nt)
+			nt.Rand = concatRand(it.slab, it.ltu.Rand, rtu.Rand, it.lw)
+			nt.Pres = concatPres(it.ltu.Pres, rtu.Pres)
+			it.out = append(it.out, nt)
+			continue
 		}
+		ltu, err := it.nextLeft()
+		if err != nil {
+			return nil, err
+		}
+		if ltu == nil {
+			break
+		}
+		it.ltu, it.ri = ltu, 0
 	}
-	return out, nil
+	if len(it.out) == 0 {
+		return nil, nil
+	}
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *crossIter) Close() {
+	if it.left != nil {
+		it.left.Close()
+		it.left = nil
+	}
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
+	if it.bufSlab != nil {
+		it.ws.putSlab(it.bufSlab)
+		it.bufSlab = nil
+	}
+	it.right, it.leftBuf, it.in, it.ltu = nil, nil, nil, nil
 }

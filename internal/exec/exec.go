@@ -4,6 +4,15 @@
 // many DB versions the Gibbs Looper maintains, producing the stream of
 // instantiated Gibbs tuples the looper consumes.
 //
+// Execution is a pull-based batch pipeline (DESIGN.md §9): Open builds an
+// iterator tree, and each Next call hands the consumer one fixed-size,
+// slab-backed batch of tuples, so a plan run's footprint is bounded by the
+// batch size (plus whatever the consumer retains), not by relation size.
+// Batch boundaries are semantically invisible: results are bit-for-bit
+// identical to the old materialize-everything executor for every batch
+// size, because TS-seed allocation, window materialization, and output
+// order depend only on the tuple stream order, which batching preserves.
+//
 // Plans support the replenishing runs of paper §9: results of fully
 // deterministic subtrees are materialized on first execution and served
 // from cache on re-execution, the TS-seed allocator is rewound so the same
@@ -12,8 +21,9 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
-	"strings"
+	"sync"
 
 	"repro/internal/bundle"
 	"repro/internal/expr"
@@ -23,6 +33,45 @@ import (
 	"repro/internal/types"
 	"repro/internal/vg"
 )
+
+// DefaultBatchSize is the number of tuples per streamed batch when
+// Workspace.BatchSize is unset.
+const DefaultBatchSize = 1024
+
+// ErrMemoryBudget is wrapped by the error a query run fails with when its
+// tuple arenas outgrow Workspace.MaxBytes (RunOptions.MaxBytes /
+// mcdbr-serve -max-query-bytes). Test with errors.Is.
+var ErrMemoryBudget = errors.New("exec: query memory budget exceeded")
+
+// Batch is one unit of the streaming pipeline: a short slice of tuples,
+// at most Workspace.BatchSize long. A batch (and every tuple in it) is
+// valid only until the next Next or Close call on the iterator that
+// returned it — producers recycle their slab arenas per batch. Consumers
+// that need a tuple longer must copy it out with Workspace.Retain.
+type Batch struct {
+	Tuples []*bundle.Tuple
+}
+
+// Iterator is one open streaming execution of a plan subtree. Next
+// returns the next non-empty batch, or (nil, nil) at end of stream (and
+// keeps returning that if called again). Close releases the subtree's
+// per-run resources (slab arenas return to the workspace pool); it must
+// be called exactly once, after which no batch from the iterator may be
+// used.
+type Iterator interface {
+	Next() (*Batch, error)
+	Close()
+}
+
+// batchDurable is implemented by iterators whose batches stay valid for
+// the whole workspace lifetime (materialized deterministic prefixes):
+// consumers may reference their tuples without retaining copies.
+type batchDurable interface{ durableBatches() bool }
+
+func isDurable(it Iterator) bool {
+	d, ok := it.(batchDurable)
+	return ok && d.durableBatches()
+}
 
 // Workspace carries cross-operator state for one query.
 type Workspace struct {
@@ -51,19 +100,83 @@ type Workspace struct {
 	// repeated runs (prepared queries, shard workers) skip the
 	// deterministic part of the plan entirely.
 	Prefix *PrefixHandle
+	// BatchSize is the number of tuples per streamed batch; <= 0 selects
+	// DefaultBatchSize. Results are bit-for-bit identical for every batch
+	// size.
+	BatchSize int
+	// MaxBytes, when positive, bounds the total slab-arena bytes this
+	// query run (including its replicate-shard workers, which share the
+	// gauge) may allocate; a run that would exceed it fails with an error
+	// wrapping ErrMemoryBudget instead of exhausting process memory.
+	MaxBytes int64
+	// Gauge totals the run's slab-arena bytes across all its workspaces.
+	Gauge *bundle.MemGauge
 
-	matCache  map[Node][]*bundle.Tuple
-	scanCache map[string][]*bundle.Tuple
+	matCache map[Node][]*bundle.Tuple
 
 	// det holds allocations that must survive replenishing runs
-	// (deterministic subtree outputs, TS-seed parameter rows); tmp holds
-	// everything else and is recycled by BeginReplenish, when the previous
-	// plan output is discarded wholesale.
+	// (deterministic subtree outputs, retained compat-Run results of
+	// deterministic plans); tmp holds retained tuples of the current run
+	// and is recycled by BeginReplenish, when the previous plan output is
+	// discarded wholesale. Operator iterators use pooled per-operator
+	// slabs instead, recycled per batch.
 	det, tmp *bundle.Slab
-	// detDepth > 0 while running inside a deterministic subtree, whose
-	// output is retained by matCache (and possibly the engine prefix
-	// cache) and therefore must come from the pinned slab.
-	detDepth int
+	// pool recycles per-operator slabs across Open/Close cycles (a
+	// replenishing run re-opens the plan with warm chunks). ws.det is
+	// never pooled: its allocations outlive every iterator.
+	pool []*bundle.Slab
+	// Slabs, when non-nil, is an engine-shared pool consulted after the
+	// run-local one, so a fresh workspace per query still opens with warm
+	// chunks (re-growing arenas is the dominant fixed cost of a small
+	// query). Pooled slabs are Reset (zeroed), so results are identical
+	// with or without the pool.
+	Slabs *SlabPool
+}
+
+// SlabPool recycles per-operator scratch slabs across query runs. Every
+// run builds a fresh Workspace, so the run-local pool starts cold; an
+// engine shares one SlabPool across its runs instead. A slab adopted
+// from the pool charges its full chunk capacity to the adopting run's
+// gauge (bundle.Slab.AdoptGauge), so the memory budget reads the same
+// whether chunks came warm or fresh. Oversized slabs (a large scan's
+// arenas) and overflow beyond the pool cap are left to the GC rather
+// than pinned forever.
+type SlabPool struct {
+	mu    sync.Mutex
+	slabs []*bundle.Slab
+}
+
+const (
+	maxPooledSlabBytes = 256 << 10
+	maxPooledSlabs     = 32
+)
+
+// NewSlabPool returns an empty engine-level slab pool.
+func NewSlabPool() *SlabPool { return &SlabPool{} }
+
+func (p *SlabPool) get() *bundle.Slab {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.slabs); n > 0 {
+		s := p.slabs[n-1]
+		p.slabs[n-1] = nil
+		p.slabs = p.slabs[:n-1]
+		return s
+	}
+	return nil
+}
+
+func (p *SlabPool) put(s *bundle.Slab) bool {
+	if s.CapBytes() > maxPooledSlabBytes {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.slabs) >= maxPooledSlabs {
+		return false
+	}
+	p.slabs = append(p.slabs, s)
+	return true
 }
 
 // NewWorkspace builds a workspace. window <= 0 selects 1024.
@@ -71,46 +184,152 @@ func NewWorkspace(cat *storage.Catalog, master prng.Stream, window int) *Workspa
 	if window <= 0 {
 		window = 1024
 	}
-	return &Workspace{
-		Master:    master,
-		Seeds:     seeds.NewStore(),
-		Window:    window,
-		Catalog:   cat,
-		matCache:  make(map[Node][]*bundle.Tuple),
-		scanCache: make(map[string][]*bundle.Tuple),
-		det:       bundle.NewSlab(),
-		tmp:       bundle.NewSlab(),
+	ws := &Workspace{
+		Master:   master,
+		Seeds:    seeds.NewStore(),
+		Window:   window,
+		Catalog:  cat,
+		Gauge:    &bundle.MemGauge{},
+		matCache: make(map[Node][]*bundle.Tuple),
+		det:      bundle.NewSlab(),
+		tmp:      bundle.NewSlab(),
+	}
+	ws.det.SetGauge(ws.Gauge)
+	ws.tmp.SetGauge(ws.Gauge)
+	return ws
+}
+
+// adoptGauge points the workspace's arenas at a shared gauge, so shard
+// workers charge their prototype's run-wide memory budget. Must be called
+// before the workspace allocates anything.
+func (ws *Workspace) adoptGauge(g *bundle.MemGauge) {
+	ws.Gauge = g
+	ws.det.SetGauge(g)
+	ws.tmp.SetGauge(g)
+}
+
+// batchSize resolves the effective batch size.
+func (ws *Workspace) batchSize() int {
+	if ws.BatchSize > 0 {
+		return ws.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// checkBudget fails the run once the arena gauge exceeds MaxBytes. Every
+// producing iterator calls it at the top of Next, so a runaway query stops
+// within one batch of crossing the budget.
+func (ws *Workspace) checkBudget() error {
+	if ws.MaxBytes > 0 {
+		if used := ws.Gauge.Load(); used > ws.MaxBytes {
+			return fmt.Errorf("%w: tuple arenas hold %d bytes, budget is %d bytes (raise RunOptions.MaxBytes / -max-query-bytes, or reduce what the query retains)", ErrMemoryBudget, used, ws.MaxBytes)
+		}
+	}
+	return nil
+}
+
+// getSlab hands an iterator a per-operator slab from the workspace pool;
+// putSlab resets it and returns it at Close, so a replenishing run's
+// re-opened iterators reuse warm chunks instead of growing fresh ones.
+func (ws *Workspace) getSlab() *bundle.Slab {
+	if n := len(ws.pool); n > 0 {
+		s := ws.pool[n-1]
+		ws.pool = ws.pool[:n-1]
+		return s
+	}
+	if ws.Slabs != nil {
+		if s := ws.Slabs.get(); s != nil {
+			s.AdoptGauge(ws.Gauge)
+			return s
+		}
+	}
+	s := bundle.NewSlab()
+	s.SetGauge(ws.Gauge)
+	return s
+}
+
+func (ws *Workspace) putSlab(s *bundle.Slab) {
+	s.Reset()
+	if ws.Slabs != nil && ws.Slabs.put(s) {
+		return
+	}
+	ws.pool = append(ws.pool, s)
+}
+
+// Retain copies tu out of its producer's recyclable batch arena into the
+// workspace's run-lifetime slab, so the caller may hold it across batches
+// (the gibbs looper keeps every random tuple for the whole sampling run).
+// Det and Rand are copied; Pres is shared — presence vectors are ordinary
+// GC allocations and never mutated in place.
+func (ws *Workspace) Retain(tu *bundle.Tuple) *bundle.Tuple {
+	return retainInto(ws.tmp, tu)
+}
+
+func retainInto(slab *bundle.Slab, tu *bundle.Tuple) *bundle.Tuple {
+	nt := slab.Tuple()
+	nt.Det = slab.Row(len(tu.Det))
+	copy(nt.Det, tu.Det)
+	if len(tu.Rand) > 0 {
+		nt.Rand = slab.RandRefs(len(tu.Rand))
+		copy(nt.Rand, tu.Rand)
+	}
+	nt.Pres = tu.Pres
+	return nt
+}
+
+// drainNode streams the subtree under n to completion, retaining every
+// tuple in slab — except when the subtree serves durable batches (a
+// materialized prefix), which are referenced without copying. It is the
+// buffering primitive behind the compat Run path and the build/ordering
+// buffers inside join operators.
+func (ws *Workspace) drainNode(n Node, slab *bundle.Slab) ([]*bundle.Tuple, error) {
+	it, err := n.Open(ws)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	durable := isDurable(it)
+	var out []*bundle.Tuple
+	for {
+		if err := ws.checkBudget(); err != nil {
+			return nil, err
+		}
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if durable {
+			out = append(out, b.Tuples...)
+			continue
+		}
+		for _, tu := range b.Tuples {
+			out = append(out, retainInto(slab, tu))
+		}
 	}
 }
 
-// alloc returns the slab node Run methods must allocate tuples from:
-// the pinned slab inside deterministic subtrees (their output outlives
-// replenishing runs via the materialization caches), the recyclable slab
-// everywhere else.
-func (ws *Workspace) alloc() *bundle.Slab {
-	if ws.detDepth > 0 {
-		return ws.det
-	}
-	return ws.tmp
-}
-
-// Run executes the plan rooted at n. On replenishing runs, call
-// BeginReplenish first.
+// Run executes the plan rooted at n and materializes its entire output —
+// the compatibility wrapper over the streaming pipeline for consumers
+// that want whole relations (internal/naive, tests). Deterministic roots
+// are cached per workspace, so repeated and replenishing runs reuse the
+// first result; their tuples live on the pinned slab and survive
+// BeginReplenish. On replenishing runs, call BeginReplenish first.
 func (ws *Workspace) Run(n Node) ([]*bundle.Tuple, error) {
 	if n.Deterministic() {
 		if cached, ok := ws.matCache[n]; ok {
 			return cached, nil
 		}
-		ws.detDepth++
-		out, err := n.Run(ws)
-		ws.detDepth--
+		out, err := ws.drainNode(n, ws.det)
 		if err != nil {
 			return nil, err
 		}
 		ws.matCache[n] = out
 		return out, nil
 	}
-	return n.Run(ws)
+	return ws.drainNode(n, ws.tmp)
 }
 
 // BeginReplenish prepares the workspace for a §9 replenishing run: existing
@@ -130,9 +349,10 @@ func (ws *Workspace) BeginReplenish() {
 type Node interface {
 	// Schema is the operator's output schema.
 	Schema() *types.Schema
-	// Run produces the operator's full output. Use Workspace.Run for
-	// caching of deterministic subtrees.
-	Run(ws *Workspace) ([]*bundle.Tuple, error)
+	// Open starts one streaming execution of the subtree, returning its
+	// iterator. Use Workspace.Run to materialize a whole result with
+	// caching of deterministic roots.
+	Open(ws *Workspace) (Iterator, error)
 	// Deterministic reports whether the subtree involves no randomness.
 	Deterministic() bool
 	// Children returns the operator's inputs, left to right (see
@@ -150,7 +370,7 @@ type Scan struct {
 	schema *types.Schema
 }
 
-// NewScan builds a scan node; the schema is resolved at first Run.
+// NewScan builds a scan node; the schema is resolved against the catalog.
 func NewScan(cat *storage.Catalog, table, alias string) (*Scan, error) {
 	t, ok := cat.Get(table)
 	if !ok {
@@ -170,29 +390,54 @@ func (s *Scan) Deterministic() bool { return true }
 
 func (s *Scan) String() string { return fmt.Sprintf("Scan(%s AS %s)", s.Table, s.Alias) }
 
-// Run implements Node. Scan tuples share the catalog's immutable row
-// storage (rows are never copied), and scans of the same table — e.g. the
-// two aliases of a self-join — share one tuple batch per workspace via the
-// scan cache: the batch depends only on the table contents, never on the
-// alias, because tuples carry values, not column names.
-func (s *Scan) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	key := strings.ToLower(s.Table)
-	if out, ok := ws.scanCache[key]; ok {
-		return out, nil
-	}
+// Open implements Node. Scan batches share the catalog's immutable row
+// storage (Det rows are never copied); only the tuple headers are
+// batch-local.
+func (s *Scan) Open(ws *Workspace) (Iterator, error) {
 	t, ok := ws.Catalog.Get(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: table %q not found", s.Table)
 	}
-	slab := ws.alloc()
-	out := make([]*bundle.Tuple, t.NumRows())
-	for i := 0; i < t.NumRows(); i++ {
-		tu := slab.Tuple()
-		tu.Det = t.Row(i)
-		out[i] = tu
+	return &scanIter{ws: ws, t: t, slab: ws.getSlab()}, nil
+}
+
+type scanIter struct {
+	ws    *Workspace
+	t     *storage.Table
+	slab  *bundle.Slab
+	pos   int
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+func (it *scanIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
 	}
-	ws.scanCache[key] = out
-	return out, nil
+	n := it.t.NumRows() - it.pos
+	if n <= 0 {
+		return nil, nil
+	}
+	if bs := it.ws.batchSize(); n > bs {
+		n = bs
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	for i := 0; i < n; i++ {
+		tu := it.slab.Tuple()
+		tu.Det = it.t.Row(it.pos + i)
+		it.out = append(it.out, tu)
+	}
+	it.pos += n
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *scanIter) Close() {
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
 }
 
 // Seed implements the paper's Seed operator: it attaches a fresh TS-seed to
@@ -236,31 +481,101 @@ func (s *Seed) Deterministic() bool { return false }
 
 func (s *Seed) String() string { return fmt.Sprintf("Seed(%s)", s.Gen.Name()) }
 
-// Run implements Node.
-func (s *Seed) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	in, err := ws.Run(s.Child)
-	if err != nil {
-		return nil, err
+// Open implements Node. TS-seed allocation order is the input tuple
+// order, which batching preserves — that is what makes Seed's substream
+// assignment (and with it every Monte Carlo sample) batch-size-invariant.
+// A non-deterministic child is buffered fully at Open: the materializing
+// executor evaluated the child — and allocated the child's own seeds —
+// before allocating any of this operator's, and interleaving the two
+// under streaming would reorder seed allocation. Deterministic children
+// (the shape every planner-built pipeline has: Scan below Seed) allocate
+// no seeds and stream one batch at a time.
+func (s *Seed) Open(ws *Workspace) (Iterator, error) {
+	it := &seedIter{
+		ws:         ws,
+		op:         s,
+		childWidth: s.Child.Schema().Len(),
+		nOut:       len(s.Gen.OutKinds()),
 	}
-	compiled := make([]*expr.Compiled, len(s.ParamExprs))
+	it.compiled = make([]*expr.Compiled, len(s.ParamExprs))
 	for i, pe := range s.ParamExprs {
 		c, err := expr.Compile(pe, s.Child.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("exec: Seed parameter %d: %w", i, err)
 		}
-		compiled[i] = c
+		it.compiled[i] = c
 	}
-	childWidth := s.Child.Schema().Len()
-	nOut := len(s.Gen.OutKinds())
-	slab := ws.alloc()
-	out := make([]*bundle.Tuple, len(in))
-	for i, tu := range in {
+	if s.Child.Deterministic() {
+		child, err := s.Child.Open(ws)
+		if err != nil {
+			return nil, err
+		}
+		it.child = child
+	} else {
+		it.bufSlab = ws.getSlab()
+		buf, err := ws.drainNode(s.Child, it.bufSlab)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.buf = buf
+	}
+	it.slab = ws.getSlab()
+	return it, nil
+}
+
+type seedIter struct {
+	ws       *Workspace
+	op       *Seed
+	compiled []*expr.Compiled
+
+	child   Iterator // streaming (deterministic) child; nil when buffered
+	buf     []*bundle.Tuple
+	bufSlab *bundle.Slab
+	pos     int
+
+	childWidth, nOut int
+
+	slab  *bundle.Slab
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+func (it *seedIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	var in []*bundle.Tuple
+	if it.child != nil {
+		b, err := it.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		in = b.Tuples
+	} else {
+		if it.pos >= len(it.buf) {
+			return nil, nil
+		}
+		n := len(it.buf) - it.pos
+		if bs := it.ws.batchSize(); n > bs {
+			n = bs
+		}
+		in = it.buf[it.pos : it.pos+n]
+		it.pos += n
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	s, ws := it.op, it.ws
+	for _, tu := range in {
 		// The seed store retains the parameter row (and replaces it on each
 		// replenishing run), so it must be an ordinary GC-managed
-		// allocation: carving it from the pinned slab would leak one row
-		// per seed per replenishment, since that slab is never reset.
-		params := make([]types.Value, len(compiled))
-		for j, c := range compiled {
+		// allocation: carving it from a slab would either leak one row per
+		// seed per replenishment or be recycled out from under the store.
+		params := make([]types.Value, len(it.compiled))
+		for j, c := range it.compiled {
 			params[j] = c.Eval(tu.Det)
 		}
 		// Parameter expressions over random slots would read Null
@@ -277,21 +592,38 @@ func (s *Seed) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			}
 		}
 		seed := ws.Seeds.Alloc(ws.Master, s.Gen, params)
-		det := slab.Row(childWidth + nOut)
+		det := it.slab.Row(it.childWidth + it.nOut)
 		copy(det, tu.Det)
-		nt := slab.Tuple()
+		nt := it.slab.Tuple()
 		nt.Det = det
-		nt.Rand = slab.RandRefs(len(tu.Rand) + nOut)
+		nt.Rand = it.slab.RandRefs(len(tu.Rand) + it.nOut)
 		copy(nt.Rand, tu.Rand)
-		for o := 0; o < nOut; o++ {
-			nt.Rand[len(tu.Rand)+o] = bundle.RandRef{Slot: childWidth + o, SeedID: seed.ID, Out: o}
+		for o := 0; o < it.nOut; o++ {
+			nt.Rand[len(tu.Rand)+o] = bundle.RandRef{Slot: it.childWidth + o, SeedID: seed.ID, Out: o}
 		}
 		// Presence lineage is shared, not copied: tuples never mutate their
 		// Pres slices in place (extensions always build a fresh slice).
 		nt.Pres = tu.Pres
-		out[i] = nt
+		it.out = append(it.out, nt)
 	}
-	return out, nil
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *seedIter) Close() {
+	if it.child != nil {
+		it.child.Close()
+		it.child = nil
+	}
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
+	if it.bufSlab != nil {
+		it.ws.putSlab(it.bufSlab)
+		it.bufSlab = nil
+		it.buf = nil
+	}
 }
 
 func isRandomSlot(tu *bundle.Tuple, slot int) bool {
@@ -323,19 +655,36 @@ func (n *Instantiate) Deterministic() bool { return false }
 
 func (n *Instantiate) String() string { return "Instantiate" }
 
-// Run implements Node.
-func (n *Instantiate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	in, err := ws.Run(n.Child)
+// Open implements Node. Instantiate forwards its child's batches
+// unchanged, materializing each newly-seen seed's window on the way
+// through; the done set spans the whole run, so a seed shared by many
+// batches is materialized once.
+func (n *Instantiate) Open(ws *Workspace) (Iterator, error) {
+	child, err := n.Child.Open(ws)
 	if err != nil {
 		return nil, err
 	}
-	done := map[uint64]bool{}
-	for _, tu := range in {
+	return &instIter{ws: ws, child: child, done: map[uint64]bool{}}, nil
+}
+
+type instIter struct {
+	ws    *Workspace
+	child Iterator
+	done  map[uint64]bool
+}
+
+func (it *instIter) Next() (*Batch, error) {
+	b, err := it.child.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	ws := it.ws
+	for _, tu := range b.Tuples {
 		for _, r := range tu.Rand {
-			if done[r.SeedID] {
+			if it.done[r.SeedID] {
 				continue
 			}
-			done[r.SeedID] = true
+			it.done[r.SeedID] = true
 			s := ws.Seeds.MustGet(r.SeedID)
 			if ws.Replenishing {
 				if err := s.Materialize(s.MaxUsed+1, ws.Window, s.AssignedPositions()); err != nil {
@@ -348,8 +697,10 @@ func (n *Instantiate) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 			}
 		}
 	}
-	return in, nil
+	return b, nil
 }
+
+func (it *instIter) Close() { it.child.Close() }
 
 // Select filters tuples by a predicate. Deterministic predicates drop
 // tuples outright. A predicate that references random attributes of
@@ -370,12 +721,8 @@ func (n *Select) Deterministic() bool { return n.Child.Deterministic() }
 
 func (n *Select) String() string { return fmt.Sprintf("Select(%s)", n.Pred) }
 
-// Run implements Node.
-func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	in, err := ws.Run(n.Child)
-	if err != nil {
-		return nil, err
-	}
+// Open implements Node.
+func (n *Select) Open(ws *Workspace) (Iterator, error) {
 	schema := n.Child.Schema()
 	compiled, err := expr.Compile(n.Pred, schema)
 	if err != nil {
@@ -385,60 +732,114 @@ func (n *Select) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 	for _, name := range expr.Columns(n.Pred) {
 		refSlots = append(refSlots, schema.MustLookup(name))
 	}
-	slab := ws.alloc()
-	scratch := make(types.Row, schema.Len())
-	var refs []bundle.RandRef
-	var seedIDs []uint64
-	var out []*bundle.Tuple
-	for _, tu := range in {
-		// Which referenced slots are random in this tuple, and for which seed?
-		refs = refs[:0]
-		seedIDs = seedIDs[:0]
-		for _, slot := range refSlots {
-			for _, r := range tu.Rand {
-				if r.Slot == slot {
-					refs = append(refs, r)
-					seen := false
-					for _, id := range seedIDs {
-						if id == r.SeedID {
-							seen = true
-							break
+	child, err := n.Child.Open(ws)
+	if err != nil {
+		return nil, err
+	}
+	return &selectIter{
+		ws:       ws,
+		op:       n,
+		child:    child,
+		compiled: compiled,
+		refSlots: refSlots,
+		scratch:  make(types.Row, schema.Len()),
+		slab:     ws.getSlab(),
+	}, nil
+}
+
+type selectIter struct {
+	ws       *Workspace
+	op       *Select
+	child    Iterator
+	compiled *expr.Compiled
+	refSlots []int
+	scratch  types.Row
+	refs     []bundle.RandRef
+	seedIDs  []uint64
+	slab     *bundle.Slab
+	out      []*bundle.Tuple
+	batch    Batch
+}
+
+// Next filters one child batch at a time, pulling further batches only
+// while the output is still empty: passing tuples are forwarded by
+// pointer (or share Det/Rand with the input), so the iterator must never
+// advance the child while holding output from an earlier child batch.
+func (it *selectIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	it.slab.Reset()
+	for {
+		b, err := it.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		it.out = it.out[:0]
+		for _, tu := range b.Tuples {
+			// Which referenced slots are random in this tuple, and for which seed?
+			it.refs = it.refs[:0]
+			it.seedIDs = it.seedIDs[:0]
+			for _, slot := range it.refSlots {
+				for _, r := range tu.Rand {
+					if r.Slot == slot {
+						it.refs = append(it.refs, r)
+						seen := false
+						for _, id := range it.seedIDs {
+							if id == r.SeedID {
+								seen = true
+								break
+							}
 						}
-					}
-					if !seen {
-						seedIDs = append(seedIDs, r.SeedID)
+						if !seen {
+							it.seedIDs = append(it.seedIDs, r.SeedID)
+						}
 					}
 				}
 			}
+			switch {
+			case len(it.refs) == 0:
+				if it.compiled.EvalBool(tu.Det) {
+					it.out = append(it.out, tu)
+				}
+			case len(it.seedIDs) == 1:
+				pv, any, err := buildPresVec(it.ws, tu, it.refs, it.compiled, it.scratch)
+				if err != nil {
+					return nil, err
+				}
+				if !any {
+					continue // paper §5: predicate satisfied in no DB instance
+				}
+				// Shallow clone: Det and Rand are shared read-only with the
+				// input tuple; only the presence lineage is extended, into a
+				// fresh slice so the input's Pres is never mutated.
+				nt := it.slab.Tuple()
+				nt.Det = tu.Det
+				nt.Rand = tu.Rand
+				nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
+				copy(nt.Pres, tu.Pres)
+				nt.Pres[len(tu.Pres)] = pv
+				it.out = append(it.out, nt)
+			default:
+				return nil, fmt.Errorf("exec: Select predicate %s spans random attributes of %d seeds; pull it up into the GibbsLooper", it.op.Pred, len(it.seedIDs))
+			}
 		}
-		switch {
-		case len(refs) == 0:
-			if compiled.EvalBool(tu.Det) {
-				out = append(out, tu)
-			}
-		case len(seedIDs) == 1:
-			pv, any, err := buildPresVec(ws, tu, refs, compiled, scratch)
-			if err != nil {
-				return nil, err
-			}
-			if !any {
-				continue // paper §5: predicate satisfied in no DB instance
-			}
-			// Shallow clone: Det and Rand are shared read-only with the
-			// input tuple; only the presence lineage is extended, into a
-			// fresh slice so the input's Pres is never mutated.
-			nt := slab.Tuple()
-			nt.Det = tu.Det
-			nt.Rand = tu.Rand
-			nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
-			copy(nt.Pres, tu.Pres)
-			nt.Pres[len(tu.Pres)] = pv
-			out = append(out, nt)
-		default:
-			return nil, fmt.Errorf("exec: Select predicate %s spans random attributes of %d seeds; pull it up into the GibbsLooper", n.Pred, len(seedIDs))
+		if len(it.out) > 0 {
+			it.batch.Tuples = it.out
+			return &it.batch, nil
 		}
 	}
-	return out, nil
+}
+
+func (it *selectIter) Close() {
+	it.child.Close()
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
 }
 
 // buildPresVec evaluates the predicate for every materialized position of
@@ -518,29 +919,50 @@ func (n *Project) Deterministic() bool { return n.Child.Deterministic() }
 
 func (n *Project) String() string { return fmt.Sprintf("Project%v", n.Cols) }
 
-// Run implements Node.
-func (n *Project) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	in, err := ws.Run(n.Child)
+// Open implements Node.
+func (n *Project) Open(ws *Workspace) (Iterator, error) {
+	child, err := n.Child.Open(ws)
 	if err != nil {
 		return nil, err
 	}
-	slab := ws.alloc()
-	out := make([]*bundle.Tuple, len(in))
-	for i, tu := range in {
-		det := slab.Row(len(n.idx))
-		nt := slab.Tuple()
+	return &projIter{ws: ws, op: n, child: child, slab: ws.getSlab()}, nil
+}
+
+type projIter struct {
+	ws    *Workspace
+	op    *Project
+	child Iterator
+	slab  *bundle.Slab
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+func (it *projIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	b, err := it.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	idx := it.op.idx
+	for _, tu := range b.Tuples {
+		det := it.slab.Row(len(idx))
+		nt := it.slab.Tuple()
 		nt.Det = det
 		nRand := 0
-		for _, oldSlot := range n.idx {
+		for _, oldSlot := range idx {
 			for _, r := range tu.Rand {
 				if r.Slot == oldSlot {
 					nRand++
 				}
 			}
 		}
-		nt.Rand = slab.RandRefs(nRand)
+		nt.Rand = it.slab.RandRefs(nRand)
 		k := 0
-		for newSlot, oldSlot := range n.idx {
+		for newSlot, oldSlot := range idx {
 			det[newSlot] = tu.Det[oldSlot]
 			for _, r := range tu.Rand {
 				if r.Slot == oldSlot {
@@ -553,20 +975,34 @@ func (n *Project) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 		// tuple's existence, not a particular column. Shared, not copied —
 		// Pres slices are never mutated in place.
 		nt.Pres = tu.Pres
-		out[i] = nt
+		it.out = append(it.out, nt)
 	}
-	return out, nil
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *projIter) Close() {
+	it.child.Close()
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
 }
 
 // HashJoin is an equi-join on deterministic attributes. Joins on random
-// attributes must be rewritten with Split first (paper §8); Run rejects
-// tuples whose join key is a random slot.
+// attributes must be rewritten with Split first (paper §8); execution
+// rejects tuples whose join key is a random slot.
 type HashJoin struct {
 	Left, Right         Node
 	LeftCols, RightCols []string
 	// Residual, if non-nil, is an extra deterministic predicate evaluated
 	// on the concatenated schema.
 	Residual expr.Expr
+	// BuildRows, when > 0, pre-sizes the build-side hash table from the
+	// planner's row estimate (plan.Lower sets it from the right subtree's
+	// cardinality), saving rehash-and-copy cycles while the build side
+	// drains.
+	BuildRows int
 
 	schema *types.Schema
 }
@@ -600,60 +1036,208 @@ func (n *HashJoin) String() string {
 	return fmt.Sprintf("HashJoin(%v = %v)", n.LeftCols, n.RightCols)
 }
 
-// Run implements Node.
-func (n *HashJoin) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	left, err := ws.Run(n.Left)
-	if err != nil {
-		return nil, err
+// Open implements Node. The build side (right) is drained into the hash
+// table here; the probe side (left) streams batch by batch. When both
+// sides are non-deterministic the left is buffered fully first instead:
+// the materializing executor evaluated the left subtree — and allocated
+// its TS-seeds — before the right, and streaming the probe side after the
+// build drain would reverse that allocation order.
+func (n *HashJoin) Open(ws *Workspace) (Iterator, error) {
+	it := &hashJoinIter{
+		ws:   ws,
+		op:   n,
+		lIdx: lookupAll(n.Left.Schema(), n.LeftCols),
+		rIdx: lookupAll(n.Right.Schema(), n.RightCols),
+		lw:   n.Left.Schema().Len(),
 	}
-	right, err := ws.Run(n.Right)
-	if err != nil {
-		return nil, err
-	}
-	lIdx := lookupAll(n.Left.Schema(), n.LeftCols)
-	rIdx := lookupAll(n.Right.Schema(), n.RightCols)
-	var residual *expr.Compiled
 	if n.Residual != nil {
-		residual, err = expr.Compile(n.Residual, n.schema)
+		c, err := expr.Compile(n.Residual, n.schema)
 		if err != nil {
 			return nil, fmt.Errorf("exec: join residual: %w", err)
 		}
+		it.residual = c
 	}
-	// Build side: right.
-	build := make(map[uint64][]*bundle.Tuple, len(right))
-	for _, tu := range right {
-		if err := checkDetKey(tu, rIdx, "right"); err != nil {
+	it.bufSlab = ws.getSlab()
+	if !n.Left.Deterministic() && !n.Right.Deterministic() {
+		buf, err := ws.drainNode(n.Left, it.bufSlab)
+		if err != nil {
+			it.Close()
 			return nil, err
 		}
-		h := hashKey(tu.Det, rIdx)
-		build[h] = append(build[h], tu)
-	}
-	lw := n.Left.Schema().Len()
-	slab := ws.alloc()
-	var out []*bundle.Tuple
-	for _, ltu := range left {
-		if err := checkDetKey(ltu, lIdx, "left"); err != nil {
+		it.leftBuf = buf
+	} else {
+		left, err := n.Left.Open(ws)
+		if err != nil {
+			it.Close()
 			return nil, err
 		}
-		h := hashKey(ltu.Det, lIdx)
-		for _, rtu := range build[h] {
-			if !keysEqual(ltu.Det, lIdx, rtu.Det, rIdx) {
+		it.left = left
+	}
+	rows := n.BuildRows
+	if rows < 0 {
+		rows = 0
+	}
+	it.build = make(map[uint64][]*bundle.Tuple, rows)
+	rit, err := n.Right.Open(ws)
+	if err != nil {
+		it.Close()
+		return nil, err
+	}
+	if err := it.drainBuild(rit); err != nil {
+		rit.Close()
+		it.Close()
+		return nil, err
+	}
+	rit.Close()
+	it.slab = ws.getSlab()
+	return it, nil
+}
+
+// drainBuild streams the build side into the hash table, retaining each
+// tuple (durable materialized prefixes are referenced without copying).
+func (it *hashJoinIter) drainBuild(rit Iterator) error {
+	durable := isDurable(rit)
+	for {
+		if err := it.ws.checkBudget(); err != nil {
+			return err
+		}
+		b, err := rit.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for _, tu := range b.Tuples {
+			if err := checkDetKey(tu, it.rIdx, "right"); err != nil {
+				return err
+			}
+			if !durable {
+				tu = retainInto(it.bufSlab, tu)
+			}
+			h := hashKey(tu.Det, it.rIdx)
+			it.build[h] = append(it.build[h], tu)
+		}
+	}
+}
+
+type hashJoinIter struct {
+	ws       *Workspace
+	op       *HashJoin
+	lIdx     []int
+	rIdx     []int
+	residual *expr.Compiled
+	lw       int
+
+	build   map[uint64][]*bundle.Tuple
+	bufSlab *bundle.Slab // retains build-side tuples (and the buffered left)
+
+	left    Iterator // streaming probe side; nil when buffered
+	leftBuf []*bundle.Tuple
+	lpos    int
+	in      *Batch
+	pos     int
+
+	// Probe resume point: the current left tuple and its bucket cursor.
+	ltu    *bundle.Tuple
+	bucket []*bundle.Tuple
+	bpos   int
+
+	slab  *bundle.Slab
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+// nextLeft advances to the next probe tuple, pulling child batches as
+// needed. The returned tuple stays valid until the next nextLeft call
+// that crosses a batch boundary — the iterator finishes the tuple's
+// bucket before advancing, so it never dangles.
+func (it *hashJoinIter) nextLeft() (*bundle.Tuple, error) {
+	if it.left == nil {
+		if it.lpos >= len(it.leftBuf) {
+			return nil, nil
+		}
+		tu := it.leftBuf[it.lpos]
+		it.lpos++
+		return tu, nil
+	}
+	for it.in == nil || it.pos >= len(it.in.Tuples) {
+		b, err := it.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		it.in, it.pos = b, 0
+	}
+	tu := it.in.Tuples[it.pos]
+	it.pos++
+	return tu, nil
+}
+
+func (it *hashJoinIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	limit := it.ws.batchSize()
+	for len(it.out) < limit {
+		if it.bpos < len(it.bucket) {
+			rtu := it.bucket[it.bpos]
+			it.bpos++
+			if !keysEqual(it.ltu.Det, it.lIdx, rtu.Det, it.rIdx) {
 				continue
 			}
-			det := slab.Row(lw + len(rtu.Det))
-			copy(det, ltu.Det)
-			copy(det[lw:], rtu.Det)
-			if residual != nil && !residual.EvalBool(det) {
+			det := it.slab.Row(it.lw + len(rtu.Det))
+			copy(det, it.ltu.Det)
+			copy(det[it.lw:], rtu.Det)
+			if it.residual != nil && !it.residual.EvalBool(det) {
 				continue
 			}
-			nt := slab.Tuple()
+			nt := it.slab.Tuple()
 			nt.Det = det
-			nt.Rand = concatRand(slab, ltu.Rand, rtu.Rand, lw)
-			nt.Pres = concatPres(ltu.Pres, rtu.Pres)
-			out = append(out, nt)
+			nt.Rand = concatRand(it.slab, it.ltu.Rand, rtu.Rand, it.lw)
+			nt.Pres = concatPres(it.ltu.Pres, rtu.Pres)
+			it.out = append(it.out, nt)
+			continue
 		}
+		ltu, err := it.nextLeft()
+		if err != nil {
+			return nil, err
+		}
+		if ltu == nil {
+			break
+		}
+		if err := checkDetKey(ltu, it.lIdx, "left"); err != nil {
+			return nil, err
+		}
+		it.ltu = ltu
+		it.bucket = it.build[hashKey(ltu.Det, it.lIdx)]
+		it.bpos = 0
 	}
-	return out, nil
+	if len(it.out) == 0 {
+		return nil, nil
+	}
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *hashJoinIter) Close() {
+	if it.left != nil {
+		it.left.Close()
+		it.left = nil
+	}
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
+	if it.bufSlab != nil {
+		it.ws.putSlab(it.bufSlab)
+		it.bufSlab = nil
+	}
+	it.build, it.leftBuf, it.bucket, it.in, it.ltu = nil, nil, nil, nil, nil
 }
 
 // concatRand builds the joined tuple's random bindings: the left side's
@@ -738,49 +1322,115 @@ func (n *Split) Deterministic() bool { return n.Child.Deterministic() }
 
 func (n *Split) String() string { return fmt.Sprintf("Split(%s)", n.Col) }
 
-// Run implements Node.
-func (n *Split) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	in, err := ws.Run(n.Child)
-	if err != nil {
-		return nil, err
-	}
+// Open implements Node.
+func (n *Split) Open(ws *Workspace) (Iterator, error) {
 	slot := n.Child.Schema().Lookup(n.Col)
 	if slot < 0 {
 		return nil, fmt.Errorf("exec: Split column %q not in %s", n.Col, n.Child.Schema())
 	}
-	slab := ws.alloc()
-	var out []*bundle.Tuple
-	var restRand []bundle.RandRef
-	for _, tu := range in {
+	child, err := n.Child.Open(ws)
+	if err != nil {
+		return nil, err
+	}
+	return &splitIter{ws: ws, op: n, child: child, slot: slot, slab: ws.getSlab()}, nil
+}
+
+type splitGroup struct {
+	val types.Value
+	pv  bundle.PresVec
+}
+
+type splitIter struct {
+	ws    *Workspace
+	op    *Split
+	child Iterator
+	slot  int
+
+	in  *Batch
+	pos int
+
+	// Split resume point: the input tuple whose value groups are being
+	// emitted, its pending groups, and its random refs minus the split
+	// slot. A tuple can fan out into more groups than fit one output
+	// batch, so emission pauses and resumes across Next calls.
+	cur      *bundle.Tuple
+	groups   []splitGroup
+	gpos     int
+	restRand []bundle.RandRef
+
+	slab  *bundle.Slab
+	out   []*bundle.Tuple
+	batch Batch
+}
+
+func (it *splitIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	it.slab.Reset()
+	it.out = it.out[:0]
+	limit := it.ws.batchSize()
+	for len(it.out) < limit {
+		if it.gpos < len(it.groups) {
+			g := &it.groups[it.gpos]
+			it.gpos++
+			tu := it.cur
+			det := it.slab.Row(len(tu.Det))
+			copy(det, tu.Det)
+			det[it.slot] = g.val
+			nt := it.slab.Tuple()
+			nt.Det = det
+			nt.Rand = it.slab.RandRefs(len(it.restRand))
+			copy(nt.Rand, it.restRand)
+			nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
+			copy(nt.Pres, tu.Pres)
+			nt.Pres[len(tu.Pres)] = g.pv
+			it.out = append(it.out, nt)
+			continue
+		}
+		if it.in == nil || it.pos >= len(it.in.Tuples) {
+			// Deterministic input tuples are forwarded by pointer, so the
+			// child must not be advanced while the output holds any.
+			if len(it.out) > 0 {
+				break
+			}
+			b, err := it.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			it.in, it.pos = b, 0
+			continue
+		}
+		tu := it.in.Tuples[it.pos]
+		it.pos++
 		ref, isRand := (*bundle.RandRef)(nil), false
-		restRand = restRand[:0]
+		it.restRand = it.restRand[:0]
 		for i := range tu.Rand {
-			if tu.Rand[i].Slot == slot {
+			if tu.Rand[i].Slot == it.slot {
 				ref, isRand = &tu.Rand[i], true
 			} else {
-				restRand = append(restRand, tu.Rand[i])
+				it.restRand = append(it.restRand, tu.Rand[i])
 			}
 		}
 		if !isRand {
-			out = append(out, tu)
+			it.out = append(it.out, tu)
 			continue
 		}
-		s := ws.Seeds.MustGet(ref.SeedID)
+		s := it.ws.Seeds.MustGet(ref.SeedID)
 		w := &s.Window
 		// Enumerate distinct values in first-position order for run-to-run
 		// determinism.
-		type group struct {
-			val types.Value
-			pv  bundle.PresVec
-		}
-		var groups []group
-		find := func(v types.Value) *group {
+		groups := it.groups[:0]
+		find := func(v types.Value) *splitGroup {
 			for i := range groups {
 				if groups[i].val.Equal(v) {
 					return &groups[i]
 				}
 			}
-			groups = append(groups, group{val: v, pv: bundle.PresVec{
+			groups = append(groups, splitGroup{val: v, pv: bundle.PresVec{
 				SeedID: ref.SeedID, Lo: w.Lo, Bits: make([]bool, len(w.Vals)),
 			}})
 			return &groups[len(groups)-1]
@@ -804,19 +1454,21 @@ func (n *Split) Run(ws *Workspace) ([]*bundle.Tuple, error) {
 				g.pv.Sparse[pos] = true
 			}
 		}
-		for _, g := range groups {
-			det := slab.Row(len(tu.Det))
-			copy(det, tu.Det)
-			det[slot] = g.val
-			nt := slab.Tuple()
-			nt.Det = det
-			nt.Rand = slab.RandRefs(len(restRand))
-			copy(nt.Rand, restRand)
-			nt.Pres = make([]bundle.PresVec, len(tu.Pres)+1)
-			copy(nt.Pres, tu.Pres)
-			nt.Pres[len(tu.Pres)] = g.pv
-			out = append(out, nt)
-		}
+		it.cur = tu
+		it.groups = groups
+		it.gpos = 0
 	}
-	return out, nil
+	if len(it.out) == 0 {
+		return nil, nil
+	}
+	it.batch.Tuples = it.out
+	return &it.batch, nil
+}
+
+func (it *splitIter) Close() {
+	it.child.Close()
+	if it.slab != nil {
+		it.ws.putSlab(it.slab)
+		it.slab = nil
+	}
 }

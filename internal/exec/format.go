@@ -16,11 +16,27 @@ func (n *Split) Children() []Node       { return []Node{n.Child} }
 func (n *Rename) Children() []Node      { return []Node{n.Child} }
 
 // FormatPlan renders the operator tree as an indented listing, one node
-// per line, marking deterministic (materialization-cached) subtrees.
+// per line, marking deterministic (materialization-cached) subtrees and
+// each operator's streaming mode in the pull-based batch pipeline.
 func FormatPlan(root Node) string {
 	var b strings.Builder
 	formatInto(&b, root, 0)
 	return b.String()
+}
+
+// streamMode names how an operator participates in the batch pipeline
+// (DESIGN.md §9): "stream" operators forward one batch at a time,
+// "build+stream" operators buffer one input side at Open and stream the
+// other, and "sink" operators consume their whole input before producing.
+func streamMode(n Node) string {
+	switch n.(type) {
+	case *Materialize, *Aggregate:
+		return "sink"
+	case *HashJoin, *Cross:
+		return "build+stream"
+	default:
+		return "stream"
+	}
 }
 
 func formatInto(b *strings.Builder, n Node, depth int) {
@@ -31,6 +47,9 @@ func formatInto(b *strings.Builder, n Node, depth int) {
 	if n.Deterministic() {
 		b.WriteString(" [det]")
 	}
+	b.WriteString(" [")
+	b.WriteString(streamMode(n))
+	b.WriteString("]")
 	b.WriteByte('\n')
 	for _, c := range n.Children() {
 		formatInto(b, c, depth+1)

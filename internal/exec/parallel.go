@@ -69,6 +69,12 @@ func ShardWorkspace(proto *Workspace, lo, hi int) *Workspace {
 	// worker to reach a Materialize node computes its subtree, the others
 	// wait and share the read-only result instead of re-running it.
 	ws.Prefix = proto.Prefix
+	// Workers inherit the run's batch size and charge the run's shared
+	// memory gauge, so MaxBytes bounds the whole run, not each worker.
+	ws.BatchSize = proto.BatchSize
+	ws.MaxBytes = proto.MaxBytes
+	ws.Slabs = proto.Slabs
+	ws.adoptGauge(proto.Gauge)
 	return ws
 }
 

@@ -44,15 +44,59 @@ func (m *Materialize) Children() []Node { return []Node{m.Child} }
 
 func (m *Materialize) String() string { return "Materialize" }
 
-// Run implements Node.
-func (m *Materialize) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	if ws.Prefix != nil && m.Fingerprint != "" {
-		return ws.Prefix.Do(m.Fingerprint, func() ([]*bundle.Tuple, error) {
-			return ws.Run(m.Child)
-		})
+// Open implements Node. Materialize is the pipeline's deterministic sink:
+// the first Open of a run drains the child subtree into the workspace's
+// pinned slab (through the engine prefix cache when one is attached), and
+// every Open serves the materialized result back in batches. Those batches
+// are durable — valid for the whole workspace lifetime, not just until the
+// next Next — so consumers above may hold their tuples without copying.
+func (m *Materialize) Open(ws *Workspace) (Iterator, error) {
+	out, ok := ws.matCache[m]
+	if !ok {
+		var err error
+		compute := func() ([]*bundle.Tuple, error) {
+			return ws.drainNode(m.Child, ws.det)
+		}
+		if ws.Prefix != nil && m.Fingerprint != "" {
+			out, err = ws.Prefix.Do(m.Fingerprint, compute)
+		} else {
+			out, err = compute()
+		}
+		if err != nil {
+			return nil, err
+		}
+		ws.matCache[m] = out
 	}
-	return ws.Run(m.Child)
+	return &matIter{ws: ws, tuples: out}, nil
 }
+
+// matIter serves a materialized result in batch-size slices.
+type matIter struct {
+	ws     *Workspace
+	tuples []*bundle.Tuple
+	pos    int
+	batch  Batch
+}
+
+func (it *matIter) Next() (*Batch, error) {
+	if err := it.ws.checkBudget(); err != nil {
+		return nil, err
+	}
+	if it.pos >= len(it.tuples) {
+		return nil, nil
+	}
+	n := len(it.tuples) - it.pos
+	if bs := it.ws.batchSize(); n > bs {
+		n = bs
+	}
+	it.batch.Tuples = it.tuples[it.pos : it.pos+n]
+	it.pos += n
+	return &it.batch, nil
+}
+
+func (it *matIter) Close() {}
+
+func (it *matIter) durableBatches() bool { return true }
 
 // PrefixCache is the engine-level deterministic-prefix materialization
 // cache: a bounded, mutex-guarded LRU of materialized subtree results

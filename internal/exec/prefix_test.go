@@ -147,42 +147,45 @@ func TestPrefixCacheSingleFlight(t *testing.T) {
 	}
 }
 
-// TestScanSharesBatchAcrossAliases: two Scan nodes over one table (a
-// self-join's two aliases) share one tuple batch per workspace, and the
-// batch rows alias the catalog's immutable storage.
-func TestScanSharesBatchAcrossAliases(t *testing.T) {
+// TestScanStreamsCatalogRows: a streaming Scan's batches carry the
+// catalog's immutable rows by reference (no copy), one batch at a time,
+// in table order.
+func TestScanStreamsCatalogRows(t *testing.T) {
 	cat := testCatalog()
 	ws := NewWorkspace(cat, prng.NewStream(1), 4)
-	s1, err := NewScan(cat, "means", "a")
+	ws.BatchSize = 2 // force multiple batches over the 3-row table
+	scan, err := NewScan(cat, "means", "a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := NewScan(cat, "means", "b")
+	it, err := scan.Open(ws)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out1, err := ws.Run(s1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	out2, err := ws.Run(s2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(out1) != len(out2) {
-		t.Fatalf("batch sizes differ: %d vs %d", len(out1), len(out2))
-	}
-	for i := range out1 {
-		if out1[i] != out2[i] {
-			t.Fatalf("tuple %d re-materialized instead of shared", i)
-		}
-	}
-	// Scan shares the catalog rows themselves (no copy).
+	defer it.Close()
 	tbl, _ := cat.Get("means")
-	for i := range out1 {
-		if &out1[i].Det[0] != &tbl.Row(i)[0] {
-			t.Fatalf("scan row %d copied instead of shared", i)
+	row := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
 		}
+		if b == nil {
+			break
+		}
+		if len(b.Tuples) > ws.BatchSize {
+			t.Fatalf("batch of %d tuples exceeds BatchSize %d", len(b.Tuples), ws.BatchSize)
+		}
+		for _, tu := range b.Tuples {
+			// Scan shares the catalog rows themselves (no copy).
+			if &tu.Det[0] != &tbl.Row(row)[0] {
+				t.Fatalf("scan row %d copied instead of shared", row)
+			}
+			row++
+		}
+	}
+	if row != tbl.NumRows() {
+		t.Fatalf("streamed %d rows, table has %d", row, tbl.NumRows())
 	}
 }
 

@@ -3,7 +3,6 @@ package exec
 import (
 	"fmt"
 
-	"repro/internal/bundle"
 	"repro/internal/types"
 )
 
@@ -30,7 +29,9 @@ func (n *Rename) Deterministic() bool { return n.Child.Deterministic() }
 
 func (n *Rename) String() string { return fmt.Sprintf("Rename(%s)", n.Alias) }
 
-// Run implements Node.
-func (n *Rename) Run(ws *Workspace) ([]*bundle.Tuple, error) {
-	return ws.Run(n.Child)
+// Open implements Node. Rename is schema-only: tuples carry values, not
+// column names, so the child's iterator is returned directly and the
+// operator vanishes from the streaming pipeline.
+func (n *Rename) Open(ws *Workspace) (Iterator, error) {
+	return n.Child.Open(ws)
 }

@@ -37,8 +37,8 @@ func TestDeltaAggregateEqualsRecompute(t *testing.T) {
 	for v := range lp.states {
 		want := lp.base
 		b := bundle.Bind(ws.Seeds, v)
-		for _, i := range lp.randIdx {
-			s, c, err := lp.contrib(lp.tuples[i], b)
+		for _, tu := range lp.rand {
+			s, c, err := lp.contrib(tu, b)
 			if err != nil {
 				t.Fatal(err)
 			}

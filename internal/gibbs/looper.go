@@ -171,9 +171,9 @@ type looper struct {
 	q    Query
 	cfg  Config
 
-	tuples     []*bundle.Tuple // plan output (restricted to the group, if any)
-	randIdx    []int           // indexes of tuples with random lineage
-	seedIDs    [][]uint64      // per tuple: distinct seed handles, ascending
+	rand       []*bundle.Tuple // retained tuples with random lineage, in plan order
+	seedIDs    [][]uint64      // per rand tuple: distinct seed handles, ascending
+	nTotal     int             // total plan-output tuples (after group restriction)
 	base       exec.AggState   // contribution of purely deterministic tuples
 	states     []exec.AggState // per-version aggregate state
 	aggExpr    *expr.Compiled
@@ -238,81 +238,86 @@ func (lp *looper) init() error {
 	return nil
 }
 
-// loadTuples (re-)runs the query plan, restricts the output to the
-// looper's group (when the query is a per-group conditioned run), and
-// classifies it.
+// loadTuples (re-)streams the query plan through the batch pipeline,
+// restricts the stream to the looper's group (when the query is a
+// per-group conditioned run), and classifies it on the way past: purely
+// deterministic tuples fold into the base aggregate state immediately and
+// are dropped, tuples with random lineage are retained (the only part of
+// the plan output the looper holds for the whole sampling run).
 func (lp *looper) loadTuples(replenishing bool) error {
 	if replenishing {
 		lp.ws.BeginReplenish()
 	}
-	out, err := lp.ws.Run(lp.plan)
+	it, err := lp.plan.Open(lp.ws)
 	if err != nil {
 		return err
 	}
-	if lp.groupExprs != nil {
-		out, err = lp.restrictToGroup(out)
+	defer it.Close()
+	schema := lp.plan.Schema()
+	rand := lp.rand[:0]
+	lp.base = exec.AggState{}
+	total := 0
+	for {
+		b, err := it.Next()
 		if err != nil {
 			return err
 		}
+		if b == nil {
+			break
+		}
+		for _, tu := range b.Tuples {
+			if lp.groupExprs != nil {
+				// Group keys are deterministic by construction; a grouping
+				// expression reading a VG-generated slot is an error.
+				for _, slot := range lp.groupSlots {
+					for _, r := range tu.Rand {
+						if r.Slot == slot {
+							return fmt.Errorf("gibbs: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
+						}
+					}
+				}
+				match := true
+				for i, ge := range lp.groupExprs {
+					lp.keyBuf[i] = ge.Eval(tu.Det)
+					if !lp.keyBuf[i].Equal(lp.q.GroupKey[i]) {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+			}
+			total++
+			if tu.IsRandom() {
+				rand = append(rand, lp.ws.Retain(tu))
+				continue
+			}
+			s, c, err := lp.contribRow(tu.Det)
+			if err != nil {
+				return err
+			}
+			lp.base.Add(s, c)
+		}
 	}
-	if replenishing && len(out) != len(lp.tuples) {
-		return fmt.Errorf("gibbs: replenishing run produced %d tuples, previously %d; plan is not deterministic", len(out), len(lp.tuples))
+	if replenishing && total != lp.nTotal {
+		return fmt.Errorf("gibbs: replenishing run produced %d tuples, previously %d; plan is not deterministic", total, lp.nTotal)
 	}
-	lp.tuples = out
-	lp.randIdx = lp.randIdx[:0]
-	lp.base = exec.AggState{}
+	lp.nTotal = total
+	lp.rand = rand
 	// Precompute each random tuple's distinct seed handles once per plan
 	// run: the Gibbs pass re-keys tuples in the priority queue constantly,
 	// and calling SeedIDs (a map build plus a sort) per re-key dominated
 	// its allocation profile.
-	if cap(lp.seedIDs) >= len(out) {
-		lp.seedIDs = lp.seedIDs[:len(out)]
+	if cap(lp.seedIDs) >= len(rand) {
+		lp.seedIDs = lp.seedIDs[:len(rand)]
 	} else {
-		lp.seedIDs = make([][]uint64, len(out))
+		lp.seedIDs = make([][]uint64, len(rand))
 	}
-	for i, tu := range out {
-		if tu.IsRandom() {
-			lp.randIdx = append(lp.randIdx, i)
-			lp.seedIDs[i] = tu.SeedIDs()
-			continue
-		}
-		lp.seedIDs[i] = nil
-		s, c, err := lp.contribRow(tu.Det)
-		if err != nil {
-			return err
-		}
-		lp.base.Add(s, c)
+	for i, tu := range rand {
+		lp.seedIDs[i] = tu.SeedIDs()
 	}
 	return nil
-}
-
-// restrictToGroup keeps the tuples whose grouping expressions evaluate to
-// the looper's group key. Group keys are deterministic by construction;
-// a grouping expression reading a VG-generated slot is an error.
-func (lp *looper) restrictToGroup(in []*bundle.Tuple) ([]*bundle.Tuple, error) {
-	out := make([]*bundle.Tuple, 0, len(in))
-	schema := lp.plan.Schema()
-	for _, tu := range in {
-		for _, slot := range lp.groupSlots {
-			for _, r := range tu.Rand {
-				if r.Slot == slot {
-					return nil, fmt.Errorf("gibbs: GROUP BY reads the VG-generated attribute %q; grouping columns must be deterministic", schema.Col(slot).Name)
-				}
-			}
-		}
-		match := true
-		for i, ge := range lp.groupExprs {
-			lp.keyBuf[i] = ge.Eval(tu.Det)
-			if !lp.keyBuf[i].Equal(lp.q.GroupKey[i]) {
-				match = false
-				break
-			}
-		}
-		if match {
-			out = append(out, tu)
-		}
-	}
-	return out, nil
 }
 
 // contrib evaluates one tuple's aggregate contribution under a binding.
@@ -351,8 +356,8 @@ func (lp *looper) recomputeStates(nVersions int) error {
 		st := lp.base
 		b := bundle.Bind(lp.ws.Seeds, v)
 		retry := false
-		for _, i := range lp.randIdx {
-			s, c, err := lp.contrib(lp.tuples[i], b)
+		for _, tu := range lp.rand {
+			s, c, err := lp.contrib(tu, b)
 			if err != nil {
 				var nm *bundle.ErrNotMaterialized
 				if !errors.As(err, &nm) {
@@ -414,8 +419,8 @@ func (lp *looper) recomputeStatesParallel(nVersions int) error {
 				for v := lo; v < hi; v++ {
 					st := lp.base
 					b := bundle.Bind(lp.ws.Seeds, v)
-					for _, i := range lp.randIdx {
-						s, c, err := lp.contribBuf(lp.tuples[i], b, buf)
+					for _, tu := range lp.rand {
+						s, c, err := lp.contribBuf(tu, b, buf)
 						if err != nil {
 							mu.Lock()
 							var nm *bundle.ErrNotMaterialized
@@ -551,7 +556,7 @@ func (lp *looper) eliteVersions(e int) []int {
 func (lp *looper) pass(cutoff float64) error {
 	queue := pq.New(lp.cfg.PQMemLimit, lp.cfg.SpillDir)
 	defer queue.Reset()
-	for _, i := range lp.randIdx {
+	for i := range lp.rand {
 		ids := lp.seedIDs[i]
 		if len(ids) == 0 {
 			continue
@@ -668,8 +673,8 @@ func nextSeedAfter(ids []uint64, key uint64) (uint64, bool) {
 // given binding; used only by the DisableDeltaAggregates ablation.
 func (lp *looper) fullState(b bundle.Binding) (exec.AggState, error) {
 	st := lp.base
-	for _, i := range lp.randIdx {
-		s, c, err := lp.contrib(lp.tuples[i], b)
+	for _, tu := range lp.rand {
+		s, c, err := lp.contrib(tu, b)
 		if err != nil {
 			return st, err
 		}
@@ -685,7 +690,7 @@ func (lp *looper) affectedContrib(payloads []uint64, b bundle.Binding) (float64,
 	var s float64
 	var c int64
 	for _, p := range payloads {
-		ds, dc, err := lp.contrib(lp.tuples[p], b)
+		ds, dc, err := lp.contrib(lp.rand[p], b)
 		if err != nil {
 			var nm *bundle.ErrNotMaterialized
 			if errors.As(err, &nm) {

@@ -89,11 +89,9 @@ func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr,
 	if n < 1 {
 		return nil, fmt.Errorf("gibbs: need n >= 1 repetitions, got %d", n)
 	}
-	tuples, err := ws.Run(agg) // Aggregate passes its child's stream through
-	if err != nil {
-		return nil, err
-	}
-	ev, err := agg.NewEval(tuples, final)
+	// Aggregate passes its child's stream through; OpenEval pulls it one
+	// batch at a time and partitions tuples by group key as they arrive.
+	ev, err := agg.OpenEval(ws, final)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +128,7 @@ func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr,
 				return nil, err
 			}
 			ws.BeginReplenish()
-			if tuples, err = ws.Run(agg); err != nil {
-				return nil, err
-			}
-			if ev, err = agg.NewEval(tuples, final); err != nil {
+			if ev, err = agg.OpenEval(ws, final); err != nil {
 				return nil, err
 			}
 			if ev.NumGroups() != nG {

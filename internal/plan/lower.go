@@ -79,7 +79,14 @@ func lowerNode(root Node, cat *storage.Catalog, vgs *vg.Registry, inDet bool) (e
 		if err != nil {
 			return nil, err
 		}
-		node, err = exec.NewHashJoin(left, right, n.LeftKeys, n.RightKeys, nil)
+		var hj *exec.HashJoin
+		hj, err = exec.NewHashJoin(left, right, n.LeftKeys, n.RightKeys, nil)
+		if err == nil {
+			// Pre-size the build-side hash map from the optimizer's
+			// cardinality estimate for the right subtree.
+			hj.BuildRows = int(n.Right.P().Rows)
+			node = hj
+		}
 	case *Cross:
 		var left, right exec.Node
 		left, err = lowerNode(n.Left, cat, vgs, childDet)

@@ -1,0 +1,111 @@
+package mcdbr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// budgetScanRows sizes the bounded-memory workload: far more scanned
+// tuples than the generous budget could hold at once, with only 1% of
+// them surviving the filter.
+const budgetScanRows = 100000
+
+// budgetEngine builds the bounded-memory workload: a 100k-row
+// deterministic accounts table filtered down to 1k rows under a
+// 100-customer random loss table, with the prefix cache disabled so
+// every run pays the scan.
+func budgetEngine(t testing.TB, opts ...Option) *Engine {
+	t.Helper()
+	opts = append([]Option{WithSeed(23), WithParallelism(1), WithPrefixCacheSize(-1)}, opts...)
+	e := New(opts...)
+	e.RegisterTable(workload.LossMeans(100, 2, 8, 7))
+	accounts := storage.NewTable("accounts", types.NewSchema(
+		types.Column{Name: "aid", Kind: types.KindInt},
+		types.Column{Name: "flag", Kind: types.KindInt},
+		types.Column{Name: "w", Kind: types.KindFloat},
+	))
+	for i := 0; i < budgetScanRows; i++ {
+		flag := int64(0)
+		if i%100 == 0 {
+			flag = 1
+		}
+		accounts.MustAppend(types.Row{
+			types.NewInt(int64(10000 + i%100)),
+			types.NewInt(flag),
+			types.NewFloat(1 + float64(i%7)/8),
+		})
+	}
+	e.RegisterTable(accounts)
+	if err := e.DefineRandomTable(RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const budgetSQL = `SELECT SUM(losses.val * accounts.w) AS wloss
+FROM losses, accounts
+WHERE losses.cid = accounts.aid AND accounts.flag = 1
+WITH RESULTDISTRIBUTION MONTECARLO(16)`
+
+// TestMemoryBudgetStreamsLargeScan: the streaming executor completes a
+// scan far larger than the budget, because batches recycle their arenas
+// and only filter survivors are retained. A materializing executor would
+// hold all 100k scanned tuple headers at once and blow the budget.
+func TestMemoryBudgetStreamsLargeScan(t *testing.T) {
+	e := budgetEngine(t, WithMaxQueryBytes(4<<20))
+	res, err := e.Exec(budgetSQL)
+	if err != nil {
+		t.Fatalf("large scan under 4 MiB budget failed: %v", err)
+	}
+	if len(res.Dist.Samples) != 16 {
+		t.Fatalf("samples = %d", len(res.Dist.Samples))
+	}
+}
+
+// TestMemoryBudgetExceeded: a budget smaller than one batch's arenas
+// fails descriptively with ErrMemoryBudget instead of OOMing.
+func TestMemoryBudgetExceeded(t *testing.T) {
+	e := budgetEngine(t, WithMaxQueryBytes(2048))
+	_, err := e.Exec(budgetSQL)
+	if err == nil {
+		t.Fatal("2 KiB budget did not fail")
+	}
+	if !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("error does not wrap ErrMemoryBudget: %v", err)
+	}
+	for _, want := range []string{"memory budget", "bytes", "max-query-bytes"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestMemoryBudgetRunOptionsOverride: RunOptions.MaxBytes overrides the
+// engine budget per run — negative disables it, positive replaces it,
+// zero keeps it.
+func TestMemoryBudgetRunOptionsOverride(t *testing.T) {
+	e := budgetEngine(t, WithMaxQueryBytes(2048))
+	pq, err := e.Prepare(budgetSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Run(RunOptions{}); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("engine budget not applied: %v", err)
+	}
+	if _, err := pq.Run(RunOptions{MaxBytes: -1}); err != nil {
+		t.Fatalf("MaxBytes=-1 did not disable the budget: %v", err)
+	}
+	if _, err := pq.Run(RunOptions{MaxBytes: 4 << 20}); err != nil {
+		t.Fatalf("MaxBytes=4MiB override failed: %v", err)
+	}
+}

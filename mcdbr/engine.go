@@ -21,9 +21,15 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/prng"
 	"repro/internal/storage"
 	"repro/internal/vg"
 )
+
+// ErrMemoryBudget is the sentinel wrapped by query errors when a run's
+// tuple arenas exceed the memory budget set by WithMaxQueryBytes or
+// RunOptions.MaxBytes; test with errors.Is.
+var ErrMemoryBudget = exec.ErrMemoryBudget
 
 // Engine is a Monte Carlo database instance. Create one with New.
 //
@@ -41,11 +47,14 @@ type Engine struct {
 	cat *storage.Catalog
 	vgs *vg.Registry
 
-	// seed, window, and parallelism are set by New options only and are
-	// immutable afterwards, so queries read them without locking.
-	seed        uint64
-	window      int
-	parallelism int
+	// seed, window, parallelism, batchSize, and maxQueryBytes are set by
+	// New options only and are immutable afterwards, so queries read them
+	// without locking.
+	seed          uint64
+	window        int
+	parallelism   int
+	batchSize     int
+	maxQueryBytes int64
 
 	// mu guards rand and ddlEpoch. The catalog and VG registry carry their
 	// own locks; mu is the engine-level lock for definition state and is
@@ -65,6 +74,9 @@ type Engine struct {
 	// exec.PrefixCache) behind the same DDL-epoch invalidation as the plan
 	// cache; nil when disabled via WithPrefixCacheSize.
 	prefixes *exec.PrefixCache
+	// slabs recycles per-operator scratch slabs across runs, so a short
+	// query opens with warm arena chunks instead of growing fresh ones.
+	slabs *exec.SlabPool
 }
 
 // Option configures an Engine.
@@ -95,6 +107,33 @@ func WithParallelism(n int) Option {
 
 // Parallelism reports the engine's worker count.
 func (e *Engine) Parallelism() int { return e.parallelism }
+
+// WithBatchSize sets how many tuples the streaming executor carries per
+// batch (see DESIGN.md §9); n <= 0 selects the default of 1024. Batch
+// boundaries are semantically invisible: results are bit-for-bit identical
+// for every batch size.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = 0 // executor default
+		}
+		e.batchSize = n
+	}
+}
+
+// WithMaxQueryBytes bounds the executor memory one query run may hold in
+// tuple arenas. A run that would exceed the budget fails with an error
+// wrapping ErrMemoryBudget instead of exhausting process memory; n <= 0
+// (the default) disables the bound. Per-run overrides are available via
+// RunOptions.MaxBytes.
+func WithMaxQueryBytes(n int64) Option {
+	return func(e *Engine) {
+		if n < 0 {
+			n = 0
+		}
+		e.maxQueryBytes = n
+	}
+}
 
 // WithPlanCacheSize sets how many prepared plans the engine's LRU plan
 // cache retains (see Prepare); n <= 0 selects the default of 64.
@@ -127,6 +166,20 @@ func (e *Engine) PrefixCacheStats() (hits, misses uint64, size int) {
 	return e.prefixes.Stats()
 }
 
+// newRunWorkspace builds the per-run workspace with the engine's
+// streaming configuration attached: the deterministic-prefix cache
+// handle, the engine batch size, and the run's memory budget (0 = no
+// bound). ShardWorkspace propagates batch size and budget to replicate
+// workers, which charge the run's shared gauge.
+func (e *Engine) newRunWorkspace(seed uint64, window int, maxBytes int64) *exec.Workspace {
+	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
+	ws.Prefix = e.prefixHandle()
+	ws.BatchSize = e.batchSize
+	ws.Slabs = e.slabs
+	ws.MaxBytes = maxBytes
+	return ws
+}
+
 // prefixHandle returns the per-run view of the deterministic-prefix cache,
 // pinned to the current data epoch; nil when the cache is disabled.
 func (e *Engine) prefixHandle() *exec.PrefixHandle {
@@ -150,6 +203,7 @@ func New(opts ...Option) *Engine {
 		parallelism: runtime.NumCPU(),
 		plans:       newPlanCache(0),
 		prefixes:    exec.NewPrefixCache(0),
+		slabs:       exec.NewSlabPool(),
 	}
 	for _, o := range opts {
 		o(e)

@@ -151,7 +151,7 @@ func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (res *ExecR
 		if err != nil {
 			return nil, err
 		}
-		return e.runSelectCompiled(c, s, opts, e.seed, e.parallelism, s.MCReps)
+		return e.runSelectCompiled(c, s, opts, e.seed, e.parallelism, s.MCReps, e.maxQueryBytes)
 	default:
 		return nil, fmt.Errorf("mcdbr: unsupported statement %T", stmt)
 	}
@@ -525,7 +525,7 @@ func validateSelect(c *compiled, s *sqlish.SelectStmt) error {
 // (one conditioned Gibbs run per group when grouped). It is the shared
 // execution path of Exec and PreparedQuery.Run; seed, workers, and the
 // repetition count are per-run so prepared queries can override them.
-func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailSampleOptions, seed uint64, workers, n int) (*ExecResult, error) {
+func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailSampleOptions, seed uint64, workers, n int, maxBytes int64) (*ExecResult, error) {
 	if err := validateSelect(c, s); err != nil {
 		return nil, err
 	}
@@ -538,13 +538,13 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 		}
 		opts.Lower = s.Domain.Lower
 		if grouped {
-			gt, err := e.runGroupedTail(c, p, n, opts, seed)
+			gt, err := e.runGroupedTail(c, p, n, opts, seed, maxBytes)
 			if err != nil {
 				return nil, err
 			}
 			return &ExecResult{Kind: ExecGroupedTail, GroupedTail: gt, GroupTails: gt.TailMap()}, nil
 		}
-		tr, err := e.runTail(c, p, n, opts, seed)
+		tr, err := e.runTail(c, p, n, opts, seed, maxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -552,7 +552,7 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 		return &ExecResult{Kind: ExecTail, Tail: tr}, nil
 	}
 	if grouped || multi {
-		gd, err := e.runGroupedMonteCarlo(c, n, seed, workers)
+		gd, err := e.runGroupedMonteCarlo(c, n, seed, workers, maxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -562,7 +562,7 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 		}
 		return res, nil
 	}
-	d, err := e.runMonteCarlo(c, n, seed, workers)
+	d, err := e.runMonteCarlo(c, n, seed, workers, maxBytes)
 	if err != nil {
 		return nil, err
 	}

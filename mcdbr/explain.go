@@ -82,6 +82,11 @@ func (q *QueryBuilder) Explain() (x *Explain, err error) {
 	if c.gq.FinalPred != nil {
 		x.FinalPred = c.gq.FinalPred.String()
 	}
+	bs := q.e.batchSize
+	if bs <= 0 {
+		bs = exec.DefaultBatchSize
+	}
+	x.Notes = append(x.Notes, fmt.Sprintf("streaming executor: pull-based batches of %d tuples", bs))
 	return x, nil
 }
 

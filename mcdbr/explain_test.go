@@ -58,14 +58,15 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(Losses.val) AS totalLoss]
-    Select((Losses.CID < 10050))
-      Rename(Losses)
-        Project[__param.CID __vg0]
-          Instantiate
-            Seed(Normal)
-              Scan(means AS __param) [det]
+  Aggregate[SUM(Losses.val) AS totalLoss] [sink]
+    Select((Losses.CID < 10050)) [stream]
+      Rename(Losses) [stream]
+        Project[__param.CID __vg0] [stream]
+          Instantiate [stream]
+            Seed(Normal) [stream]
+              Scan(means AS __param) [det] [stream]
 aggregate: SUM(Losses.val) AS totalLoss
+note: streaming executor: pull-based batches of 1024 tuples
 note: plain Monte Carlo, 1000 repetitions
 `
 	checkGolden(t, "quickstart", x.String(), want)
@@ -116,22 +117,23 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv]
-    HashJoin([sup.peon] = [emp2.eid])
-      HashJoin([sup.boss] = [emp1.eid])
-        Scan(sup AS sup) [det]
-        Rename(emp1)
-          Project[__param.eid __vg0]
-            Instantiate
-              Seed(Normal)
-                Scan(empmeans AS __param) [det]
-      Rename(emp2)
-        Project[__param.eid __vg0]
-          Instantiate
-            Seed(Normal)
-              Scan(empmeans AS __param) [det]
+  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv] [sink]
+    HashJoin([sup.peon] = [emp2.eid]) [build+stream]
+      HashJoin([sup.boss] = [emp1.eid]) [build+stream]
+        Scan(sup AS sup) [det] [stream]
+        Rename(emp1) [stream]
+          Project[__param.eid __vg0] [stream]
+            Instantiate [stream]
+              Seed(Normal) [stream]
+                Scan(empmeans AS __param) [det] [stream]
+      Rename(emp2) [stream]
+        Project[__param.eid __vg0] [stream]
+          Instantiate [stream]
+            Seed(Normal) [stream]
+              Scan(empmeans AS __param) [det] [stream]
 final predicate (Gibbs looper): (emp2.sal > emp1.sal)
 aggregate: SUM((emp2.sal - emp1.sal)) AS inv
+note: streaming executor: pull-based batches of 1024 tuples
 note: plain Monte Carlo, 100 repetitions
 `
 	checkGolden(t, "salary-inversion", x.String(), want)
@@ -186,16 +188,17 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(r.premium) AS total]
-    HashJoin([r.rid] = [a.class])
-      Scan(riskclass AS r) [det]
-      Split(a.class)
-        Rename(a)
-          Project[__param.cid __vg0]
-            Instantiate
-              Seed(Bernoulli)
-                Scan(cust AS __param) [det]
+  Aggregate[SUM(r.premium) AS total] [sink]
+    HashJoin([r.rid] = [a.class]) [build+stream]
+      Scan(riskclass AS r) [det] [stream]
+      Split(a.class) [stream]
+        Rename(a) [stream]
+          Project[__param.cid __vg0] [stream]
+            Instantiate [stream]
+              Seed(Bernoulli) [stream]
+                Scan(cust AS __param) [det] [stream]
 aggregate: SUM(r.premium) AS total
+note: streaming executor: pull-based batches of 1024 tuples
 note: plain Monte Carlo, 4000 repetitions
 `
 	checkGolden(t, "split-join", x.String(), want)
@@ -232,13 +235,14 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(Losses.val) AS x; group by Losses.CID]
-    Rename(Losses)
-      Project[__param.CID __vg0]
-        Instantiate
-          Seed(Normal)
-            Scan(means AS __param) [det]
+  Aggregate[SUM(Losses.val) AS x; group by Losses.CID] [sink]
+    Rename(Losses) [stream]
+      Project[__param.CID __vg0] [stream]
+        Instantiate [stream]
+          Seed(Normal) [stream]
+            Scan(means AS __param) [det] [stream]
 aggregate: SUM(Losses.val) AS x
+note: streaming executor: pull-based batches of 1024 tuples
 note: GROUP BY CID: one conditioned Gibbs run per group over one shared plan (paper App. A)
 note: DOMAIN x >= QUANTILE(0.9): Gibbs tail sampling, 20 conditioned samples
 `
@@ -380,18 +384,19 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name]
-    HashJoin([g.cid] = [l.cid])
-      Materialize [det]
-        HashJoin([r.rid] = [g.rid]) [det]
-          Scan(regions AS r) [det]
-          Scan(grp AS g) [det]
-      Rename(l)
-        Project[__param.cid __vg0]
-          Instantiate
-            Seed(Normal)
-              Scan(means AS __param) [det]
+  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name] [sink]
+    HashJoin([g.cid] = [l.cid]) [build+stream]
+      Materialize [det] [sink]
+        HashJoin([r.rid] = [g.rid]) [det] [build+stream]
+          Scan(regions AS r) [det] [stream]
+          Scan(grp AS g) [det] [stream]
+      Rename(l) [stream]
+        Project[__param.cid __vg0] [stream]
+          Instantiate [stream]
+            Seed(Normal) [stream]
+              Scan(means AS __param) [det] [stream]
 aggregate: SUM(l.val) AS s, COUNT(*) AS n
+note: streaming executor: pull-based batches of 1024 tuples
 note: GROUP BY r.name: single-pass grouped aggregation (one plan run, per-group aggregate vectors)
 note: plain Monte Carlo, 40 repetitions
 `

@@ -36,6 +36,11 @@ type RunOptions struct {
 	Workers int
 	// Tail tunes tail sampling for DOMAIN queries; ignored otherwise.
 	Tail TailSampleOptions
+	// MaxBytes overrides the engine's WithMaxQueryBytes memory budget for
+	// this run: the most bytes the run's tuple arenas may hold before it
+	// fails with an error wrapping ErrMemoryBudget. 0 keeps the engine
+	// budget; negative disables the bound for this run.
+	MaxBytes int64
 }
 
 // PreparedQuery is a SELECT statement parsed and planned once, executable
@@ -140,7 +145,14 @@ func (p *PreparedQuery) Run(opts RunOptions) (res *ExecResult, err error) {
 	if topts.Parallelism == 0 {
 		topts.Parallelism = workers
 	}
-	return p.e.runSelectCompiled(p.c, s, topts, seed, workers, n)
+	maxBytes := opts.MaxBytes
+	switch {
+	case maxBytes == 0:
+		maxBytes = p.e.maxQueryBytes
+	case maxBytes < 0:
+		maxBytes = 0 // explicit override: unbounded
+	}
+	return p.e.runSelectCompiled(p.c, s, topts, seed, workers, n, maxBytes)
 }
 
 // PlanCacheStats reports the engine plan cache's lifetime hit and miss

@@ -6,9 +6,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/exec"
 	"repro/internal/gibbs"
-	"repro/internal/prng"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/tail"
@@ -226,7 +224,7 @@ func (q *QueryBuilder) MonteCarlo(n int) (d *Distribution, err error) {
 	if c.grouped() || len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use MonteCarloGrouped")
 	}
-	return q.e.runMonteCarlo(c, n, q.e.seed, q.e.parallelism)
+	return q.e.runMonteCarlo(c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
 }
 
 // MonteCarloGrouped runs a grouped and/or multi-aggregate query with n
@@ -240,7 +238,7 @@ func (q *QueryBuilder) MonteCarloGrouped(n int) (gd *GroupedDistribution, err er
 	if err != nil {
 		return nil, err
 	}
-	return q.e.runGroupedMonteCarlo(c, n, q.e.seed, q.e.parallelism)
+	return q.e.runGroupedMonteCarlo(c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
 }
 
 // runMonteCarlo executes a compiled single-aggregate ungrouped plan for n
@@ -249,8 +247,8 @@ func (q *QueryBuilder) MonteCarloGrouped(n int) (gd *GroupedDistribution, err er
 // the pre-ISSUE-5 path). It is the shared execution path of
 // QueryBuilder.MonteCarlo and PreparedQuery.Run; seed and workers are
 // per-run so prepared queries can override them.
-func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*Distribution, error) {
-	gr, err := e.runGroupedRuns(c, n, seed, workers)
+func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*Distribution, error) {
+	gr, err := e.runGroupedRuns(c, n, seed, workers, maxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -263,14 +261,13 @@ func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int) (*D
 
 // runGroupedRuns is the raw single-pass grouped execution shared by the
 // Distribution-building paths.
-func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int) (*gibbs.GroupedRuns, error) {
+func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*gibbs.GroupedRuns, error) {
 	// Plain Monte Carlo evaluates exactly positions [0, n) of every
 	// stream, so the window is n — not the engine window, which exists to
 	// amortize tail-sampling replenishment. (Shard workers already
 	// materialize exactly their replicate range; stream values depend only
 	// on (seed, position), so the window size never changes results.)
-	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), n)
-	ws.Prefix = e.prefixHandle()
+	ws := e.newRunWorkspace(seed, n, maxBytes)
 	return gibbs.MonteCarloGroupedParallel(ws, c.agg, c.gq.FinalPred, n, workers)
 }
 
@@ -278,8 +275,8 @@ func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int) (*
 // and builds the per-group result distributions. With a HAVING clause,
 // each group keeps only the repetitions in which the predicate held;
 // groups that never satisfy it are dropped.
-func (e *Engine) runGroupedMonteCarlo(c *compiled, n int, seed uint64, workers int) (*GroupedDistribution, error) {
-	gr, err := e.runGroupedRuns(c, n, seed, workers)
+func (e *Engine) runGroupedMonteCarlo(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*GroupedDistribution, error) {
+	gr, err := e.runGroupedRuns(c, n, seed, workers, maxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +364,7 @@ func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (tr 
 	if c.grouped() || len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use TailSampleGrouped")
 	}
-	return q.e.runTail(c, p, l, opts, q.e.seed)
+	return q.e.runTail(c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
 }
 
 // TailSampleGrouped runs per-group tail sampling for a GROUP BY query:
@@ -386,22 +383,22 @@ func (q *QueryBuilder) TailSampleGrouped(p float64, l int, opts TailSampleOption
 	if !c.grouped() {
 		return nil, fmt.Errorf("mcdbr: TailSampleGrouped needs GROUP BY; use TailSample")
 	}
-	return q.e.runGroupedTail(c, p, l, opts, q.e.seed)
+	return q.e.runGroupedTail(c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
 }
 
 // runTail executes a compiled plan's tail sampling in a fresh per-run
 // workspace; the shared execution path of QueryBuilder.TailSample and
 // PreparedQuery.Run. The looper query is copied, never mutated, so one
 // compiled plan can serve concurrent runs.
-func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64) (*TailResult, error) {
+func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
 	gq := c.gq
 	gq.LowerTail = opts.Lower
-	return e.runTailWith(c, gq, p, l, opts, seed)
+	return e.runTailWith(c, gq, p, l, opts, seed, maxBytes)
 }
 
 // runTailWith is runTail with an explicit looper query — the per-group
 // conditioned runs of runGroupedTail pass a group-restricted copy.
-func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts TailSampleOptions, seed uint64) (*TailResult, error) {
+func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
 	if len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: DOMAIN tail sampling conditions on a single aggregate; the query has %d", len(c.agg.Aggs))
 	}
@@ -427,8 +424,7 @@ func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts
 	if need := cfg.N + cfg.L; need > window {
 		window = need
 	}
-	ws := exec.NewWorkspace(e.cat, prng.NewStream(seed), window)
-	ws.Prefix = e.prefixHandle()
+	ws := e.newRunWorkspace(seed, window, maxBytes)
 	res, err := gibbs.Run(ws, c.agg.Child, gq, cfg)
 	if err != nil {
 		return nil, err
@@ -452,17 +448,12 @@ func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts
 // group's looper then executes in a fresh workspace restricted to the
 // group's tuples, exactly as if the query had been run with a per-group
 // selection predicate — samples are bit-identical to that formulation.
-func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64) (*GroupedTail, error) {
+func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*GroupedTail, error) {
 	if c.agg.Having != nil {
 		return nil, fmt.Errorf("mcdbr: HAVING is not supported with DOMAIN tail sampling; drop the DOMAIN clause or the HAVING clause")
 	}
-	dws := exec.NewWorkspace(e.cat, prng.NewStream(seed), e.window)
-	dws.Prefix = e.prefixHandle()
-	tuples, err := dws.Run(c.agg)
-	if err != nil {
-		return nil, err
-	}
-	keys, err := c.agg.GroupKeys(tuples)
+	dws := e.newRunWorkspace(seed, e.window, maxBytes)
+	keys, err := c.agg.StreamGroupKeys(dws)
 	if err != nil {
 		return nil, err
 	}
@@ -475,7 +466,7 @@ func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOp
 		gq.LowerTail = opts.Lower
 		gq.GroupBy = c.agg.GroupBy
 		gq.GroupKey = key
-		tr, err := e.runTailWith(c, gq, p, l, opts, seed)
+		tr, err := e.runTailWith(c, gq, p, l, opts, seed, maxBytes)
 		if err != nil {
 			return nil, fmt.Errorf("mcdbr: group %s: %w", formatGroupKey(key), err)
 		}

@@ -917,6 +917,114 @@ FROM losses, accounts
 WHERE losses.cid = accounts.aid AND accounts.flag = 1
 WITH RESULTDISTRIBUTION MONTECARLO(16)`
 
+// adaptiveBenchEngine builds the adaptive-stopping benchmark workload: a
+// low-variance 200-customer loss SUM (relative sd ≈ 1.4%), where a tight
+// confidence interval needs only a few dozen replicates but a fixed
+// budget would burn thousands.
+func adaptiveBenchEngine(b *testing.B, seed uint64) *mcdbr.Engine {
+	b.Helper()
+	e := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithParallelism(1))
+	e.RegisterTable(workload.LossMeans(200, 2, 8, 5))
+	if err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const (
+	adaptiveBenchTarget = 0.005 // relative CI half-width the run must reach
+	adaptiveBenchMaxN   = 8192  // fixed budget / adaptive cap
+)
+
+// BenchmarkAdaptive_FixedBudget is the baseline: the low-variance SUM at
+// the full fixed replicate budget, the cost a caller pays without a
+// stopping rule.
+func BenchmarkAdaptive_FixedBudget(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := adaptiveBenchEngine(b, uint64(i)).
+			Query().From("losses", "").SelectSum(expr.C("val")).
+			MonteCarlo(adaptiveBenchMaxN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Samples) != adaptiveBenchMaxN {
+			b.Fatalf("samples = %d", len(d.Samples))
+		}
+	}
+}
+
+// BenchmarkAdaptive_UntilError runs the same query with UNTIL ERROR early
+// stopping at the same cap, reporting how many replicates the confidence
+// interval actually needed as "samples_used".
+func BenchmarkAdaptive_UntilError(b *testing.B) {
+	b.ReportAllocs()
+	var used int
+	for i := 0; i < b.N; i++ {
+		_, rep, err := adaptiveBenchEngine(b, uint64(i)).
+			Query().From("losses", "").SelectSum(expr.C("val")).
+			Until(adaptiveBenchTarget, 0.95, adaptiveBenchMaxN).
+			MonteCarloAdaptive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Converged {
+			b.Fatalf("did not converge: %+v", rep)
+		}
+		used = rep.SamplesUsed
+	}
+	b.ReportMetric(float64(used), "samples_used")
+}
+
+// BenchmarkAdaptive_Speedup times the fixed budget and the adaptive run
+// back to back at equal target accuracy (the fixed budget also reaches the
+// target) and reports their wall-clock ratio as "speedup" plus the
+// adaptive stopping point as "samples_used". It re-checks on every
+// iteration that the adaptive replicates are a bit-identical prefix of the
+// fixed run's — the ISSUE 7 determinism guarantee.
+func BenchmarkAdaptive_Speedup(b *testing.B) {
+	b.ReportAllocs()
+	var fixedDur, adaptDur time.Duration
+	var used int
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		d, err := adaptiveBenchEngine(b, uint64(i)).
+			Query().From("losses", "").SelectSum(expr.C("val")).
+			MonteCarlo(adaptiveBenchMaxN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixedDur += time.Since(start)
+		start = time.Now()
+		gd, rep, err := adaptiveBenchEngine(b, uint64(i)).
+			Query().From("losses", "").SelectSum(expr.C("val")).
+			Until(adaptiveBenchTarget, 0.95, adaptiveBenchMaxN).
+			MonteCarloAdaptive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptDur += time.Since(start)
+		if !rep.Converged {
+			b.Fatalf("did not converge: %+v", rep)
+		}
+		used = rep.SamplesUsed
+		adaptive := gd.Groups[0].Dists[0].Samples
+		for j, s := range adaptive {
+			if s != d.Samples[j] {
+				b.Fatalf("replicate %d: adaptive %v vs fixed %v", j, s, d.Samples[j])
+			}
+		}
+	}
+	if adaptDur > 0 {
+		b.ReportMetric(fixedDur.Seconds()/adaptDur.Seconds(), "speedup")
+		b.ReportMetric(float64(used), "samples_used")
+	}
+}
+
 // BenchmarkStreaming_LargeScan is the bounded-memory acceptance benchmark:
 // the 200k-row filtered scan under a Monte Carlo aggregate, prefix cache
 // off. The "peak-B" metric must drop by at least half when the executor

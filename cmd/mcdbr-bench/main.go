@@ -7,6 +7,7 @@
 //	mcdbr-bench -exp E3            §1 naive-Monte-Carlo cost numbers
 //	mcdbr-bench -exp E4            Appendix C parameter selection
 //	mcdbr-bench -exp E5            Appendix B heavy-tail regime
+//	mcdbr-bench -exp E6            adaptive stopping vs fixed budget
 //	mcdbr-bench -exp all           everything
 //
 // -scalediv shrinks the TPC-H-like workload (paper scale / scalediv);
@@ -35,11 +36,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1, E2, E3, E4, E5, or all")
+	exp := flag.String("exp", "all", "experiment to run: E1, E2, E3, E4, E5, E6, or all")
 	scaleDiv := flag.Int("scalediv", 100, "TPC-H-like workload is paper scale divided by this")
 	runs := flag.Int("runs", 20, "number of Figure 5 repetitions (E2)")
 	seed := flag.Uint64("seed", 42, "master PRNG seed")
 	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
+	targetErr := flag.Float64("target-err", 0.005, "E6 adaptive stopping target: relative CI half-width")
+	confidence := flag.Float64("confidence", 0.95, "E6 confidence level for the stopping CI")
+	fixedN := flag.Int("fixed-n", 16384, "E6 fixed replicate budget the adaptive run is compared against (also its cap)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
 	benchJSON := flag.Bool("benchjson", false, "read `go test -bench` output from stdin and write JSON results to stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -151,6 +155,14 @@ func main() {
 			fail(err)
 		}
 		experiments.PrintE5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if run("E6") {
+		res, err := experiments.RunE6(*scaleDiv, *fixedN, *targetErr, *confidence, *seed, engineOpts...)
+		if err != nil {
+			fail(err)
+		}
+		res.Print(os.Stdout)
 		fmt.Println()
 	}
 }

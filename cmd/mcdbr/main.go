@@ -36,15 +36,28 @@ func main() {
 	window := flag.Int("window", 1024, "stream values materialized per TS-seed per run")
 	samples := flag.Int("samples", 0, "tail-sampling budget N (0 = choose via Appendix C)")
 	workers := flag.Int("workers", 0, "worker goroutines for replicate-sharded execution (1 = sequential, 0 = NumCPU); results are identical for any value")
+	targetErr := flag.Float64("target-err", 0, "run SELECTs adaptively: stop once every estimate's relative CI half-width is below this (0 = fixed-N; overrides UNTIL ERROR in the statement)")
+	confidence := flag.Float64("confidence", 0, "CI level for -target-err, e.g. 0.95 (0 = statement value or 95%)")
+	maxSamples := flag.Int("max-samples", 0, "cap on adaptive replicates for -target-err (0 = statement value or 65536)")
 	flag.Parse()
 
-	if err := run(loads, *seed, *window, *samples, *workers, flag.Args()); err != nil {
+	ad := adaptiveFlags{targetErr: *targetErr, confidence: *confidence, maxSamples: *maxSamples}
+	if err := run(loads, *seed, *window, *samples, *workers, ad, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdbr:", err)
 		os.Exit(1)
 	}
 }
 
-func run(loads loadFlags, seed uint64, window, samples, workers int, args []string) error {
+// adaptiveFlags are the CLI's per-run stopping-rule overrides.
+type adaptiveFlags struct {
+	targetErr  float64
+	confidence float64
+	maxSamples int
+}
+
+func (a adaptiveFlags) set() bool { return a.targetErr > 0 }
+
+func run(loads loadFlags, seed uint64, window, samples, workers int, ad adaptiveFlags, args []string) error {
 	engine := mcdbr.New(mcdbr.WithSeed(seed), mcdbr.WithWindow(window), mcdbr.WithParallelism(workers))
 	for _, spec := range loads {
 		parts := strings.SplitN(spec, "=", 2)
@@ -73,13 +86,39 @@ func run(loads loadFlags, seed uint64, window, samples, workers int, args []stri
 	opts := mcdbr.TailSampleOptions{TotalSamples: samples}
 	for _, stmt := range splitStatements(string(src)) {
 		fmt.Printf("> %s\n", condense(stmt))
-		res, err := engine.ExecWithOptions(stmt, opts)
+		res, err := execStatement(engine, stmt, opts, ad)
 		if err != nil {
 			return err
 		}
 		printResult(res)
 	}
 	return nil
+}
+
+// execStatement runs one statement, routing SELECTs through a prepared
+// query when the -target-err flags ask for an adaptive override (CREATE
+// statements are not preparable and never adaptive).
+func execStatement(engine *mcdbr.Engine, stmt string, opts mcdbr.TailSampleOptions, ad adaptiveFlags) (*mcdbr.ExecResult, error) {
+	if !ad.set() {
+		return engine.ExecWithOptions(stmt, opts)
+	}
+	parsed, err := sqlish.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := parsed.(*sqlish.SelectStmt); !ok {
+		return engine.ExecWithOptions(stmt, opts)
+	}
+	pq, err := engine.Prepare(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Run(mcdbr.RunOptions{
+		Tail:           opts,
+		TargetRelError: ad.targetErr,
+		Confidence:     ad.confidence,
+		MaxSamples:     ad.maxSamples,
+	})
 }
 
 // splitStatements splits on semicolons outside single-quoted strings.
@@ -90,6 +129,7 @@ func condense(s string) string {
 }
 
 func printResult(res *mcdbr.ExecResult) {
+	defer printAdaptive(res.Adaptive)
 	switch res.Kind {
 	case mcdbr.ExecCreated:
 		fmt.Println("random table defined")
@@ -152,5 +192,27 @@ func printResult(res *mcdbr.ExecResult) {
 		fmt.Printf("tail distribution (%s quantile, p=%g): quantile estimate %g, expected shortfall (CVaR) %g, %d samples\n",
 			dir, t.P, t.QuantileEstimate, t.ExpectedShortfall, len(t.Samples))
 		fmt.Printf("  iterations: %d, replenishing runs: %d\n", len(t.Diag.Iters), t.Diag.Replenishments)
+	}
+}
+
+// printAdaptive summarizes an adaptive run's stopping report: replicates
+// actually used and the confidence interval of every (group, aggregate)
+// estimate at the stop.
+func printAdaptive(rep *mcdbr.AdaptiveReport) {
+	if rep == nil {
+		return
+	}
+	status := "converged"
+	if !rep.Converged {
+		status = "hit max samples"
+	}
+	fmt.Printf("adaptive: %s after %d samples in %d rounds (target rel err %g at %.0f%% confidence, max %d)\n",
+		status, rep.SamplesUsed, rep.Rounds, rep.TargetRelError, 100*rep.Confidence, rep.MaxSamples)
+	for _, ci := range rep.CIs {
+		label := ci.Agg
+		if ci.Group != "" {
+			label = ci.Group + " " + ci.Agg
+		}
+		fmt.Printf("  %s: mean %g +/- %g (rel err %g, n=%d)\n", label, ci.Mean, ci.HalfWidth, ci.RelError, ci.N)
 	}
 }

@@ -50,7 +50,7 @@ SELECT MIN(totalLoss) FROM FTABLE;
 	if err := os.WriteFile(script, []byte(sql), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, 2, []string{script})
+	err := run(loadFlags{"means=" + csvPath}, 42, 1024, 200, 2, adaptiveFlags{}, []string{script})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ WITH RESULTDISTRIBUTION MONTECARLO(50);
 	}
 	saved := os.Stdout
 	os.Stdout = w
-	runErr := run(loadFlags{"means=" + csvPath}, 42, 1024, 0, 1, []string{script})
+	runErr := run(loadFlags{"means=" + csvPath}, 42, 1024, 0, 1, adaptiveFlags{}, []string{script})
 	os.Stdout = saved
 	w.Close()
 	out, _ := io.ReadAll(r)
@@ -98,11 +98,54 @@ WITH RESULTDISTRIBUTION MONTECARLO(50);
 	}
 }
 
+// TestRunAdaptiveFlags: -target-err runs SELECTs adaptively and the
+// report (samples used, CI half-width) is printed.
+func TestRunAdaptiveFlags(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "means.csv")
+	if err := workload.LossMeans(10, 2, 8, 3).SaveCSV(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "adaptive.sql")
+	sql := `
+CREATE TABLE Losses (CID, val) AS
+FOR EACH CID IN means
+WITH myVal AS Normal(VALUES(m, 1.0))
+SELECT CID, myVal.* FROM myVal;
+
+SELECT SUM(val) AS totalLoss
+FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(65536);
+`
+	if err := os.WriteFile(script, []byte(sql), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	ad := adaptiveFlags{targetErr: 0.01, confidence: 0.95, maxSamples: 16384}
+	runErr := run(loadFlags{"means=" + csvPath}, 42, 1024, 0, 2, ad, []string{script})
+	os.Stdout = saved
+	w.Close()
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"adaptive: converged after", "totalLoss: mean"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(loadFlags{"bad"}, 1, 64, 0, 1, nil); err == nil {
+	if err := run(loadFlags{"bad"}, 1, 64, 0, 1, adaptiveFlags{}, nil); err == nil {
 		t.Fatal("bad -load must error")
 	}
-	if err := run(nil, 1, 64, 0, 1, []string{"/nonexistent/file.sql"}); err == nil {
+	if err := run(nil, 1, 64, 0, 1, adaptiveFlags{}, []string{"/nonexistent/file.sql"}); err == nil {
 		t.Fatal("missing script must error")
 	}
 }

@@ -21,6 +21,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,6 +112,12 @@ type Workspace struct {
 	MaxBytes int64
 	// Gauge totals the run's slab-arena bytes across all its workspaces.
 	Gauge *bundle.MemGauge
+	// Ctx, when non-nil, carries run cancellation: sharded execution and
+	// the Gibbs version loops poll it between units of work and abort with
+	// its error once it is done (client disconnect, adaptive round driver
+	// stopping in-flight shards). A nil Ctx means "never cancelled" — the
+	// zero workspace stays valid and the hot path pays one nil check.
+	Ctx context.Context
 
 	matCache map[Node][]*bundle.Tuple
 
@@ -197,6 +204,17 @@ func NewWorkspace(cat *storage.Catalog, master prng.Stream, window int) *Workspa
 	ws.det.SetGauge(ws.Gauge)
 	ws.tmp.SetGauge(ws.Gauge)
 	return ws
+}
+
+// Cancelled returns the context's error when the workspace's run has been
+// cancelled, nil otherwise (including when no context was attached).
+// Long-running loops — shard workers, Gibbs version sweeps — call it
+// between units of work.
+func (ws *Workspace) Cancelled() error {
+	if ws.Ctx == nil {
+		return nil
+	}
+	return context.Cause(ws.Ctx)
 }
 
 // adoptGauge points the workspace's arenas at a shared gauge, so shard
@@ -592,6 +610,9 @@ func (it *seedIter) Next() (*Batch, error) {
 			}
 		}
 		seed := ws.Seeds.Alloc(ws.Master, s.Gen, params)
+		// Long window fills poll the run context so cancellation lands
+		// mid-materialization, not only between versions.
+		seed.Cancel = ws.Cancelled
 		det := it.slab.Row(it.childWidth + it.nOut)
 		copy(det, tu.Det)
 		nt := it.slab.Tuple()

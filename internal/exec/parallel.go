@@ -74,6 +74,7 @@ func ShardWorkspace(proto *Workspace, lo, hi int) *Workspace {
 	ws.BatchSize = proto.BatchSize
 	ws.MaxBytes = proto.MaxBytes
 	ws.Slabs = proto.Slabs
+	ws.Ctx = proto.Ctx
 	ws.adoptGauge(proto.Gauge)
 	return ws
 }
@@ -109,6 +110,10 @@ func RunSharded(proto *Workspace, n, workers int, fn func(Shard) ([]float64, err
 					errs[i] = fmt.Errorf("exec: shard %d panicked: %v", sh.Index, r)
 				}
 			}()
+			if err := sh.WS.Cancelled(); err != nil {
+				errs[i] = err
+				return
+			}
 			res, err := fn(sh)
 			if err == nil && len(res) != sh.Len() {
 				err = fmt.Errorf("exec: shard %d returned %d results for %d replicates", sh.Index, len(res), sh.Len())

@@ -470,6 +470,93 @@ func RunE5(seed uint64, opts ...mcdbr.Option) ([]E5Row, error) {
 	return rows, nil
 }
 
+// E6Result holds the adaptive-stopping study: the same query run with a
+// fixed replicate budget and with UNTIL ERROR early stopping at an
+// accuracy the fixed run also achieves.
+type E6Result struct {
+	TargetRelError float64
+	Confidence     float64
+	FixedN         int
+	FixedSeconds   float64
+	FixedMean      float64
+	FixedRelErr    float64 // CI half-width / mean of the full fixed run
+	AdaptSamples   int
+	AdaptRounds    int
+	AdaptSeconds   float64
+	AdaptMean      float64
+	AdaptRelErr    float64
+	Converged      bool
+	AnalyticMu     float64
+	Speedup        float64 // FixedSeconds / AdaptSeconds
+	SamplesSaved   float64 // 1 - AdaptSamples/FixedN
+}
+
+// RunE6 measures what confidence-interval early stopping buys on a
+// low-variance aggregate: SUM over the TPC-H-like join, fixed at fixedN
+// Monte Carlo replicates vs adaptive UNTIL ERROR < target at the given
+// confidence with the same budget as a cap. Both runs share one engine
+// seed, so the adaptive run's replicates are a bit-identical prefix of
+// the fixed run's.
+func RunE6(scaleDiv, fixedN int, target, confidence float64, seed uint64, opts ...mcdbr.Option) (*E6Result, error) {
+	res := &E6Result{TargetRelError: target, Confidence: confidence, FixedN: fixedN}
+
+	e, err := TPCHTimingEngine(scaleDiv, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.AnalyticMu, _ = TPCHAnalyticMoments(e)
+
+	start := time.Now()
+	samples, err := TPCHQuery(e).MonteCarlo(fixedN)
+	if err != nil {
+		return nil, err
+	}
+	res.FixedSeconds = time.Since(start).Seconds()
+	var acc stats.Welford
+	acc.AddAll(samples.Samples)
+	res.FixedMean = acc.Mean()
+	res.FixedRelErr = acc.RelHalfWidth(confidence)
+
+	// A fresh engine with the same seed replays the identical replicate
+	// stream, so the comparison is sample-for-sample fair.
+	e2, err := TPCHTimingEngine(scaleDiv, seed, opts...)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	_, rep, err := TPCHQuery(e2).Until(target, confidence, fixedN).MonteCarloAdaptive()
+	if err != nil {
+		return nil, err
+	}
+	res.AdaptSeconds = time.Since(start).Seconds()
+	res.AdaptSamples = rep.SamplesUsed
+	res.AdaptRounds = rep.Rounds
+	res.Converged = rep.Converged
+	res.AdaptMean = rep.CIs[0].Mean
+	res.AdaptRelErr = rep.CIs[0].RelError
+	if res.AdaptSeconds > 0 {
+		res.Speedup = res.FixedSeconds / res.AdaptSeconds
+	}
+	res.SamplesSaved = 1 - float64(res.AdaptSamples)/float64(res.FixedN)
+	return res, nil
+}
+
+// Print writes the adaptive-stopping comparison.
+func (r *E6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "E6: adaptive stopping (UNTIL ERROR < %g AT %.0f%%, cap %d) vs fixed MONTECARLO(%d)\n",
+		r.TargetRelError, 100*r.Confidence, r.FixedN, r.FixedN)
+	fmt.Fprintf(w, "  fixed:    %d samples in %.3fs, mean %.6g (rel half-width %.2e)\n",
+		r.FixedN, r.FixedSeconds, r.FixedMean, r.FixedRelErr)
+	status := "converged"
+	if !r.Converged {
+		status = "hit cap"
+	}
+	fmt.Fprintf(w, "  adaptive: %d samples in %.3fs over %d rounds, mean %.6g (rel half-width %.2e, %s)\n",
+		r.AdaptSamples, r.AdaptSeconds, r.AdaptRounds, r.AdaptMean, r.AdaptRelErr, status)
+	fmt.Fprintf(w, "  analytic mean %.6g; speedup %.1fx, samples saved %.0f%%\n",
+		r.AnalyticMu, r.Speedup, 100*r.SamplesSaved)
+}
+
 // PrintE5 writes the regime table.
 func PrintE5(w io.Writer, rows []E5Row) {
 	fmt.Fprintln(w, "E5: Appendix B light- vs heavy-tail rejection cost (SUM of 10 iid, p=0.01)")

@@ -353,6 +353,9 @@ func (lp *looper) recomputeStates(nVersions int) error {
 	}
 	lp.states = make([]exec.AggState, nVersions)
 	for v := 0; v < nVersions; {
+		if err := lp.ws.Cancelled(); err != nil {
+			return err
+		}
 		st := lp.base
 		b := bundle.Bind(lp.ws.Seeds, v)
 		retry := false
@@ -392,6 +395,9 @@ func (lp *looper) recomputeStates(nVersions int) error {
 // idempotent, so convergence matches the sequential path).
 func (lp *looper) recomputeStatesParallel(nVersions int) error {
 	for {
+		if err := lp.ws.Cancelled(); err != nil {
+			return err
+		}
 		states := make([]exec.AggState, nVersions)
 		var (
 			wg       sync.WaitGroup
@@ -417,6 +423,14 @@ func (lp *looper) recomputeStatesParallel(nVersions int) error {
 				}()
 				buf := make(types.Row, len(lp.buf))
 				for v := lo; v < hi; v++ {
+					if err := lp.ws.Cancelled(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
 					st := lp.base
 					b := bundle.Bind(lp.ws.Seeds, v)
 					for _, tu := range lp.rand {
@@ -478,6 +492,9 @@ func (lp *looper) run() (*Result, error) {
 	pi := math.Pow(cfg.P, 1/float64(cfg.M))
 	cutoff := math.Inf(-1)
 	for i := 1; i <= cfg.M; i++ {
+		if err := lp.ws.Cancelled(); err != nil {
+			return nil, err
+		}
 		step := IterStats{CurQuantile: math.Pow(cfg.P, float64(i)/float64(cfg.M))}
 		lp.stats = &step
 		start := time.Now()
@@ -566,6 +583,9 @@ func (lp *looper) pass(cutoff float64) error {
 		}
 	}
 	for queue.Len() > 0 {
+		if err := lp.ws.Cancelled(); err != nil {
+			return err
+		}
 		key, payloads, err := queue.PopAllWithKey()
 		if err != nil {
 			return err

@@ -118,6 +118,9 @@ func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr,
 		}
 	}
 	for v := 0; v < n; {
+		if err := ws.Cancelled(); err != nil {
+			return nil, err
+		}
 		if err := ev.EvalVersion(bundle.Bind(ws.Seeds, v), vec, include); err != nil {
 			// A workspace window smaller than n leaves some assigned
 			// positions unmaterialized; run a §9 replenishing pass (which
@@ -184,6 +187,10 @@ func MonteCarloGroupedParallel(ws *exec.Workspace, agg *exec.Aggregate, final ex
 					errs[i] = fmt.Errorf("gibbs: grouped shard %d panicked: %v", sh.Index, r)
 				}
 			}()
+			if err := sh.WS.Cancelled(); err != nil {
+				errs[i] = err
+				return
+			}
 			parts[i], errs[i] = MonteCarloGrouped(sh.WS, agg, final, sh.Len())
 		}(i, sh)
 	}

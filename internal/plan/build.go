@@ -31,6 +31,9 @@ type Query struct {
 	// Having is a predicate over the aggregation output (grouping columns
 	// and aggregate aliases), evaluated per group per Monte Carlo run.
 	Having expr.Expr
+	// Stop, when non-nil, carries the adaptive UNTIL ERROR stopping rule
+	// onto the Aggregate node (and into the plan fingerprint).
+	Stop *StopSpec
 }
 
 // Plan is the planner's output: the rewritten logical tree, the conjuncts
@@ -79,6 +82,7 @@ type state struct {
 	groupBy []expr.Expr
 	aggs    []AggItem
 	having  expr.Expr
+	stop    *StopSpec
 
 	aliasIdx map[string]int    // lower-cased alias -> froms index
 	cols     []map[string]bool // per FROM item: lower-cased column names
@@ -160,6 +164,7 @@ func newState(cat Catalog, q Query) (*state, error) {
 	s.groupBy = append([]expr.Expr(nil), q.GroupBy...)
 	s.aggs = append([]AggItem(nil), q.Aggs...)
 	s.having = q.Having
+	s.stop = q.Stop
 	if q.Having != nil && len(q.Aggs) == 0 {
 		return nil, fmt.Errorf("plan: HAVING requires an aggregate select list")
 	}

@@ -99,6 +99,10 @@ func fingerprintInto(b *strings.Builder, n Node) {
 			fmt.Fprintf(b, "%s", n.Having)
 		}
 		b.WriteByte(';')
+		if n.Stop != nil {
+			fmt.Fprintf(b, "until(%g,%g,%d)", n.Stop.TargetRelError, n.Stop.Confidence, n.Stop.MaxSamples)
+		}
+		b.WriteByte(';')
 		fingerprintInto(b, n.Child)
 		b.WriteByte(')')
 	default:

@@ -120,6 +120,25 @@ type Aggregate struct {
 	GroupBy []expr.Expr
 	Aggs    []AggItem
 	Having  expr.Expr
+	// Stop, when non-nil, is the adaptive UNTIL ERROR stopping rule. It
+	// changes how many Monte Carlo replicates run, not what each replicate
+	// computes, but it is part of the plan's identity (and fingerprint):
+	// two statements differing only in their stopping rule are different
+	// queries.
+	Stop *StopSpec
+}
+
+// StopSpec is the adaptive stopping rule carried on an Aggregate node —
+// the plan-layer form of MONTECARLO(UNTIL ERROR < eps AT conf%, MAX n).
+// It lives here rather than in internal/gibbs so the planner does not
+// depend on the executor; the engine converts it to a gibbs.StopRule.
+type StopSpec struct {
+	// TargetRelError is the relative CI half-width target.
+	TargetRelError float64
+	// Confidence is the CI level in (0,1); 0 selects the engine default.
+	Confidence float64
+	// MaxSamples caps total replicates; 0 selects the engine default.
+	MaxSamples int
 }
 
 // AggItem is one item of the aggregate select list.

@@ -475,7 +475,7 @@ func rulePlaceAggregate(s *state) (bool, error) {
 			}
 		}
 	}
-	s.root = &Aggregate{Child: s.root, GroupBy: s.groupBy, Aggs: s.aggs, Having: s.having}
+	s.root = &Aggregate{Child: s.root, GroupBy: s.groupBy, Aggs: s.aggs, Having: s.having, Stop: s.stop}
 	return true, nil
 }
 

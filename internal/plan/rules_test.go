@@ -436,3 +436,38 @@ func TestBuildErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestStopSpecInFingerprint: the adaptive stopping rule is part of the
+// plan's identity — two statements differing only in their UNTIL clause
+// must not share a fingerprint (or a plan-cache entry), while identical
+// rules must.
+func TestStopSpecInFingerprint(t *testing.T) {
+	build := func(stop *StopSpec) string {
+		p, err := Build(lossCat(10), Query{
+			Froms: []From{{Table: "losses"}},
+			Aggs:  []AggItem{{Kind: 0, Expr: expr.C("losses.val")}},
+			Stop:  stop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, ok := p.Root.(*Aggregate)
+		if !ok {
+			t.Fatalf("root is %T, want *Aggregate", p.Root)
+		}
+		if (stop == nil) != (agg.Stop == nil) {
+			t.Fatalf("Stop not carried onto Aggregate: %+v", agg.Stop)
+		}
+		return Fingerprint(p.Root)
+	}
+	fixed := build(nil)
+	a := build(&StopSpec{TargetRelError: 0.01, Confidence: 0.95, MaxSamples: 10000})
+	b := build(&StopSpec{TargetRelError: 0.05, Confidence: 0.95, MaxSamples: 10000})
+	a2 := build(&StopSpec{TargetRelError: 0.01, Confidence: 0.95, MaxSamples: 10000})
+	if fixed == a || a == b {
+		t.Errorf("distinct stopping rules share a fingerprint")
+	}
+	if a != a2 {
+		t.Errorf("identical stopping rules should share a fingerprint")
+	}
+}

@@ -82,6 +82,22 @@ type TSSeed struct {
 	// Assign maps DB version index -> currently assigned stream position
 	// (item 5).
 	Assign []uint64
+	// Cancel, when non-nil, is polled inside Materialize's fill loop so a
+	// cancelled run aborts mid-window instead of generating millions more
+	// stream values first. The executor wires it to the run context.
+	Cancel func() error
+}
+
+// cancelCheckMask throttles Cancel polling to every 16Ki window elements:
+// frequent enough that a multi-million-element window aborts within
+// milliseconds of cancellation, rare enough to be free next to sampling.
+const cancelCheckMask = 1<<14 - 1
+
+func (s *TSSeed) cancelled() error {
+	if s.Cancel == nil {
+		return nil
+	}
+	return s.Cancel()
 }
 
 // ValueAt generates the VG output row for a stream position on demand.
@@ -117,6 +133,11 @@ func (s *TSSeed) Materialize(lo uint64, count int, sparse []uint64) error {
 		// cost one heap allocation per element.
 		var sub prng.Sub
 		for i := 0; i < count; i++ {
+			if i&cancelCheckMask == 0 {
+				if err := s.cancelled(); err != nil {
+					return err
+				}
+			}
 			dst := arena[i*nOut : (i+1)*nOut : (i+1)*nOut]
 			sub = s.Stream.SubAt(lo + uint64(i))
 			if err := sampler(&sub, dst); err != nil {
@@ -126,6 +147,11 @@ func (s *TSSeed) Materialize(lo uint64, count int, sparse []uint64) error {
 		}
 	} else {
 		for i := 0; i < count; i++ {
+			if i&cancelCheckMask == 0 {
+				if err := s.cancelled(); err != nil {
+					return err
+				}
+			}
 			v, err := s.ValueAt(lo + uint64(i))
 			if err != nil {
 				return fmt.Errorf("seeds: seed %d materialize pos %d: %w", s.ID, lo+uint64(i), err)

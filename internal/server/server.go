@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"time"
@@ -106,6 +107,12 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 // need a preparable statement — a SELECT without GROUP BY — and are
 // rejected otherwise; Workers additionally applies to tail sampling in
 // GROUP BY queries via the tail options.
+//
+// POST /query?stream=1 streams the same request as Server-Sent Events:
+// one "progress" event per adaptive round (or per fixed-N round with
+// convergence disabled) carrying cumulative estimates and CI half-widths,
+// then one "result" event whose data is the exact QueryResponse the
+// non-streaming endpoint would return, or an "error" event.
 type QueryRequest struct {
 	SQL     string `json:"sql"`
 	Seed    uint64 `json:"seed,omitempty"`
@@ -114,6 +121,12 @@ type QueryRequest struct {
 	// TotalSamples is the tail-sampling budget N for DOMAIN queries
 	// (0 = server default, then Appendix C selection).
 	TotalSamples int `json:"total_samples,omitempty"`
+	// TargetRelError, when > 0, turns the run adaptive (or overrides the
+	// statement's UNTIL ERROR target); Confidence and MaxSamples refine the
+	// rule. See mcdbr.RunOptions.
+	TargetRelError float64 `json:"target_rel_error,omitempty"`
+	Confidence     float64 `json:"confidence,omitempty"`
+	MaxSamples     int     `json:"max_samples,omitempty"`
 }
 
 // DistSummary describes a result distribution without shipping every
@@ -167,6 +180,41 @@ type TailSummary struct {
 	Replenishments    int     `json:"replenishments"`
 }
 
+// AggregateCISummary is one (group, aggregate) confidence interval of an
+// adaptive run. Non-finite values (an interval before two replicates, a
+// relative error at mean zero) are reported as -1, since JSON has no
+// Inf/NaN.
+type AggregateCISummary struct {
+	Group       string  `json:"group,omitempty"`
+	Agg         string  `json:"agg"`
+	N           int64   `json:"n"`
+	Mean        float64 `json:"mean"`
+	HalfWidth   float64 `json:"half_width"`
+	RelError    float64 `json:"rel_error"`
+	Converged   bool    `json:"converged"`
+	ConvergedAt int     `json:"converged_at,omitempty"`
+}
+
+// AdaptiveSummary reports how an adaptive (UNTIL ERROR) or progressive
+// run stopped.
+type AdaptiveSummary struct {
+	TargetRelError float64              `json:"target_rel_error"`
+	Confidence     float64              `json:"confidence"`
+	MaxSamples     int                  `json:"max_samples"`
+	SamplesUsed    int                  `json:"samples_used"`
+	Rounds         int                  `json:"rounds"`
+	Converged      bool                 `json:"converged"`
+	CIs            []AggregateCISummary `json:"cis"`
+}
+
+// ProgressEvent is the data payload of one SSE "progress" event.
+type ProgressEvent struct {
+	Round       int                  `json:"round"`
+	SamplesUsed int                  `json:"samples_used"`
+	Converged   bool                 `json:"converged"`
+	CIs         []AggregateCISummary `json:"cis"`
+}
+
 // QueryResponse is the body of a successful POST /query. Grouped carries
 // the ordered multi-column result of GROUP BY and multi-aggregate
 // queries; GroupDists/GroupTails remain the legacy single-aggregate map
@@ -180,6 +228,7 @@ type QueryResponse struct {
 	Grouped    *GroupedSummary         `json:"grouped,omitempty"`
 	GroupDists map[string]*DistSummary `json:"group_dists,omitempty"`
 	GroupTails map[string]*TailSummary `json:"group_tails,omitempty"`
+	Adaptive   *AdaptiveSummary        `json:"adaptive,omitempty"`
 	Explain    string                  `json:"explain,omitempty"`
 	PlanCached bool                    `json:"plan_cached"`
 	ElapsedMS  float64                 `json:"elapsed_ms"`
@@ -236,6 +285,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: missing \"sql\""))
 		return
 	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.handleQueryStream(w, r, req)
+		return
+	}
 	if err := s.acquire(r.Context()); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -243,7 +296,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	res, cached, err := s.execute(req)
+	res, cached, err := s.execute(r.Context(), req, nil)
 	if err != nil {
 		// A recovered engine panic is a server fault, not a bad request.
 		status := http.StatusBadRequest
@@ -260,14 +313,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleQueryStream serves POST /query?stream=1 as Server-Sent Events:
+// progress events per adaptive round, then a final result event carrying
+// the exact QueryResponse of the non-streaming endpoint. The request
+// context is the run's cancellation: a disconnected client aborts the
+// query at its next unit of work.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req QueryRequest) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: response writer does not support streaming"))
+		return
+	}
+	stmt, err := sqlish.Parse(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, isSelect := stmt.(*sqlish.SelectStmt); !isSelect {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: stream=1 needs a SELECT statement"))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	start := time.Now()
+	progress := func(u mcdbr.ProgressUpdate) {
+		writeSSE(w, fl, "progress", ProgressEvent{
+			Round:       u.Round,
+			SamplesUsed: u.SamplesUsed,
+			Converged:   u.Converged,
+			CIs:         summarizeCIs(u.CIs),
+		})
+	}
+	res, cached, err := s.execute(r.Context(), req, progress)
+	if err != nil {
+		// Headers are sent; the error travels as an event.
+		writeSSE(w, fl, "error", ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp := buildResponse(res)
+	resp.PlanCached = cached
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeSSE(w, fl, "result", resp)
+}
+
+// writeSSE emits one Server-Sent Event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}
+
 // execute routes a request: SELECT statements — GROUP BY and
 // multi-aggregate included, since ISSUE 5 made aggregation part of the
 // single compiled plan — go through Prepare (hitting the plan cache for
-// repeated statements); everything else (CREATE TABLE, EXPLAIN) runs
-// through Exec. The statement kind is sniffed with one parse up front so
-// non-preparable statements neither inflate the plan-cache miss counter
-// nor get parsed twice on the routing decision.
-func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
+// repeated statements) and run under the request context, so a
+// disconnected client aborts its query; everything else (CREATE TABLE,
+// EXPLAIN) runs through Exec. The statement kind is sniffed with one
+// parse up front so non-preparable statements neither inflate the
+// plan-cache miss counter nor get parsed twice on the routing decision.
+func (s *Server) execute(ctx context.Context, req QueryRequest, progress func(mcdbr.ProgressUpdate)) (*mcdbr.ExecResult, bool, error) {
 	tail := s.opts.Tail
 	if req.TotalSamples > 0 {
 		tail.TotalSamples = req.TotalSamples
@@ -284,11 +400,15 @@ func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		res, err := pq.Run(mcdbr.RunOptions{
-			Seed:    req.Seed,
-			Samples: req.Samples,
-			Workers: req.Workers,
-			Tail:    tail,
+		res, err := pq.RunCtx(ctx, mcdbr.RunOptions{
+			Seed:           req.Seed,
+			Samples:        req.Samples,
+			Workers:        req.Workers,
+			Tail:           tail,
+			TargetRelError: req.TargetRelError,
+			Confidence:     req.Confidence,
+			MaxSamples:     req.MaxSamples,
+			Progress:       progress,
 		})
 		if err != nil {
 			return nil, false, err
@@ -297,7 +417,7 @@ func (s *Server) execute(req QueryRequest) (*mcdbr.ExecResult, bool, error) {
 	}
 	// Exec has no per-run seed/samples channel; reject the overrides
 	// loudly rather than silently computing with engine defaults.
-	if req.Seed != 0 || req.Samples != 0 {
+	if req.Seed != 0 || req.Samples != 0 || req.TargetRelError != 0 {
 		return nil, false, fmt.Errorf("server: per-request seed/samples need a preparable SELECT statement; this statement executes with engine defaults — drop the overrides to run it")
 	}
 	res, err := s.engine.ExecWithOptions(req.SQL, tail)
@@ -337,6 +457,44 @@ func summarizeGrouped(gd *mcdbr.GroupedDistribution) *GroupedSummary {
 		out.Groups = append(out.Groups, gs)
 	}
 	return out
+}
+
+// jsonNum maps NaN and ±Inf — which encoding/json rejects — to -1, the
+// wire format's "undefined" sentinel.
+func jsonNum(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return -1
+	}
+	return f
+}
+
+func summarizeCIs(cis []mcdbr.AggregateCI) []AggregateCISummary {
+	out := make([]AggregateCISummary, len(cis))
+	for i, ci := range cis {
+		out[i] = AggregateCISummary{
+			Group:       ci.Group,
+			Agg:         ci.Agg,
+			N:           ci.N,
+			Mean:        jsonNum(ci.Mean),
+			HalfWidth:   jsonNum(ci.HalfWidth),
+			RelError:    jsonNum(ci.RelError),
+			Converged:   ci.Converged,
+			ConvergedAt: ci.ConvergedAt,
+		}
+	}
+	return out
+}
+
+func summarizeAdaptive(rep *mcdbr.AdaptiveReport) *AdaptiveSummary {
+	return &AdaptiveSummary{
+		TargetRelError: rep.TargetRelError,
+		Confidence:     rep.Confidence,
+		MaxSamples:     rep.MaxSamples,
+		SamplesUsed:    rep.SamplesUsed,
+		Rounds:         rep.Rounds,
+		Converged:      rep.Converged,
+		CIs:            summarizeCIs(rep.CIs),
+	}
 }
 
 func summarizeTail(t *mcdbr.TailResult) *TailSummary {
@@ -388,6 +546,9 @@ func buildResponse(res *mcdbr.ExecResult) *QueryResponse {
 		}
 	case mcdbr.ExecExplained:
 		resp.Explain = res.Explain.String()
+	}
+	if res.Adaptive != nil {
+		resp.Adaptive = summarizeAdaptive(res.Adaptive)
 	}
 	return resp
 }

@@ -355,3 +355,221 @@ WITH RESULTDISTRIBUTION MONTECARLO(20) FREQUENCYTABLE totalLoss`); err != nil {
 		t.Fatalf("table response = %s", body)
 	}
 }
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// postSSE posts a streaming query and parses the event stream.
+func postSSE(t *testing.T, url string, body any) []sseEvent {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		var out bytes.Buffer
+		_, _ = out.ReadFrom(resp.Body)
+		t.Fatalf("content-type = %q (status %d): %s", ct, resp.StatusCode, out.String())
+	}
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var events []sseEvent
+	for _, block := range strings.Split(raw.String(), "\n\n") {
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			if name, ok := strings.CutPrefix(line, "event: "); ok {
+				ev.name = name
+			} else if data, ok := strings.CutPrefix(line, "data: "); ok {
+				ev.data = []byte(data)
+			}
+		}
+		if ev.name != "" {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+const adaptiveServerSQL = `SELECT SUM(val) AS totalLoss FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.005 AT 95%, MAX 16384)`
+
+// TestServerStreamAdaptive: POST /query?stream=1 emits progress events
+// with monotonically shrinking half-widths and a final result event
+// identical (modulo timing) to the non-streaming response.
+func TestServerStreamAdaptive(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	events := postSSE(t, ts.URL+"/query?stream=1", QueryRequest{SQL: adaptiveServerSQL})
+	var progress []ProgressEvent
+	var final *QueryResponse
+	for _, ev := range events {
+		switch ev.name {
+		case "progress":
+			var p ProgressEvent
+			if err := json.Unmarshal(ev.data, &p); err != nil {
+				t.Fatalf("bad progress event %s: %v", ev.data, err)
+			}
+			progress = append(progress, p)
+		case "result":
+			var q QueryResponse
+			if err := json.Unmarshal(ev.data, &q); err != nil {
+				t.Fatalf("bad result event %s: %v", ev.data, err)
+			}
+			final = &q
+		case "error":
+			t.Fatalf("error event: %s", ev.data)
+		}
+	}
+	if len(progress) < 2 {
+		t.Fatalf("want >= 2 progress events, got %d", len(progress))
+	}
+	if final == nil {
+		t.Fatal("no result event")
+	}
+	prevSamples, prevHW := 0, 0.0
+	for i, p := range progress {
+		if p.SamplesUsed <= prevSamples {
+			t.Fatalf("round %d: samples %d after %d", p.Round, p.SamplesUsed, prevSamples)
+		}
+		hw := p.CIs[0].HalfWidth
+		if i > 0 && prevHW > 0 && hw >= prevHW {
+			t.Fatalf("round %d: half-width %g did not shrink from %g", p.Round, hw, prevHW)
+		}
+		prevSamples, prevHW = p.SamplesUsed, hw
+	}
+	if final.Adaptive == nil || !final.Adaptive.Converged {
+		t.Fatalf("final adaptive summary = %+v", final.Adaptive)
+	}
+	if final.Adaptive.SamplesUsed != progress[len(progress)-1].SamplesUsed {
+		t.Fatalf("final used %d samples, last progress said %d", final.Adaptive.SamplesUsed, progress[len(progress)-1].SamplesUsed)
+	}
+
+	// The final event matches the non-streaming response for the same seed.
+	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{SQL: adaptiveServerSQL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-streaming = %d: %s", resp.StatusCode, body)
+	}
+	var plain QueryResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if *plain.Dist != *final.Dist {
+		t.Fatalf("dist mismatch:\nstream = %+v\nplain  = %+v", *final.Dist, *plain.Dist)
+	}
+	if plain.Adaptive.SamplesUsed != final.Adaptive.SamplesUsed || plain.Adaptive.Rounds != final.Adaptive.Rounds {
+		t.Fatalf("adaptive mismatch:\nstream = %+v\nplain  = %+v", *final.Adaptive, *plain.Adaptive)
+	}
+}
+
+// TestServerStreamFixedN: stream=1 on a fixed MONTECARLO(n) statement
+// emits progressive partials and a final result identical to the
+// non-streaming run.
+func TestServerStreamFixedN(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sql := `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(300)`
+	events := postSSE(t, ts.URL+"/query?stream=1", QueryRequest{SQL: sql})
+	var final *QueryResponse
+	nProgress := 0
+	for _, ev := range events {
+		switch ev.name {
+		case "progress":
+			nProgress++
+		case "result":
+			var q QueryResponse
+			if err := json.Unmarshal(ev.data, &q); err != nil {
+				t.Fatal(err)
+			}
+			final = &q
+		case "error":
+			t.Fatalf("error event: %s", ev.data)
+		}
+	}
+	if nProgress == 0 || final == nil {
+		t.Fatalf("progress = %d, final = %v", nProgress, final)
+	}
+	if final.Dist == nil || final.Dist.N != 300 {
+		t.Fatalf("final dist = %+v", final.Dist)
+	}
+	resp, body := postJSON(t, ts.URL+"/query", QueryRequest{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-streaming = %d: %s", resp.StatusCode, body)
+	}
+	var plain QueryResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if *plain.Dist != *final.Dist {
+		t.Fatalf("dist mismatch:\nstream = %+v\nplain  = %+v", *final.Dist, *plain.Dist)
+	}
+}
+
+// TestServerStreamRejectsNonSelect: CREATE statements cannot stream.
+func TestServerStreamRejectsNonSelect(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := postJSON(t, ts.URL+"/query?stream=1", QueryRequest{
+		SQL: `CREATE TABLE l2(CID, val) AS FOR EACH CID IN means WITH v AS Normal(VALUES(m, 1.0)) SELECT CID, v.* FROM v`,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerClientDisconnectAborts: cancelling the request context aborts
+// the running query server-side and the server keeps serving.
+func TestServerClientDisconnectAborts(t *testing.T) {
+	s := New(testEngine(t), Options{MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	b, _ := json.Marshal(QueryRequest{SQL: `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(2000000)`})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client did not return after cancel")
+	}
+	// The (single) query slot must free promptly: a follow-up query succeeds.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := postJSON(t, ts.URL+"/query", QueryRequest{SQL: mcSQL})
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover after disconnect: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -26,6 +26,8 @@ WITH RESULTDISTRIBUTION MONTECARLO(3) DOMAIN x >= QUANTILE(0.999)`,
 	`SELECT SUM(v) FROM t GROUP BY t.region, t.cid / 10 WITH RESULTDISTRIBUTION MONTECARLO(5)`,
 	`SELECT SUM(a.x) AS loss, AVG(b.y), COUNT(*) FROM a, b WHERE a.k = b.k WITH RESULTDISTRIBUTION MONTECARLO(10)`,
 	`SELECT SUM(v) AS x FROM t GROUP BY t.g HAVING x > 100 WITH RESULTDISTRIBUTION MONTECARLO(10)`,
+	`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01 AT 95%, MAX 10000)`,
+	`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.05)`,
 	`SELECT SUM(val) AS x FROM Losses GROUP BY CID WITH RESULTDISTRIBUTION MONTECARLO(20) DOMAIN x >= QUANTILE(0.9) FREQUENCYTABLE x`,
 	`EXPLAIN SELECT SUM(val) AS t FROM Losses WHERE CID < 5 WITH RESULTDISTRIBUTION MONTECARLO(10);`,
 	`EXPLAIN SELECT COUNT(*) FROM ftable`,

@@ -85,10 +85,27 @@ type SelectStmt struct {
 	// Having is a predicate over grouping columns and aggregate aliases.
 	Having expr.Expr
 
-	With      bool
-	MCReps    int
+	With   bool
+	MCReps int
+	// Adaptive, when non-nil, replaces the fixed repetition count with the
+	// UNTIL ERROR stopping rule: MONTECARLO(UNTIL ERROR < 0.01 AT 95%,
+	// MAX 10000). MCReps is 0 for adaptive statements.
+	Adaptive  *AdaptiveSpec
 	Domain    *Domain
 	FreqTable string
+}
+
+// AdaptiveSpec is the parsed UNTIL ERROR stopping rule of an adaptive
+// MONTECARLO clause.
+type AdaptiveSpec struct {
+	// TargetRelError is the relative CI half-width target (UNTIL ERROR < x).
+	TargetRelError float64
+	// Confidence is the CI level in (0,1); AT 95% and AT 0.95 both yield
+	// 0.95. Zero when the statement omitted AT (callers apply the default).
+	Confidence float64
+	// MaxSamples caps total replicates; zero when MAX was omitted (callers
+	// apply the default).
+	MaxSamples int
 }
 
 func (*SelectStmt) stmt() {}
@@ -443,15 +460,21 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		nTok := p.next()
-		if nTok.kind != tokNumber {
-			return nil, fmt.Errorf("sqlish: MONTECARLO needs a repetition count, got %s", nTok)
+		if p.acceptKeyword("UNTIL") {
+			if out.Adaptive, err = p.parseUntil(); err != nil {
+				return nil, err
+			}
+		} else {
+			nTok := p.next()
+			if nTok.kind != tokNumber {
+				return nil, fmt.Errorf("sqlish: MONTECARLO needs a repetition count or UNTIL clause, got %s", nTok)
+			}
+			n, err := strconv.Atoi(nTok.text)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("sqlish: bad MONTECARLO count %q", nTok.text)
+			}
+			out.MCReps = n
 		}
-		n, err := strconv.Atoi(nTok.text)
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("sqlish: bad MONTECARLO count %q", nTok.text)
-		}
-		out.MCReps = n
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
@@ -496,6 +519,59 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 	return out, nil
+}
+
+// parseUntil parses the adaptive stopping rule after UNTIL has been
+// consumed: ERROR < eps [AT conf[%]] [, MAX n]. The closing paren stays
+// with the caller.
+func (p *parser) parseUntil() (*AdaptiveSpec, error) {
+	if err := p.expectKeyword("ERROR"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	tok := p.next()
+	if tok.kind != tokNumber {
+		return nil, fmt.Errorf("sqlish: UNTIL ERROR needs a numeric target, got %s", tok)
+	}
+	eps, err := strconv.ParseFloat(tok.text, 64)
+	if err != nil || eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("sqlish: UNTIL ERROR target must lie in (0,1), got %q", tok.text)
+	}
+	spec := &AdaptiveSpec{TargetRelError: eps}
+	if p.acceptKeyword("AT") {
+		ct := p.next()
+		if ct.kind != tokNumber {
+			return nil, fmt.Errorf("sqlish: AT needs a confidence level, got %s", ct)
+		}
+		conf, err := strconv.ParseFloat(ct.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlish: bad confidence level %q", ct.text)
+		}
+		if p.accept("%") {
+			conf /= 100
+		}
+		if conf <= 0 || conf >= 1 {
+			return nil, fmt.Errorf("sqlish: confidence level must lie in (0,1), or (0,100) with %%; got %q", ct.text)
+		}
+		spec.Confidence = conf
+	}
+	if p.accept(",") {
+		if err := p.expectKeyword("MAX"); err != nil {
+			return nil, err
+		}
+		mt := p.next()
+		if mt.kind != tokNumber {
+			return nil, fmt.Errorf("sqlish: MAX needs a sample cap, got %s", mt)
+		}
+		m, err := strconv.Atoi(mt.text)
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("sqlish: bad MAX sample cap %q", mt.text)
+		}
+		spec.MaxSamples = m
+	}
+	return spec, nil
 }
 
 func isClauseKeyword(s string) bool {

@@ -305,3 +305,55 @@ func TestParseExplain(t *testing.T) {
 		t.Fatal("EXPLAIN CREATE must be a parse error")
 	}
 }
+
+func TestParseAdaptiveMonteCarlo(t *testing.T) {
+	cases := []struct {
+		src  string
+		want AdaptiveSpec
+	}{
+		{`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01 AT 95%, MAX 10000)`,
+			AdaptiveSpec{TargetRelError: 0.01, Confidence: 0.95, MaxSamples: 10000}},
+		{`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.05 AT 0.99)`,
+			AdaptiveSpec{TargetRelError: 0.05, Confidence: 0.99}},
+		{`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.02)`,
+			AdaptiveSpec{TargetRelError: 0.02}},
+		{`SELECT SUM(val) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.02, MAX 500)`,
+			AdaptiveSpec{TargetRelError: 0.02, MaxSamples: 500}},
+	}
+	for _, tc := range cases {
+		s, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		q := s.(*SelectStmt)
+		if !q.With || q.MCReps != 0 {
+			t.Fatalf("%s: With=%v MCReps=%d, want adaptive", tc.src, q.With, q.MCReps)
+		}
+		if q.Adaptive == nil || *q.Adaptive != tc.want {
+			t.Fatalf("%s: Adaptive = %+v, want %+v", tc.src, q.Adaptive, tc.want)
+		}
+	}
+	// Adaptive composes with GROUP BY and keeps fixed-count statements
+	// untouched.
+	s, err := Parse(`SELECT SUM(v) AS x FROM t GROUP BY t.g WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.1 AT 90%)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := s.(*SelectStmt); q.Adaptive == nil || len(q.GroupBy) != 1 {
+		t.Fatalf("grouped adaptive: %+v", s)
+	}
+	bad := []string{
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 2)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR 0.01)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01 AT 101%)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01 AT 1.5)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01, MAX 0)`,
+		`SELECT SUM(v) FROM t WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01, MAX)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad statement: %s", src)
+		}
+	}
+}

@@ -338,6 +338,16 @@ func TopK(sample []float64, k int) []float64 {
 // bounds [David & Nagaraja; Serfling Sec. 2.6]: the interval between the
 // order statistics whose ranks are the normal-approximation bounds of
 // Binomial(n, q). The naive-MCDB baseline reports these intervals.
+//
+// Small-sample behavior is pinned rather than left to the approximation:
+// every order-statistic rank is clamped into [1, n] on both sides (q at or
+// beyond 0/1, or a tiny q*n, would otherwise produce ranks outside the
+// sample), and when the sample is too small for ANY pair of order
+// statistics to achieve the requested coverage — the widest interval
+// [X_(1), X_(n)] covers the q-quantile with probability 1 - q^n - (1-q)^n,
+// which falls below conf for small n — that widest interval is returned as
+// the documented fallback. Callers needing the nominal coverage must grow
+// the sample; the fallback is the most honest interval the data supports.
 func QuantileCI(sample []float64, q, conf float64) (lo, hi float64) {
 	n := len(sample)
 	if n == 0 {
@@ -345,16 +355,33 @@ func QuantileCI(sample []float64, q, conf float64) (lo, hi float64) {
 	}
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Widest-interval fallback: coverage of [X_(1), X_(n)] is
+	// 1 - q^n - (1-q)^n; when even that misses conf, narrower intervals
+	// cannot help.
+	if 1-math.Pow(q, float64(n))-math.Pow(1-q, float64(n)) < conf {
+		return s[0], s[n-1]
+	}
 	z := StdNormalQuantile(1 - (1-conf)/2)
 	mean := q * float64(n)
 	sd := math.Sqrt(float64(n) * q * (1 - q))
-	loRank := int(math.Floor(mean - z*sd))
-	hiRank := int(math.Ceil(mean + z*sd))
-	if loRank < 1 {
-		loRank = 1
-	}
-	if hiRank > n {
-		hiRank = n
-	}
+	loRank := clampRank(int(math.Floor(mean-z*sd)), n)
+	hiRank := clampRank(int(math.Ceil(mean+z*sd)), n)
 	return s[loRank-1], s[hiRank-1]
+}
+
+// clampRank clamps a 1-based order-statistic rank into [1, n].
+func clampRank(r, n int) int {
+	if r < 1 {
+		return 1
+	}
+	if r > n {
+		return n
+	}
+	return r
 }

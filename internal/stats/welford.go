@@ -1,0 +1,105 @@
+package stats
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm): numerically stable single-pass moments without retaining the
+// sample. The adaptive Monte Carlo driver keeps one per (group, aggregate)
+// pair and feeds it each round's replicates as they arrive, so the
+// confidence-interval stopping check is O(1) per round regardless of how
+// many replicates have accumulated.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddAll folds a slice of observations.
+func (w *Welford) AddAll(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// Merge combines another accumulator into this one (Chan et al. parallel
+// update), as if every observation of o had been Added here.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (NaN before the first observation).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the sample variance (n-1 divisor); NaN when n < 2.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation; NaN when n < 2.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// HalfWidth returns the half-width of the normal-approximation confidence
+// interval for the mean at the given two-sided confidence level:
+// z_{(1+conf)/2} * s / sqrt(n). It returns +Inf when n < 2 (no variance
+// estimate yet — an interval of unbounded width is the honest answer, and
+// it keeps the stopping rule from firing on a single observation).
+func (w *Welford) HalfWidth(conf float64) float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	v := w.Var()
+	if v == 0 {
+		return 0
+	}
+	z := StdNormalQuantile(1 - (1-conf)/2)
+	return z * math.Sqrt(v/float64(w.n))
+}
+
+// RelHalfWidth returns HalfWidth(conf) / |Mean()| — the relative error the
+// UNTIL ERROR < eps stopping rule compares against its target. Degenerate
+// cases are pinned so the rule behaves sensibly: a zero half-width (all
+// observations identical) is 0 regardless of the mean, and a nonzero
+// half-width around a zero mean is +Inf (relative error is undefined, so
+// the rule never stops on it; use an absolute target by scaling the query
+// if results are centered on zero).
+func (w *Welford) RelHalfWidth(conf float64) float64 {
+	hw := w.HalfWidth(conf)
+	if hw == 0 {
+		return 0
+	}
+	m := math.Abs(w.Mean())
+	if m == 0 || math.IsNaN(m) {
+		return math.Inf(1)
+	}
+	return hw / m
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	sample := []float64{3.5, -1.25, 0, 7.75, 2.5, 2.5, -9, 4.125}
+	var w Welford
+	w.AddAll(sample)
+	s := Summarize(sample)
+	if w.N() != int64(s.N) {
+		t.Fatalf("N = %d, want %d", w.N(), s.N)
+	}
+	if math.Abs(w.Mean()-s.Mean) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Var()-s.Var) > 1e-12 {
+		t.Errorf("Var = %g, want %g", w.Var(), s.Var)
+	}
+	if math.Abs(w.Std()-s.Std) > 1e-12 {
+		t.Errorf("Std = %g, want %g", w.Std(), s.Std)
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 100, -3, 0.5}
+	for _, split := range []int{0, 1, 5, 9, 10} {
+		var a, b, whole Welford
+		a.AddAll(sample[:split])
+		b.AddAll(sample[split:])
+		whole.AddAll(sample)
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("split %d: Mean = %g, want %g", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Var()-whole.Var()) > 1e-9 {
+			t.Errorf("split %d: Var = %g, want %g", split, a.Var(), whole.Var())
+		}
+	}
+}
+
+func TestWelfordEmptyAndDegenerate(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Var()) {
+		t.Errorf("empty accumulator: Mean=%g Var=%g, want NaN", w.Mean(), w.Var())
+	}
+	if hw := w.HalfWidth(0.95); !math.IsInf(hw, 1) {
+		t.Errorf("empty HalfWidth = %g, want +Inf", hw)
+	}
+	w.Add(4)
+	if hw := w.HalfWidth(0.95); !math.IsInf(hw, 1) {
+		t.Errorf("n=1 HalfWidth = %g, want +Inf (no variance estimate)", hw)
+	}
+	// Constant sample: zero half-width, zero relative half-width even at
+	// mean zero.
+	var c Welford
+	c.AddAll([]float64{0, 0, 0})
+	if hw := c.HalfWidth(0.95); hw != 0 {
+		t.Errorf("constant-zero HalfWidth = %g, want 0", hw)
+	}
+	if r := c.RelHalfWidth(0.95); r != 0 {
+		t.Errorf("constant-zero RelHalfWidth = %g, want 0", r)
+	}
+	// Nonzero spread around mean zero: relative error undefined -> +Inf.
+	var z Welford
+	z.AddAll([]float64{-1, 1})
+	if r := z.RelHalfWidth(0.95); !math.IsInf(r, 1) {
+		t.Errorf("zero-mean RelHalfWidth = %g, want +Inf", r)
+	}
+}
+
+func TestWelfordHalfWidthShrinks(t *testing.T) {
+	// Deterministic pseudo-sample; half-width must shrink roughly as
+	// 1/sqrt(n) as observations accumulate.
+	var w Welford
+	x := 0.5
+	add := func(k int) {
+		for i := 0; i < k; i++ {
+			x = math.Mod(x*997.13+3.7, 10)
+			w.Add(x)
+		}
+	}
+	add(32)
+	h32 := w.HalfWidth(0.95)
+	add(96 - 32)
+	h96 := w.HalfWidth(0.95)
+	add(960 - 96)
+	h960 := w.HalfWidth(0.95)
+	if !(h96 < h32 && h960 < h96) {
+		t.Errorf("half-widths not shrinking: %g, %g, %g", h32, h96, h960)
+	}
+}
+
+// TestQuantileCISmallSamples pins the clamped-rank and widest-interval
+// fallback behavior for samples too small to support the requested
+// confidence, including the q-at-the-boundary cases that used to index
+// outside the sorted sample.
+func TestQuantileCISmallSamples(t *testing.T) {
+	cases := []struct {
+		name    string
+		sample  []float64
+		q, conf float64
+		wantLo  float64
+		wantHi  float64
+	}{
+		{"n=1 median", []float64{7}, 0.5, 0.95, 7, 7},
+		{"n=1 q near 0", []float64{7}, 0.001, 0.95, 7, 7},
+		{"n=1 q near 1", []float64{7}, 0.999, 0.95, 7, 7},
+		{"n=2 median (fallback: widest)", []float64{3, 9}, 0.5, 0.95, 3, 9},
+		{"n=2 q=0", []float64{3, 9}, 0, 0.95, 3, 9},
+		{"n=2 q=1", []float64{3, 9}, 1, 0.95, 3, 9},
+		{"n=3 q tiny", []float64{1, 2, 3}, 1e-9, 0.9, 1, 3},
+		{"n=3 q huge", []float64{1, 2, 3}, 1 - 1e-9, 0.9, 1, 3},
+		{"q below 0 clamps", []float64{1, 2, 3}, -0.5, 0.9, 1, 3},
+		{"q above 1 clamps", []float64{1, 2, 3}, 1.5, 0.9, 1, 3},
+	}
+	for _, tc := range cases {
+		lo, hi := QuantileCI(tc.sample, tc.q, tc.conf)
+		if lo != tc.wantLo || hi != tc.wantHi {
+			t.Errorf("%s: QuantileCI = [%g, %g], want [%g, %g]", tc.name, lo, hi, tc.wantLo, tc.wantHi)
+		}
+	}
+}
+
+func TestQuantileCILargeSampleNarrows(t *testing.T) {
+	// With a large sample the binomial bounds must give a proper
+	// sub-interval, not the widest fallback.
+	n := 1000
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	lo, hi := QuantileCI(s, 0.5, 0.95)
+	if lo <= s[0] || hi >= s[n-1] {
+		t.Errorf("median CI [%g, %g] should be interior to [%g, %g]", lo, hi, s[0], s[n-1])
+	}
+	if !(lo < 500 && 500 < hi) {
+		t.Errorf("median CI [%g, %g] should cover the median 500", lo, hi)
+	}
+	// Empty sample stays NaN.
+	nanLo, nanHi := QuantileCI(nil, 0.5, 0.95)
+	if !math.IsNaN(nanLo) || !math.IsNaN(nanHi) {
+		t.Errorf("empty sample: [%g, %g], want NaNs", nanLo, nanHi)
+	}
+}

@@ -88,7 +88,11 @@ type ExecResult struct {
 	// single-aggregate grouped queries.
 	GroupDists map[string]*Distribution
 	GroupTails map[string]*TailResult
-	Explain    *Explain
+	// Adaptive reports how an adaptive (UNTIL ERROR) or progressive run
+	// stopped: replicates used, rounds, and per-aggregate confidence
+	// intervals. nil for plain fixed-N execution.
+	Adaptive *AdaptiveReport
+	Explain  *Explain
 }
 
 // Exec parses and executes one SQL-ish statement (the paper's §2 surface
@@ -151,7 +155,12 @@ func (e *Engine) ExecWithOptions(sql string, opts TailSampleOptions) (res *ExecR
 		if err != nil {
 			return nil, err
 		}
-		return e.runSelectCompiled(c, s, opts, e.seed, e.parallelism, s.MCReps, e.maxQueryBytes)
+		return e.runSelectCompiled(c, s, opts, runParams{
+			seed:     e.seed,
+			workers:  e.parallelism,
+			n:        s.MCReps,
+			maxBytes: e.maxQueryBytes,
+		})
 	default:
 		return nil, fmt.Errorf("mcdbr: unsupported statement %T", stmt)
 	}
@@ -465,6 +474,9 @@ func (e *Engine) selectBuilder(s *sqlish.SelectStmt) (*QueryBuilder, error) {
 	if s.Having != nil {
 		qb.Having(s.Having)
 	}
+	if s.Adaptive != nil {
+		qb.Until(s.Adaptive.TargetRelError, s.Adaptive.Confidence, s.Adaptive.MaxSamples)
+	}
 	return qb, nil
 }
 
@@ -522,37 +534,73 @@ func validateSelect(c *compiled, s *sqlish.SelectStmt) error {
 // runSelectCompiled dispatches an already-compiled WITH RESULTDISTRIBUTION
 // statement: plain Monte Carlo without DOMAIN (single-pass grouped when
 // the query has GROUP BY or several aggregates), tail sampling with it
-// (one conditioned Gibbs run per group when grouped). It is the shared
-// execution path of Exec and PreparedQuery.Run; seed, workers, and the
-// repetition count are per-run so prepared queries can override them.
-func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailSampleOptions, seed uint64, workers, n int, maxBytes int64) (*ExecResult, error) {
+// (one conditioned Gibbs run per group when grouped). An adaptive stopping
+// rule — from the statement's UNTIL clause or a per-run override — routes
+// plain queries through the round-based driver and tail queries through
+// per-group chain doubling; a progress callback alone routes fixed-N plain
+// queries through the round driver too (progressive streaming, convergence
+// disabled). It is the shared execution path of Exec and
+// PreparedQuery.Run; the runParams knobs are per-run so prepared queries
+// can override them.
+func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailSampleOptions, rp runParams) (*ExecResult, error) {
 	if err := validateSelect(c, s); err != nil {
 		return nil, err
 	}
 	grouped := c.grouped()
 	multi := len(c.agg.Aggs) > 1
+	rule := rp.stopRule(c)
 	if s.Domain != nil {
 		p, err := domainTailProbability(s)
 		if err != nil {
 			return nil, err
 		}
 		opts.Lower = s.Domain.Lower
+		if rule != nil {
+			if grouped {
+				gt, report, err := e.runGroupedTailAdaptive(rp.ctx, c, p, *rule, opts, rp.seed, rp.maxBytes, rp.progress)
+				if err != nil {
+					return nil, err
+				}
+				return &ExecResult{Kind: ExecGroupedTail, GroupedTail: gt, GroupTails: gt.TailMap(), Adaptive: report}, nil
+			}
+			gq := c.gq
+			gq.LowerTail = opts.Lower
+			norm := rule.Normalized()
+			tr, ci, attempts, err := e.runTailAdaptive(rp.ctx, c, gq, p, norm, opts, rp.seed, rp.maxBytes, "", rp.progress)
+			if err != nil {
+				return nil, err
+			}
+			e.registerFTable(s, &tr.Distribution)
+			report := &AdaptiveReport{
+				TargetRelError: norm.TargetRelError,
+				Confidence:     norm.Confidence,
+				MaxSamples:     norm.MaxSamples,
+				SamplesUsed:    len(tr.Samples),
+				Rounds:         attempts,
+				Converged:      ci.Converged,
+				CIs:            []AggregateCI{ci},
+			}
+			return &ExecResult{Kind: ExecTail, Tail: tr, Adaptive: report}, nil
+		}
 		if grouped {
-			gt, err := e.runGroupedTail(c, p, n, opts, seed, maxBytes)
+			gt, err := e.runGroupedTail(rp.ctx, c, p, rp.n, opts, rp.seed, rp.maxBytes)
 			if err != nil {
 				return nil, err
 			}
 			return &ExecResult{Kind: ExecGroupedTail, GroupedTail: gt, GroupTails: gt.TailMap()}, nil
 		}
-		tr, err := e.runTail(c, p, n, opts, seed, maxBytes)
+		tr, err := e.runTail(rp.ctx, c, p, rp.n, opts, rp.seed, rp.maxBytes)
 		if err != nil {
 			return nil, err
 		}
 		e.registerFTable(s, &tr.Distribution)
 		return &ExecResult{Kind: ExecTail, Tail: tr}, nil
 	}
+	if rule != nil || rp.progress != nil {
+		return e.runAdaptiveSelect(c, s, rp, rule)
+	}
 	if grouped || multi {
-		gd, err := e.runGroupedMonteCarlo(c, n, seed, workers, maxBytes)
+		gd, err := e.runGroupedMonteCarlo(rp.ctx, c, rp.n, rp.seed, rp.workers, rp.maxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -562,7 +610,7 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 		}
 		return res, nil
 	}
-	d, err := e.runMonteCarlo(c, n, seed, workers, maxBytes)
+	d, err := e.runMonteCarlo(rp.ctx, c, rp.n, rp.seed, rp.workers, rp.maxBytes)
 	if err != nil {
 		return nil, err
 	}

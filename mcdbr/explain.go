@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/exec"
+	"repro/internal/gibbs"
 	"repro/internal/plan"
 	"repro/internal/sqlish"
 )
@@ -132,6 +133,11 @@ func (e *Engine) explainSelect(s *sqlish.SelectStmt) (*Explain, error) {
 				fmt.Sprintf("GROUP BY %s: single-pass grouped aggregation (one plan run, per-group aggregate vectors)", strings.Join(keys, ", ")))
 		}
 	}
+	reps := fmt.Sprintf("%d", s.MCReps)
+	if a := s.Adaptive; a != nil {
+		r := gibbs.StopRule{TargetRelError: a.TargetRelError, Confidence: a.Confidence, MaxSamples: a.MaxSamples}.Normalized()
+		reps = fmt.Sprintf("adaptive UNTIL ERROR < %g AT %g%% (MAX %d)", r.TargetRelError, 100*r.Confidence, r.MaxSamples)
+	}
 	switch {
 	case s.Domain != nil:
 		dir := ">="
@@ -139,9 +145,9 @@ func (e *Engine) explainSelect(s *sqlish.SelectStmt) (*Explain, error) {
 			dir = "<="
 		}
 		x.Notes = append(x.Notes,
-			fmt.Sprintf("DOMAIN %s %s QUANTILE(%g): Gibbs tail sampling, %d conditioned samples", s.Domain.Name, dir, s.Domain.Quantile, s.MCReps))
+			fmt.Sprintf("DOMAIN %s %s QUANTILE(%g): Gibbs tail sampling, %s conditioned samples", s.Domain.Name, dir, s.Domain.Quantile, reps))
 	case s.With:
-		x.Notes = append(x.Notes, fmt.Sprintf("plain Monte Carlo, %d repetitions", s.MCReps))
+		x.Notes = append(x.Notes, fmt.Sprintf("plain Monte Carlo, %s repetitions", reps))
 	default:
 		x.Notes = append(x.Notes, "deterministic aggregate (no RESULTDISTRIBUTION): executes as a scalar query")
 	}

@@ -11,10 +11,12 @@ package mcdbr
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 
+	"repro/internal/gibbs"
 	"repro/internal/sqlish"
 )
 
@@ -41,6 +43,25 @@ type RunOptions struct {
 	// fails with an error wrapping ErrMemoryBudget. 0 keeps the engine
 	// budget; negative disables the bound for this run.
 	MaxBytes int64
+	// TargetRelError, when > 0, turns the run adaptive (or overrides the
+	// statement's UNTIL ERROR target): execution stops once every (group,
+	// aggregate) estimate's relative CI half-width reaches the target. The
+	// replicates actually run stay bit-identical to a fixed run of the
+	// same count.
+	TargetRelError float64
+	// Confidence overrides the CI level of an adaptive run (0 keeps the
+	// statement's value or the 95% default). Ignored for fixed-N runs.
+	Confidence float64
+	// MaxSamples caps an adaptive run's total replicates (0 keeps the
+	// statement's value or the 65536 default). Ignored for fixed-N runs.
+	MaxSamples int
+	// Progress, when non-nil, streams progressive partial results: it is
+	// invoked after every adaptive round (or tail-chain attempt) with the
+	// cumulative estimates and CI half-widths, from the run's goroutine.
+	// Setting it on a fixed-N statement runs the round driver with
+	// convergence disabled, so partial estimates stream while the final
+	// result stays bit-identical to a plain run.
+	Progress func(ProgressUpdate)
 }
 
 // PreparedQuery is a SELECT statement parsed and planned once, executable
@@ -121,7 +142,17 @@ func (p *PreparedQuery) Explain() (*Explain, error) {
 // options. With a zero RunOptions the result is bit-for-bit identical to
 // Engine.Exec of the same statement. Run is safe to call from many
 // goroutines on one PreparedQuery.
-func (p *PreparedQuery) Run(opts RunOptions) (res *ExecResult, err error) {
+func (p *PreparedQuery) Run(opts RunOptions) (*ExecResult, error) {
+	return p.RunCtx(context.Background(), opts)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the run stops at
+// the next unit of work — between replicates, Gibbs versions, and
+// bootstrapping steps — and returns ctx's cause (errors.Is
+// context.Canceled or DeadlineExceeded). Partial work is discarded; a
+// cancelled run never returns a truncated result. The HTTP serving layer
+// passes the request context so a disconnected client aborts its query.
+func (p *PreparedQuery) RunCtx(ctx context.Context, opts RunOptions) (res *ExecResult, err error) {
 	defer recoverToError("PreparedQuery.Run", &err)
 	s := p.stmt
 	if !s.With {
@@ -152,7 +183,37 @@ func (p *PreparedQuery) Run(opts RunOptions) (res *ExecResult, err error) {
 	case maxBytes < 0:
 		maxBytes = 0 // explicit override: unbounded
 	}
-	return p.e.runSelectCompiled(p.c, s, topts, seed, workers, n, maxBytes)
+	// Fold the per-run adaptive overrides over the statement's rule: a
+	// TargetRelError turns any statement adaptive; Confidence and
+	// MaxSamples refine a rule that exists (from either source).
+	var stop *gibbs.StopRule
+	if p.c != nil && p.c.stop != nil {
+		r := stopRuleFromSpec(p.c.stop)
+		stop = &r
+	}
+	if opts.TargetRelError > 0 {
+		if stop == nil {
+			stop = &gibbs.StopRule{}
+		}
+		stop.TargetRelError = opts.TargetRelError
+	}
+	if stop != nil {
+		if opts.Confidence > 0 {
+			stop.Confidence = opts.Confidence
+		}
+		if opts.MaxSamples > 0 {
+			stop.MaxSamples = opts.MaxSamples
+		}
+	}
+	return p.e.runSelectCompiled(p.c, s, topts, runParams{
+		ctx:      ctx,
+		seed:     seed,
+		workers:  workers,
+		n:        n,
+		maxBytes: maxBytes,
+		stop:     stop,
+		progress: opts.Progress,
+	})
 }
 
 // PlanCacheStats reports the engine plan cache's lifetime hit and miss

@@ -34,6 +34,7 @@ type QueryBuilder struct {
 	aggs    []plan.AggItem
 	groupBy []expr.Expr
 	having  expr.Expr
+	stop    *plan.StopSpec
 	err     error
 }
 
@@ -103,6 +104,19 @@ func (q *QueryBuilder) Having(pred expr.Expr) *QueryBuilder {
 	return q
 }
 
+// Until sets an adaptive stopping rule — the builder form of
+// MONTECARLO(UNTIL ERROR < targetRelError AT confidence, MAX maxSamples).
+// Execution (MonteCarloAdaptive, or Exec-style runs of the compiled plan)
+// stops as soon as every (group, aggregate) estimate's relative CI
+// half-width at the given confidence reaches targetRelError, or after
+// maxSamples replicates. confidence <= 0 and maxSamples <= 0 select the
+// engine defaults (95%, 65536). The rule is part of the plan's identity:
+// two queries differing only in their rule fingerprint differently.
+func (q *QueryBuilder) Until(targetRelError, confidence float64, maxSamples int) *QueryBuilder {
+	q.stop = &plan.StopSpec{TargetRelError: targetRelError, Confidence: confidence, MaxSamples: maxSamples}
+	return q
+}
+
 // compiled is a planned query: the physical plan rooted in the grouped
 // aggregation operator, the looper query template, and the logical plan
 // it was lowered from (for EXPLAIN). A compiled plan holds no per-run
@@ -115,6 +129,9 @@ type compiled struct {
 	agg  *exec.Aggregate // the aggregation root of plan
 	gq   gibbs.Query
 	lp   *plan.Plan
+	// stop is the adaptive stopping rule compiled into the plan (from the
+	// statement's UNTIL clause or QueryBuilder.Until); nil for fixed-N.
+	stop *plan.StopSpec
 }
 
 // compile validates the builder, plans it through the logical-plan layer
@@ -149,6 +166,7 @@ func (q *QueryBuilder) compile() (*compiled, error) {
 		GroupBy: q.groupBy,
 		Aggs:    q.aggs,
 		Having:  q.having,
+		Stop:    q.stop,
 	})
 	if err != nil {
 		return nil, err
@@ -165,7 +183,7 @@ func (q *QueryBuilder) compile() (*compiled, error) {
 	if len(lp.Final) > 0 {
 		gq.FinalPred = expr.And(lp.Final...)
 	}
-	return &compiled{plan: node, agg: root, gq: gq, lp: lp}, nil
+	return &compiled{plan: node, agg: root, gq: gq, lp: lp, stop: q.stop}, nil
 }
 
 // grouped reports whether the compiled query has grouping expressions.

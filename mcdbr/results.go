@@ -1,6 +1,7 @@
 package mcdbr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -224,7 +225,7 @@ func (q *QueryBuilder) MonteCarlo(n int) (d *Distribution, err error) {
 	if c.grouped() || len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use MonteCarloGrouped")
 	}
-	return q.e.runMonteCarlo(c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
+	return q.e.runMonteCarlo(nil, c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
 }
 
 // MonteCarloGrouped runs a grouped and/or multi-aggregate query with n
@@ -238,7 +239,33 @@ func (q *QueryBuilder) MonteCarloGrouped(n int) (gd *GroupedDistribution, err er
 	if err != nil {
 		return nil, err
 	}
-	return q.e.runGroupedMonteCarlo(c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
+	return q.e.runGroupedMonteCarlo(nil, c, n, q.e.seed, q.e.parallelism, q.e.maxQueryBytes)
+}
+
+// MonteCarloAdaptive runs the query under the builder's Until stopping
+// rule: replicates execute in geometrically growing replicate-sharded
+// rounds and stop as soon as every (group, aggregate) estimate's relative
+// CI half-width meets the target (or at the rule's MaxSamples). The
+// replicates actually run are bit-identical to MonteCarloGrouped of the
+// same count, at every worker count. Ungrouped single-aggregate queries
+// return one group with an empty key.
+func (q *QueryBuilder) MonteCarloAdaptive() (gd *GroupedDistribution, report *AdaptiveReport, err error) {
+	defer recoverToError("MonteCarloAdaptive", &err)
+	c, err := q.compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.stop == nil {
+		return nil, nil, fmt.Errorf("mcdbr: MonteCarloAdaptive needs a stopping rule; call Until first")
+	}
+	res, rule, err := q.e.runAdaptiveRuns(nil, c, stopRuleFromSpec(c.stop), q.e.seed, q.e.parallelism, q.e.maxQueryBytes, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if gd, err = buildGroupedDistribution(c, res.Runs, res.SamplesUsed); err != nil {
+		return nil, nil, err
+	}
+	return gd, adaptiveReport(c, res, rule), nil
 }
 
 // runMonteCarlo executes a compiled single-aggregate ungrouped plan for n
@@ -247,8 +274,8 @@ func (q *QueryBuilder) MonteCarloGrouped(n int) (gd *GroupedDistribution, err er
 // the pre-ISSUE-5 path). It is the shared execution path of
 // QueryBuilder.MonteCarlo and PreparedQuery.Run; seed and workers are
 // per-run so prepared queries can override them.
-func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*Distribution, error) {
-	gr, err := e.runGroupedRuns(c, n, seed, workers, maxBytes)
+func (e *Engine) runMonteCarlo(ctx context.Context, c *compiled, n int, seed uint64, workers int, maxBytes int64) (*Distribution, error) {
+	gr, err := e.runGroupedRuns(ctx, c, n, seed, workers, maxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -261,13 +288,14 @@ func (e *Engine) runMonteCarlo(c *compiled, n int, seed uint64, workers int, max
 
 // runGroupedRuns is the raw single-pass grouped execution shared by the
 // Distribution-building paths.
-func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*gibbs.GroupedRuns, error) {
+func (e *Engine) runGroupedRuns(ctx context.Context, c *compiled, n int, seed uint64, workers int, maxBytes int64) (*gibbs.GroupedRuns, error) {
 	// Plain Monte Carlo evaluates exactly positions [0, n) of every
 	// stream, so the window is n — not the engine window, which exists to
 	// amortize tail-sampling replenishment. (Shard workers already
 	// materialize exactly their replicate range; stream values depend only
 	// on (seed, position), so the window size never changes results.)
 	ws := e.newRunWorkspace(seed, n, maxBytes)
+	ws.Ctx = ctx
 	return gibbs.MonteCarloGroupedParallel(ws, c.agg, c.gq.FinalPred, n, workers)
 }
 
@@ -275,11 +303,18 @@ func (e *Engine) runGroupedRuns(c *compiled, n int, seed uint64, workers int, ma
 // and builds the per-group result distributions. With a HAVING clause,
 // each group keeps only the repetitions in which the predicate held;
 // groups that never satisfy it are dropped.
-func (e *Engine) runGroupedMonteCarlo(c *compiled, n int, seed uint64, workers int, maxBytes int64) (*GroupedDistribution, error) {
-	gr, err := e.runGroupedRuns(c, n, seed, workers, maxBytes)
+func (e *Engine) runGroupedMonteCarlo(ctx context.Context, c *compiled, n int, seed uint64, workers int, maxBytes int64) (*GroupedDistribution, error) {
+	gr, err := e.runGroupedRuns(ctx, c, n, seed, workers, maxBytes)
 	if err != nil {
 		return nil, err
 	}
+	return buildGroupedDistribution(c, gr, n)
+}
+
+// buildGroupedDistribution turns raw grouped runs into the per-group
+// result distributions; n is the replicate count the runs hold (shared by
+// the fixed-N and adaptive paths, where n is the replicates actually run).
+func buildGroupedDistribution(c *compiled, gr *gibbs.GroupedRuns, n int) (*GroupedDistribution, error) {
 	out := &GroupedDistribution{
 		GroupCols: c.agg.GroupColNames(),
 		AggCols:   c.agg.AggColNames(),
@@ -364,7 +399,7 @@ func (q *QueryBuilder) TailSample(p float64, l int, opts TailSampleOptions) (tr 
 	if c.grouped() || len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: query has GROUP BY or multiple aggregates; use TailSampleGrouped")
 	}
-	return q.e.runTail(c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
+	return q.e.runTail(nil, c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
 }
 
 // TailSampleGrouped runs per-group tail sampling for a GROUP BY query:
@@ -383,22 +418,22 @@ func (q *QueryBuilder) TailSampleGrouped(p float64, l int, opts TailSampleOption
 	if !c.grouped() {
 		return nil, fmt.Errorf("mcdbr: TailSampleGrouped needs GROUP BY; use TailSample")
 	}
-	return q.e.runGroupedTail(c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
+	return q.e.runGroupedTail(nil, c, p, l, opts, q.e.seed, q.e.maxQueryBytes)
 }
 
 // runTail executes a compiled plan's tail sampling in a fresh per-run
 // workspace; the shared execution path of QueryBuilder.TailSample and
 // PreparedQuery.Run. The looper query is copied, never mutated, so one
 // compiled plan can serve concurrent runs.
-func (e *Engine) runTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
+func (e *Engine) runTail(ctx context.Context, c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
 	gq := c.gq
 	gq.LowerTail = opts.Lower
-	return e.runTailWith(c, gq, p, l, opts, seed, maxBytes)
+	return e.runTailWith(ctx, c, gq, p, l, opts, seed, maxBytes)
 }
 
 // runTailWith is runTail with an explicit looper query — the per-group
 // conditioned runs of runGroupedTail pass a group-restricted copy.
-func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
+func (e *Engine) runTailWith(ctx context.Context, c *compiled, gq gibbs.Query, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*TailResult, error) {
 	if len(c.agg.Aggs) > 1 {
 		return nil, fmt.Errorf("mcdbr: DOMAIN tail sampling conditions on a single aggregate; the query has %d", len(c.agg.Aggs))
 	}
@@ -425,6 +460,7 @@ func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts
 		window = need
 	}
 	ws := e.newRunWorkspace(seed, window, maxBytes)
+	ws.Ctx = ctx
 	res, err := gibbs.Run(ws, c.agg.Child, gq, cfg)
 	if err != nil {
 		return nil, err
@@ -448,11 +484,12 @@ func (e *Engine) runTailWith(c *compiled, gq gibbs.Query, p float64, l int, opts
 // group's looper then executes in a fresh workspace restricted to the
 // group's tuples, exactly as if the query had been run with a per-group
 // selection predicate — samples are bit-identical to that formulation.
-func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*GroupedTail, error) {
+func (e *Engine) runGroupedTail(ctx context.Context, c *compiled, p float64, l int, opts TailSampleOptions, seed uint64, maxBytes int64) (*GroupedTail, error) {
 	if c.agg.Having != nil {
 		return nil, fmt.Errorf("mcdbr: HAVING is not supported with DOMAIN tail sampling; drop the DOMAIN clause or the HAVING clause")
 	}
 	dws := e.newRunWorkspace(seed, e.window, maxBytes)
+	dws.Ctx = ctx
 	keys, err := c.agg.StreamGroupKeys(dws)
 	if err != nil {
 		return nil, err
@@ -466,7 +503,7 @@ func (e *Engine) runGroupedTail(c *compiled, p float64, l int, opts TailSampleOp
 		gq.LowerTail = opts.Lower
 		gq.GroupBy = c.agg.GroupBy
 		gq.GroupKey = key
-		tr, err := e.runTailWith(c, gq, p, l, opts, seed, maxBytes)
+		tr, err := e.runTailWith(ctx, c, gq, p, l, opts, seed, maxBytes)
 		if err != nil {
 			return nil, fmt.Errorf("mcdbr: group %s: %w", formatGroupKey(key), err)
 		}

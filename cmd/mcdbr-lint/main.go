@@ -1,0 +1,167 @@
+// Command mcdbr-lint runs the project's invariant analyzers
+// (DESIGN.md §11) over Go packages. It is both a standalone
+// multichecker and a `go vet` tool:
+//
+//	go run ./cmd/mcdbr-lint ./...          # standalone, as in CI
+//	go vet -vettool=$(which mcdbr-lint) ./...
+//
+// Standalone mode loads packages itself (including _test.go files via
+// test variants) and exits 1 if any analyzer reports a finding. As a
+// vettool it speaks the go vet unit-checker protocol: the go command
+// invokes it once per package with a JSON .cfg file describing the
+// compiled package, and once with -V=full for the build cache.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// `go vet` probes its tool with -V=full before anything else and
+	// caches on the reply; answer in the "<name> version <x>" shape
+	// the go command checks for.
+	if len(args) == 1 && (args[0] == "-V=full" || args[0] == "-V") {
+		// The go command parses `<name> version devel ... buildID=<id>`
+		// and caches vet results under the id, so derive it from the
+		// binary's content: a rebuilt tool must invalidate old results.
+		fmt.Printf("%s version devel buildID=%s\n", progName(), selfID())
+		return 0
+	}
+	// `go vet` also asks which analyzer flags the tool supports (JSON
+	// array of {Name,Bool,Usage}); the mcdbr suite exposes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("mcdbr-lint", flag.ExitOnError)
+	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: mcdbr-lint [-list] [package pattern ...]\n")
+		fmt.Fprintf(fs.Output(), "       mcdbr-lint <vet-config>.cfg   (go vet -vettool protocol)\n\n")
+		fmt.Fprintf(fs.Output(), "Analyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	rest := fs.Args()
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVet(rest[0])
+	}
+	return runStandalone(rest)
+}
+
+func progName() string {
+	return strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+}
+
+// selfID hashes the running executable for the -V=full handshake.
+func selfID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			sum := sha256.Sum256(data)
+			h := fmt.Sprintf("%x", sum[:12])
+			return h + "/" + h
+		}
+	}
+	return "unknown/unknown"
+}
+
+// runStandalone is multichecker mode: load, analyze, print findings.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	pkgs, err := load.Dir(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	diags, err := load.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mcdbr-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runVet is the unit-checker protocol: one package per invocation,
+// described by a vet config, with an (empty) facts file written for
+// the go command.
+func runVet(cfgPath string) int {
+	cfg, err := load.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	// Dependencies are visited facts-only; the mcdbr analyzers keep no
+	// facts, so only the facts file is owed.
+	if cfg.VetxOnly {
+		if err := cfg.FinishVetx(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+			return 2
+		}
+		return 0
+	}
+	pkg, err := load.LoadVetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			_ = cfg.FinishVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	diags, err := load.Run([]*load.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	if err := cfg.FinishVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcdbr-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

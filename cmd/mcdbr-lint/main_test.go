@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// TestTreeClean is the acceptance gate in test form: the whole tree —
+// including _test.go files via test variants — must pass every
+// analyzer. A fresh violation anywhere fails this test before CI even
+// reaches the dedicated lint step.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Dir(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the sweep is not seeing the tree", len(pkgs))
+	}
+	diags, err := load.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// buildLint compiles the mcdbr-lint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mcdbr-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building mcdbr-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module named repro (so the
+// deterministic-package paths match) with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module repro\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const badGibbs = `package gibbs
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+
+const goodGibbs = `package gibbs
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //mcdbr:nondet ok(synthetic fixture)
+}
+`
+
+// TestStandaloneFindsSyntheticViolation seeds the ISSUE's example —
+// time.Now() in internal/gibbs — into a scratch module and checks the
+// standalone multichecker fails on it and passes once suppressed.
+func TestStandaloneFindsSyntheticViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	bin := buildLint(t)
+	dir := writeModule(t, map[string]string{
+		"internal/gibbs/bad.go": badGibbs,
+		"bench_test.go": `package repro
+
+import "testing"
+
+func BenchmarkNoAllocs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}
+`,
+	})
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings, got success:\n%s", out)
+	}
+	for _, want := range []string{"detsource", "time.Now", "benchallocs", "BenchmarkNoAllocs"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Suppress the violation: the tree must go green.
+	if err := os.WriteFile(filepath.Join(dir, "internal/gibbs/bad.go"), []byte(goodGibbs), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin, "./internal/...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("expected clean run after suppression: %v\n%s", err, out)
+	}
+}
+
+// TestVettool exercises the `go vet -vettool` unit-checker protocol
+// end to end: -V=full handshake, per-package .cfg invocations
+// (including facts-only dependency visits), and diagnostic reporting
+// through the go command.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	bin := buildLint(t)
+
+	// The version handshake the go command caches on.
+	var verOut bytes.Buffer
+	ver := exec.Command(bin, "-V=full")
+	ver.Stdout = &verOut
+	if err := ver.Run(); err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.Contains(verOut.String(), "mcdbr-lint version") {
+		t.Fatalf("-V=full output %q lacks the name/version shape the go command checks", verOut.String())
+	}
+
+	dir := writeModule(t, map[string]string{"internal/gibbs/bad.go": badGibbs})
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet expected to fail on the synthetic violation:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now") || !strings.Contains(string(out), "detsource") {
+		t.Errorf("go vet output missing the detsource finding:\n%s", out)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "internal/gibbs/bad.go"), []byte(goodGibbs), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet expected clean after suppression: %v\n%s", err, out)
+	}
+}

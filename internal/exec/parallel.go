@@ -97,6 +97,7 @@ func RunSharded(proto *Workspace, n, workers int, fn func(Shard) ([]float64, err
 	out := make([]float64, n)
 	errs := make([]error, len(windows))
 	var wg sync.WaitGroup
+	//mcdbr:hotpath
 	for i, w := range windows {
 		sh := Shard{Index: i, Lo: w[0], Hi: w[1], WS: ShardWorkspace(proto, w[0], w[1])}
 		wg.Add(1)

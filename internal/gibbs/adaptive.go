@@ -130,6 +130,7 @@ func MonteCarloGroupedAdaptive(ws *exec.Workspace, agg *exec.Aggregate, final ex
 		lo   = 0
 		size = rule.FirstRound
 	)
+	//mcdbr:hotpath
 	for lo < rule.MaxSamples {
 		if err := ws.Cancelled(); err != nil {
 			return nil, err
@@ -231,6 +232,7 @@ func monteCarloGroupedWindow(ws *exec.Workspace, agg *exec.Aggregate, final expr
 	parts := make([]*GroupedRuns, len(windows))
 	errs := make([]error, len(windows))
 	done := make(chan int, len(windows))
+	//mcdbr:hotpath
 	for i, w := range windows {
 		sub := exec.ShardWorkspace(ws, lo+w[0], lo+w[1])
 		go func(i, n int, sub *exec.Workspace) {

@@ -352,6 +352,7 @@ func (lp *looper) recomputeStates(nVersions int) error {
 		return lp.recomputeStatesParallel(nVersions)
 	}
 	lp.states = make([]exec.AggState, nVersions)
+	//mcdbr:hotpath
 	for v := 0; v < nVersions; {
 		if err := lp.ws.Cancelled(); err != nil {
 			return err
@@ -394,6 +395,7 @@ func (lp *looper) recomputeStates(nVersions int) error {
 // retry is cheap and replenishment with an unchanged MaxUsed is
 // idempotent, so convergence matches the sequential path).
 func (lp *looper) recomputeStatesParallel(nVersions int) error {
+	//mcdbr:hotpath
 	for {
 		if err := lp.ws.Cancelled(); err != nil {
 			return err
@@ -491,13 +493,14 @@ func (lp *looper) run() (*Result, error) {
 	res := &Result{}
 	pi := math.Pow(cfg.P, 1/float64(cfg.M))
 	cutoff := math.Inf(-1)
+	//mcdbr:hotpath
 	for i := 1; i <= cfg.M; i++ {
 		if err := lp.ws.Cancelled(); err != nil {
 			return nil, err
 		}
 		step := IterStats{CurQuantile: math.Pow(cfg.P, float64(i)/float64(cfg.M))}
 		lp.stats = &step
-		start := time.Now()
+		start := time.Now() //mcdbr:nondet ok(per-iteration progress timing; never feeds query values)
 
 		// Purge: keep the top 100*pi% "elite" versions.
 		nS := len(lp.states)
@@ -531,7 +534,7 @@ func (lp *looper) run() (*Result, error) {
 			}
 		}
 
-		step.Duration = time.Since(start)
+		step.Duration = time.Since(start) //mcdbr:nondet ok(per-iteration progress timing; never feeds query values)
 		res.Iters = append(res.Iters, step)
 		res.Cutoffs = append(res.Cutoffs, step.Cutoff)
 		lp.stats = nil
@@ -582,6 +585,7 @@ func (lp *looper) pass(cutoff float64) error {
 			return err
 		}
 	}
+	//mcdbr:hotpath
 	for queue.Len() > 0 {
 		if err := lp.ws.Cancelled(); err != nil {
 			return err

@@ -117,6 +117,7 @@ func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr,
 			out.Include[g] = make([]bool, n)
 		}
 	}
+	//mcdbr:hotpath
 	for v := 0; v < n; {
 		if err := ws.Cancelled(); err != nil {
 			return nil, err
@@ -175,6 +176,7 @@ func MonteCarloGroupedParallel(ws *exec.Workspace, agg *exec.Aggregate, final ex
 	parts := make([]*GroupedRuns, len(windows))
 	errs := make([]error, len(windows))
 	var wg sync.WaitGroup
+	//mcdbr:hotpath
 	for i, w := range windows {
 		sh := exec.Shard{Index: i, Lo: w[0], Hi: w[1], WS: exec.ShardWorkspace(ws, w[0], w[1])}
 		wg.Add(1)

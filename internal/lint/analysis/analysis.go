@@ -1,0 +1,65 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the mcdbr-lint
+// analyzers need.
+//
+// The build environment pins the module to the standard library only
+// (no vendored third-party code), so instead of importing x/tools we
+// reproduce the three types the analyzers program against: Analyzer,
+// Pass, and Diagnostic. The shapes match upstream closely enough that
+// porting an analyzer to the real framework is a mechanical import
+// swap; the drivers (internal/lint/load for the multichecker,
+// cmd/mcdbr-lint for the `go vet -vettool` unit-checker protocol) play
+// the role of x/tools' singlechecker/unitchecker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is a single static check. Analyzers are stateless: Run
+// may be called concurrently for different packages.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+
+	// Doc is the one-paragraph help text (first line is the summary).
+	Doc string
+
+	// Directive is the //mcdbr:<name> suppression directive honoured
+	// for this analyzer's diagnostics, e.g. "nondet" for detsource. A
+	// diagnostic on a line carrying (or immediately following)
+	// `//mcdbr:<Directive> ok(reason)` is dropped by the driver.
+	// Empty means the analyzer's findings cannot be suppressed.
+	Directive string
+
+	// Run applies the check to a single type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a
+// sink for diagnostics, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a finding. The driver applies directive
+	// suppression and deduplication; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

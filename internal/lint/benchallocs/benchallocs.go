@@ -1,0 +1,106 @@
+// Package benchallocs requires every Benchmark function to call
+// b.ReportAllocs().
+//
+// The repo's benchmark history (BENCH_4.json onward) tracks allocs/op
+// across PRs; a benchmark that forgets ReportAllocs silently drops out
+// of that trajectory. CI used to grep `go test -bench` output with awk
+// for lines missing "allocs/op" — output scraping that broke whenever
+// a benchmark was skipped or renamed. This analyzer checks the source
+// instead: a `func BenchmarkX(b *testing.B)` whose body never calls
+// ReportAllocs on a *testing.B (directly or inside a b.Run closure) is
+// an error. Suppress a benchmark that deliberately measures wall clock
+// only with `//mcdbr:benchallocs ok(reason)`.
+package benchallocs
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "benchallocs",
+	Doc:       "every Benchmark function must call b.ReportAllocs()",
+	Directive: "benchallocs",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil {
+				continue
+			}
+			if !isBenchmark(pass, fn) {
+				continue
+			}
+			if !callsReportAllocs(pass, fn.Body) {
+				pass.Reportf(fn.Name.Pos(), "%s never calls b.ReportAllocs(): its allocs/op drop out of the benchmark trajectory CI tracks", fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isBenchmark matches the `go test` benchmark shape: name starts with
+// "Benchmark" (followed by nothing or a non-lowercase rune) and the
+// sole parameter is *testing.B.
+func isBenchmark(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if !strings.HasPrefix(name, "Benchmark") {
+		return false
+	}
+	if rest := name[len("Benchmark"):]; rest != "" {
+		r := rune(rest[0])
+		if 'a' <= r && r <= 'z' {
+			return false
+		}
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[params.List[0].Type]
+	return ok && isTestingB(tv.Type)
+}
+
+func isTestingB(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "testing" && obj.Name() == "B"
+}
+
+// callsReportAllocs reports whether the body contains a
+// (*testing.B).ReportAllocs call — on the outer b or on a sub-
+// benchmark's b inside a b.Run closure.
+func callsReportAllocs(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ReportAllocs" {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isTestingB(tv.Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package benchallocs_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/benchallocs"
+	"repro/internal/lint/linttest"
+)
+
+func TestBenchAllocs(t *testing.T) {
+	linttest.Run(t, benchallocs.Analyzer, "testdata/base", "repro")
+}

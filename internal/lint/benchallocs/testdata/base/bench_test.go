@@ -1,0 +1,40 @@
+package fixtures
+
+import "testing"
+
+func BenchmarkMissing(b *testing.B) { // want `BenchmarkMissing never calls b\.ReportAllocs`
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+func BenchmarkDirect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// ReportAllocs inside a sub-benchmark closure counts.
+func BenchmarkSubBench(b *testing.B) {
+	b.Run("case", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = i
+		}
+	})
+}
+
+// The audited escape hatch for deliberate wall-clock-only benchmarks.
+func BenchmarkSuppressed(b *testing.B) { //mcdbr:benchallocs ok(measures end-to-end wall clock only)
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+}
+
+// Not benchmarks: wrong shape or wrong name.
+func BenchmarkishHelper(n int) int { return n }
+
+func helper(b *testing.B) {}
+
+func TestNotABenchmark(t *testing.T) {}

@@ -1,0 +1,160 @@
+// Package ctxpropagate enforces the cancellation contract from PR 7:
+// a context handed to a function must actually govern the work that
+// function starts, and the annotated Monte Carlo hot loops must poll
+// it, so client disconnects abort a run in ~100ms instead of after the
+// next million replicates.
+//
+// Two rules:
+//
+//  1. Propagation. Inside a function that receives a context.Context,
+//     passing context.Background() or context.TODO() to a callee that
+//     accepts a context detaches the callee from cancellation — the
+//     received ctx (or a context derived from it) must flow through.
+//     Deliberate detachment (e.g. a shutdown grace period that must
+//     outlive the cancelled serve context) is suppressed with
+//     `//mcdbr:ctxpropagate ok(reason)`.
+//
+//  2. Hot-loop polling. A loop annotated `//mcdbr:hotpath` (on the
+//     loop's line or the line above) is a replicate/window sweep and
+//     must poll cancellation: a call to (*exec.Workspace).Cancelled
+//     (or any method named Cancelled), to ctx.Err, or a use of
+//     ctx.Done() somewhere inside the loop body — including inside a
+//     worker closure the loop spawns. A marked loop that cannot be
+//     cancelled is a bug: it is exactly the loop that makes abort
+//     latency unbounded.
+package ctxpropagate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxpropagate",
+	Doc:       "contexts must propagate to callees, and //mcdbr:hotpath loops must poll cancellation",
+	Directive: "ctxpropagate",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		idx := directive.ForFile(pass.Fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasCtxParam(pass, fn) {
+				checkPropagation(pass, fn)
+			}
+			checkHotLoops(pass, idx, fn)
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func hasCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPropagation flags context.Background()/TODO() passed as a call
+// argument anywhere in a function that already has a ctx in hand.
+func checkPropagation(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := arg.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := inner.Fun.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+				continue
+			}
+			if name := f.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(inner.Pos(), "context.%s() passed to a callee inside a function that receives a context.Context: the callee detaches from cancellation; pass the received ctx (or derive from it)", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotLoops requires every //mcdbr:hotpath-annotated loop in fn
+// to contain a cancellation poll.
+func checkHotLoops(pass *analysis.Pass, idx *directive.Index, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			body = s.Body
+		case *ast.RangeStmt:
+			body = s.Body
+		default:
+			return true
+		}
+		line := pass.Fset.Position(n.Pos()).Line
+		if idx.Marked("hotpath", line) && !pollsCancellation(pass, body) {
+			pass.Reportf(n.Pos(), "//mcdbr:hotpath loop in %s never polls cancellation: call ws.Cancelled(), check ctx.Err(), or select on ctx.Done() each iteration (PR 7 abort-latency contract)", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// pollsCancellation reports whether the block contains a recognized
+// cancellation poll.
+func pollsCancellation(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Cancelled":
+			// Any method named Cancelled — in practice
+			// (*exec.Workspace).Cancelled and wrappers around it.
+			found = true
+		case "Err", "Done":
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

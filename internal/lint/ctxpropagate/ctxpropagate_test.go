@@ -1,0 +1,12 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxpropagate"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	linttest.Run(t, ctxpropagate.Analyzer, "testdata/base", "repro/internal/server")
+}

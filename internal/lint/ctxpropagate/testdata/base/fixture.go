@@ -1,0 +1,112 @@
+package fixtures
+
+import "context"
+
+type workspace interface{ Cancelled() error }
+
+// A received ctx must flow to ctx-accepting callees.
+func detach(ctx context.Context, f func(context.Context) error) error {
+	return f(context.Background()) // want `context\.Background\(\) passed to a callee`
+}
+
+func detachTODO(ctx context.Context, f func(context.Context) error) error {
+	return f(context.TODO()) // want `context\.TODO\(\) passed to a callee`
+}
+
+func propagateOK(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+func deriveOK(ctx context.Context, f func(context.Context) error) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return f(sub)
+}
+
+// No context in hand: starting from Background is the only option.
+func rootCallerOK(f func(context.Context) error) error {
+	return f(context.Background())
+}
+
+// The audited escape hatch for deliberate detachment.
+func suppressedDetachOK(ctx context.Context, f func(context.Context) error) error {
+	//mcdbr:ctxpropagate ok(cleanup must survive the cancelled request ctx)
+	return f(context.Background())
+}
+
+// An annotated hot loop must poll cancellation.
+func hotLoopMissingPoll(ctx context.Context, n int) int {
+	total := 0
+	//mcdbr:hotpath
+	for i := 0; i < n; i++ { // want `never polls cancellation`
+		total += i
+	}
+	return total
+}
+
+func hotLoopCtxErrOK(ctx context.Context, n int) int {
+	total := 0
+	//mcdbr:hotpath
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		total += i
+	}
+	return total
+}
+
+func hotLoopCancelledOK(ws workspace, n int) (int, error) {
+	total := 0
+	//mcdbr:hotpath
+	for i := 0; i < n; i++ {
+		if err := ws.Cancelled(); err != nil {
+			return 0, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+// A poll inside a worker closure spawned by the loop counts (the
+// replicate-sharded fan-out shape).
+func hotLoopWorkerPollOK(ws workspace, n int) {
+	done := make(chan struct{}, n)
+	//mcdbr:hotpath
+	for i := 0; i < n; i++ {
+		go func() {
+			if err := ws.Cancelled(); err == nil {
+				_ = err
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func hotLoopDoneSelectOK(ctx context.Context, ch chan int) int {
+	total := 0
+	//mcdbr:hotpath
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// Unannotated loops are not the analyzer's business.
+func plainLoopOK(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,115 @@
+// Package detsource forbids wall-clock and entropy sources inside the
+// deterministic packages.
+//
+// The whole repo rests on one contract (DESIGN.md §§2, 9, 10): stream
+// element i is a pure function of (seed, i), so query output is
+// bit-identical at any worker count, batch size, or cache setting. A
+// single time.Now() feeding a value, or a draw from the globally
+// seeded math/rand source, silently breaks that — and the bit-identity
+// tests only catch it probabilistically. This analyzer bans the
+// sources statically in the packages that must stay deterministic:
+//
+//   - time.Now / time.Since / time.Until
+//   - package-level math/rand and math/rand/v2 functions (the global
+//     source); explicitly seeded generators via rand.New(rand.
+//     NewSource(k)) remain legal, e.g. in statistical tests
+//   - anything from crypto/rand
+//
+// Timing/progress instrumentation that never influences query output
+// is suppressed with `//mcdbr:nondet ok(reason)` on or above the line.
+//
+// detsource also owns the //mcdbr: directive namespace: a malformed
+// directive anywhere in the tree (bare //mcdbr:nondet, unknown name,
+// empty reason) is reported, so suppressions stay auditable.
+package detsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// DetPackages are the import paths whose code must be a pure function
+// of (seed, position). Test variants (the same path) and external test
+// packages (path + "_test") are swept too.
+var DetPackages = []string{
+	"repro/internal/exec",
+	"repro/internal/gibbs",
+	"repro/internal/prng",
+	"repro/internal/seeds",
+	"repro/internal/vg",
+	"repro/internal/stats",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "detsource",
+	Doc:       "forbid wall-clock and entropy sources in the deterministic packages",
+	Directive: "nondet",
+	Run:       run,
+}
+
+// bannedFuncs maps package path -> banned package-level functions.
+// For "crypto/rand" the empty name set means every reference.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randAllowed lists math/rand(/v2) package-level names that do not
+// touch the global source: constructors for explicitly seeded
+// generators.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func isDetPackage(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range DetPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// Directive hygiene runs everywhere, not just det packages.
+	for _, f := range pass.Files {
+		idx := directive.ForFile(pass.Fset, f)
+		for _, bad := range idx.Malformed {
+			pass.Reportf(bad.Pos, "%s", bad.Msg)
+		}
+	}
+
+	if !isDetPackage(pass.Pkg.Path()) {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && bannedTime[fn.Name()] {
+					pass.Reportf(id.Pos(), "time.%s in deterministic package %s: wall-clock values must not reach query evaluation (suppress timing-only code with //mcdbr:nondet ok(reason))", fn.Name(), pass.Pkg.Path())
+				}
+			case "math/rand", "math/rand/v2":
+				if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && !randAllowed[fn.Name()] {
+					pass.Reportf(id.Pos(), "global %s.%s in deterministic package %s: draws from the process-global source are not a function of (seed, position); use prng substreams or an explicitly seeded rand.New(rand.NewSource(k))", obj.Pkg().Path(), fn.Name(), pass.Pkg.Path())
+				}
+			case "crypto/rand":
+				pass.Reportf(id.Pos(), "crypto/rand.%s in deterministic package %s: OS entropy is never reproducible", obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

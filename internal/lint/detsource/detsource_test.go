@@ -1,0 +1,64 @@
+package detsource_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detsource"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/load"
+)
+
+func TestDetPackage(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata/det", "repro/internal/gibbs")
+}
+
+func TestNonDetPackageExempt(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata/nondet", "repro/internal/server")
+}
+
+// TestMalformedDirectives drives the satellite rule end to end: a
+// //mcdbr: comment that is not a well-formed suppression or marker is
+// itself a finding, in every package, through the same driver path CI
+// uses. (These live inline rather than as fixtures because the finding
+// sits on the directive's own line, where a fixture cannot also carry
+// a want comment.)
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bare suppression", "//mcdbr:nondet", "needs an ok(reason) clause"},
+		{"unknown name", "//mcdbr:bogus ok(x)", "unknown directive //mcdbr:bogus"},
+		{"empty reason", "//mcdbr:nondet ok()", "empty reason"},
+		{"empty name", "//mcdbr:", "empty //mcdbr: directive name"},
+		{"trailing junk", "//mcdbr:nondet ok(x) extra", "malformed //mcdbr:nondet directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\n\n" + tc.src + "\nfunc f() {}\n"
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := load.CheckFiles(fset, "repro/internal/whatever", []*ast.File{f}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := load.Run([]*load.Package{pkg}, []*analysis.Analyzer{detsource.Analyzer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != 1 {
+				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+			}
+			if !strings.Contains(diags[0].Message, tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", diags[0].Message, tc.want)
+			}
+		})
+	}
+}

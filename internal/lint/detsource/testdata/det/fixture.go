@@ -1,0 +1,50 @@
+// Fixture checked under package path repro/internal/gibbs, which is on
+// the deterministic-package list.
+package fixtures
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in deterministic package`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until in deterministic package`
+}
+
+func globalDraw() int {
+	return rand.Int() // want `global math/rand\.Int`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func osEntropy(buf []byte) {
+	_, _ = crand.Read(buf) // want `crypto/rand\.Read in deterministic package`
+}
+
+// Explicitly seeded generators are a pure function of the seed and
+// stay legal (statistical tests depend on this).
+func seededOK() float64 {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Float64()
+}
+
+// The audited escape hatch: timing-only instrumentation.
+func timingOK() time.Time {
+	return time.Now() //mcdbr:nondet ok(progress instrumentation; value never reaches query output)
+}
+
+func timingOKAbove() time.Duration {
+	//mcdbr:nondet ok(progress instrumentation on the line above)
+	return time.Since(time.Time{})
+}

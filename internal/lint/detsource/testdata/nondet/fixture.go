@@ -1,0 +1,21 @@
+// Fixture checked under package path repro/internal/server, which is
+// NOT on the deterministic-package list: wall-clock use is fine, but
+// directive hygiene still applies everywhere.
+package fixtures
+
+import "time"
+
+func requestStart() time.Time {
+	return time.Now() // fine outside the deterministic packages
+}
+
+//mcdbr:hotpath
+func markerParsesFine(n int) int {
+	// (the marker does nothing here; ctxpropagate interprets it — but
+	// it must parse as well-formed for detsource)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+// Package directive parses the //mcdbr: comment directives that the
+// lint suite understands, and answers suppression queries.
+//
+// Two forms exist:
+//
+//	//mcdbr:<name> ok(<reason>)   suppression — silences the analyzer
+//	                              owning <name> on this line and the
+//	                              next; the reason is mandatory so
+//	                              every suppression stays auditable.
+//	//mcdbr:hotpath               marker — declares that the loop
+//	                              starting on this line (or the next)
+//	                              is a replicate/window hot loop that
+//	                              must poll cancellation (ctxpropagate
+//	                              rule 2).
+//
+// Anything else spelled //mcdbr:... is malformed and is itself a lint
+// error (reported by detsource, which owns the directive namespace):
+// a bare `//mcdbr:nondet` with no ok(reason) must not silently count
+// as either a suppression or a no-op.
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Prefix is the comment prefix shared by all directives. Like
+// //go:build, there is no space after "//".
+const Prefix = "//mcdbr:"
+
+// Suppression directive names, keyed by the analyzer that honours
+// them. "nondet" belongs to detsource; the rest match their analyzer.
+var suppressions = map[string]bool{
+	"nondet":       true,
+	"maporder":     true,
+	"slabsafe":     true,
+	"ctxpropagate": true,
+	"benchallocs":  true,
+}
+
+// Marker directive names: valid without an ok(reason) clause.
+var markers = map[string]bool{
+	"hotpath": true,
+}
+
+// A Directive is one parsed //mcdbr: comment.
+type Directive struct {
+	Name   string // "nondet", "hotpath", ...
+	Reason string // ok(reason) payload; empty for the marker form
+	Marker bool   // true when written without ok(...)
+	Pos    token.Pos
+}
+
+// A Malformed records a //mcdbr: comment that parses as neither a
+// suppression nor a marker.
+type Malformed struct {
+	Pos token.Pos
+	Msg string
+}
+
+var directiveRE = regexp.MustCompile(`^//mcdbr:([A-Za-z0-9_-]*)(.*)$`)
+var okRE = regexp.MustCompile(`^ ok\((.*)\)$`)
+
+// parse classifies a single comment. ok reports whether the comment
+// is a //mcdbr: directive at all; bad is non-nil when it is one but
+// does not follow the grammar.
+func parse(c *ast.Comment) (d Directive, ok bool, bad *Malformed) {
+	m := directiveRE.FindStringSubmatch(c.Text)
+	if m == nil {
+		return Directive{}, false, nil
+	}
+	name, rest := m[1], strings.TrimRight(m[2], " \t")
+	fail := func(format string, args ...interface{}) (Directive, bool, *Malformed) {
+		return Directive{}, true, &Malformed{Pos: c.Pos(), Msg: fmt.Sprintf(format, args...)}
+	}
+	if name == "" {
+		return fail("empty //mcdbr: directive name")
+	}
+	if !suppressions[name] && !markers[name] {
+		return fail("unknown directive //mcdbr:%s", name)
+	}
+	if rest == "" {
+		if markers[name] {
+			return Directive{Name: name, Marker: true, Pos: c.Pos()}, true, nil
+		}
+		return fail("//mcdbr:%s needs an ok(reason) clause; bare suppressions are not auditable", name)
+	}
+	om := okRE.FindStringSubmatch(rest)
+	if om == nil {
+		return fail("malformed //mcdbr:%s directive: want `//mcdbr:%s ok(reason)`, got %q", name, name, c.Text)
+	}
+	reason := strings.TrimSpace(om[1])
+	if reason == "" {
+		return fail("//mcdbr:%s ok() has an empty reason", name)
+	}
+	return Directive{Name: name, Reason: reason, Pos: c.Pos()}, true, nil
+}
+
+// An Index holds every directive of one file, keyed by line.
+type Index struct {
+	fset      *token.FileSet
+	byLine    map[int][]Directive
+	Malformed []Malformed
+}
+
+// ForFile scans a parsed file (parser.ParseComments required) and
+// indexes its directives.
+func ForFile(fset *token.FileSet, f *ast.File) *Index {
+	idx := &Index{fset: fset, byLine: make(map[int][]Directive)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, isDirective, bad := parse(c)
+			if !isDirective {
+				continue
+			}
+			if bad != nil {
+				idx.Malformed = append(idx.Malformed, *bad)
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			idx.byLine[line] = append(idx.byLine[line], d)
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a diagnostic owned by directive name at
+// the given line is silenced: a suppression directive sits on the
+// same line (trailing comment) or on the line immediately above.
+func (idx *Index) Suppressed(name string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range idx.byLine[l] {
+			if !d.Marker && d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Marked reports whether the named marker directive is attached to
+// the statement beginning at line: the marker sits on the same line or
+// on the line immediately above.
+func (idx *Index) Marked(name string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range idx.byLine[l] {
+			if d.Marker && d.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package directive_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/directive"
+)
+
+func index(t *testing.T, src string) (*token.FileSet, *directive.Index) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, directive.ForFile(fset, f)
+}
+
+func TestSuppressionPlacement(t *testing.T) {
+	_, idx := index(t, `package p
+
+func f() int {
+	x := 1 //mcdbr:nondet ok(same line)
+	//mcdbr:nondet ok(line above)
+	y := 2
+	z := 3
+	return x + y + z
+}
+`)
+	if len(idx.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", idx.Malformed)
+	}
+	if !idx.Suppressed("nondet", 4) {
+		t.Error("same-line suppression not honoured")
+	}
+	if !idx.Suppressed("nondet", 6) {
+		t.Error("line-above suppression not honoured")
+	}
+	if idx.Suppressed("nondet", 7) {
+		t.Error("suppression leaked to an unrelated line")
+	}
+	if idx.Suppressed("maporder", 4) {
+		t.Error("suppression leaked to another analyzer's directive")
+	}
+}
+
+func TestMarkerPlacement(t *testing.T) {
+	_, idx := index(t, `package p
+
+func f(n int) {
+	//mcdbr:hotpath
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}
+`)
+	if len(idx.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", idx.Malformed)
+	}
+	if !idx.Marked("hotpath", 5) {
+		t.Error("marker on the line above the loop not honoured")
+	}
+	if idx.Suppressed("hotpath", 5) {
+		t.Error("a marker must not double as a suppression")
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"//mcdbr:nondet", "needs an ok(reason) clause"},
+		{"//mcdbr:hotpath ok()", "empty reason"}, // marker form with empty ok() is still malformed
+		{"//mcdbr:slabsafe ok()", "empty reason"},
+		{"//mcdbr:wat ok(x)", "unknown directive"},
+		{"//mcdbr:", "empty //mcdbr: directive name"},
+		{"//mcdbr:nondet yes", "malformed //mcdbr:nondet"},
+	}
+	for _, tc := range cases {
+		_, idx := index(t, "package p\n\n"+tc.src+"\nfunc f() {}\n")
+		if len(idx.Malformed) != 1 {
+			t.Errorf("%s: got %d malformed, want 1", tc.src, len(idx.Malformed))
+			continue
+		}
+		if !strings.Contains(idx.Malformed[0].Msg, tc.want) {
+			t.Errorf("%s: message %q does not mention %q", tc.src, idx.Malformed[0].Msg, tc.want)
+		}
+	}
+}
+
+func TestNonDirectiveCommentsIgnored(t *testing.T) {
+	_, idx := index(t, `package p
+
+// mcdbr:nondet ok(space after slashes means plain prose, not a directive)
+// want "also plain prose"
+func f() {}
+`)
+	if len(idx.Malformed) != 0 {
+		t.Fatalf("prose comments misparsed as directives: %v", idx.Malformed)
+	}
+}

@@ -1,0 +1,25 @@
+// Package lint assembles the mcdbr analyzer suite: the project's
+// determinism, slab-safety, and cancellation invariants (DESIGN.md
+// §11) as compiler-checked analyzers, run over the tree by
+// cmd/mcdbr-lint in CI.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/benchallocs"
+	"repro/internal/lint/ctxpropagate"
+	"repro/internal/lint/detsource"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/slabsafe"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detsource.Analyzer,
+		maporder.Analyzer,
+		slabsafe.Analyzer,
+		ctxpropagate.Analyzer,
+		benchallocs.Analyzer,
+	}
+}

@@ -1,0 +1,162 @@
+// Package linttest runs one analyzer over a fixture directory and
+// checks its diagnostics against `// want "regexp"` expectations — the
+// same contract as x/tools' analysistest, rebuilt on the standard
+// library so fixtures work without a network or a vendored x/tools.
+//
+// Fixtures live under testdata/<case>/ as plain .go files (the
+// testdata name hides them from go build and the tree-wide lint
+// sweep). Because several analyzers key on the *import path* of the
+// package they sweep (detsource's deterministic-package list,
+// slabsafe's bundle exemption), Run type-checks the fixture under a
+// caller-chosen package path rather than its on-disk location.
+//
+// Expectations: a comment `// want "rx"` (one or more quoted Go
+// strings) on a source line asserts that each listed regexp matches a
+// distinct diagnostic reported on that line. Diagnostics without a
+// matching want, and wants without a matching diagnostic, fail the
+// test. Suppressed diagnostics (//mcdbr:... ok(reason)) are dropped
+// before matching, so suppression fixtures simply carry no want.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run applies analyzer a to the fixture package in dir, type-checked
+// as package path pkgPath, and asserts the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diags, err := load.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// loadFixture parses and type-checks every .go file in dir as one
+// package named pkgPath. Imports resolve against the enclosing
+// module's build cache via `go list -deps -export`, so fixtures may
+// import both std packages and repro/internal/... packages.
+func loadFixture(t *testing.T, dir, pkgPath string) *load.Package {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in fixture dir %s", dir)
+	}
+	pkg, err := load.CheckFiles(fset, pkgPath, files, fixtureImporter(t, fset, importSet))
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// fixtureImporter builds a gc importer over the export data of the
+// fixture's imports (and their dependencies), produced by the
+// enclosing module's build cache.
+func fixtureImporter(t *testing.T, fset *token.FileSet, importSet map[string]bool) types.Importer {
+	t.Helper()
+	var paths []string
+	for p := range importSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	idx, err := load.ExportIndex(root, paths...)
+	if err != nil {
+		t.Fatalf("loading export data for fixture imports: %v", err)
+	}
+	return load.ExportImporter(fset, idx)
+}
+
+// checkWants matches diagnostics against // want comments.
+func checkWants(t *testing.T, pkg *load.Package, diags []load.Diag) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range wantLitRE.FindAllString(text[i+len("// want "):], -1) {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					rx, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Position.Filename, d.Position.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+var wantLitRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")

@@ -1,0 +1,317 @@
+// Package load is the multichecker driver behind cmd/mcdbr-lint: it
+// loads type-checked packages for the analyzers without depending on
+// golang.org/x/tools/go/packages.
+//
+// Strategy: `go list -e -test -deps -export -json` enumerates every
+// package in the build (including the `p [p.test]` test variants whose
+// compiled files include the _test.go sources benchallocs needs) and
+// hands us a compiled export-data file per dependency. Each target
+// package is then parsed with go/parser and type-checked with go/types
+// using the standard gc importer (go/importer.ForCompiler) pointed at
+// those export files — the same shape as x/tools' gcexportdata driver,
+// built from the standard library alone.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the driver uses.
+type listPackage struct {
+	ImportPath      string
+	Dir             string
+	Export          string
+	Standard        bool
+	DepOnly         bool
+	ForTest         string
+	GoFiles         []string
+	CompiledGoFiles []string
+	Imports         []string
+	ImportMap       map[string]string
+	Module          *struct{ Path, Dir string }
+	Error           *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes
+// the JSON package stream.
+func goList(dir string, args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Dir loads and type-checks the packages matched by patterns,
+// interpreted relative to dir (the module root). Test variants are
+// loaded in place of their plain package when both match, so in-package
+// _test.go files are analyzed exactly once.
+func Dir(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"-e", "-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,ForTest,GoFiles,CompiledGoFiles,Imports,ImportMap,Module,Error",
+	}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	index := make(map[string]*listPackage, len(listed))
+	for _, p := range listed {
+		index[p.ImportPath] = p
+	}
+
+	// Pick targets: non-std packages named by the patterns. Skip the
+	// generated `p.test` main packages, and skip a plain package when
+	// its `p [p.test]` variant (a strict file superset) is present.
+	hasTestVariant := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var targets []*listPackage
+	for _, p := range listed {
+		switch {
+		case p.Standard || p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main
+		case hasTestVariant[p.ImportPath]:
+			continue // superseded by the [p.test] variant
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, t := range targets {
+		pkg, err := typecheck(fset, t, index)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// exportLookup returns a gc-importer lookup function resolving import
+// paths through importMap to the export-data files recorded in index.
+func exportLookup(importMap map[string]string, index map[string]*listPackage) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if r, ok := importMap[path]; ok {
+			path = r
+		}
+		p := index[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+}
+
+// typecheck parses and type-checks one listed package against the
+// export data of its dependencies.
+func typecheck(fset *token.FileSet, t *listPackage, index map[string]*listPackage) (*Package, error) {
+	files := t.CompiledGoFiles
+	if len(files) == 0 {
+		files = t.GoFiles
+	}
+	var asts []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		asts = append(asts, f)
+	}
+	// The bare import path ("repro/internal/exec") also names the test
+	// variant's types.Package, matching what analyzers key on.
+	path := t.ImportPath
+	if t.ForTest != "" && strings.Contains(path, " [") {
+		path = path[:strings.Index(path, " [")]
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(t.ImportMap, index))
+	return CheckFiles(fset, path, asts, imp)
+}
+
+// CheckFiles type-checks a parsed package with the given importer and
+// wraps it for analysis. Shared by the go-list driver, the vet-config
+// driver, and the linttest fixture loader.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &Package{ImportPath: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// A Diag is one post-suppression finding.
+type Diag struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package, drops suppressed
+// diagnostics, deduplicates (test variants re-check non-test files),
+// and returns the findings in file/line order.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	seen := make(map[string]bool)
+	var out []Diag
+	for _, pkg := range pkgs {
+		// One directive index per file, shared across analyzers.
+		indexes := make(map[*token.File]*directive.Index, len(pkg.Files))
+		for _, f := range pkg.Files {
+			indexes[pkg.Fset.File(f.Pos())] = directive.ForFile(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if a.Directive != "" {
+					if idx := indexes[pkg.Fset.File(d.Pos)]; idx != nil && idx.Suppressed(a.Directive, pos.Line) {
+						return
+					}
+				}
+				key := fmt.Sprintf("%s\x00%s\x00%s", a.Name, pos, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				out = append(out, Diag{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ExportIndex resolves import paths (and their transitive
+// dependencies) to compiled export-data files via
+// `go list -deps -export`, run from dir. Used by linttest to give
+// fixture packages real std and repro imports.
+func ExportIndex(dir string, paths ...string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Export"}, paths...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			idx[p.ImportPath] = p.Export
+		}
+	}
+	return idx, nil
+}
+
+// ExportImporter wraps a path->export-file index as a types.Importer.
+func ExportImporter(fset *token.FileSet, idx map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := idx[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ModuleRoot locates the enclosing module's root directory, so tests
+// and the CLI can run `go list` from anywhere inside the repo.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module (go env GOMOD is empty)")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,83 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration file that `go vet` hands a
+// -vettool for each package (x/tools unitchecker's Config). Fields we
+// do not act on are retained so the file round-trips cleanly.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet .cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: parsing vet config: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// FinishVetx writes the facts output file the go command expects from
+// a vettool. The mcdbr analyzers exchange no facts, so the file is
+// empty — it exists purely to satisfy the protocol.
+func (cfg *VetConfig) FinishVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+}
+
+// LoadVetPackage parses and type-checks the package described by a vet
+// config, resolving imports through the export files in
+// cfg.PackageFile (the compiler's view of the dependency graph).
+func LoadVetPackage(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if r, ok := cfg.ImportMap[path]; ok {
+			path = r
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return CheckFiles(fset, cfg.ImportPath, asts, imp)
+}

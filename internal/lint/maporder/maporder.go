@@ -1,0 +1,203 @@
+// Package maporder flags `range` over a map whose iteration order can
+// leak into ordered output — the classic merge-order bug.
+//
+// Go randomizes map iteration order, so a map-range body that appends
+// to a slice, stores into a slice by index, or sends on a channel
+// produces a different ordering every run. In this codebase that is
+// exactly how a nondeterministic worker poisons a replicate merge: the
+// bit-identity contract (DESIGN.md §§2, 8) requires every ordered
+// result to be derived from sorted keys.
+//
+// A map-range MAY collect into a slice when the slice is sorted later
+// in the same function (the canonical collect-keys-then-sort idiom);
+// the analyzer recognizes a call to sort.* or slices.Sort* mentioning
+// the slice after the loop and stays quiet. Channel sends from inside
+// a map-range are always flagged. Suppress deliberate order-free uses
+// with `//mcdbr:maporder ok(reason)`.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "maporder",
+	Doc:       "flag map iteration whose order can leak into ordered output",
+	Directive: "maporder",
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc examines every map-range in one function body.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	sorts := sortCalls(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rng.X) {
+			return true
+		}
+		checkMapRange(pass, rng, sorts)
+		return true
+	})
+}
+
+// sortCall records one sort.*/slices.Sort* call and the objects of the
+// identifiers appearing anywhere in its arguments (sort.Slice(v, ...),
+// sort.Sort(byKey(v)), slices.SortFunc(v, ...) all mention v).
+type sortCall struct {
+	pos  int // token.Pos as int for ordering
+	args map[types.Object]bool
+}
+
+func sortCalls(pass *analysis.Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+			// Any exported call into these packages counts as
+			// establishing an order (Sort, Stable, Slice, Strings,
+			// SortFunc, ...).
+		default:
+			return true
+		}
+		sc := sortCall{pos: int(call.Pos()), args: make(map[types.Object]bool)}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						sc.args[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, sc)
+		return true
+	})
+	return out
+}
+
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange flags order-leaking statements in one map-range body.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sorts []sortCall) {
+	sortedAfter := func(obj types.Object) bool {
+		for _, sc := range sorts {
+			if sc.pos > int(rng.End()) && sc.args[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Arrow, "send on a channel from inside a map range: receivers observe random map order (sort the keys first)")
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) && len(s.Rhs) != 1 {
+					break
+				}
+				// v = append(v, ...) with v declared outside the loop.
+				if call, ok := rhsFor(s, i).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					if obj := outerSliceObj(pass, rng, lhs); obj != nil && !sortedAfter(obj) {
+						pass.Reportf(s.Pos(), "append to %q inside a map range without a later sort: element order depends on random map iteration (collect then sort, or iterate sorted keys)", obj.Name())
+					}
+					continue
+				}
+				// v[i] = ... with v a slice declared outside the loop.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if tv, ok := pass.TypesInfo.Types[ix.X]; ok {
+						if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+							if obj := outerSliceObj(pass, rng, ix.X); obj != nil && !sortedAfter(obj) {
+								pass.Reportf(s.Pos(), "indexed store into slice %q inside a map range without a later sort: slot contents depend on random map iteration", obj.Name())
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rhsFor returns the RHS expression paired with LHS index i (handling
+// the 1:1 and n:1 assignment forms).
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == 1 {
+		return s.Rhs[0]
+	}
+	if i < len(s.Rhs) {
+		return s.Rhs[i]
+	}
+	return nil
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outerSliceObj resolves expr to a variable declared OUTSIDE the range
+// statement (loop-local accumulators cannot leak order out of the
+// loop... unless they escape, which the assignment checks catch at the
+// point of escape).
+func outerSliceObj(pass *analysis.Pass, rng *ast.RangeStmt, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // declared inside the loop
+	}
+	return obj
+}

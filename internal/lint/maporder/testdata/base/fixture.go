@@ -1,0 +1,100 @@
+package fixtures
+
+import (
+	"slices"
+	"sort"
+)
+
+// The classic merge-order leak: collected in random map order, never
+// sorted.
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range without a later sort`
+	}
+	return keys
+}
+
+// The canonical idiom: collect then sort.
+func collectThenSortOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// slices.Sort counts as establishing an order too.
+func collectThenSlicesSortOK(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// sort.Slice mentioning the collected slice in a closure arg counts.
+func collectThenSortSliceOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Receivers observe random order; always flagged.
+func sendLeak(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on a channel from inside a map range`
+	}
+}
+
+// Indexed stores place values at order-dependent slots.
+func indexedStoreLeak(m map[string]int, out []string) {
+	i := 0
+	for k := range m {
+		out[i] = k // want `indexed store into slice "out" inside a map range`
+		i++
+	}
+}
+
+// Writing into another map is order-free.
+func mapWriteOK(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Commutative accumulation is order-free.
+func sumOK(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A loop-local slice cannot leak order past the iteration.
+func loopLocalOK(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var widths []int
+		widths = append(widths, vs...)
+		total += len(widths)
+	}
+	return total
+}
+
+// The audited escape hatch.
+func suppressedOK(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //mcdbr:maporder ok(consumer treats this as an unordered set)
+	}
+	return keys
+}

@@ -1,0 +1,19 @@
+package slabsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/slabsafe"
+)
+
+func TestSlabSafe(t *testing.T) {
+	linttest.Run(t, slabsafe.Analyzer, "testdata/base", "repro/internal/exec")
+}
+
+// TestBundleExempt runs the same fixture under the arena's own import
+// path: the package that implements the slab may of course append to
+// its chunks, so nothing is reported.
+func TestBundleExempt(t *testing.T) {
+	linttest.Run(t, slabsafe.Analyzer, "testdata/exempt", "repro/internal/bundle")
+}

@@ -1,0 +1,15 @@
+// Fixture checked under package path repro/internal/bundle: the arena
+// implementation itself is exempt from the aliasing rules — it grows
+// and recycles its own chunks.
+package fixtures
+
+import (
+	"repro/internal/bundle"
+	"repro/internal/types"
+)
+
+func growChunk(s *bundle.Slab) types.Row {
+	row := s.Row(4)
+	var v types.Value
+	return append(row, v) // no finding: bundle is exempt
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
 
 	"repro/internal/prng"
 	"repro/internal/types"
@@ -60,6 +61,9 @@ func (st *Store) Save(w io.Writer) error {
 		for p := range s.Window.Sparse {
 			sparse = append(sparse, p)
 		}
+		// Canonical byte stream: map order would write the same state
+		// differently on every save.
+		slices.Sort(sparse)
 		if err := write(uint64(len(sparse))); err != nil {
 			return err
 		}

@@ -90,6 +90,7 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		//mcdbr:ctxpropagate ok(the grace period must outlive the just-cancelled serve ctx; deriving from it would skip draining)
 		shCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
 		if err := hs.Shutdown(shCtx); err != nil {

@@ -17,6 +17,13 @@
 // array for the performance trajectory:
 //
 //	go test -bench 'Prepared|Serve' -benchtime=1x -run '^$' . | mcdbr-bench -benchjson
+//
+// -trace out.json emits an mcdbr-loadgen replayable trace of the
+// benchmark's TPC-H-like statements (fixed at -fixed-n plus the
+// -target-err adaptive variant), linking the experiment harness to the
+// serving load harness:
+//
+//	mcdbr-bench -trace trace.json && mcdbr-loadgen -replay trace.json
 package main
 
 import (
@@ -30,8 +37,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 	"repro/mcdbr"
 )
 
@@ -46,12 +55,20 @@ func main() {
 	fixedN := flag.Int("fixed-n", 16384, "E6 fixed replicate budget the adaptive run is compared against (also its cap)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
 	benchJSON := flag.Bool("benchjson", false, "read `go test -bench` output from stdin and write JSON results to stdout")
+	traceOut := flag.String("trace", "", "write an mcdbr-loadgen replayable trace of the benchmark statements to this file and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	if *benchJSON {
 		if err := emitBenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceOut != "" {
+		if err := emitTrace(*traceOut, *runs, *fixedN, *targetErr, *confidence, *scaleDiv, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
 			os.Exit(1)
 		}
@@ -165,6 +182,44 @@ func main() {
 		res.Print(os.Stdout)
 		fmt.Println()
 	}
+}
+
+// emitTrace writes a loadgen trace over the Appendix D benchmark
+// statements: the fixed -fixed-n run and the -target-err adaptive
+// variant, mixed 2:1 at a gentle uniform rate so the trace replays
+// against the loadgen "tpch" smoke-scale preset out of the box.
+// Replays use the preset's engine, so the trace records the bench
+// parameters in its note rather than the full dataset.
+func emitTrace(path string, runs, fixedN int, targetErr, confidence float64, scaleDiv int, seed uint64) error {
+	const where = `WHERE r.o_orderkey = l.l_orderkey AND (r.o_yr = 1994 OR r.o_yr = 1995)`
+	queries := []loadgen.QuerySpec{
+		{
+			SQL:    fmt.Sprintf("SELECT SUM(r.val) FROM random_ord AS r, lineitem AS l\n%s\nWITH RESULTDISTRIBUTION MONTECARLO(%d)", where, fixedN),
+			Weight: 2,
+		},
+		{
+			SQL: fmt.Sprintf("SELECT SUM(r.val) FROM random_ord AS r, lineitem AS l\n%s\nWITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < %g AT %g%%, MAX %d)",
+				where, targetErr, confidence*100, fixedN),
+			Weight:   1,
+			Priority: "batch",
+		},
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	// Uniform 2 qps: runs events take runs/2 seconds of replay.
+	dur := time.Duration(runs) * 500 * time.Millisecond
+	tr, err := loadgen.GenerateMix("tpch", queries, loadgen.ArrivalUniform, 2, dur+time.Millisecond, seed)
+	if err != nil {
+		return err
+	}
+	tr.Note = fmt.Sprintf("mcdbr-bench -scalediv %d -fixed-n %d -target-err %g -confidence %g -seed %d (replay runs at the tpch preset's smoke scale)",
+		scaleDiv, fixedN, targetErr, confidence, seed)
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-event loadgen trace to %s (replay: mcdbr-loadgen -replay %s)\n", len(tr.Events), path, path)
+	return nil
 }
 
 // benchResult is one parsed `go test -bench` line.

@@ -1,0 +1,143 @@
+// Command mcdbr-loadgen drives an mcdbr-serve instance (or an
+// in-process server) with a deterministic open-loop workload and
+// reports latency percentiles, throughput, shed rate and degraded rate
+// (DESIGN.md §12).
+//
+// Generate-and-run against an in-process server:
+//
+//	mcdbr-loadgen -preset quickstart -arrival poisson -rate 40 -duration 2s
+//
+// Record a trace, then replay it (regression runs replay the same file
+// forever):
+//
+//	mcdbr-loadgen -preset fig2 -arrival burst -rate 30 -record trace.json
+//	mcdbr-loadgen -replay trace.json -max-concurrent 2 -out BENCH_9.json
+//
+// Run the PR 9 acceptance suite (steady / burst / degrade scenarios):
+//
+//	mcdbr-loadgen -suite -out BENCH_9.json
+//
+// Against a live server: add -url http://host:port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	preset := flag.String("preset", "quickstart", "workload preset: "+strings.Join(loadgen.PresetNames(), ", "))
+	arrival := flag.String("arrival", "poisson", "arrival process: poisson, uniform, burst")
+	rate := flag.Float64("rate", 20, "nominal arrival rate (queries/s)")
+	duration := flag.Duration("duration", 2*time.Second, "length of the generated trace")
+	seed := flag.Uint64("seed", 7, "trace PRNG seed")
+	record := flag.String("record", "", "write the generated trace to this file before running")
+	replay := flag.String("replay", "", "replay this trace file instead of generating one")
+	url := flag.String("url", "", "target server base URL (empty: serve the preset in-process)")
+	out := flag.String("out", "", "write the JSON report to this file")
+	failOnShed := flag.Bool("fail-on-shed", false, "exit nonzero if the report shows any shed requests")
+	suite := flag.Bool("suite", false, "run the steady/burst/degrade acceptance suite instead of a single trace")
+	timeout := flag.Duration("timeout", 0, "client-side per-request timeout (0: none)")
+	maxConcurrent := flag.Int("max-concurrent", 4, "in-process server: concurrent query slots")
+	maxQueue := flag.Int("max-queue", 0, "in-process server: admission queue depth (0: 4x slots, <0: no queue)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "in-process server: max time a request may queue")
+	defaultDeadline := flag.Duration("default-deadline", 0, "in-process server: per-query execution deadline (0: none)")
+	maxSamplesCap := flag.Int("max-samples-cap", 0, "in-process server: hard cap on per-request sample budgets (0: none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *suite {
+		rep, ok, err := loadgen.RunSuite(ctx, os.Stdout)
+		if err != nil {
+			fail(err)
+		}
+		if *out != "" {
+			if err := rep.WriteFile(*out); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if !ok {
+			fail(fmt.Errorf("acceptance suite failed (see checks above)"))
+		}
+		return
+	}
+
+	var tr *loadgen.Trace
+	var err error
+	if *replay != "" {
+		tr, err = loadgen.ReadTrace(*replay)
+	} else {
+		var p *loadgen.Preset
+		var arr loadgen.Arrival
+		if p, err = loadgen.LookupPreset(*preset); err == nil {
+			if arr, err = loadgen.ParseArrival(*arrival); err == nil {
+				tr, err = loadgen.Generate(p, arr, *rate, *duration, *seed)
+			}
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *record != "" {
+		if err := tr.WriteFile(*record); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d events to %s\n", len(tr.Events), *record)
+	}
+
+	target := *url
+	if target == "" {
+		p, err := loadgen.LookupPreset(tr.Preset)
+		if err != nil {
+			fail(err)
+		}
+		engine, err := p.Setup()
+		if err != nil {
+			fail(err)
+		}
+		ts := httptest.NewServer(server.New(engine, server.Options{
+			MaxConcurrent:   *maxConcurrent,
+			MaxQueue:        *maxQueue,
+			QueueWait:       *queueWait,
+			DefaultDeadline: *defaultDeadline,
+			MaxSamplesCap:   *maxSamplesCap,
+		}).Handler())
+		defer ts.Close()
+		target = ts.URL
+	}
+
+	rep, err := loadgen.Run(ctx, tr, loadgen.Options{URL: target, Timeout: *timeout})
+	if err != nil {
+		fail(err)
+	}
+	rep.Print(os.Stdout)
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed outright", rep.Errors))
+	}
+	if *failOnShed && rep.Shed > 0 {
+		fail(fmt.Errorf("-fail-on-shed: %d requests shed (rate %.3f)", rep.Shed, rep.ShedRate))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mcdbr-loadgen:", err)
+	os.Exit(1)
+}

@@ -48,6 +48,10 @@ func main() {
 	window := flag.Int("window", 1024, "stream values materialized per TS-seed per run")
 	workers := flag.Int("workers", 0, "worker goroutines per query for replicate-sharded execution (1 = sequential, 0 = NumCPU)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "simultaneously executing queries (0 = NumCPU)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth; requests beyond it are shed with 429 (0 = 4x max-concurrent, <0 = no queue)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "longest a request may wait in the admission queue before a 429")
+	defaultDeadline := flag.Duration("default-deadline", 0, "per-query execution deadline, also the cap on request deadline_ms (0 = none)")
+	maxSamplesCap := flag.Int("max-samples-cap", 0, "server-wide cap on per-request sample budgets: fixed-N requests above it are rejected, adaptive budgets are clamped (0 = none)")
 	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU capacity (0 = default 64)")
 	samples := flag.Int("samples", 0, "default tail-sampling budget N (0 = choose via Appendix C)")
 	maxQueryBytes := flag.Int64("max-query-bytes", 0, "per-query executor memory budget in bytes; queries exceeding it fail instead of exhausting memory (0 = unbounded)")
@@ -55,7 +59,15 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
-	if err := run(loads, *addr, *initScript, *pprofAddr, *seed, *window, *workers, *maxConcurrent, *planCache, *samples, *maxQueryBytes, *grace); err != nil {
+	sopts := server.Options{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		DefaultDeadline: *defaultDeadline,
+		MaxSamplesCap:   *maxSamplesCap,
+		Tail:            mcdbr.TailSampleOptions{TotalSamples: *samples},
+	}
+	if err := run(loads, *addr, *initScript, *pprofAddr, *seed, *window, *workers, *planCache, *maxQueryBytes, *grace, sopts); err != nil {
 		fmt.Fprintln(os.Stderr, "mcdbr-serve:", err)
 		os.Exit(1)
 	}
@@ -77,7 +89,7 @@ func servePprof(addr string) {
 	}()
 }
 
-func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, window, workers, maxConcurrent, planCache, samples int, maxQueryBytes int64, grace time.Duration) error {
+func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, window, workers, planCache int, maxQueryBytes int64, grace time.Duration, sopts server.Options) error {
 	engine := mcdbr.New(
 		mcdbr.WithSeed(seed),
 		mcdbr.WithWindow(window),
@@ -110,10 +122,7 @@ func run(loads loadFlags, addr, initScript, pprofAddr string, seed uint64, windo
 		fmt.Printf("ran init script %s\n", initScript)
 	}
 
-	srv := server.New(engine, server.Options{
-		MaxConcurrent: maxConcurrent,
-		Tail:          mcdbr.TailSampleOptions{TotalSamples: samples},
-	})
+	srv := server.New(engine, sopts)
 
 	if pprofAddr != "" {
 		servePprof(pprofAddr)

@@ -1,0 +1,410 @@
+// Package admit is the serving layer's admission-control subsystem: a
+// bounded priority queue in front of a fixed pool of query-execution
+// slots. It replaces the flat semaphore that fronted every request in
+// internal/server — under a traffic spike a semaphore queues without
+// bound, sheds nothing, and lets slow queries starve fast ones; the
+// controller here makes overload behavior explicit:
+//
+//   - At most MaxConcurrent requests execute at once. A request that
+//     finds a free slot (and an empty queue) is admitted immediately.
+//   - Excess requests wait in a per-class FIFO queue of bounded total
+//     depth. Classes are strict priorities: a freed slot always goes to
+//     the oldest waiter of the highest-priority non-empty class.
+//   - A request arriving at a full queue is shed on the fast path with
+//     ErrQueueFull (HTTP 429 + Retry-After upstream) — queue growth is
+//     bounded by construction.
+//   - A queued request that waits longer than QueueWait is shed with
+//     ErrQueueWait: a queue deeper than the server can drain within the
+//     wait budget only adds latency, never goodput.
+//   - Drain rejects every queued waiter with ErrDraining (HTTP 503) and
+//     sheds all later arrivals, so graceful shutdown never leaves parked
+//     requests hanging until the grace timeout.
+//
+// The controller is deliberately engine-agnostic — it hands out slots,
+// not queries — so the planned scale-out coordinator can reuse it
+// per-worker with identical shedding semantics.
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is a request's SLO/priority class. Lower values are served
+// first; within a class the queue is FIFO.
+type Class int
+
+const (
+	// Interactive requests (dashboards, human-in-the-loop queries) jump
+	// every other class.
+	Interactive Class = iota
+	// Normal is the default class.
+	Normal
+	// Batch requests (reports, bulk recomputation) yield to everything.
+	Batch
+	numClasses
+)
+
+// String names the class as it appears on the wire ("interactive",
+// "normal", "batch").
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Normal:
+		return "normal"
+	case Batch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass maps a wire priority string to its Class. The empty string
+// selects Normal; unknown strings are an error so typos do not silently
+// demote (or promote) a request.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "normal":
+		return Normal, nil
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	default:
+		return Normal, fmt.Errorf("admit: unknown priority %q (use interactive, normal, or batch)", s)
+	}
+}
+
+// Sentinel errors; test with errors.Is. The HTTP layer maps ErrQueueFull
+// and ErrQueueWait to 429 (overload shedding, retry later) and
+// ErrDraining to 503 (shutting down, try another replica).
+var (
+	ErrQueueFull = errors.New("admit: queue full")
+	ErrQueueWait = errors.New("admit: queue-wait deadline exceeded")
+	ErrDraining  = errors.New("admit: draining")
+)
+
+// Options configures a Controller.
+type Options struct {
+	// MaxConcurrent is the number of execution slots; must be >= 1.
+	MaxConcurrent int
+	// MaxQueue bounds the total number of queued (admitted-but-waiting)
+	// requests across all classes. 0 selects 4*MaxConcurrent; negative
+	// disables queueing entirely (every request beyond the slots is shed).
+	MaxQueue int
+	// QueueWait bounds how long one request may wait for a slot before it
+	// is shed with ErrQueueWait. 0 selects 2s.
+	QueueWait time.Duration
+}
+
+// waiter is one queued request. ready is closed exactly once, by the
+// goroutine that removes the waiter from its queue (grant or drain);
+// err is set before the close. elem-style membership is tracked by pos:
+// a waiter still in its queue has pos >= 0.
+type waiter struct {
+	ready chan struct{}
+	err   error
+	enq   time.Time
+	class Class
+}
+
+// waitRingSize is the per-class window of recent queue-wait samples the
+// p95 estimate is computed over.
+const waitRingSize = 256
+
+// classState is the per-class queue plus its wait statistics.
+type classState struct {
+	q        []*waiter // FIFO: index 0 is the oldest
+	admitted uint64
+	waits    [waitRingSize]time.Duration
+	nWaits   uint64
+}
+
+// Controller is the admission-control state machine. Create one with
+// New; all methods are safe for concurrent use.
+type Controller struct {
+	opts Options
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	draining bool
+	classes  [numClasses]classState
+
+	admitted  uint64
+	shed      uint64
+	timedOut  uint64
+	cancelled uint64
+	drained   uint64
+	completed uint64
+	degraded  uint64
+}
+
+// New builds a controller. MaxConcurrent < 1 selects 1.
+func New(opts Options) *Controller {
+	if opts.MaxConcurrent < 1 {
+		opts.MaxConcurrent = 1
+	}
+	switch {
+	case opts.MaxQueue == 0:
+		opts.MaxQueue = 4 * opts.MaxConcurrent
+	case opts.MaxQueue < 0:
+		opts.MaxQueue = 0
+	}
+	if opts.QueueWait <= 0 {
+		opts.QueueWait = 2 * time.Second
+	}
+	return &Controller{opts: opts}
+}
+
+// MaxConcurrent reports the slot count.
+func (c *Controller) MaxConcurrent() int { return c.opts.MaxConcurrent }
+
+// QueueWait reports the queue-wait budget.
+func (c *Controller) QueueWait() time.Duration { return c.opts.QueueWait }
+
+// RetryAfterSeconds is the Retry-After hint attached to shed responses:
+// the queue-wait budget rounded up to whole seconds (at least 1) — a
+// client retrying sooner would land in the same overloaded window.
+func (c *Controller) RetryAfterSeconds() int {
+	s := int((c.opts.QueueWait + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Acquire takes one execution slot for a request of the given class,
+// waiting in the class's FIFO queue when all slots are busy. It returns
+// nil when the slot is held — the caller MUST call Release exactly once
+// — or an admission error: ErrQueueFull / ErrQueueWait (shed),
+// ErrDraining (shutdown), or the ctx cause when the caller disconnected
+// while queued.
+func (c *Controller) Acquire(ctx context.Context, class Class) error {
+	if class < 0 || class >= numClasses {
+		class = Normal
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.drained++
+		c.mu.Unlock()
+		return ErrDraining
+	}
+	if c.inflight < c.opts.MaxConcurrent && c.queued == 0 {
+		c.inflight++
+		c.admitted++
+		c.classes[class].admitted++
+		c.recordWaitLocked(class, 0)
+		c.mu.Unlock()
+		return nil
+	}
+	if c.queued >= c.opts.MaxQueue {
+		c.shed++
+		inflight, queued := c.inflight, c.queued
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d executing, %d queued (limits %d/%d)",
+			ErrQueueFull, inflight, queued, c.opts.MaxConcurrent, c.opts.MaxQueue)
+	}
+	w := &waiter{ready: make(chan struct{}), enq: time.Now(), class: class}
+	cs := &c.classes[class]
+	cs.q = append(cs.q, w)
+	c.queued++
+	c.mu.Unlock()
+
+	timer := time.NewTimer(c.opts.QueueWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		// Granted (err == nil, slot held) or drained (err == ErrDraining).
+		return w.err
+	case <-ctx.Done():
+		if c.abandon(w, &c.cancelled) {
+			return fmt.Errorf("admit: cancelled after queueing for %s: %w", time.Since(w.enq).Round(time.Millisecond), context.Cause(ctx))
+		}
+		// A grant (or drain) raced the disconnect: the close already
+		// happened or is imminent. Give any granted slot straight back.
+		<-w.ready
+		if w.err == nil {
+			c.Release()
+		}
+		return context.Cause(ctx)
+	case <-timer.C:
+		if c.abandon(w, &c.timedOut) {
+			return fmt.Errorf("%w: waited %s for a slot (%d executing, limit %d)",
+				ErrQueueWait, c.opts.QueueWait, c.opts.MaxConcurrent, c.opts.MaxConcurrent)
+		}
+		// The grant won the race by a hair — use the slot.
+		<-w.ready
+		return w.err
+	}
+}
+
+// abandon removes w from its queue if it is still queued, bumping
+// *counter. It returns false when w was already granted or drained — in
+// that case w.ready is closed (or about to be) and w.err is settled.
+func (c *Controller) abandon(w *waiter, counter *uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs := &c.classes[w.class]
+	for i, q := range cs.q {
+		if q == w {
+			cs.q = append(cs.q[:i], cs.q[i+1:]...)
+			c.queued--
+			*counter++
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns a slot. If any request is queued, the slot is handed
+// directly to the oldest waiter of the highest-priority non-empty class
+// (in-flight count unchanged); otherwise the slot frees.
+func (c *Controller) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completed++
+	for class := Class(0); class < numClasses; class++ {
+		cs := &c.classes[class]
+		if len(cs.q) == 0 {
+			continue
+		}
+		w := cs.q[0]
+		cs.q = cs.q[1:]
+		c.queued--
+		c.admitted++
+		cs.admitted++
+		c.recordWaitLocked(class, time.Since(w.enq))
+		close(w.ready) // w.err stays nil: slot transferred
+		return
+	}
+	c.inflight--
+}
+
+// NoteDegraded counts one request that completed with a degraded
+// (partial, deadline-hit) result.
+func (c *Controller) NoteDegraded() {
+	c.mu.Lock()
+	c.degraded++
+	c.mu.Unlock()
+}
+
+// Drain rejects every queued waiter with ErrDraining and sheds all later
+// Acquire calls. In-flight requests are unaffected; call it at the start
+// of graceful shutdown so parked requests fail fast instead of hanging
+// until the grace timeout.
+func (c *Controller) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+	for class := range c.classes {
+		cs := &c.classes[class]
+		for _, w := range cs.q {
+			w.err = ErrDraining
+			c.drained++
+			close(w.ready)
+		}
+		cs.q = nil
+	}
+	c.queued = 0
+}
+
+// ClassStats is the per-class view inside Stats.
+type ClassStats struct {
+	Class string `json:"class"`
+	// QueueDepth is the number of requests currently waiting.
+	QueueDepth int `json:"queue_depth"`
+	// Admitted counts requests of this class ever granted a slot.
+	Admitted uint64 `json:"admitted"`
+	// WaitP95MS is the 95th-percentile queue wait over the last
+	// waitRingSize admissions (milliseconds; fast-path admissions count
+	// as zero wait).
+	WaitP95MS float64 `json:"wait_p95_ms"`
+}
+
+// Stats is a consistent snapshot of the controller.
+type Stats struct {
+	MaxConcurrent int     `json:"max_concurrent"`
+	MaxQueue      int     `json:"max_queue"`
+	QueueWaitMS   float64 `json:"queue_wait_ms"`
+	InFlight      int     `json:"in_flight"`
+	QueueDepth    int     `json:"queue_depth"`
+	Draining      bool    `json:"draining"`
+	// Admitted counts slot grants; Completed counts Releases. Admitted -
+	// Completed == InFlight at every instant.
+	Admitted  uint64 `json:"admitted"`
+	Completed uint64 `json:"completed"`
+	// Shed counts fast-path queue-full rejections; TimedOut queue-wait
+	// expiries; Cancelled client disconnects while queued; Drained
+	// shutdown rejections (queued and arriving).
+	Shed      uint64 `json:"shed"`
+	TimedOut  uint64 `json:"timed_out"`
+	Cancelled uint64 `json:"cancelled"`
+	Drained   uint64 `json:"drained"`
+	// Degraded counts requests that completed with a partial
+	// (deadline-hit) result.
+	Degraded uint64       `json:"degraded"`
+	Classes  []ClassStats `json:"classes"`
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		MaxConcurrent: c.opts.MaxConcurrent,
+		MaxQueue:      c.opts.MaxQueue,
+		QueueWaitMS:   float64(c.opts.QueueWait.Microseconds()) / 1000,
+		InFlight:      c.inflight,
+		QueueDepth:    c.queued,
+		Draining:      c.draining,
+		Admitted:      c.admitted,
+		Completed:     c.completed,
+		Shed:          c.shed,
+		TimedOut:      c.timedOut,
+		Cancelled:     c.cancelled,
+		Drained:       c.drained,
+		Degraded:      c.degraded,
+	}
+	for class := Class(0); class < numClasses; class++ {
+		cs := &c.classes[class]
+		s.Classes = append(s.Classes, ClassStats{
+			Class:      class.String(),
+			QueueDepth: len(cs.q),
+			Admitted:   cs.admitted,
+			WaitP95MS:  waitP95MS(cs),
+		})
+	}
+	return s
+}
+
+// recordWaitLocked folds one admission's queue wait into the class ring.
+func (c *Controller) recordWaitLocked(class Class, d time.Duration) {
+	cs := &c.classes[class]
+	cs.waits[cs.nWaits%waitRingSize] = d
+	cs.nWaits++
+}
+
+// waitP95MS computes the 95th percentile of the class's recent waits.
+func waitP95MS(cs *classState) float64 {
+	n := int(cs.nWaits)
+	if n > waitRingSize {
+		n = waitRingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, cs.waits[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(buf[idx].Microseconds()) / 1000
+}

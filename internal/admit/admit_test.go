@@ -1,0 +1,280 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hold acquires a slot that the test releases explicitly.
+func hold(t *testing.T, c *Controller, class Class) func() {
+	t.Helper()
+	if err := c.Acquire(context.Background(), class); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	var once sync.Once
+	return func() { once.Do(c.Release) }
+}
+
+func TestFastPathAdmission(t *testing.T) {
+	c := New(Options{MaxConcurrent: 2})
+	r1 := hold(t, c, Normal)
+	r2 := hold(t, c, Interactive)
+	s := c.Stats()
+	if s.InFlight != 2 || s.Admitted != 2 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	r1()
+	r2()
+	s = c.Stats()
+	if s.InFlight != 0 || s.Completed != 2 {
+		t.Fatalf("after release: %+v", s)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: -1, QueueWait: time.Second})
+	release := hold(t, c, Normal)
+	defer release()
+	err := c.Acquire(context.Background(), Normal)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if s := c.Stats(); s.Shed != 1 {
+		t.Fatalf("shed = %d", s.Shed)
+	}
+}
+
+func TestQueueWaitDeadline(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 30 * time.Millisecond})
+	release := hold(t, c, Normal)
+	defer release()
+	start := time.Now()
+	err := c.Acquire(context.Background(), Normal)
+	if !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("want ErrQueueWait, got %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("waited %s, budget was 30ms", waited)
+	}
+	if s := c.Stats(); s.TimedOut != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPriorityOrderAndFIFO(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 8, QueueWait: 5 * time.Second})
+	release := hold(t, c, Normal)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	queuedSoFar := 0
+	enqueue := func(name string, class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Acquire(context.Background(), class); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			c.Release()
+		}()
+		// Deterministic enqueue order: wait until the queue has grown.
+		queuedSoFar++
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if s := c.Stats(); s.QueueDepth >= queuedSoFar {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never queued", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("batch-1", Batch)
+	enqueue("normal-1", Normal)
+	enqueue("normal-2", Normal)
+	enqueue("interactive-1", Interactive)
+
+	release()
+	wg.Wait()
+	want := []string{"interactive-1", "normal-1", "normal-2", "batch-1"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("service order = %v, want %v", order, want)
+	}
+}
+
+func TestCancelWhileQueued(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+	release := hold(t, c, Normal)
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Acquire(ctx, Normal) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s := c.Stats(); s.Cancelled != 1 || s.QueueDepth != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDrainRejectsQueuedPromptly(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 4, QueueWait: time.Minute})
+	release := hold(t, c, Normal)
+	errc := make(chan error, 1)
+	go func() { errc <- c.Acquire(context.Background(), Normal) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Drain()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("want ErrDraining, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter hung through Drain (the pre-admit-control shutdown bug)")
+	}
+	// Later arrivals are rejected too; the in-flight slot still releases.
+	if err := c.Acquire(context.Background(), Normal); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Acquire = %v", err)
+	}
+	release()
+	if s := c.Stats(); s.InFlight != 0 || s.Drained != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"": Normal, "normal": Normal, "interactive": Interactive, "batch": Batch} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("urgent"); err == nil {
+		t.Fatal("unknown priority accepted")
+	}
+}
+
+// TestHammerNoSlotLeak is the -race storm: many goroutines acquiring
+// with mixed classes, random cancellation, and short queue waits, racing
+// grants against timeouts and disconnects. Afterwards every slot must be
+// recoverable and the counters must balance — a leaked slot here is
+// exactly the bug that would brick a server after a traffic spike.
+func TestHammerNoSlotLeak(t *testing.T) {
+	const slots = 4
+	c := New(Options{MaxConcurrent: slots, MaxQueue: 16, QueueWait: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	var held atomic.Int64
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 60; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch rng.Intn(3) {
+				case 0: // disconnect while (possibly) queued
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+				case 1:
+					ctx, cancel = context.WithCancel(ctx)
+					go func(d time.Duration, cancel context.CancelFunc) {
+						time.Sleep(d)
+						cancel()
+					}(time.Duration(rng.Intn(5))*time.Millisecond, cancel)
+				}
+				err := c.Acquire(ctx, Class(rng.Intn(int(numClasses))))
+				if err == nil {
+					if n := held.Add(1); n > slots {
+						t.Errorf("%d slots held, limit %d", n, slots)
+					}
+					time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+					held.Add(-1)
+					c.Release()
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.InFlight != 0 || s.QueueDepth != 0 {
+		t.Fatalf("after storm: %+v", s)
+	}
+	if s.Admitted != s.Completed {
+		t.Fatalf("admitted %d != completed %d (leaked slot)", s.Admitted, s.Completed)
+	}
+	// Full capacity must be immediately recoverable.
+	var releases []func()
+	for i := 0; i < slots; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := c.Acquire(ctx, Normal)
+		cancel()
+		if err != nil {
+			t.Fatalf("slot %d unrecoverable after storm: %v", i, err)
+		}
+		releases = append(releases, c.Release)
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+func TestStatsWaitP95(t *testing.T) {
+	c := New(Options{MaxConcurrent: 1, MaxQueue: 4, QueueWait: time.Second})
+	release := hold(t, c, Normal)
+	done := make(chan error, 1)
+	go func() { done <- c.Acquire(context.Background(), Normal) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	c.Release()
+	var normal ClassStats
+	for _, cs := range c.Stats().Classes {
+		if cs.Class == "normal" {
+			normal = cs
+		}
+	}
+	if normal.Admitted != 2 {
+		t.Fatalf("normal admitted = %d", normal.Admitted)
+	}
+	if normal.WaitP95MS < 10 {
+		t.Fatalf("wait p95 = %gms, the queued request waited >= 20ms", normal.WaitP95MS)
+	}
+}

@@ -12,6 +12,8 @@
 package gibbs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/exec"
@@ -41,6 +43,14 @@ type StopRule struct {
 	MaxSamples int
 	// FirstRound is the first round's replicate count; rounds double.
 	FirstRound int
+	// DegradeOnDeadline selects graceful degradation: when the run's
+	// context deadline fires after at least one complete round, the driver
+	// returns the rounds accumulated so far (bit-identical to a fixed run
+	// of that count) with Degraded set, instead of an error. Cancellation
+	// for any other reason — client disconnect, explicit cancel — still
+	// errors: there is nobody left to want a partial answer. Fixed-N
+	// execution never sets this; its bit-identical contract is strict.
+	DegradeOnDeadline bool
 }
 
 // Normalized returns the rule with defaults filled in.
@@ -102,6 +112,10 @@ type AdaptiveResult struct {
 	Rounds int
 	// Converged reports whether the target was met (false: MaxSamples hit).
 	Converged bool
+	// Degraded reports that the run's deadline fired before convergence
+	// and Runs holds the partial prefix accumulated by then (see
+	// StopRule.DegradeOnDeadline).
+	Degraded bool
 	// CIs[g][a] is the final snapshot per (group, aggregate) pair.
 	CIs [][]CISnapshot
 }
@@ -133,6 +147,10 @@ func MonteCarloGroupedAdaptive(ws *exec.Workspace, agg *exec.Aggregate, final ex
 	//mcdbr:hotpath
 	for lo < rule.MaxSamples {
 		if err := ws.Cancelled(); err != nil {
+			if degradable(rule, acc, err) {
+				res.Degraded = true
+				break
+			}
 			return nil, err
 		}
 		hi := lo + size
@@ -141,6 +159,10 @@ func MonteCarloGroupedAdaptive(ws *exec.Workspace, agg *exec.Aggregate, final ex
 		}
 		part, err := monteCarloGroupedWindow(ws, agg, final, lo, hi, workers)
 		if err != nil {
+			if degradable(rule, acc, err) {
+				res.Degraded = true
+				break
+			}
 			return nil, err
 		}
 		if acc == nil {
@@ -180,6 +202,14 @@ func MonteCarloGroupedAdaptive(ws *exec.Workspace, agg *exec.Aggregate, final ex
 	res.Runs = acc
 	res.CIs = cis
 	return res, nil
+}
+
+// degradable reports whether a run error downgrades to a partial result:
+// the rule opted in, at least one round completed (so res holds a
+// bit-identical fixed-run prefix), and the cause was specifically a
+// deadline — an explicit cancel means nobody is waiting for an answer.
+func degradable(rule StopRule, acc *GroupedRuns, err error) bool {
+	return rule.DegradeOnDeadline && acc != nil && errors.Is(err, context.DeadlineExceeded)
 }
 
 // foldRound feeds one round's replicates into the per-pair accumulators

@@ -143,6 +143,74 @@ func TestAdaptiveCancellation(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDegradeOnDeadline: with DegradeOnDeadline set, a deadline
+// firing after a completed round yields the partial prefix — bit-identical
+// to a fixed run of the same count — with Degraded set, instead of an
+// error. The deadline is injected deterministically via a cancel cause
+// from the progress callback, so the prefix length is exact.
+func TestAdaptiveDegradeOnDeadline(t *testing.T) {
+	rule := StopRule{TargetRelError: 1e-9, MaxSamples: 4096, FirstRound: 32, DegradeOnDeadline: true}
+	ws, agg := adaptiveSetup(t, 11, 64, 1, true)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ws.Ctx = ctx
+	res, err := MonteCarloGroupedAdaptive(ws, agg, nil, rule, 2, func(u RoundUpdate) {
+		if u.Round == 2 {
+			cancel(context.DeadlineExceeded)
+		}
+	})
+	if err != nil {
+		t.Fatalf("degradable deadline returned error: %v", err)
+	}
+	if !res.Degraded || res.Converged {
+		t.Fatalf("Degraded=%v Converged=%v, want degraded non-converged", res.Degraded, res.Converged)
+	}
+	if res.SamplesUsed != 96 {
+		t.Fatalf("SamplesUsed = %d, want the two completed rounds (96)", res.SamplesUsed)
+	}
+	wsF, aggF := adaptiveSetup(t, 11, 64, 1, true)
+	fixed, err := MonteCarloGrouped(wsF, aggF, nil, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range fixed.Keys {
+		for a := range fixed.Samples[g] {
+			for r := range fixed.Samples[g][a] {
+				if res.Runs.Samples[g][a][r] != fixed.Samples[g][a][r] {
+					t.Fatalf("g=%d a=%d r=%d: partial %v vs fixed %v",
+						g, a, r, res.Runs.Samples[g][a][r], fixed.Samples[g][a][r])
+				}
+			}
+		}
+	}
+	if ci := res.CIs[0][0]; ci.N == 0 || ci.HalfWidth <= 0 {
+		t.Fatalf("degraded result missing CI snapshot: %+v", ci)
+	}
+
+	// Without the opt-in, the same deadline is a hard error.
+	wsS, aggS := adaptiveSetup(t, 11, 64, 1, true)
+	ctxS, cancelS := context.WithCancelCause(context.Background())
+	wsS.Ctx = ctxS
+	strict := rule
+	strict.DegradeOnDeadline = false
+	_, err = MonteCarloGroupedAdaptive(wsS, aggS, nil, strict, 2, func(u RoundUpdate) {
+		if u.Round == 2 {
+			cancelS(context.DeadlineExceeded)
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("strict rule err = %v, want DeadlineExceeded", err)
+	}
+
+	// A deadline with zero completed rounds has nothing to degrade to.
+	wsZ, aggZ := adaptiveSetup(t, 11, 64, 1, true)
+	ctxZ, cancelZ := context.WithCancelCause(context.Background())
+	cancelZ(context.DeadlineExceeded)
+	wsZ.Ctx = ctxZ
+	if _, err := MonteCarloGroupedAdaptive(wsZ, aggZ, nil, rule, 2, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("zero-round deadline err = %v, want DeadlineExceeded", err)
+	}
+}
+
 // TestCancelledWorkspacePropagates: plain sharded paths also honor the
 // workspace context.
 func TestCancelledWorkspacePropagates(t *testing.T) {

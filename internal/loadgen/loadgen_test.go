@@ -1,0 +1,234 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestGenerateDeterministic: same tuple, same trace — the property the
+// whole record/replay story rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	p, err := LookupPreset("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arrival := range []Arrival{ArrivalPoisson, ArrivalUniform, ArrivalBurst} {
+		tr1, err := Generate(p, arrival, 50, 2*time.Second, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Generate(p, arrival, 50, 2*time.Second, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr1, tr2) {
+			t.Fatalf("%s: same seed produced different traces", arrival)
+		}
+		if len(tr1.Events) == 0 {
+			t.Fatalf("%s: empty trace", arrival)
+		}
+		for i, ev := range tr1.Events {
+			if ev.AtMS < 0 || ev.AtMS >= 2000 {
+				t.Fatalf("%s: event %d at %v ms outside run window", arrival, i, ev.AtMS)
+			}
+			if i > 0 && ev.AtMS < tr1.Events[i-1].AtMS {
+				t.Fatalf("%s: events out of order at %d", arrival, i)
+			}
+			if ev.Query < 0 || ev.Query >= len(p.Queries) {
+				t.Fatalf("%s: event %d references query %d", arrival, i, ev.Query)
+			}
+		}
+		tr3, err := Generate(p, arrival, 50, 2*time.Second, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(tr1.Events, tr3.Events) {
+			t.Fatalf("%s: different seeds produced identical traces", arrival)
+		}
+	}
+}
+
+// TestGenerateRate: the arrival processes produce roughly rate*duration
+// events; burst averages out near the nominal rate by construction
+// (2x and 1/4x phases in equal measure -> 1.125x ceiling).
+func TestGenerateRate(t *testing.T) {
+	p, err := LookupPreset("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arrival := range []Arrival{ArrivalPoisson, ArrivalUniform, ArrivalBurst} {
+		tr, err := Generate(p, arrival, 100, 10*time.Second, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(tr.Events)
+		if n < 500 || n > 1500 {
+			t.Fatalf("%s: %d events for 100 qps x 10 s", arrival, n)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, err := LookupPreset("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(p, ArrivalPoisson, 10, time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal-SQL events (the mcdbr-bench -trace shape) must survive the
+	// round trip too.
+	tr.Events = append(tr.Events, Event{
+		AtMS: 1500, Query: -1, SQL: "SELECT COUNT(*) FROM sup", Seed: 1, Priority: "batch",
+	})
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", tr, got)
+	}
+}
+
+func TestReadTraceRejectsBadQueryIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	tr := &Trace{Preset: "quickstart", Events: []Event{{AtMS: 0, Query: 3}}}
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(path); err == nil {
+		t.Fatal("want error for out-of-range query index")
+	}
+}
+
+func newLocalServer(t *testing.T, preset string, opts server.Options) *httptest.Server {
+	t.Helper()
+	p, err := LookupPreset(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := p.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(engine, opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestReplaySmoke: a small trace that fits comfortably under the
+// admission limits completes with zero shed, twice in a row.
+func TestReplaySmoke(t *testing.T) {
+	p, err := LookupPreset("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(p, ArrivalPoisson, 40, 400*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLocalServer(t, "quickstart", server.Options{
+		MaxConcurrent: 4, MaxQueue: 64, QueueWait: 30 * time.Second,
+	})
+	for round := 0; round < 2; round++ {
+		rep, err := Run(context.Background(), tr, Options{URL: ts.URL})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != len(tr.Events) {
+			t.Fatalf("round %d: %d outcomes for %d events", round, rep.Requests, len(tr.Events))
+		}
+		if rep.Shed != 0 || rep.Errors != 0 || rep.Completed != rep.Requests {
+			t.Fatalf("round %d: smoke load shed or failed: %+v", round, rep)
+		}
+		if len(rep.Admission) == 0 {
+			t.Fatalf("round %d: no admission stats scraped", round)
+		}
+		if rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P99 {
+			t.Fatalf("round %d: implausible latency summary %+v", round, rep.Latency)
+		}
+	}
+}
+
+// TestReplayOverloadSheds: 10 simultaneous heavy queries against one
+// slot and no queue — the overflow must come back as 429/shed.
+func TestReplayOverloadSheds(t *testing.T) {
+	tr := &Trace{
+		Preset:  "quickstart",
+		Seed:    13,
+		Queries: []QuerySpec{{SQL: heavySQL}},
+	}
+	for i := 0; i < 10; i++ {
+		tr.Events = append(tr.Events, Event{AtMS: 0, Query: 0, Seed: uint64(i + 1)})
+	}
+	ts := newLocalServer(t, "quickstart", server.Options{
+		MaxConcurrent: 1, MaxQueue: -1,
+	})
+	rep, err := Run(context.Background(), tr, Options{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Fatalf("overload run shed nothing: %+v", rep)
+	}
+	if rep.Completed == 0 {
+		t.Fatalf("overload run completed nothing: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("unexpected transport/server errors: %+v", rep)
+	}
+}
+
+// TestReplayCommittedTrace: the checked-in CI smoke trace keeps
+// replaying with zero shed — the record/replay regression contract.
+func TestReplayCommittedTrace(t *testing.T) {
+	tr, err := ReadTrace("testdata/smoke_trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Preset != "quickstart" || len(tr.Events) == 0 {
+		t.Fatalf("unexpected committed trace: preset=%q events=%d", tr.Preset, len(tr.Events))
+	}
+	ts := newLocalServer(t, tr.Preset, server.Options{
+		MaxConcurrent: 4, MaxQueue: 64, QueueWait: 10 * time.Second,
+	})
+	rep, err := Run(context.Background(), tr, Options{URL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 0 || rep.Errors != 0 || rep.Completed != len(tr.Events) {
+		t.Fatalf("committed smoke trace regressed: %+v", rep)
+	}
+}
+
+// TestRunSuite: the BENCH_9 acceptance suite passes end to end.
+func TestRunSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite runs ~3s of load")
+	}
+	suite, ok, err := RunSuite(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("suite failed: %+v", suite)
+	}
+	if len(suite.Scenarios) != 3 {
+		t.Fatalf("want 3 scenarios, got %d", len(suite.Scenarios))
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_9.json")
+	if err := suite.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}

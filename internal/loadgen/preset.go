@@ -1,0 +1,183 @@
+// Package loadgen is the deterministic load harness behind
+// cmd/mcdbr-loadgen (DESIGN.md §12): preset workload mixes over the
+// paper's example databases, seeded open-loop arrival processes with
+// trace record/replay, and a latency/shed/degradation report against a
+// running mcdbr-serve instance.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/expr"
+	"repro/internal/workload"
+	"repro/mcdbr"
+)
+
+// QuerySpec is one statement in a preset's mix. Weight is the relative
+// draw frequency (<=0 counts as 1); Priority and DeadlineMS are copied
+// onto every request generated from the spec, so a mix can combine
+// interactive dashboards with batch tail queries.
+type QuerySpec struct {
+	SQL        string `json:"sql"`
+	Weight     int    `json:"weight,omitempty"`
+	Priority   string `json:"priority,omitempty"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"`
+}
+
+// Preset couples an engine setup with a weighted query mix. The engine
+// side only matters when the harness serves in-process; against a
+// remote -url only the mix is used.
+type Preset struct {
+	Name        string
+	Description string
+	Setup       func() (*mcdbr.Engine, error)
+	Queries     []QuerySpec
+}
+
+// presets is the registry. Each mirrors a workload already exercised
+// elsewhere in the repo so load numbers are comparable to the unit
+// benchmarks: the README quickstart aggregate, the Fig. 2 salary
+// inversion self-join, the grouped DOMAIN tail query, and the
+// Appendix D TPC-H-like join.
+var presets = []*Preset{
+	{
+		Name:        "quickstart",
+		Description: "README quickstart loss aggregate: fixed MONTECARLO(60) plus an adaptive UNTIL ERROR run",
+		Setup:       quickstartEngine,
+		Queries: []QuerySpec{
+			{
+				SQL:      `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(60)`,
+				Weight:   3,
+				Priority: "interactive",
+			},
+			{
+				SQL:    `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.02 AT 95%, MAX 20000)`,
+				Weight: 1,
+			},
+		},
+	},
+	{
+		Name:        "fig2",
+		Description: "Fig. 2 salary inversion self-join (two scans of one random table)",
+		Setup:       fig2Engine,
+		Queries: []QuerySpec{
+			{
+				SQL: `SELECT SUM(emp2.sal - emp1.sal) AS inv
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(128)`,
+				Weight:   2,
+				Priority: "interactive",
+			},
+			{
+				SQL: `SELECT SUM(emp2.sal - emp1.sal) AS inv
+FROM emp AS emp1, emp AS emp2, sup
+WHERE sup.boss = emp1.eid AND sup.peon = emp2.eid AND emp2.sal > emp1.sal
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.05 AT 95%, MAX 4096)`,
+				Weight: 1,
+			},
+		},
+	},
+	{
+		Name:        "grouped-tail",
+		Description: "grouped DOMAIN tail query (per-group adaptive chains, batch class)",
+		Setup:       groupedTailEngine,
+		Queries: []QuerySpec{
+			{
+				SQL: `SELECT SUM(val) AS s FROM Losses GROUP BY cid
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.01, MAX 4096)
+DOMAIN s >= QUANTILE(0.9)`,
+				Priority: "batch",
+			},
+			{
+				SQL:      `SELECT SUM(val) AS s FROM Losses GROUP BY cid WITH RESULTDISTRIBUTION MONTECARLO(48)`,
+				Weight:   2,
+				Priority: "interactive",
+			},
+		},
+	},
+	{
+		Name:        "tpch",
+		Description: "Appendix D TPC-H-like join at smoke scale (links mcdbr-bench -trace to the harness)",
+		Setup:       tpchEngine,
+		Queries: []QuerySpec{
+			{
+				SQL: `SELECT SUM(r.val) FROM random_ord AS r, lineitem AS l
+WHERE r.o_orderkey = l.l_orderkey AND (r.o_yr = 1994 OR r.o_yr = 1995)
+WITH RESULTDISTRIBUTION MONTECARLO(32)`,
+				Weight: 2,
+			},
+			{
+				SQL: `SELECT SUM(r.val) FROM random_ord AS r, lineitem AS l
+WHERE r.o_orderkey = l.l_orderkey AND (r.o_yr = 1994 OR r.o_yr = 1995)
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.05 AT 95%, MAX 512)`,
+				Weight:   1,
+				Priority: "batch",
+			},
+		},
+	},
+}
+
+// LookupPreset returns the named preset or an error listing the valid
+// names.
+func LookupPreset(name string) (*Preset, error) {
+	for _, p := range presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("loadgen: unknown preset %q (have %v)", name, PresetNames())
+}
+
+// PresetNames lists the registered presets, sorted.
+func PresetNames() []string {
+	names := make([]string, len(presets))
+	for i, p := range presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+func quickstartEngine() (*mcdbr.Engine, error) {
+	e := mcdbr.New(mcdbr.WithSeed(42), mcdbr.WithParallelism(2))
+	e.RegisterTable(workload.LossMeans(30, 2, 8, 5))
+	err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	})
+	return e, err
+}
+
+func fig2Engine() (*mcdbr.Engine, error) {
+	e := mcdbr.New(mcdbr.WithSeed(77), mcdbr.WithParallelism(2))
+	sup, empmeans := workload.SalaryDB()
+	e.RegisterTable(sup)
+	e.RegisterTable(empmeans)
+	err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "emp", ParamTable: "empmeans", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("msal"), expr.F(4e6)},
+		Columns:  []mcdbr.RandomCol{{Name: "eid", FromParam: "eid"}, {Name: "sal", VGOut: 0}},
+	})
+	return e, err
+}
+
+func groupedTailEngine() (*mcdbr.Engine, error) {
+	e := mcdbr.New(mcdbr.WithSeed(9), mcdbr.WithWindow(2048), mcdbr.WithParallelism(2))
+	e.RegisterTable(workload.LossMeans(8, 2, 8, 11))
+	err := e.DefineRandomTable(mcdbr.RandomTable{
+		Name: "losses", ParamTable: "means", VG: "Normal",
+		VGParams: []expr.Expr{expr.C("m"), expr.F(1.0)},
+		Columns:  []mcdbr.RandomCol{{Name: "cid", FromParam: "cid"}, {Name: "val", VGOut: 0}},
+	})
+	return e, err
+}
+
+func tpchEngine() (*mcdbr.Engine, error) {
+	// Smoke scale: paper scale divided by 400 keeps preset startup under
+	// a second while preserving the join shape.
+	return experiments.TPCHEngine(400, 42, mcdbr.WithParallelism(2))
+}

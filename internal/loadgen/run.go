@@ -1,0 +1,270 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// URL is the base URL of the target server (its /query and /healthz
+	// endpoints are used).
+	URL string
+	// Timeout bounds each HTTP request; 0 means no client-side limit
+	// (the server's own deadlines still apply).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); when nil a client with
+	// Timeout is built.
+	Client *http.Client
+}
+
+// LatencySummary holds request-latency percentiles in milliseconds,
+// measured from dispatch to full response body.
+type LatencySummary struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is the outcome of one replay: outcome counters keyed to the
+// server's admission contract (DESIGN.md §12), throughput, latency
+// percentiles, and the server's final /healthz admission stats.
+type Report struct {
+	Preset       string          `json:"preset"`
+	Arrival      string          `json:"arrival,omitempty"`
+	Seed         uint64          `json:"seed"`
+	Requests     int             `json:"requests"`
+	Completed    int             `json:"completed"`
+	Degraded     int             `json:"degraded"`
+	Shed         int             `json:"shed"`
+	Unavailable  int             `json:"unavailable"`
+	TimedOut     int             `json:"timed_out"`
+	Errors       int             `json:"errors"`
+	DurationMS   float64         `json:"duration_ms"`
+	QPS          float64         `json:"qps"`
+	ShedRate     float64         `json:"shed_rate"`
+	DegradedRate float64         `json:"degraded_rate"`
+	Latency      LatencySummary  `json:"latency_ms"`
+	Admission    json.RawMessage `json:"admission,omitempty"`
+}
+
+// queryRequest mirrors the server's request schema (internal/server);
+// only the fields the harness drives are present.
+type queryRequest struct {
+	SQL        string `json:"sql"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Priority   string `json:"priority,omitempty"`
+	DeadlineMS int    `json:"deadline_ms,omitempty"`
+}
+
+// outcome is one request's classified result.
+type outcome struct {
+	status    int  // 0 on transport error
+	degraded  bool // response carried "degraded": true
+	latencyMS float64
+}
+
+// Run replays a trace open-loop against opts.URL: every event fires at
+// its recorded offset regardless of how many requests are still in
+// flight, which is what lets the harness push a server past
+// MaxConcurrent and observe shedding.
+func Run(ctx context.Context, tr *Trace, opts Options) (*Report, error) {
+	if len(tr.Events) == 0 {
+		return nil, fmt.Errorf("loadgen: trace has no events")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+	base := strings.TrimRight(opts.URL, "/")
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		outcomes []outcome
+	)
+	start := time.Now()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	// Open-loop dispatch sweep: one goroutine per due event.
+	//mcdbr:hotpath
+	for _, ev := range tr.Events {
+		if d := time.Until(start.Add(time.Duration(ev.AtMS * float64(time.Millisecond)))); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(ev Event) {
+			defer wg.Done()
+			out := fire(ctx, client, base, tr, ev)
+			mu.Lock()
+			outcomes = append(outcomes, out)
+			mu.Unlock()
+		}(ev)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Preset:     tr.Preset,
+		Arrival:    tr.Arrival,
+		Seed:       tr.Seed,
+		Requests:   len(outcomes),
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	lats := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.status != 0 {
+			lats = append(lats, o.latencyMS)
+		}
+		switch {
+		case o.status == http.StatusOK:
+			rep.Completed++
+			if o.degraded {
+				rep.Degraded++
+			}
+		case o.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case o.status == http.StatusServiceUnavailable:
+			rep.Unavailable++
+		case o.status == http.StatusGatewayTimeout:
+			rep.TimedOut++
+		default:
+			rep.Errors++
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.QPS = float64(rep.Requests) / secs
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.DegradedRate = float64(rep.Degraded) / float64(rep.Requests)
+	}
+	sort.Float64s(lats)
+	rep.Latency = LatencySummary{
+		P50: percentile(lats, 0.50),
+		P95: percentile(lats, 0.95),
+		P99: percentile(lats, 0.99),
+		Max: percentile(lats, 1),
+	}
+	rep.Admission = scrapeAdmission(ctx, client, base)
+	return rep, nil
+}
+
+// fire issues one request and classifies the outcome.
+func fire(ctx context.Context, client *http.Client, base string, tr *Trace, ev Event) outcome {
+	sql := ev.SQL
+	if sql == "" {
+		sql = tr.Queries[ev.Query].SQL
+	}
+	body, err := json.Marshal(queryRequest{
+		SQL:        sql,
+		Seed:       ev.Seed,
+		Priority:   ev.Priority,
+		DeadlineMS: ev.DeadlineMS,
+	})
+	if err != nil {
+		return outcome{}
+	}
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{}
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Degraded bool `json:"degraded"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	_ = dec.Decode(&qr)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return outcome{
+		status:    resp.StatusCode,
+		degraded:  qr.Degraded,
+		latencyMS: float64(time.Since(t0)) / float64(time.Millisecond),
+	}
+}
+
+// scrapeAdmission fetches the server's final admission stats; a failed
+// scrape degrades to an absent field rather than failing the run.
+func scrapeAdmission(ctx context.Context, client *http.Client, base string) json.RawMessage {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Admission json.RawMessage `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return nil
+	}
+	return health.Admission
+}
+
+// percentile returns the q-th percentile of sorted (ascending) values
+// using the nearest-rank rule; 0 for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteFile persists the report as indented JSON (BENCH_9.json).
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Print writes a one-screen human summary.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "preset=%s arrival=%s seed=%d\n", r.Preset, r.Arrival, r.Seed)
+	fmt.Fprintf(w, "  requests   %d in %.0f ms (%.1f queries/s)\n", r.Requests, r.DurationMS, r.QPS)
+	fmt.Fprintf(w, "  completed  %d (degraded %d)\n", r.Completed, r.Degraded)
+	fmt.Fprintf(w, "  shed 429   %d (rate %.3f)   timed-out 504 %d   unavailable 503 %d   errors %d\n",
+		r.Shed, r.ShedRate, r.TimedOut, r.Unavailable, r.Errors)
+	fmt.Fprintf(w, "  latency ms p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Latency.Max)
+}

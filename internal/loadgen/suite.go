@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/prng"
+	"repro/internal/server"
+)
+
+// SuiteScenario is one acceptance scenario's outcome: the replay report
+// plus named boolean checks against the admission contract.
+type SuiteScenario struct {
+	Name    string          `json:"name"`
+	Server  server.Options  `json:"-"`
+	Checks  map[string]bool `json:"checks"`
+	Report  *Report         `json:"report"`
+	Comment string          `json:"comment,omitempty"`
+}
+
+// SuiteReport is the BENCH_9.json document: the three hardening
+// scenarios run in-process against deterministic traces.
+type SuiteReport struct {
+	Preset    string          `json:"preset"`
+	Scenarios []SuiteScenario `json:"scenarios"`
+	Pass      bool            `json:"pass"`
+}
+
+// heavySQL is a fixed run long enough (~100 ms on the quickstart
+// engine) that a 16-wide clump overflows 2 slots + 8 queue entries.
+const heavySQL = `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(100000)`
+
+// hungrySQL is an adaptive run whose target is unreachable inside any
+// reasonable deadline, so every execution degrades at the deadline.
+const hungrySQL = `SELECT SUM(val) AS totalLoss FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.0000001 AT 95%, MAX 100000000)`
+
+// RunSuite runs the three hardening acceptance scenarios from the PR 9
+// issue against in-process servers over the quickstart preset:
+//
+//   - steady: a Poisson load that fits the queue must not shed;
+//   - burst: clumps at 8x MaxConcurrent must shed with 429 and keep
+//     every queue wait under the configured -queue-wait;
+//   - degrade: adaptive queries hitting the server deadline must return
+//     partial degraded results, not errors.
+//
+// The returned bool is the conjunction of every scenario check.
+func RunSuite(ctx context.Context, out io.Writer) (*SuiteReport, bool, error) {
+	p, err := LookupPreset("quickstart")
+	if err != nil {
+		return nil, false, err
+	}
+
+	steadyTrace, err := Generate(p, ArrivalPoisson, 60, 900*time.Millisecond, 11)
+	if err != nil {
+		return nil, false, err
+	}
+
+	// Burst trace: three clumps of 16 simultaneous heavy queries against
+	// 2 slots + 8 queue entries. The clump instant itself is the test;
+	// no arrival process needed.
+	burstTrace := &Trace{
+		Preset:  p.Name,
+		Arrival: "clump",
+		Seed:    29,
+		Queries: []QuerySpec{{SQL: heavySQL}},
+	}
+	r := prng.NewSub(29)
+	for clump := 0; clump < 3; clump++ {
+		for i := 0; i < 16; i++ {
+			burstTrace.Events = append(burstTrace.Events, Event{
+				AtMS: float64(clump) * 400, Query: 0, Seed: r.Uint64(),
+			})
+		}
+	}
+
+	degradeTrace := &Trace{
+		Preset:  p.Name,
+		Arrival: "uniform",
+		Seed:    31,
+		Queries: []QuerySpec{{SQL: hungrySQL}},
+	}
+	for i := 0; i < 6; i++ {
+		degradeTrace.Events = append(degradeTrace.Events, Event{
+			AtMS: float64(i) * 50, Query: 0, Seed: r.Uint64(),
+		})
+	}
+
+	const burstQueueWait = 250 * time.Millisecond
+	scenarios := []SuiteScenario{
+		{
+			Name:    "steady",
+			Server:  server.Options{MaxConcurrent: 4, MaxQueue: 64, QueueWait: 10 * time.Second},
+			Comment: "poisson 60 qps of quickstart mix fits 4 slots + queue: nothing sheds",
+		},
+		{
+			Name:    "burst",
+			Server:  server.Options{MaxConcurrent: 2, MaxQueue: 8, QueueWait: burstQueueWait},
+			Comment: "clumps of 16 heavy queries vs 2 slots + 8 queue entries: overflow sheds with 429, queue waits bounded by -queue-wait",
+		},
+		{
+			Name:    "degrade",
+			Server:  server.Options{MaxConcurrent: 2, MaxQueue: 32, QueueWait: 10 * time.Second, DefaultDeadline: 150 * time.Millisecond},
+			Comment: "adaptive queries that cannot converge inside the 150 ms server deadline return partial degraded estimates",
+		},
+	}
+	traces := []*Trace{steadyTrace, burstTrace, degradeTrace}
+
+	suite := &SuiteReport{Preset: p.Name, Pass: true}
+	for i := range scenarios {
+		sc := scenarios[i]
+		engine, err := p.Setup()
+		if err != nil {
+			return nil, false, err
+		}
+		ts := httptest.NewServer(server.New(engine, sc.Server).Handler())
+		rep, err := Run(ctx, traces[i], Options{URL: ts.URL})
+		ts.Close()
+		if err != nil {
+			return nil, false, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		sc.Report = rep
+		sc.Checks = checkScenario(sc.Name, rep, burstQueueWait)
+		for _, ok := range sc.Checks {
+			suite.Pass = suite.Pass && ok
+		}
+		suite.Scenarios = append(suite.Scenarios, sc)
+		if out != nil {
+			fmt.Fprintf(out, "scenario %-8s %s\n", sc.Name, sc.Comment)
+			rep.Print(out)
+			names := make([]string, 0, len(sc.Checks))
+			for name := range sc.Checks {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(out, "  check %-28s %v\n", name, sc.Checks[name])
+			}
+		}
+	}
+	return suite, suite.Pass, nil
+}
+
+func checkScenario(name string, rep *Report, queueWait time.Duration) map[string]bool {
+	checks := map[string]bool{}
+	switch name {
+	case "steady":
+		checks["no_shed"] = rep.Shed == 0 && rep.TimedOut == 0
+		checks["all_completed"] = rep.Completed == rep.Requests && rep.Errors == 0
+	case "burst":
+		checks["sheds_with_429"] = rep.Shed > 0 && rep.ShedRate > 0
+		checks["no_transport_errors"] = rep.Errors == 0
+		// The contract is that nobody waits in queue much past
+		// -queue-wait: the per-class p95 from the server's own stats must
+		// sit under the limit plus scheduling slack.
+		waitP95 := maxClassWaitP95(rep.Admission)
+		limit := float64(queueWait/time.Millisecond) + 200
+		checks["queue_wait_p95_bounded"] = waitP95 >= 0 && waitP95 <= limit
+	case "degrade":
+		checks["degraded_partials"] = rep.Degraded > 0 && rep.Degraded == rep.Completed
+		checks["no_errors"] = rep.Errors == 0 && rep.TimedOut == 0 && rep.Completed == rep.Requests
+	}
+	return checks
+}
+
+// maxClassWaitP95 extracts the worst per-class queue-wait p95 from the
+// scraped admission stats; -1 when the stats are missing.
+func maxClassWaitP95(raw json.RawMessage) float64 {
+	if len(raw) == 0 {
+		return -1
+	}
+	var st admit.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return -1
+	}
+	worst := 0.0
+	for _, c := range st.Classes {
+		if c.WaitP95MS > worst {
+			worst = c.WaitP95MS
+		}
+	}
+	return worst
+}
+
+// WriteFile persists the suite report (BENCH_9.json).
+func (s *SuiteReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

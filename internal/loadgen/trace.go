@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Arrival names an open-loop arrival process. All three are driven by
+// the trace seed through internal/prng, so the same (preset, arrival,
+// rate, duration, seed) tuple always yields the identical trace.
+type Arrival string
+
+const (
+	// ArrivalPoisson draws i.i.d. exponential inter-arrival times at the
+	// nominal rate.
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalUniform spaces arrivals exactly 1/rate apart.
+	ArrivalUniform Arrival = "uniform"
+	// ArrivalBurst is a square-wave Poisson process: alternating 500 ms
+	// phases at 2x and 1/4x the nominal rate, the overload shape the
+	// admission queue exists to absorb.
+	ArrivalBurst Arrival = "burst"
+)
+
+// ParseArrival maps a flag value to an Arrival.
+func ParseArrival(s string) (Arrival, error) {
+	switch Arrival(s) {
+	case ArrivalPoisson, ArrivalUniform, ArrivalBurst:
+		return Arrival(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown arrival process %q (poisson, uniform, burst)", s)
+}
+
+// Event is one request in a trace. Query indexes the trace's mix; an
+// Event with SQL set overrides the mix (used by mcdbr-bench -trace to
+// record literal statements). Seed, Priority and DeadlineMS are sent
+// verbatim in the request body.
+type Event struct {
+	AtMS       float64 `json:"at_ms"`
+	Query      int     `json:"query"`
+	SQL        string  `json:"sql,omitempty"`
+	Seed       uint64  `json:"seed"`
+	Priority   string  `json:"priority,omitempty"`
+	DeadlineMS int     `json:"deadline_ms,omitempty"`
+}
+
+// Trace is a fully materialized request schedule. Replaying the same
+// trace against the same server configuration reproduces the same
+// admission decisions up to goroutine scheduling jitter, which is what
+// makes the load harness usable as a regression test.
+type Trace struct {
+	Preset  string      `json:"preset"`
+	Arrival string      `json:"arrival,omitempty"`
+	RateQPS float64     `json:"rate_qps,omitempty"`
+	Seed    uint64      `json:"seed"`
+	Note    string      `json:"note,omitempty"`
+	Queries []QuerySpec `json:"queries,omitempty"`
+	Events  []Event     `json:"events"`
+}
+
+// Generate builds a deterministic trace from a preset's mix.
+func Generate(p *Preset, arrival Arrival, rateQPS float64, duration time.Duration, seed uint64) (*Trace, error) {
+	return GenerateMix(p.Name, p.Queries, arrival, rateQPS, duration, seed)
+}
+
+// GenerateMix is Generate for an explicit query mix; mcdbr-bench uses
+// it to emit traces for statements that are not part of any preset's
+// default mix.
+func GenerateMix(preset string, queries []QuerySpec, arrival Arrival, rateQPS float64, duration time.Duration, seed uint64) (*Trace, error) {
+	if rateQPS <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", rateQPS)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", duration)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty query mix")
+	}
+	r := prng.NewSub(seed)
+	durMS := float64(duration) / float64(time.Millisecond)
+	times := arrivalTimes(r, arrival, rateQPS, durMS)
+
+	weights := make([]int, len(queries))
+	total := 0
+	for i, q := range queries {
+		w := q.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+
+	tr := &Trace{
+		Preset:  preset,
+		Arrival: string(arrival),
+		RateQPS: rateQPS,
+		Seed:    seed,
+		Queries: queries,
+		Events:  make([]Event, 0, len(times)),
+	}
+	for _, at := range times {
+		qi := pickWeighted(r, weights, total)
+		tr.Events = append(tr.Events, Event{
+			AtMS:       at,
+			Query:      qi,
+			Seed:       r.Uint64(),
+			Priority:   queries[qi].Priority,
+			DeadlineMS: queries[qi].DeadlineMS,
+		})
+	}
+	return tr, nil
+}
+
+// arrivalTimes draws the arrival instants (ms offsets into the run).
+func arrivalTimes(r *prng.Sub, arrival Arrival, rateQPS, durMS float64) []float64 {
+	var times []float64
+	switch arrival {
+	case ArrivalUniform:
+		step := 1000 / rateQPS
+		for t := step; t < durMS; t += step {
+			times = append(times, t)
+		}
+	case ArrivalPoisson:
+		t := 0.0
+		for {
+			t += r.Exp() / rateQPS * 1000
+			if t >= durMS {
+				break
+			}
+			times = append(times, t)
+		}
+	case ArrivalBurst:
+		// Non-homogeneous Poisson by exponential-work consumption: each
+		// arrival needs a unit-rate exponential amount of "work", consumed
+		// at the phase's rate; crossing a phase boundary re-prices the
+		// remainder. Memorylessness makes this exact.
+		const phaseMS = 500.0
+		hi, lo := 2*rateQPS, rateQPS/4
+		t := 0.0
+		for t < durMS {
+			work := r.Exp()
+			for {
+				rt := hi
+				if int(t/phaseMS)%2 == 1 {
+					rt = lo
+				}
+				toBoundary := (math.Floor(t/phaseMS)+1)*phaseMS - t
+				needMS := work / rt * 1000
+				if needMS <= toBoundary {
+					t += needMS
+					break
+				}
+				t += toBoundary
+				work -= toBoundary / 1000 * rt
+			}
+			if t >= durMS {
+				break
+			}
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+func pickWeighted(r *prng.Sub, weights []int, total int) int {
+	k := r.Intn(total)
+	for i, w := range weights {
+		if k < w {
+			return i
+		}
+		k -= w
+	}
+	return len(weights) - 1
+}
+
+// WriteFile persists the trace as indented JSON.
+func (tr *Trace) WriteFile(path string) error {
+	b, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadTrace loads a trace written by WriteFile (or by hand) and
+// validates its event references.
+func ReadTrace(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	for i, ev := range tr.Events {
+		if ev.SQL == "" && (ev.Query < 0 || ev.Query >= len(tr.Queries)) {
+			return nil, fmt.Errorf("loadgen: %s event %d references query %d of %d", path, i, ev.Query, len(tr.Queries))
+		}
+		if i > 0 && ev.AtMS < tr.Events[i-1].AtMS {
+			return nil, fmt.Errorf("loadgen: %s events not sorted by at_ms (event %d)", path, i)
+		}
+	}
+	return &tr, nil
+}

@@ -7,12 +7,19 @@
 //	GET  /tables
 //	GET  /healthz
 //
-// Query execution is bounded by a configurable worker limit (requests
-// beyond it queue until a slot frees or their context is cancelled), SELECT
-// statements are routed through Engine.Prepare so repeated statements hit
-// the LRU plan cache, and Serve shuts down gracefully on context
-// cancellation. Engine-level panic containment means a malformed query
-// returns a JSON error instead of killing the process.
+// Query execution sits behind an admission controller (internal/admit):
+// a bounded priority queue in front of a fixed pool of execution slots.
+// Requests beyond MaxQueue are shed immediately with 429 + Retry-After;
+// queued requests that outlive the queue-wait budget get 429 too; a
+// draining server answers 503. Admitted queries run under per-request
+// resource budgets — a wall-clock deadline, a sample budget, and a memory
+// budget — each capped by server options, and adaptive queries whose
+// deadline fires mid-run return their partial estimate with
+// "degraded": true instead of an error (DESIGN.md §12). SELECT statements
+// are routed through Engine.Prepare so repeated statements hit the LRU
+// plan cache, and Serve shuts down gracefully on context cancellation.
+// Engine-level panic containment means a malformed query returns a JSON
+// error instead of killing the process.
 package server
 
 import (
@@ -23,8 +30,10 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/sqlish"
 	"repro/mcdbr"
 )
@@ -32,9 +41,26 @@ import (
 // Options configures a Server.
 type Options struct {
 	// MaxConcurrent bounds simultaneously executing queries (not
-	// connections); 0 selects runtime.NumCPU(). Excess requests wait for a
-	// slot until their context is cancelled.
+	// connections); 0 selects runtime.NumCPU(). Excess requests queue.
 	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// arrivals are shed with 429. 0 selects 4*MaxConcurrent; negative
+	// disables queueing entirely (every excess request sheds).
+	MaxQueue int
+	// QueueWait bounds how long one request may wait queued before it is
+	// shed with 429 (0 selects 2s). Its ceiling in seconds is the
+	// Retry-After hint on every 429.
+	QueueWait time.Duration
+	// DefaultDeadline is both the default and the upper cap of the
+	// per-request deadline_ms run budget: requests without one run under
+	// DefaultDeadline, and a longer request deadline is clamped to it.
+	// 0 means no deadline unless the request sets one.
+	DefaultDeadline time.Duration
+	// MaxSamplesCap caps per-request sample budgets: a fixed "samples"
+	// override beyond it is rejected outright (fixed-N results are never
+	// silently truncated), while adaptive "max_samples" budgets are
+	// clamped to it. 0 means uncapped.
+	MaxSamplesCap int
 	// Tail supplies default tail-sampling options for DOMAIN queries;
 	// per-request fields override them.
 	Tail mcdbr.TailSampleOptions
@@ -46,7 +72,7 @@ type Options struct {
 type Server struct {
 	engine *mcdbr.Engine
 	opts   Options
-	sem    chan struct{}
+	admit  *admit.Controller
 	mux    *http.ServeMux
 	start  time.Time
 }
@@ -59,9 +85,13 @@ func New(e *mcdbr.Engine, opts Options) *Server {
 	s := &Server{
 		engine: e,
 		opts:   opts,
-		sem:    make(chan struct{}, opts.MaxConcurrent),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		admit: admit.New(admit.Options{
+			MaxConcurrent: opts.MaxConcurrent,
+			MaxQueue:      opts.MaxQueue,
+			QueueWait:     opts.QueueWait,
+		}),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
@@ -74,11 +104,17 @@ func New(e *mcdbr.Engine, opts Options) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // MaxConcurrent reports the query worker limit.
-func (s *Server) MaxConcurrent() int { return cap(s.sem) }
+func (s *Server) MaxConcurrent() int { return s.admit.MaxConcurrent() }
+
+// AdmitStats exposes the admission controller's live counters (the
+// /healthz "admission" object) for in-process harnesses.
+func (s *Server) AdmitStats() admit.Stats { return s.admit.Stats() }
 
 // Serve listens on addr until ctx is cancelled, then shuts down
-// gracefully: in-flight requests get up to grace to finish (grace <= 0
-// selects 10s). It returns nil on clean shutdown.
+// gracefully: the admission queue is drained first — every parked request
+// is rejected promptly with 503 instead of hanging out the grace period —
+// then in-flight requests get up to grace to finish (grace <= 0 selects
+// 10s). It returns nil on clean shutdown.
 func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) error {
 	if grace <= 0 {
 		grace = 10 * time.Second
@@ -90,6 +126,9 @@ func (s *Server) Serve(ctx context.Context, addr string, grace time.Duration) er
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Queued requests can only end in 503 once shutdown begins; fail
+		// them now so their clients can retry elsewhere immediately.
+		s.admit.Drain()
 		//mcdbr:ctxpropagate ok(the grace period must outlive the just-cancelled serve ctx; deriving from it would skip draining)
 		shCtx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
@@ -128,6 +167,22 @@ type QueryRequest struct {
 	TargetRelError float64 `json:"target_rel_error,omitempty"`
 	Confidence     float64 `json:"confidence,omitempty"`
 	MaxSamples     int     `json:"max_samples,omitempty"`
+	// Priority selects the admission class: "interactive", "normal"
+	// (default, also ""), or "batch". Higher classes are granted slots
+	// first; within a class the queue is FIFO.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMS caps this query's wall-clock run time in milliseconds,
+	// clamped to the server's -default-deadline. An adaptive query whose
+	// deadline fires mid-run returns its partial estimate with
+	// "degraded": true; a fixed-N query fails with 504.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// MaxBytes tightens the run's memory budget (mcdbr.RunOptions.MaxBytes).
+	// Negative values are rejected: a request cannot disable the server's
+	// budget.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// NoDegrade opts an adaptive query out of deadline degradation: the
+	// deadline becomes a hard 504 like fixed-N.
+	NoDegrade bool `json:"no_degrade,omitempty"`
 }
 
 // DistSummary describes a result distribution without shipping every
@@ -205,6 +260,7 @@ type AdaptiveSummary struct {
 	SamplesUsed    int                  `json:"samples_used"`
 	Rounds         int                  `json:"rounds"`
 	Converged      bool                 `json:"converged"`
+	Degraded       bool                 `json:"degraded,omitempty"`
 	CIs            []AggregateCISummary `json:"cis"`
 }
 
@@ -230,9 +286,13 @@ type QueryResponse struct {
 	GroupDists map[string]*DistSummary `json:"group_dists,omitempty"`
 	GroupTails map[string]*TailSummary `json:"group_tails,omitempty"`
 	Adaptive   *AdaptiveSummary        `json:"adaptive,omitempty"`
-	Explain    string                  `json:"explain,omitempty"`
-	PlanCached bool                    `json:"plan_cached"`
-	ElapsedMS  float64                 `json:"elapsed_ms"`
+	// Degraded marks a partial result: the query's deadline fired mid-run
+	// and Adaptive describes the estimate accumulated by then (still
+	// bit-identical to a fixed run of that count). See DESIGN.md §12.
+	Degraded   bool    `json:"degraded,omitempty"`
+	Explain    string  `json:"explain,omitempty"`
+	PlanCached bool    `json:"plan_cached"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
 }
 
 // ErrorResponse is the body of any non-2xx response.
@@ -250,18 +310,71 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
-// acquire takes a query-execution slot, waiting until one frees or the
-// request is cancelled.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("server: cancelled while waiting for a query slot (limit %d): %w", cap(s.sem), ctx.Err())
+// admitError maps an admission failure to its HTTP status: shed and
+// queue-wait-exceeded requests get 429 with a Retry-After hint, a
+// draining server answers 503, and a client that disconnected while
+// queued gets 503 (it is no longer listening anyway).
+func (s *Server) admitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admit.ErrQueueFull) || errors.Is(err, admit.ErrQueueWait):
+		w.Header().Set("Retry-After", strconv.Itoa(s.admit.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		writeError(w, http.StatusServiceUnavailable, err)
 	}
 }
 
-func (s *Server) release() { <-s.sem }
+// validateBudgets rejects per-request budgets the server caps forbid.
+// Fixed sample overrides beyond MaxSamplesCap are an error, not a clamp:
+// a fixed-N result silently truncated to the cap would claim to be a
+// MONTECARLO(n) run it is not.
+func (s *Server) validateBudgets(req QueryRequest) error {
+	if req.DeadlineMS < 0 {
+		return fmt.Errorf("server: deadline_ms must be >= 0")
+	}
+	if req.MaxBytes < 0 {
+		return fmt.Errorf("server: max_bytes must be >= 0; the server memory budget cannot be disabled per request")
+	}
+	if cap := s.opts.MaxSamplesCap; cap > 0 && req.Samples > cap {
+		return fmt.Errorf("server: samples %d exceeds the server cap %d (fixed-N runs are never truncated; lower samples or use the adaptive max_samples budget)", req.Samples, cap)
+	}
+	return nil
+}
+
+// queryContext derives the run context: the request's deadline clamped to
+// the server's DefaultDeadline, or DefaultDeadline alone when the request
+// sets none. With neither, the run is bounded only by the client staying
+// connected.
+func (s *Server) queryContext(parent context.Context, req QueryRequest) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		if rd := time.Duration(req.DeadlineMS) * time.Millisecond; d <= 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// errStatus maps an execution error to its HTTP status. Deadline-exceeded
+// runs — a fixed-N query out of time, or an adaptive one that opted out
+// of degradation — are the upstream's timeout, 504.
+func errStatus(err error) int {
+	var pe *mcdbr.PanicError
+	switch {
+	case errors.As(err, &pe):
+		// A recovered engine panic is a server fault, not a bad request.
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
@@ -286,31 +399,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: missing \"sql\""))
 		return
 	}
+	class, err := admit.ParseClass(req.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.validateBudgets(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
-		s.handleQueryStream(w, r, req)
+		s.handleQueryStream(w, r, req, class)
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+	if err := s.admit.Acquire(r.Context(), class); err != nil {
+		s.admitError(w, err)
 		return
 	}
-	defer s.release()
+	defer s.admit.Release()
+	ctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
 
 	start := time.Now()
-	res, cached, err := s.execute(r.Context(), req, nil)
+	res, cached, err := s.execute(ctx, req, nil)
 	if err != nil {
-		// A recovered engine panic is a server fault, not a bad request.
-		status := http.StatusBadRequest
-		var pe *mcdbr.PanicError
-		if errors.As(err, &pe) {
-			status = http.StatusInternalServerError
-		}
-		writeError(w, status, err)
+		writeError(w, errStatus(err), err)
 		return
 	}
 	resp := buildResponse(res)
 	resp.PlanCached = cached
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if resp.Degraded {
+		s.admit.NoteDegraded()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -319,7 +440,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // the exact QueryResponse of the non-streaming endpoint. The request
 // context is the run's cancellation: a disconnected client aborts the
 // query at its next unit of work.
-func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req QueryRequest) {
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req QueryRequest, class admit.Class) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: response writer does not support streaming"))
@@ -334,11 +455,13 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req Q
 		writeError(w, http.StatusBadRequest, fmt.Errorf("server: stream=1 needs a SELECT statement"))
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+	if err := s.admit.Acquire(r.Context(), class); err != nil {
+		s.admitError(w, err)
 		return
 	}
-	defer s.release()
+	defer s.admit.Release()
+	ctx, cancel := s.queryContext(r.Context(), req)
+	defer cancel()
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -354,7 +477,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req Q
 			CIs:         summarizeCIs(u.CIs),
 		})
 	}
-	res, cached, err := s.execute(r.Context(), req, progress)
+	res, cached, err := s.execute(ctx, req, progress)
 	if err != nil {
 		// Headers are sent; the error travels as an event.
 		writeSSE(w, fl, "error", ErrorResponse{Error: err.Error()})
@@ -363,6 +486,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req Q
 	resp := buildResponse(res)
 	resp.PlanCached = cached
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if resp.Degraded {
+		s.admit.NoteDegraded()
+	}
 	writeSSE(w, fl, "result", resp)
 }
 
@@ -401,15 +527,25 @@ func (s *Server) execute(ctx context.Context, req QueryRequest, progress func(mc
 		if err != nil {
 			return nil, false, err
 		}
+		// The adaptive sample budget is clamped to the server cap (unlike
+		// fixed "samples", which validateBudgets rejects outright): an
+		// adaptive run stopped early at the cap is still a correct partial
+		// estimate.
+		maxSamples := req.MaxSamples
+		if cap := s.opts.MaxSamplesCap; cap > 0 && (maxSamples == 0 || maxSamples > cap) {
+			maxSamples = cap
+		}
 		res, err := pq.RunCtx(ctx, mcdbr.RunOptions{
-			Seed:           req.Seed,
-			Samples:        req.Samples,
-			Workers:        req.Workers,
-			Tail:           tail,
-			TargetRelError: req.TargetRelError,
-			Confidence:     req.Confidence,
-			MaxSamples:     req.MaxSamples,
-			Progress:       progress,
+			Seed:              req.Seed,
+			Samples:           req.Samples,
+			Workers:           req.Workers,
+			Tail:              tail,
+			MaxBytes:          req.MaxBytes,
+			TargetRelError:    req.TargetRelError,
+			Confidence:        req.Confidence,
+			MaxSamples:        maxSamples,
+			DegradeOnDeadline: !req.NoDegrade,
+			Progress:          progress,
 		})
 		if err != nil {
 			return nil, false, err
@@ -494,6 +630,7 @@ func summarizeAdaptive(rep *mcdbr.AdaptiveReport) *AdaptiveSummary {
 		SamplesUsed:    rep.SamplesUsed,
 		Rounds:         rep.Rounds,
 		Converged:      rep.Converged,
+		Degraded:       rep.Degraded,
 		CIs:            summarizeCIs(rep.CIs),
 	}
 }
@@ -550,6 +687,7 @@ func buildResponse(res *mcdbr.ExecResult) *QueryResponse {
 	}
 	if res.Adaptive != nil {
 		resp.Adaptive = summarizeAdaptive(res.Adaptive)
+		resp.Degraded = res.Adaptive.Degraded
 	}
 	return resp
 }
@@ -625,22 +763,28 @@ type HealthResponse struct {
 	PrefixCacheHits   uint64 `json:"prefix_cache_hits"`
 	PrefixCacheMisses uint64 `json:"prefix_cache_misses"`
 	PrefixCacheSize   int    `json:"prefix_cache_size"`
+	// Admission is the admission controller's live view: queue depth,
+	// in-flight count, shed/degraded/completed counters, and per-class
+	// queue-wait p95s.
+	Admission admit.Stats `json:"admission"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.engine.PlanCacheStats()
 	phits, pmisses, psize := s.engine.PrefixCacheStats()
+	st := s.admit.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:            "ok",
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 		Goroutines:        runtime.NumGoroutine(),
-		MaxConcurrent:     cap(s.sem),
-		ActiveQueries:     len(s.sem),
+		MaxConcurrent:     st.MaxConcurrent,
+		ActiveQueries:     st.InFlight,
 		PlanCacheHits:     hits,
 		PlanCacheMisses:   misses,
 		PlanCacheSize:     size,
 		PrefixCacheHits:   phits,
 		PrefixCacheMisses: pmisses,
 		PrefixCacheSize:   psize,
+		Admission:         st,
 	})
 }

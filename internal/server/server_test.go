@@ -77,6 +77,12 @@ func TestServerEndpoints(t *testing.T) {
 	if health.MaxConcurrent != 4 {
 		t.Fatalf("max_concurrent = %d", health.MaxConcurrent)
 	}
+	if health.Admission.MaxConcurrent != 4 || health.Admission.MaxQueue != 16 {
+		t.Fatalf("admission sizing = %+v", health.Admission)
+	}
+	if len(health.Admission.Classes) != 3 {
+		t.Fatalf("admission classes = %+v", health.Admission.Classes)
+	}
 
 	// tables
 	r2, err := http.Get(ts.URL + "/tables")
@@ -173,6 +179,41 @@ func TestServerEndpoints(t *testing.T) {
 	r3.Body.Close()
 	if r3.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /query = %d", r3.StatusCode)
+	}
+
+	// healthz again: the admission counters saw the queries above. Every
+	// served query was admitted and completed (nothing queued or shed at
+	// this concurrency), so the live counters must balance.
+	r4, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health = HealthResponse{}
+	if err := json.NewDecoder(r4.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	ad := health.Admission
+	if ad.Admitted < 4 || ad.Completed != ad.Admitted {
+		t.Fatalf("admission counters = %+v", ad)
+	}
+	if ad.InFlight != 0 || ad.QueueDepth != 0 || ad.Shed != 0 || ad.Degraded != 0 || ad.Draining {
+		t.Fatalf("admission state = %+v", ad)
+	}
+	var normal bool
+	for _, cs := range ad.Classes {
+		if cs.Class == "normal" {
+			normal = true
+			if cs.Admitted != ad.Admitted {
+				t.Fatalf("normal class admitted %d of %d", cs.Admitted, ad.Admitted)
+			}
+			if cs.WaitP95MS < 0 {
+				t.Fatalf("wait p95 = %g", cs.WaitP95MS)
+			}
+		}
+	}
+	if !normal {
+		t.Fatalf("no normal class in %+v", ad.Classes)
 	}
 }
 

@@ -14,6 +14,7 @@ package mcdbr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/gibbs"
@@ -67,6 +68,11 @@ type AdaptiveReport struct {
 	// Converged reports whether every estimate met the target before
 	// MaxSamples.
 	Converged bool
+	// Degraded reports that the run's deadline fired before the rule was
+	// satisfied and the report describes the partial prefix accumulated by
+	// then (RunOptions.DegradeOnDeadline). For grouped tails a degraded
+	// report may cover only the groups whose chains completed in time.
+	Degraded bool
 	// CIs holds the final interval per (group, aggregate) pair, groups in
 	// key order, aggregates in select-list order.
 	CIs []AggregateCI
@@ -101,6 +107,9 @@ type runParams struct {
 	// stop, when non-nil, is the resolved adaptive stopping rule (RunOptions
 	// overrides already folded in). nil falls back to the statement's rule.
 	stop *gibbs.StopRule
+	// degrade opts adaptive runs into graceful deadline degradation
+	// (RunOptions.DegradeOnDeadline); fixed-N runs ignore it.
+	degrade bool
 	// progress, when non-nil, selects progressive execution: the round
 	// driver runs even for fixed-N statements (with convergence disabled)
 	// and invokes the callback after every round.
@@ -170,6 +179,7 @@ func adaptiveReport(c *compiled, res *gibbs.AdaptiveResult, rule gibbs.StopRule)
 		SamplesUsed:    res.SamplesUsed,
 		Rounds:         res.Rounds,
 		Converged:      res.Converged,
+		Degraded:       res.Degraded,
 		CIs:            snapshotCIs(c.agg.AggColNames(), res.Runs.Keys, res.CIs),
 	}
 }
@@ -244,18 +254,26 @@ func (e *Engine) runAdaptiveSelect(c *compiled, s *sqlish.SelectStmt, rp runPara
 // treats as equally weighted) is relatively tighter than the target. Each
 // attempt is a complete fixed-length run, so the returned TailResult is
 // bit-identical to MONTECARLO(L) DOMAIN execution at the final L. It
-// returns the tail, its final interval, and the attempt count.
-func (e *Engine) runTailAdaptive(ctx context.Context, c *compiled, gq gibbs.Query, p float64, rule gibbs.StopRule, opts TailSampleOptions, seed uint64, maxBytes int64, group string, progress func(ProgressUpdate)) (*TailResult, AggregateCI, int, error) {
+// returns the tail, its final interval, the attempt count, and whether the
+// result is a deadline-degraded earlier attempt (rule.DegradeOnDeadline:
+// when a longer chain's deadline fires, the last completed attempt — still
+// a full fixed-length run — is returned instead of the error).
+func (e *Engine) runTailAdaptive(ctx context.Context, c *compiled, gq gibbs.Query, p float64, rule gibbs.StopRule, opts TailSampleOptions, seed uint64, maxBytes int64, group string, progress func(ProgressUpdate)) (*TailResult, AggregateCI, int, bool, error) {
 	rule = rule.Normalized()
 	L := rule.FirstRound
 	if L > rule.MaxSamples {
 		L = rule.MaxSamples
 	}
 	aggName := c.agg.AggColNames()[0]
+	var lastTR *TailResult
+	var lastCI AggregateCI
 	for attempt := 1; ; attempt++ {
 		tr, err := e.runTailWith(ctx, c, gq, p, L, opts, seed, maxBytes)
 		if err != nil {
-			return nil, AggregateCI{}, attempt, err
+			if rule.DegradeOnDeadline && lastTR != nil && errors.Is(err, context.DeadlineExceeded) {
+				return lastTR, lastCI, attempt, true, nil
+			}
+			return nil, AggregateCI{}, attempt, false, err
 		}
 		var w stats.Welford
 		w.AddAll(tr.Samples)
@@ -275,8 +293,9 @@ func (e *Engine) runTailAdaptive(ctx context.Context, c *compiled, gq gibbs.Quer
 			progress(ProgressUpdate{Round: attempt, SamplesUsed: L, Converged: ci.Converged, CIs: []AggregateCI{ci}})
 		}
 		if ci.Converged || L >= rule.MaxSamples {
-			return tr, ci, attempt, nil
+			return tr, ci, attempt, false, nil
 		}
+		lastTR, lastCI = tr, ci
 		L *= 2
 		if L > rule.MaxSamples {
 			L = rule.MaxSamples
@@ -323,8 +342,16 @@ func (e *Engine) runGroupedTailAdaptive(ctx context.Context, c *compiled, p floa
 		gq.LowerTail = opts.Lower
 		gq.GroupBy = c.agg.GroupBy
 		gq.GroupKey = key
-		tr, ci, attempts, err := e.runTailAdaptive(ctx, c, gq, p, rule, opts, seed, maxBytes, formatGroupKey(key), gp)
+		tr, ci, attempts, degraded, err := e.runTailAdaptive(ctx, c, gq, p, rule, opts, seed, maxBytes, formatGroupKey(key), gp)
 		if err != nil {
+			// Deadline degradation for grouped tails: if at least one group's
+			// chain completed, report those groups partially instead of
+			// failing the whole query.
+			if rule.DegradeOnDeadline && len(out.Groups) > 0 && errors.Is(err, context.DeadlineExceeded) {
+				report.Degraded = true
+				report.Converged = false
+				break
+			}
 			return nil, nil, fmt.Errorf("mcdbr: group %s: %w", formatGroupKey(key), err)
 		}
 		out.Groups = append(out.Groups, GroupTail{Key: key, Tail: tr})
@@ -333,6 +360,13 @@ func (e *Engine) runGroupedTailAdaptive(ctx context.Context, c *compiled, p floa
 		report.CIs = append(report.CIs, ci)
 		if !ci.Converged {
 			report.Converged = false
+		}
+		if degraded {
+			// The deadline already fired mid-chain; later groups would only
+			// burn their first attempt against an expired context.
+			report.Degraded = true
+			report.Converged = false
+			break
 		}
 	}
 	return out, report, nil

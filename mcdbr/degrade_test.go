@@ -1,0 +1,154 @@
+package mcdbr
+
+// Deadline degradation at the public API (DESIGN.md §12): an adaptive run
+// whose deadline fires mid-run returns the partial prefix — bit-identical
+// to a fixed run of the same count — with AdaptiveReport.Degraded, while
+// fixed-N runs keep their strict contract and error. The deadline is
+// injected deterministically by cancelling with cause DeadlineExceeded
+// from the Progress callback, so every assertion is exact.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunCtxDegradeOnDeadline(t *testing.T) {
+	e := lossEngine(t, 20, 7)
+	p, err := e.Prepare(`SELECT SUM(val) FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.000001 AT 95%, MAX 8192)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	res, err := p.RunCtx(ctx, RunOptions{
+		DegradeOnDeadline: true,
+		Progress: func(u ProgressUpdate) {
+			if u.Round == 2 {
+				cancel(context.DeadlineExceeded)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("degradable deadline returned error: %v", err)
+	}
+	rep := res.Adaptive
+	if rep == nil || !rep.Degraded || rep.Converged {
+		t.Fatalf("report = %+v, want degraded non-converged", rep)
+	}
+	// Rounds are 32 then 64 more: the partial prefix is the 96-replicate run.
+	if rep.SamplesUsed != 96 {
+		t.Fatalf("SamplesUsed = %d, want 96 (two completed rounds)", rep.SamplesUsed)
+	}
+	if len(rep.CIs) != 1 || rep.CIs[0].HalfWidth <= 0 {
+		t.Fatalf("degraded report missing CI: %+v", rep.CIs)
+	}
+	// Bit-identity of the partial: same engine seed, fixed MONTECARLO(96).
+	eF := lossEngine(t, 20, 7)
+	fixed, err := eF.Exec(`SELECT SUM(val) FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(96)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dist.Samples) != len(fixed.Dist.Samples) {
+		t.Fatalf("partial has %d samples, fixed 96-run has %d", len(res.Dist.Samples), len(fixed.Dist.Samples))
+	}
+	for i := range fixed.Dist.Samples {
+		if res.Dist.Samples[i] != fixed.Dist.Samples[i] {
+			t.Fatalf("sample %d: partial %v != fixed %v", i, res.Dist.Samples[i], fixed.Dist.Samples[i])
+		}
+	}
+}
+
+func TestRunCtxDeadlineStrictWithoutOptIn(t *testing.T) {
+	e := lossEngine(t, 20, 7)
+	p, err := e.Prepare(`SELECT SUM(val) FROM Losses
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.000001 AT 95%, MAX 8192)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	_, err = p.RunCtx(ctx, RunOptions{
+		Progress: func(u ProgressUpdate) {
+			if u.Round == 2 {
+				cancel(context.DeadlineExceeded)
+			}
+		},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded without the opt-in", err)
+	}
+}
+
+// TestRunCtxFixedNNeverDegrades: the fixed-N contract is strict even when
+// the caller asks for degradation — a truncated fixed-N result would
+// silently break bit-identity with MONTECARLO(n).
+func TestRunCtxFixedNNeverDegrades(t *testing.T) {
+	e := lossEngine(t, 20, 7)
+	p, err := e.Prepare(`SELECT SUM(val) FROM Losses WITH RESULTDISTRIBUTION MONTECARLO(2000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(context.DeadlineExceeded)
+	if _, err := p.RunCtx(ctx, RunOptions{DegradeOnDeadline: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("plain fixed-N err = %v, want DeadlineExceeded", err)
+	}
+	// Progressive fixed-N (Progress set, no rule) is fixed-N too: after the
+	// first streamed round the deadline must still be an error.
+	ctx2, cancel2 := context.WithCancelCause(context.Background())
+	_, err = p.RunCtx(ctx2, RunOptions{
+		DegradeOnDeadline: true,
+		Progress: func(u ProgressUpdate) {
+			if u.Round == 2 {
+				cancel2(context.DeadlineExceeded)
+			}
+		},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("progressive fixed-N err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestGroupedTailDegradePartialGroups: a grouped DOMAIN query whose
+// deadline fires while a later group's chain is still doubling reports the
+// completed groups with Degraded set instead of failing outright.
+func TestGroupedTailDegradePartialGroups(t *testing.T) {
+	e := lossEngine(t, 4, 9)
+	p, err := e.Prepare(`SELECT SUM(val) AS s FROM Losses GROUP BY cid
+WITH RESULTDISTRIBUTION MONTECARLO(UNTIL ERROR < 0.0000001, MAX 128)
+DOMAIN s >= QUANTILE(0.8)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	firstGroup := ""
+	res, err := p.RunCtx(ctx, RunOptions{
+		DegradeOnDeadline: true,
+		Progress: func(u ProgressUpdate) {
+			if len(u.CIs) == 0 {
+				return
+			}
+			if firstGroup == "" {
+				firstGroup = u.CIs[0].Group
+			} else if u.CIs[0].Group != firstGroup {
+				// The run has moved on to a later group's chain: the next
+				// attempt hits the expired deadline.
+				cancel(context.DeadlineExceeded)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("degradable grouped tail returned error: %v", err)
+	}
+	rep := res.Adaptive
+	if rep == nil || !rep.Degraded {
+		t.Fatalf("report = %+v, want Degraded", rep)
+	}
+	got := len(res.GroupedTail.Groups)
+	if got == 0 || got >= 4 {
+		t.Fatalf("degraded run kept %d of 4 groups, want a proper nonempty subset", got)
+	}
+	if len(rep.CIs) != got {
+		t.Fatalf("report has %d CIs for %d groups", len(rep.CIs), got)
+	}
+}

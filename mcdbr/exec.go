@@ -549,6 +549,12 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 	grouped := c.grouped()
 	multi := len(c.agg.Aggs) > 1
 	rule := rp.stopRule(c)
+	if rule != nil {
+		// Deadline degradation is an adaptive-only contract: fixed-N runs
+		// (rule == nil, including the progressive fixed-N streaming shape,
+		// which never sets rule) stay strict and error on deadline.
+		rule.DegradeOnDeadline = rp.degrade
+	}
 	if s.Domain != nil {
 		p, err := domainTailProbability(s)
 		if err != nil {
@@ -566,7 +572,7 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 			gq := c.gq
 			gq.LowerTail = opts.Lower
 			norm := rule.Normalized()
-			tr, ci, attempts, err := e.runTailAdaptive(rp.ctx, c, gq, p, norm, opts, rp.seed, rp.maxBytes, "", rp.progress)
+			tr, ci, attempts, degraded, err := e.runTailAdaptive(rp.ctx, c, gq, p, norm, opts, rp.seed, rp.maxBytes, "", rp.progress)
 			if err != nil {
 				return nil, err
 			}
@@ -578,6 +584,7 @@ func (e *Engine) runSelectCompiled(c *compiled, s *sqlish.SelectStmt, opts TailS
 				SamplesUsed:    len(tr.Samples),
 				Rounds:         attempts,
 				Converged:      ci.Converged,
+				Degraded:       degraded,
 				CIs:            []AggregateCI{ci},
 			}
 			return &ExecResult{Kind: ExecTail, Tail: tr, Adaptive: report}, nil

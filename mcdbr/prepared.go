@@ -55,6 +55,14 @@ type RunOptions struct {
 	// MaxSamples caps an adaptive run's total replicates (0 keeps the
 	// statement's value or the 65536 default). Ignored for fixed-N runs.
 	MaxSamples int
+	// DegradeOnDeadline selects graceful degradation for adaptive runs:
+	// when ctx's deadline fires after at least one completed round (or tail
+	// attempt), RunCtx returns the partial estimate accumulated so far —
+	// bit-identical to a fixed run of that count — with
+	// AdaptiveReport.Degraded set, instead of context.DeadlineExceeded.
+	// Fixed-N runs ignore it and keep their strict contract: a deadline is
+	// always an error, never a silently truncated result.
+	DegradeOnDeadline bool
 	// Progress, when non-nil, streams progressive partial results: it is
 	// invoked after every adaptive round (or tail-chain attempt) with the
 	// cumulative estimates and CI half-widths, from the run's goroutine.
@@ -212,6 +220,7 @@ func (p *PreparedQuery) RunCtx(ctx context.Context, opts RunOptions) (res *ExecR
 		n:        n,
 		maxBytes: maxBytes,
 		stop:     stop,
+		degrade:  opts.DegradeOnDeadline,
 		progress: opts.Progress,
 	})
 }

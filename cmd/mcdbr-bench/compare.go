@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// compareBench is the CI regression gate over two -benchjson artifacts.
+// Every baseline benchmark must appear in the new artifact; for each,
+// ns/op may regress by at most the tolerance fraction, allocs/op may
+// not grow at all (allocation counts are deterministic, so any growth
+// is a real code change, not noise), and — when minSpeedup > 0 — a
+// reported "speedup" metric must stay at or above it. Benchmarks only
+// in the new artifact pass through unchecked: adding coverage is not a
+// regression.
+func compareBench(oldPath, newPath string, tolerance, minSpeedup float64, w io.Writer) error {
+	oldRes, err := loadBenchJSON(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := loadBenchJSON(newPath)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]benchResult, len(newRes))
+	for _, r := range newRes {
+		byName[r.Name] = r
+	}
+	var failures []string
+	fail := func(format string, args ...interface{}) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	for _, old := range oldRes {
+		cur, ok := byName[old.Name]
+		if !ok {
+			fail("%s: present in %s but missing from %s", old.Name, oldPath, newPath)
+			continue
+		}
+		status := "ok"
+		if old.NsPerOp > 0 && cur.NsPerOp > old.NsPerOp*(1+tolerance) {
+			fail("%s: ns/op regressed %.0f -> %.0f (+%.1f%%, tolerance %.1f%%)",
+				old.Name, old.NsPerOp, cur.NsPerOp,
+				100*(cur.NsPerOp/old.NsPerOp-1), 100*tolerance)
+			status = "FAIL"
+		}
+		if oldAllocs, ok := old.Metrics["allocs/op"]; ok {
+			curAllocs, ok := cur.Metrics["allocs/op"]
+			if !ok {
+				fail("%s: baseline reports allocs/op but the new artifact does not (ReportAllocs dropped?)", old.Name)
+				status = "FAIL"
+			} else if curAllocs > oldAllocs {
+				fail("%s: allocs/op grew %.0f -> %.0f", old.Name, oldAllocs, curAllocs)
+				status = "FAIL"
+			}
+		}
+		if minSpeedup > 0 {
+			if _, ok := old.Metrics["speedup"]; ok {
+				if sp, ok := cur.Metrics["speedup"]; !ok || sp < minSpeedup {
+					fail("%s: speedup %.2fx below required %.2fx", old.Name, sp, minSpeedup)
+					status = "FAIL"
+				}
+			}
+		}
+		fmt.Fprintf(w, "%-4s %s: %.0f -> %.0f ns/op\n", status, old.Name, old.NsPerOp, cur.NsPerOp)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "all %d baseline benchmarks within tolerance\n", len(oldRes))
+	return nil
+}
+
+// loadBenchJSON reads one -benchjson artifact.
+func loadBenchJSON(path string) ([]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []benchResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}

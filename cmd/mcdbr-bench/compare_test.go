@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeArtifact marshals results to a temp -benchjson file.
+func writeArtifact(t *testing.T, name string, res []benchResult) string {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBench(t *testing.T) {
+	base := []benchResult{
+		{Name: "BenchmarkA", Iterations: 10, NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 4}},
+		{Name: "BenchmarkB", Iterations: 10, NsPerOp: 2000, Metrics: map[string]float64{"speedup": 2.5}},
+	}
+	old := writeArtifact(t, "old.json", base)
+
+	cases := []struct {
+		name       string
+		next       []benchResult
+		tolerance  float64
+		minSpeedup float64
+		wantErr    string
+	}{
+		{
+			name: "within tolerance",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1100, Metrics: map[string]float64{"allocs/op": 4}},
+				{Name: "BenchmarkB", NsPerOp: 2100, Metrics: map[string]float64{"speedup": 2.4}},
+			},
+			tolerance: 0.15, minSpeedup: 2.0,
+		},
+		{
+			name: "ns/op regression",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1300, Metrics: map[string]float64{"allocs/op": 4}},
+				{Name: "BenchmarkB", NsPerOp: 2000, Metrics: map[string]float64{"speedup": 2.5}},
+			},
+			tolerance: 0.15,
+			wantErr:   "ns/op regressed",
+		},
+		{
+			name: "allocs growth fails even inside tolerance",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 5}},
+				{Name: "BenchmarkB", NsPerOp: 2000, Metrics: map[string]float64{"speedup": 2.5}},
+			},
+			tolerance: 0.15,
+			wantErr:   "allocs/op grew",
+		},
+		{
+			name: "missing benchmark",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 4}},
+			},
+			tolerance: 0.15,
+			wantErr:   "missing from",
+		},
+		{
+			name: "speedup below floor",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 4}},
+				{Name: "BenchmarkB", NsPerOp: 2000, Metrics: map[string]float64{"speedup": 1.2}},
+			},
+			tolerance: 0.15, minSpeedup: 1.5,
+			wantErr: "speedup",
+		},
+		{
+			name: "speedup ignored when gate is off",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 4}},
+				{Name: "BenchmarkB", NsPerOp: 2000, Metrics: map[string]float64{"speedup": 1.2}},
+			},
+			tolerance: 0.15,
+		},
+		{
+			name: "extra new benchmarks pass through",
+			next: []benchResult{
+				{Name: "BenchmarkA", NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 4}},
+				{Name: "BenchmarkB", NsPerOp: 2000, Metrics: map[string]float64{"speedup": 2.5}},
+				{Name: "BenchmarkC", NsPerOp: 99999},
+			},
+			tolerance: 0.15, minSpeedup: 2.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			next := writeArtifact(t, "new.json", tc.next)
+			err := compareBench(old, next, tc.tolerance, tc.minSpeedup, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}

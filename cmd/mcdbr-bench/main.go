@@ -18,6 +18,18 @@
 //
 //	go test -bench 'Prepared|Serve' -benchtime=1x -run '^$' . | mcdbr-bench -benchjson
 //
+// -compare gates a new benchmark artifact against a committed baseline:
+//
+//	mcdbr-bench -compare BENCH_10.json new.json
+//
+// Every benchmark in the baseline must be present in the new artifact,
+// must not regress ns/op by more than -tolerance (fractional, default
+// 0.15), and must not grow allocs/op at all. With -min-speedup > 0,
+// benchmarks reporting a "speedup" metric must stay at or above it —
+// the portable check CI leans on, since ns/op varies across runners
+// while a same-process speedup ratio and exact allocation counts do
+// not.
+//
 // -trace out.json emits an mcdbr-loadgen replayable trace of the
 // benchmark's TPC-H-like statements (fixed at -fixed-n plus the
 // -target-err adaptive variant), linking the experiment harness to the
@@ -55,6 +67,9 @@ func main() {
 	fixedN := flag.Int("fixed-n", 16384, "E6 fixed replicate budget the adaptive run is compared against (also its cap)")
 	ecdfOut := flag.String("ecdf", "", "write Figure 5 ECDF series to this CSV file (E2)")
 	benchJSON := flag.Bool("benchjson", false, "read `go test -bench` output from stdin and write JSON results to stdout")
+	compare := flag.Bool("compare", false, "compare two -benchjson artifacts (old new) and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "-compare: allowed fractional ns/op regression")
+	minSpeedup := flag.Float64("min-speedup", 0, "-compare: required value of the speedup metric where reported (0 = off)")
 	traceOut := flag.String("trace", "", "write an mcdbr-loadgen replayable trace of the benchmark statements to this file and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -62,6 +77,17 @@ func main() {
 
 	if *benchJSON {
 		if err := emitBenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "mcdbr-bench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBench(flag.Arg(0), flag.Arg(1), *tolerance, *minSpeedup, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "mcdbr-bench:", err)
 			os.Exit(1)
 		}

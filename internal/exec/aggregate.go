@@ -282,6 +282,11 @@ type aggGroup struct {
 	key  types.Row
 	base []AggState
 	rand []*bundle.Tuple
+	// outRow is the group's HAVING scratch row (group columns followed by
+	// aggregate columns), allocated once with the key prefix prefilled so
+	// the per-version loop only overwrites the aggregate slots — keeping
+	// EvalVersion at 0 allocs/version. Nil without a HAVING clause.
+	outRow types.Row
 }
 
 // AggEval is the single-pass grouped-aggregation evaluator over one plan
@@ -298,8 +303,16 @@ type AggEval struct {
 	having   *expr.Compiled
 	groups   []aggGroup
 	buf      types.Row  // tuple evaluation scratch
-	outRow   types.Row  // having-evaluation scratch (group cols + agg cols)
 	states   []AggState // per-version scratch, reset per group
+
+	// Window-major evaluation (DESIGN.md §13): the child schema kernels
+	// are lowered against, whether the run's workspace allows kernels, and
+	// the lazily built per-run kernel/scratch state. winBad latches a
+	// failed kernel lowering so EvalWindow doesn't retry it per call.
+	childSchema *types.Schema
+	kernelsOn   bool
+	win         *winEval
+	winBad      bool
 }
 
 // groupKeySlots collects the schema slots the grouping expressions read;
@@ -331,7 +344,8 @@ func groupKeySlots(agg *Aggregate, schema *types.Schema) ([]int, error) {
 // over an empty tuple stream.
 func (a *Aggregate) OpenEval(ws *Workspace, final expr.Expr) (*AggEval, error) {
 	schema := a.Child.Schema()
-	ev := &AggEval{agg: a, aggExprs: make([]*expr.Compiled, len(a.Aggs))}
+	ev := &AggEval{agg: a, aggExprs: make([]*expr.Compiled, len(a.Aggs)),
+		childSchema: schema, kernelsOn: !ws.DisableKernels}
 	var err error
 	if final != nil {
 		if ev.final, err = expr.Compile(final, schema); err != nil {
@@ -361,7 +375,6 @@ func (a *Aggregate) OpenEval(ws *Workspace, final expr.Expr) (*AggEval, error) {
 		return nil, err
 	}
 	ev.buf = make(types.Row, schema.Len())
-	ev.outRow = make(types.Row, len(a.GroupBy)+len(a.Aggs))
 
 	// Partition the stream: group keys are deterministic, so the
 	// tuple->group mapping is computed exactly once per plan run.
@@ -426,6 +439,14 @@ func (a *Aggregate) OpenEval(ws *Workspace, final expr.Expr) (*AggEval, error) {
 	sort.SliceStable(ev.groups, func(i, j int) bool {
 		return LessRow(ev.groups[i].key, ev.groups[j].key)
 	})
+	if a.Having != nil {
+		nk := len(a.GroupBy)
+		for g := range ev.groups {
+			row := make(types.Row, nk+len(a.Aggs))
+			copy(row, ev.groups[g].key)
+			ev.groups[g].outRow = row
+		}
+	}
 	ev.states = make([]AggState, len(a.Aggs))
 	return ev, nil
 }
@@ -565,14 +586,267 @@ func (ev *AggEval) EvalVersion(b bundle.Binding, out [][]float64, include []bool
 			ok := true
 			if ev.having != nil {
 				nk := len(ev.agg.GroupBy)
-				copy(ev.outRow[:nk], grp.key)
 				for a := range ev.agg.Aggs {
-					ev.outRow[nk+a] = types.NewFloat(out[g][a])
+					grp.outRow[nk+a] = types.NewFloat(out[g][a])
 				}
-				ok = ev.having.EvalBool(ev.outRow)
+				ok = ev.having.EvalBool(grp.outRow)
 			}
 			include[g] = ok
 		}
 	}
 	return nil
+}
+
+// winEval is the window-major evaluator's per-run state (DESIGN.md §13):
+// one kernel per aggregate expression plus one for the final predicate,
+// and the version-indexed scratch lanes they accumulate into. All slices
+// are grown once and reused across groups and tuples.
+type winEval struct {
+	aggKerns  []*expr.Kernel // per aggregate; nil for COUNT(*)
+	finalKern *expr.Kernel   // nil when there is no final predicate
+	present   []bool         // per version: presence ∧ final predicate
+	fmask     []bool         // final-predicate kernel output
+	val       []float64      // aggregate-input kernel output
+	vnull     []bool
+	sums      [][]float64 // per aggregate × version running state
+	counts    [][]int64
+}
+
+func (we *winEval) ensure(n int) {
+	if len(we.present) < n {
+		we.present = make([]bool, n)
+		we.fmask = make([]bool, n)
+		we.val = make([]float64, n)
+		we.vnull = make([]bool, n)
+		for a := range we.sums {
+			we.sums[a] = make([]float64, n)
+			we.counts[a] = make([]int64, n)
+		}
+	}
+}
+
+// buildWinEval lowers the aggregate-input expressions and the final
+// predicate into kernels. False means some expression cannot be lowered
+// (or has a static string result, which EvalNumeric refuses so the
+// interpreter's error surfaces) and window-major evaluation is off for
+// this run.
+func (ev *AggEval) buildWinEval() bool {
+	we := &winEval{
+		aggKerns: make([]*expr.Kernel, len(ev.agg.Aggs)),
+		sums:     make([][]float64, len(ev.agg.Aggs)),
+		counts:   make([][]int64, len(ev.agg.Aggs)),
+	}
+	for i, spec := range ev.agg.Aggs {
+		if spec.Expr == nil {
+			continue
+		}
+		k, err := expr.CompileKernel(spec.Expr, ev.childSchema)
+		if err != nil || k.Kind() == types.KindString {
+			return false
+		}
+		we.aggKerns[i] = k
+	}
+	if ev.final != nil {
+		k, err := ev.final.Kernel(ev.childSchema)
+		if err != nil {
+			return false
+		}
+		we.finalKern = k
+	}
+	ev.win = we
+	return true
+}
+
+// windowIdentity reports whether a seed's first n version assignments are
+// the identity mapping base, base+1, … over a contiguously materialized
+// stretch of its window — the layout InitAssignAt produces, under which
+// version v of the seed is exactly window row Assign[0]-Lo+v.
+func windowIdentity(ws *Workspace, id uint64, n int) bool {
+	s := ws.Seeds.MustGet(id)
+	if len(s.Assign) < n {
+		return false
+	}
+	base := s.Assign[0]
+	for v := 1; v < n; v++ {
+		if s.Assign[v] != base+uint64(v) {
+			return false
+		}
+	}
+	w := &s.Window
+	return base >= w.Lo && base+uint64(n) <= w.End()
+}
+
+// EvalWindow computes out[g][a][v] for all n versions in a single
+// window-major pass: per random tuple, the aggregate-input and
+// final-predicate kernels run across the tuple's whole replicate window
+// at once (the versions live contiguously in the seed window arena), and
+// results accumulate into per-version running sums. Per (group,
+// aggregate, version) the additions happen in exactly the order
+// EvalVersion performs them — deterministic base first, then random
+// tuples in plan order — so the results are bit-for-bit identical.
+//
+// ok=false means window-major evaluation does not apply to this run —
+// HAVING needs per-version inclusion (version-major only), kernels are
+// disabled, an expression cannot be lowered, or some seed's assignment /
+// window / presence coverage is not the contiguous identity layout (e.g.
+// n exceeds the materialized window, or a replenishing run left sparse
+// positions). out may then be part-written; the caller must run the
+// version-major path, which overwrites every slot and raises
+// ErrNotMaterialized/replenishes exactly as before.
+func (ev *AggEval) EvalWindow(ws *Workspace, n int, out [][][]float64) (bool, error) {
+	if ev.having != nil || !ev.kernelsOn || ev.winBad || n < 1 {
+		return false, nil
+	}
+	// Every referenced seed must be in identity layout, and every presence
+	// vector must cover its seed's n versions in its contiguous bits.
+	seedOK := map[uint64]bool{}
+	check := func(id uint64) bool {
+		ok, seen := seedOK[id]
+		if !seen {
+			ok = windowIdentity(ws, id, n)
+			seedOK[id] = ok
+		}
+		return ok
+	}
+	for g := range ev.groups {
+		for _, tu := range ev.groups[g].rand {
+			for _, r := range tu.Rand {
+				if !check(r.SeedID) {
+					return false, nil
+				}
+			}
+			for _, p := range tu.Pres {
+				if !check(p.SeedID) {
+					return false, nil
+				}
+				base := ws.Seeds.MustGet(p.SeedID).Assign[0]
+				if base < p.Lo || base+uint64(n) > p.Lo+uint64(len(p.Bits)) {
+					return false, nil
+				}
+			}
+		}
+	}
+	if ev.win == nil && !ev.buildWinEval() {
+		ev.winBad = true
+		return false, nil
+	}
+	we := ev.win
+	we.ensure(n)
+	for g := range ev.groups {
+		grp := &ev.groups[g]
+		for a := range ev.agg.Aggs {
+			sums, counts, b := we.sums[a], we.counts[a], grp.base[a]
+			for v := 0; v < n; v++ {
+				sums[v] = b.Sum
+				counts[v] = b.Count
+			}
+		}
+		for _, tu := range grp.rand {
+			if err := ws.Cancelled(); err != nil {
+				return false, err
+			}
+			present := we.present[:n]
+			for v := range present {
+				present[v] = true
+			}
+			for _, p := range tu.Pres {
+				off := int(ws.Seeds.MustGet(p.SeedID).Assign[0] - p.Lo)
+				for v, bit := range p.Bits[off : off+n] {
+					if !bit {
+						present[v] = false
+					}
+				}
+			}
+			// The interpreter surfaces a malformed VG-output reference as an
+			// error for any version where the tuple passes its presence
+			// checks (Tuple.Eval checks Pres before filling Rand); mirror
+			// that before evaluating anything.
+			for _, r := range tu.Rand {
+				s := ws.Seeds.MustGet(r.SeedID)
+				rows := s.Window.Vals[s.Assign[0]-s.Window.Lo:]
+				for v := 0; v < n; v++ {
+					if present[v] && r.Out >= len(rows[v]) {
+						return false, fmt.Errorf("bundle: seed %d output %d of %d", r.SeedID, r.Out, len(rows[v]))
+					}
+				}
+			}
+			if we.finalKern != nil {
+				if !we.gather(ws, tu, we.finalKern, n) {
+					return false, nil
+				}
+				we.finalKern.EvalMask(we.fmask)
+				for v := 0; v < n; v++ {
+					if !we.fmask[v] {
+						present[v] = false
+					}
+				}
+			}
+			for a, spec := range ev.agg.Aggs {
+				sums, counts := we.sums[a], we.counts[a]
+				if spec.Kind == AggCount {
+					for v := 0; v < n; v++ {
+						if present[v] {
+							counts[v]++
+						}
+					}
+					continue
+				}
+				k := we.aggKerns[a]
+				if !we.gather(ws, tu, k, n) || !k.EvalNumeric(we.val, we.vnull) {
+					return false, nil
+				}
+				for v := 0; v < n; v++ {
+					if present[v] && !we.vnull[v] {
+						sums[v] += we.val[v]
+						counts[v]++
+					}
+				}
+			}
+		}
+		for a, spec := range ev.agg.Aggs {
+			dst, sums, counts := out[g][a], we.sums[a], we.counts[a]
+			for v := 0; v < n; v++ {
+				dst[v] = AggState{Sum: sums[v], Count: counts[v]}.Value(spec.Kind)
+			}
+		}
+	}
+	return true, nil
+}
+
+// gather loads one tuple's inputs into a kernel's column lanes: version v
+// reads the tuple's deterministic values with each random slot overlaid
+// by its seed's window row at position Assign[0]+v. Deterministic slots
+// broadcast once; a random slot with a version whose VG output row is too
+// short is skipped (such versions are always masked absent — gather runs
+// after the bounds check above). False means a gathered value contradicts
+// the kernel's static types and the caller must fall back.
+func (we *winEval) gather(ws *Workspace, tu *bundle.Tuple, k *expr.Kernel, n int) bool {
+	k.Begin(n)
+	for _, col := range k.Cols() {
+		slot := col.Slot()
+		ri := -1
+		for i, r := range tu.Rand { // last match wins, like Tuple.Eval's fill loop
+			if r.Slot == slot {
+				ri = i
+			}
+		}
+		if ri < 0 {
+			if !col.Fill(n, tu.Det[slot]) {
+				return false
+			}
+			continue
+		}
+		r := tu.Rand[ri]
+		s := ws.Seeds.MustGet(r.SeedID)
+		off := s.Assign[0] - s.Window.Lo
+		for v, row := range s.Window.Vals[off : off+uint64(n)] {
+			if r.Out >= len(row) {
+				continue // masked absent by the caller's bounds check
+			}
+			if !col.Set(v, row[r.Out]) {
+				return false
+			}
+		}
+	}
+	return true
 }

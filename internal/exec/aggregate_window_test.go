@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/expr"
+	"repro/internal/prng"
+)
+
+// windowAggregate wraps the loss plan in a Select (so tuples carry
+// presence vectors) under a multi-aggregate grouped Aggregate.
+func windowAggregate(t *testing.T, ws *Workspace, having expr.Expr) *Aggregate {
+	t.Helper()
+	plan := buildLossPlan(t, ws)
+	sel := &Select{Child: plan, Pred: expr.B(expr.OpGt, expr.C("losses.val"), expr.F(2.0))}
+	agg, err := NewAggregate(sel,
+		[]expr.Expr{expr.C("means.cid")}, []string{"cid"},
+		[]AggSpec{
+			{Kind: AggSum, Expr: expr.C("losses.val"), Name: "s"},
+			{Kind: AggAvg, Expr: expr.B(expr.OpMul, expr.C("losses.val"), expr.F(2.0)), Name: "a"},
+			{Kind: AggCount, Name: "c"},
+		}, having)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestEvalWindowMatchesEvalVersion: the window-major pass must apply to
+// the identity layout and produce bit-identical samples to the
+// version-major loop, including the final predicate and presence checks.
+func TestEvalWindowMatchesEvalVersion(t *testing.T) {
+	const n = 48
+	final := expr.B(expr.OpLt, expr.C("losses.val"), expr.F(6.5))
+	cat := testCatalog()
+
+	ws := NewWorkspace(cat, prng.NewStream(9), n)
+	ev, err := windowAggregate(t, ws, nil).OpenEval(ws, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Seeds.InitAssignAt(ws.Base, n)
+	nG, nA := ev.NumGroups(), 3
+	if nG != 3 {
+		t.Fatalf("groups = %d", nG)
+	}
+	want := make([][][]float64, nG)
+	vec := make([][]float64, nG)
+	for g := 0; g < nG; g++ {
+		want[g] = make([][]float64, nA)
+		for a := 0; a < nA; a++ {
+			want[g][a] = make([]float64, n)
+		}
+		vec[g] = make([]float64, nA)
+	}
+	for v := 0; v < n; v++ {
+		if err := ev.EvalVersion(bundle.Bind(ws.Seeds, v), vec, nil); err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < nG; g++ {
+			for a := 0; a < nA; a++ {
+				want[g][a][v] = vec[g][a]
+			}
+		}
+	}
+
+	got := make([][][]float64, nG)
+	for g := 0; g < nG; g++ {
+		got[g] = make([][]float64, nA)
+		for a := 0; a < nA; a++ {
+			got[g][a] = make([]float64, n)
+		}
+	}
+	ok, err := ev.EvalWindow(ws, n, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("EvalWindow declined the identity layout")
+	}
+	for g := 0; g < nG; g++ {
+		for a := 0; a < nA; a++ {
+			for v := 0; v < n; v++ {
+				if math.Float64bits(got[g][a][v]) != math.Float64bits(want[g][a][v]) {
+					t.Fatalf("group %d agg %d version %d: window %v vs version-major %v",
+						g, a, v, got[g][a][v], want[g][a][v])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalWindowDeclines: HAVING, disabled kernels, and an n exceeding
+// the materialized window must all fall back (ok=false, no error).
+func TestEvalWindowDeclines(t *testing.T) {
+	const n = 16
+	cat := testCatalog()
+
+	decline := func(label string, ws *Workspace, agg *Aggregate, n int) {
+		t.Helper()
+		ev, err := agg.OpenEval(ws, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws.Seeds.InitAssignAt(ws.Base, n)
+		full := make([][][]float64, ev.NumGroups())
+		for g := range full {
+			full[g] = make([][]float64, len(agg.Aggs))
+			for a := range full[g] {
+				full[g][a] = make([]float64, n)
+			}
+		}
+		ok, err := ev.EvalWindow(ws, n, full)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if ok {
+			t.Fatalf("%s: EvalWindow should decline", label)
+		}
+	}
+
+	ws := NewWorkspace(cat, prng.NewStream(9), n)
+	decline("having", ws, windowAggregate(t, ws, expr.B(expr.OpGt, expr.C("s"), expr.F(0))), n)
+
+	ws2 := NewWorkspace(cat, prng.NewStream(9), n)
+	ws2.DisableKernels = true
+	decline("kernels off", ws2, windowAggregate(t, ws2, nil), n)
+
+	ws3 := NewWorkspace(cat, prng.NewStream(9), 4)
+	decline("window too small", ws3, windowAggregate(t, ws3, nil), n)
+}
+
+// TestEvalVersionHavingZeroAllocs pins the HAVING hot loop at zero
+// allocations per version: group keys are prefilled into per-group
+// output rows at OpenEval, so per version only the aggregate slots are
+// overwritten in place.
+func TestEvalVersionHavingZeroAllocs(t *testing.T) {
+	const n = 8
+	cat := testCatalog()
+	ws := NewWorkspace(cat, prng.NewStream(9), n)
+	having := expr.B(expr.OpGt, expr.C("s"), expr.F(1.0))
+	ev, err := windowAggregate(t, ws, having).OpenEval(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Seeds.InitAssignAt(ws.Base, n)
+	nG := ev.NumGroups()
+	out := make([][]float64, nG)
+	for g := range out {
+		out[g] = make([]float64, 3)
+	}
+	include := make([]bool, nG)
+	b := bundle.Bind(ws.Seeds, 0)
+	if err := ev.EvalVersion(b, out, include); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ev.EvalVersion(b, out, include); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalVersion with HAVING allocates %v per version, want 0", allocs)
+	}
+}

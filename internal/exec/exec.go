@@ -138,6 +138,11 @@ type Workspace struct {
 	// query). Pooled slabs are Reset (zeroed), so results are identical
 	// with or without the pool.
 	Slabs *SlabPool
+	// DisableKernels forces the closure-tree expression interpreter
+	// everywhere, skipping the typed vectorized kernels (DESIGN.md §13).
+	// Results are bit-for-bit identical either way — the flag exists for
+	// differential testing and the interpreter-vs-kernel benchmarks.
+	DisableKernels bool
 }
 
 // SlabPool recycles per-operator scratch slabs across query runs. Every
@@ -757,7 +762,7 @@ func (n *Select) Open(ws *Workspace) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &selectIter{
+	it := &selectIter{
 		ws:       ws,
 		op:       n,
 		child:    child,
@@ -765,7 +770,15 @@ func (n *Select) Open(ws *Workspace) (Iterator, error) {
 		refSlots: refSlots,
 		scratch:  make(types.Row, schema.Len()),
 		slab:     ws.getSlab(),
-	}, nil
+	}
+	if !ws.DisableKernels {
+		// Kernel lowering is best-effort: a predicate the kernel compiler
+		// rejects keeps the interpreter (DESIGN.md §13 fallback rule).
+		if k, err := expr.CompileKernel(n.Pred, schema); err == nil {
+			it.kern = k
+		}
+	}
+	return it, nil
 }
 
 type selectIter struct {
@@ -773,13 +786,52 @@ type selectIter struct {
 	op       *Select
 	child    Iterator
 	compiled *expr.Compiled
+	kern     *expr.Kernel // nil: interpreter-only (disabled or not lowerable)
 	refSlots []int
 	scratch  types.Row
 	refs     []bundle.RandRef
 	seedIDs  []uint64
+	sel      []int
 	slab     *bundle.Slab
 	out      []*bundle.Tuple
 	batch    Batch
+}
+
+// hasRandRef reports whether any predicate-referenced slot is a random
+// (VG-generated) attribute of tu.
+func (it *selectIter) hasRandRef(tu *bundle.Tuple) bool {
+	for _, r := range tu.Rand {
+		for _, slot := range it.refSlots {
+			if r.Slot == slot {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalDetBatch filters a batch whose tuples are all deterministic w.r.t.
+// the predicate through the kernel: the referenced columns are gathered
+// once for the whole batch, then the fused compare-and-filter kernel
+// emits a selection vector. Returns false — leaving it.out untouched —
+// when a gathered value contradicts the schema's declared kind, in which
+// case the caller re-runs the batch through the interpreter.
+func (it *selectIter) evalDetBatch(b *Batch) bool {
+	n := len(b.Tuples)
+	it.kern.Begin(n)
+	for _, col := range it.kern.Cols() {
+		slot := col.Slot()
+		for i, tu := range b.Tuples {
+			if !col.Set(i, tu.Det[slot]) {
+				return false
+			}
+		}
+	}
+	it.sel = it.kern.EvalSel(it.sel[:0])
+	for _, i := range it.sel {
+		it.out = append(it.out, b.Tuples[i])
+	}
+	return true
 }
 
 // Next filters one child batch at a time, pulling further batches only
@@ -800,6 +852,23 @@ func (it *selectIter) Next() (*Batch, error) {
 			return nil, nil
 		}
 		it.out = it.out[:0]
+		if it.kern != nil {
+			det := true
+			for _, tu := range b.Tuples {
+				if it.hasRandRef(tu) {
+					det = false
+					break
+				}
+			}
+			if det && it.evalDetBatch(b) {
+				if len(it.out) > 0 {
+					it.batch.Tuples = it.out
+					return &it.batch, nil
+				}
+				continue
+			}
+			it.out = it.out[:0] // evalDetBatch bailed before appending; keep it tidy
+		}
 		for _, tu := range b.Tuples {
 			// Which referenced slots are random in this tuple, and for which seed?
 			it.refs = it.refs[:0]
@@ -827,7 +896,7 @@ func (it *selectIter) Next() (*Batch, error) {
 					it.out = append(it.out, tu)
 				}
 			case len(it.seedIDs) == 1:
-				pv, any, err := buildPresVec(it.ws, tu, it.refs, it.compiled, it.scratch)
+				pv, any, err := buildPresVec(it.ws, tu, it.refs, it.compiled, it.kern, it.scratch)
 				if err != nil {
 					return nil, err
 				}
@@ -866,8 +935,11 @@ func (it *selectIter) Close() {
 // buildPresVec evaluates the predicate for every materialized position of
 // the (single) seed behind refs, substituting that position's VG outputs
 // into the referenced slots. scratch is a caller-provided row buffer of
-// the tuple's width, overwritten per call.
-func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *expr.Compiled, scratch types.Row) (bundle.PresVec, bool, error) {
+// the tuple's width, overwritten per call. When kern is non-nil the
+// contiguous window segment is evaluated window-major through the kernel
+// (deterministic slots broadcast once, VG outputs gathered per version);
+// sparse positions always use the interpreter.
+func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *expr.Compiled, kern *expr.Kernel, scratch types.Row) (bundle.PresVec, bool, error) {
 	seedID := refs[0].SeedID
 	s := ws.Seeds.MustGet(seedID)
 	w := &s.Window
@@ -888,13 +960,30 @@ func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *
 	}
 	pv := bundle.PresVec{SeedID: seedID, Lo: w.Lo, Bits: make([]bool, len(w.Vals))}
 	any := false
-	for i := range w.Vals {
-		b, err := evalAt(w.Lo + uint64(i))
+	vectorized := false
+	if kern != nil && len(w.Vals) > 0 {
+		ok, err := presBitsKernel(w, tu, refs, kern, pv.Bits)
 		if err != nil {
 			return pv, false, err
 		}
-		pv.Bits[i] = b
-		any = any || b
+		vectorized = ok
+	}
+	if vectorized {
+		for _, bit := range pv.Bits {
+			if bit {
+				any = true
+				break
+			}
+		}
+	} else {
+		for i := range w.Vals {
+			b, err := evalAt(w.Lo + uint64(i))
+			if err != nil {
+				return pv, false, err
+			}
+			pv.Bits[i] = b
+			any = any || b
+		}
 	}
 	if len(w.Sparse) > 0 {
 		pv.Sparse = make(map[uint64]bool, len(w.Sparse))
@@ -908,6 +997,43 @@ func buildPresVec(ws *Workspace, tu *bundle.Tuple, refs []bundle.RandRef, pred *
 		}
 	}
 	return pv, any, nil
+}
+
+// presBitsKernel runs the Select predicate across a seed's contiguous
+// window segment through the fused kernel: one lane per version, the
+// tuple's deterministic slots broadcast once, the referenced VG outputs
+// gathered per version. Returns false — bits possibly part-written, the
+// caller re-runs the interpreter over all of them — when a gathered value
+// contradicts the kernel's static types. It errors only where the
+// interpreter would too (VG output index out of range).
+func presBitsKernel(w *seeds.Window, tu *bundle.Tuple, refs []bundle.RandRef, kern *expr.Kernel, bits []bool) (bool, error) {
+	n := len(w.Vals)
+	kern.Begin(n)
+	for _, col := range kern.Cols() {
+		slot := col.Slot()
+		out := -1
+		for _, r := range refs { // last match wins, like the interpreter's substitution loop
+			if r.Slot == slot {
+				out = r.Out
+			}
+		}
+		if out < 0 {
+			if !col.Fill(n, tu.Det[slot]) {
+				return false, nil
+			}
+			continue
+		}
+		for i, vals := range w.Vals {
+			if out >= len(vals) {
+				return false, fmt.Errorf("exec: seed %d VG output %d of %d", refs[0].SeedID, out, len(vals))
+			}
+			if !col.Set(i, vals[out]) {
+				return false, nil
+			}
+		}
+	}
+	kern.EvalMask(bits)
+	return true, nil
 }
 
 // Project narrows the schema to the named columns.
@@ -1159,6 +1285,12 @@ type hashJoinIter struct {
 	in      *Batch
 	pos     int
 
+	// Probe-side key hashes, computed batch-at-a-time (DESIGN.md §13):
+	// hashes[i] pairs with in.Tuples[i]; bufHashes pairs with leftBuf,
+	// filled once on first probe.
+	hashes    []uint64
+	bufHashes []uint64
+
 	// Probe resume point: the current left tuple and its bucket cursor.
 	ltu    *bundle.Tuple
 	bucket []*bundle.Tuple
@@ -1170,31 +1302,53 @@ type hashJoinIter struct {
 }
 
 // nextLeft advances to the next probe tuple, pulling child batches as
-// needed. The returned tuple stays valid until the next nextLeft call
-// that crosses a batch boundary — the iterator finishes the tuple's
-// bucket before advancing, so it never dangles.
-func (it *hashJoinIter) nextLeft() (*bundle.Tuple, error) {
+// needed, and returns the tuple together with its probe-key hash. The
+// returned tuple stays valid until the next nextLeft call that crosses a
+// batch boundary — the iterator finishes the tuple's bucket before
+// advancing, so it never dangles. Key checks and hashes are computed for
+// the whole batch up front: both touch only deterministic slots, so they
+// vectorize regardless of tuple lineage.
+func (it *hashJoinIter) nextLeft() (*bundle.Tuple, uint64, error) {
 	if it.left == nil {
+		if it.bufHashes == nil && len(it.leftBuf) > 0 {
+			hashes := make([]uint64, len(it.leftBuf))
+			for i, tu := range it.leftBuf {
+				if err := checkDetKey(tu, it.lIdx, "left"); err != nil {
+					return nil, 0, err
+				}
+				hashes[i] = hashKey(tu.Det, it.lIdx)
+			}
+			it.bufHashes = hashes
+		}
 		if it.lpos >= len(it.leftBuf) {
-			return nil, nil
+			return nil, 0, nil
 		}
 		tu := it.leftBuf[it.lpos]
+		h := it.bufHashes[it.lpos]
 		it.lpos++
-		return tu, nil
+		return tu, h, nil
 	}
 	for it.in == nil || it.pos >= len(it.in.Tuples) {
 		b, err := it.left.Next()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if b == nil {
-			return nil, nil
+			return nil, 0, nil
+		}
+		it.hashes = it.hashes[:0]
+		for _, tu := range b.Tuples {
+			if err := checkDetKey(tu, it.lIdx, "left"); err != nil {
+				return nil, 0, err
+			}
+			it.hashes = append(it.hashes, hashKey(tu.Det, it.lIdx))
 		}
 		it.in, it.pos = b, 0
 	}
 	tu := it.in.Tuples[it.pos]
+	h := it.hashes[it.pos]
 	it.pos++
-	return tu, nil
+	return tu, h, nil
 }
 
 func (it *hashJoinIter) Next() (*Batch, error) {
@@ -1224,18 +1378,15 @@ func (it *hashJoinIter) Next() (*Batch, error) {
 			it.out = append(it.out, nt)
 			continue
 		}
-		ltu, err := it.nextLeft()
+		ltu, h, err := it.nextLeft()
 		if err != nil {
 			return nil, err
 		}
 		if ltu == nil {
 			break
 		}
-		if err := checkDetKey(ltu, it.lIdx, "left"); err != nil {
-			return nil, err
-		}
 		it.ltu = ltu
-		it.bucket = it.build[hashKey(ltu.Det, it.lIdx)]
+		it.bucket = it.build[h]
 		it.bpos = 0
 	}
 	if len(it.out) == 0 {
@@ -1259,6 +1410,7 @@ func (it *hashJoinIter) Close() {
 		it.bufSlab = nil
 	}
 	it.build, it.leftBuf, it.bucket, it.in, it.ltu = nil, nil, nil, nil, nil
+	it.hashes, it.bufHashes = nil, nil
 }
 
 // concatRand builds the joined tuple's random bindings: the left side's

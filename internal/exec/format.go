@@ -1,6 +1,11 @@
 package exec
 
-import "strings"
+import (
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
 
 // Children implements Node for every operator; EXPLAIN uses it to render
 // the physical tree.
@@ -39,6 +44,47 @@ func streamMode(n Node) string {
 	}
 }
 
+// kernelCompiles reports whether e lowers to a vectorized kernel against
+// schema (nil expressions trivially do).
+func kernelCompiles(e expr.Expr, schema *types.Schema) bool {
+	if e == nil {
+		return true
+	}
+	_, err := expr.CompileKernel(e, schema)
+	return err == nil
+}
+
+// vectorized reports whether the operator takes a kernel path at runtime
+// (DESIGN.md §13): Select when its predicate lowers, HashJoin always
+// (probe hashes are computed batch-at-a-time), Aggregate when it has no
+// HAVING (which stays version-major) and every aggregate input lowers to
+// a numeric kernel.
+func vectorized(n Node) bool {
+	switch op := n.(type) {
+	case *Select:
+		return kernelCompiles(op.Pred, op.Child.Schema())
+	case *HashJoin:
+		return true
+	case *Aggregate:
+		if op.Having != nil {
+			return false
+		}
+		schema := op.Child.Schema()
+		for _, a := range op.Aggs {
+			if a.Expr == nil {
+				continue
+			}
+			k, err := expr.CompileKernel(a.Expr, schema)
+			if err != nil || k.Kind() == types.KindString {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
 func formatInto(b *strings.Builder, n Node, depth int) {
 	for i := 0; i < depth; i++ {
 		b.WriteString("  ")
@@ -50,6 +96,9 @@ func formatInto(b *strings.Builder, n Node, depth int) {
 	b.WriteString(" [")
 	b.WriteString(streamMode(n))
 	b.WriteString("]")
+	if vectorized(n) {
+		b.WriteString(" [vectorized=true]")
+	}
 	b.WriteByte('\n')
 	for _, c := range n.Children() {
 		formatInto(b, c, depth+1)

@@ -1,0 +1,227 @@
+package expr_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/sqlish"
+	"repro/internal/types"
+)
+
+// fuzzKernelSeeds mirrors the parser fuzz corpus's expression-bearing
+// statements (internal/sqlish/fuzz_test.go): WHERE/HAVING clauses and
+// aggregate arguments parsed from them seed the differential search.
+var fuzzKernelSeeds = []string{
+	"SELECT SUM(val) FROM Losses WHERE CID < 10090 WITH RESULTDISTRIBUTION MONTECARLO(256)",
+	"SELECT SUM(l.val) AS loss FROM Losses AS l WHERE l.CID < 10050 AND l.val > 0.5 WITH RESULTDISTRIBUTION MONTECARLO(64)",
+	"SELECT AVG(e.sal / d.cnt) FROM emp AS e, dept AS d WHERE e.dno = d.dno WITH RESULTDISTRIBUTION MONTECARLO(128)",
+	"SELECT COUNT(*) FROM t WHERE NOT (a = b) OR c <= 1.5",
+	"SELECT SUM(x + y * 2) FROM t WHERE x <> 'a' GROUP BY g HAVING SUM(x + y * 2) > 10",
+	"SELECT SUM(a - b) FROM t WHERE (a / b) >= 0 AND (a < 1 OR b > 2)",
+}
+
+// fuzzRNG is a splitmix64, so the fuzzer's (src, seed) inputs map
+// deterministically to schemas, rows, and generated expressions.
+type fuzzRNG uint64
+
+func (r *fuzzRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *fuzzRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var fuzzKinds = []types.Kind{
+	types.KindInt, types.KindFloat, types.KindBool, types.KindString, types.KindNull,
+}
+
+// fuzzValue draws a value of the given kind (or NULL) with the edge cases
+// over-represented.
+func fuzzValue(r *fuzzRNG, kind types.Kind) types.Value {
+	if r.intn(5) == 0 {
+		return types.Null
+	}
+	switch kind {
+	case types.KindInt:
+		switch r.intn(4) {
+		case 0:
+			return types.NewInt(int64(r.intn(7)) - 3)
+		case 1:
+			return types.NewInt(math.MaxInt64 - int64(r.intn(3)))
+		case 2:
+			return types.NewInt(math.MinInt64 + int64(r.intn(3)))
+		default:
+			return types.NewInt(int64(r.next()))
+		}
+	case types.KindFloat:
+		switch r.intn(6) {
+		case 0:
+			return types.NewFloat(0)
+		case 1:
+			return types.NewFloat(math.Copysign(0, -1))
+		case 2:
+			return types.NewFloat(math.NaN())
+		case 3:
+			return types.NewFloat(math.Inf(1 - 2*r.intn(2)))
+		default:
+			return types.NewFloat((float64(r.intn(2001)) - 1000) / 8)
+		}
+	case types.KindBool:
+		return types.NewBool(r.intn(2) == 0)
+	case types.KindString:
+		return types.NewString([]string{"", "a", "b", "ab", "z"}[r.intn(5)])
+	default:
+		return types.Null
+	}
+}
+
+// fuzzExpr generates a random expression over cols, biased toward
+// comparisons and boolean combinators so predicates dominate.
+func fuzzExpr(r *fuzzRNG, cols []types.Column, depth int) expr.Expr {
+	if depth <= 0 || r.intn(4) == 0 {
+		if r.intn(3) == 0 {
+			return &expr.Const{Val: fuzzValue(r, fuzzKinds[r.intn(len(fuzzKinds))])}
+		}
+		return expr.C(cols[r.intn(len(cols))].Name)
+	}
+	switch r.intn(14) {
+	case 0:
+		return &expr.Not{Inner: fuzzExpr(r, cols, depth-1)}
+	case 1:
+		return &expr.Neg{Inner: fuzzExpr(r, cols, depth-1)}
+	default:
+		ops := []expr.BinOp{
+			expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv,
+			expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe,
+			expr.OpAnd, expr.OpOr,
+		}
+		return expr.B(ops[r.intn(len(ops))], fuzzExpr(r, cols, depth-1), fuzzExpr(r, cols, depth-1))
+	}
+}
+
+// fuzzCheck is the non-fatal differential oracle: kernel EvalMask/EvalSel/
+// EvalNumeric against interpreter EvalBool/Eval on random rows.
+func fuzzCheck(t *testing.T, e expr.Expr, schema *types.Schema, rows []types.Row) {
+	t.Helper()
+	c, err := expr.Compile(e, schema)
+	if err != nil {
+		return // interpreter rejects it too; nothing to compare
+	}
+	k, err := expr.CompileKernel(e, schema)
+	if err != nil {
+		t.Errorf("CompileKernel(%s) failed (%v) where Compile succeeded", e, err)
+		return
+	}
+	n := len(rows)
+	k.Begin(n)
+	for _, col := range k.Cols() {
+		for i, row := range rows {
+			if !col.Set(i, row[col.Slot()]) {
+				return // schema/value mismatch: fallback contract, not comparable
+			}
+		}
+	}
+	mask := make([]bool, n)
+	k.EvalMask(mask)
+	sel := k.EvalSel(nil)
+	selAt := make(map[int]bool, len(sel))
+	for _, i := range sel {
+		selAt[i] = true
+	}
+	dst := make([]float64, n)
+	nulls := make([]bool, n)
+	numericOK := k.EvalNumeric(dst, nulls)
+	for i, row := range rows {
+		want := c.EvalBool(row)
+		if mask[i] != want {
+			t.Errorf("%s: row %d: kernel mask %v, interpreter EvalBool %v (NULL-as-false)", e, i, mask[i], want)
+		}
+		if selAt[i] != want {
+			t.Errorf("%s: row %d: kernel selection %v, interpreter %v", e, i, selAt[i], want)
+		}
+		v := c.Eval(row)
+		switch f, numeric := v.AsFloat(); {
+		case v.IsNull():
+			if numericOK && !nulls[i] {
+				t.Errorf("%s: row %d: interpreter NULL, kernel %v", e, i, dst[i])
+			}
+		case !numeric:
+			if numericOK {
+				t.Errorf("%s: row %d: interpreter %s (non-numeric), kernel claimed numeric", e, i, v.Kind())
+			}
+		case !numericOK:
+			t.Errorf("%s: row %d: kernel refused numeric eval of %v", e, i, f)
+		case nulls[i]:
+			t.Errorf("%s: row %d: kernel NULL, interpreter %v", e, i, f)
+		case math.Float64bits(dst[i]) != math.Float64bits(f) && !(math.IsNaN(dst[i]) && math.IsNaN(f)):
+			t.Errorf("%s: row %d: kernel %v, interpreter %v (bit mismatch)", e, i, dst[i], f)
+		}
+	}
+}
+
+// FuzzKernelVsInterpreter differentially fuzzes the vectorized kernels
+// against the closure-tree interpreter: expressions come from parsing the
+// fuzzed SQL (WHERE, HAVING, aggregate arguments) and from a seeded
+// random expression generator; schemas and rows are drawn from the seed.
+// Any divergence — including NULL-as-false predicate semantics and the
+// bit pattern of numeric results — is a failure.
+func FuzzKernelVsInterpreter(f *testing.F) {
+	for i, src := range fuzzKernelSeeds {
+		f.Add(src, uint64(i)*1469598103934665603)
+	}
+	f.Fuzz(func(t *testing.T, src string, seed uint64) {
+		r := fuzzRNG(seed)
+		// Random schema: 3..8 columns named c0..c7 with random kinds.
+		nCols := 3 + r.intn(6)
+		cols := make([]types.Column, nCols)
+		for i := range cols {
+			cols[i] = types.Column{Name: "c" + string(rune('0'+i)), Kind: fuzzKinds[r.intn(len(fuzzKinds))]}
+		}
+		schema := types.NewSchema(cols...)
+		rows := make([]types.Row, 1+r.intn(24))
+		for i := range rows {
+			row := make(types.Row, nCols)
+			for j := range row {
+				row[j] = fuzzValue(&r, cols[j].Kind)
+			}
+			rows[i] = row
+		}
+
+		// Expressions extracted from the parsed statement. Their column
+		// names rarely resolve against the random schema; rename them onto
+		// it so the corpus's operator shapes are exercised, and also try
+		// them raw (unknown columns must fail identically in both paths).
+		var exprs []expr.Expr
+		if stmt, err := sqlish.Parse(src); err == nil {
+			if sel, ok := stmt.(*sqlish.SelectStmt); ok {
+				if sel.Where != nil {
+					exprs = append(exprs, sel.Where)
+				}
+				if sel.Having != nil {
+					exprs = append(exprs, sel.Having)
+				}
+				for _, it := range sel.Items {
+					if it.Expr != nil {
+						exprs = append(exprs, it.Expr)
+					}
+				}
+				exprs = append(exprs, sel.GroupBy...)
+			}
+		}
+		for _, e := range exprs {
+			fuzzCheck(t, e, schema, rows)
+			renamed := expr.RenameColumns(e, func(string) string {
+				return cols[r.intn(nCols)].Name
+			})
+			fuzzCheck(t, renamed, schema, rows)
+		}
+		// And random trees over the schema.
+		for i := 0; i < 4; i++ {
+			fuzzCheck(t, fuzzExpr(&r, cols, 2+r.intn(4)), schema, rows)
+		}
+	})
+}

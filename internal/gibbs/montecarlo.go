@@ -117,6 +117,21 @@ func MonteCarloGrouped(ws *exec.Workspace, agg *exec.Aggregate, final expr.Expr,
 			out.Include[g] = make([]bool, n)
 		}
 	}
+	// Window-major fast path (DESIGN.md §13): when the assignment is the
+	// contiguous identity layout (always true for sharded workers, and for
+	// sequential runs whose window covers all n replicates), evaluate every
+	// version of each tuple in one kernel pass. Bit-identical to the
+	// version-major loop below; HAVING stays version-major (per-version
+	// inclusion), and any invalid layout falls through to it.
+	if agg.Having == nil {
+		ok, err := ev.EvalWindow(ws, n, out.Samples)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
 	//mcdbr:hotpath
 	for v := 0; v < n; {
 		if err := ws.Cancelled(); err != nil {

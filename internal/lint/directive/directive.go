@@ -34,11 +34,12 @@ const Prefix = "//mcdbr:"
 // Suppression directive names, keyed by the analyzer that honours
 // them. "nondet" belongs to detsource; the rest match their analyzer.
 var suppressions = map[string]bool{
-	"nondet":       true,
-	"maporder":     true,
-	"slabsafe":     true,
-	"ctxpropagate": true,
-	"benchallocs":  true,
+	"nondet":         true,
+	"maporder":       true,
+	"slabsafe":       true,
+	"ctxpropagate":   true,
+	"benchallocs":    true,
+	"kernelfallback": true,
 }
 
 // Marker directive names: valid without an ok(reason) clause.

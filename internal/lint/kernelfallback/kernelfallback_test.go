@@ -1,0 +1,12 @@
+package kernelfallback_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/kernelfallback"
+	"repro/internal/lint/linttest"
+)
+
+func TestKernelFallback(t *testing.T) {
+	linttest.Run(t, kernelfallback.Analyzer, "testdata/base", "repro")
+}

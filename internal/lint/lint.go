@@ -9,6 +9,7 @@ import (
 	"repro/internal/lint/benchallocs"
 	"repro/internal/lint/ctxpropagate"
 	"repro/internal/lint/detsource"
+	"repro/internal/lint/kernelfallback"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/slabsafe"
 )
@@ -21,5 +22,6 @@ func All() []*analysis.Analyzer {
 		slabsafe.Analyzer,
 		ctxpropagate.Analyzer,
 		benchallocs.Analyzer,
+		kernelfallback.Analyzer,
 	}
 }

@@ -58,8 +58,8 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(Losses.val) AS totalLoss] [sink]
-    Select((Losses.CID < 10050)) [stream]
+  Aggregate[SUM(Losses.val) AS totalLoss] [sink] [vectorized=true]
+    Select((Losses.CID < 10050)) [stream] [vectorized=true]
       Rename(Losses) [stream]
         Project[__param.CID __vg0] [stream]
           Instantiate [stream]
@@ -117,9 +117,9 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv] [sink]
-    HashJoin([sup.peon] = [emp2.eid]) [build+stream]
-      HashJoin([sup.boss] = [emp1.eid]) [build+stream]
+  Aggregate[SUM((emp2.sal - emp1.sal)) AS inv] [sink] [vectorized=true]
+    HashJoin([sup.peon] = [emp2.eid]) [build+stream] [vectorized=true]
+      HashJoin([sup.boss] = [emp1.eid]) [build+stream] [vectorized=true]
         Scan(sup AS sup) [det] [stream]
         Rename(emp1) [stream]
           Project[__param.eid __vg0] [stream]
@@ -188,8 +188,8 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(r.premium) AS total] [sink]
-    HashJoin([r.rid] = [a.class]) [build+stream]
+  Aggregate[SUM(r.premium) AS total] [sink] [vectorized=true]
+    HashJoin([r.rid] = [a.class]) [build+stream] [vectorized=true]
       Scan(riskclass AS r) [det] [stream]
       Split(a.class) [stream]
         Rename(a) [stream]
@@ -235,7 +235,7 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(Losses.val) AS x; group by Losses.CID] [sink]
+  Aggregate[SUM(Losses.val) AS x; group by Losses.CID] [sink] [vectorized=true]
     Rename(Losses) [stream]
       Project[__param.CID __vg0] [stream]
         Instantiate [stream]
@@ -384,10 +384,10 @@ rules fired:
   place-aggregate
   mark-deterministic
 physical plan:
-  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name] [sink]
-    HashJoin([g.cid] = [l.cid]) [build+stream]
+  Aggregate[SUM(l.val) AS s, COUNT(*) AS n; group by r.name] [sink] [vectorized=true]
+    HashJoin([g.cid] = [l.cid]) [build+stream] [vectorized=true]
       Materialize [det] [sink]
-        HashJoin([r.rid] = [g.rid]) [det] [build+stream]
+        HashJoin([r.rid] = [g.rid]) [det] [build+stream] [vectorized=true]
           Scan(regions AS r) [det] [stream]
           Scan(grp AS g) [det] [stream]
       Rename(l) [stream]
